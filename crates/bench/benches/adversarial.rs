@@ -1,0 +1,46 @@
+//! Benchmarks of the Theorem 1 pipeline: adversarial instance construction,
+//! oblivious scheduling and the power-control baseline (experiment E1's
+//! running-time counterpart).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblisched::scheduler::Scheduler;
+use oblisched_instances::{adversarial_for, nested_chain};
+use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let mut group = c.benchmark_group("adversarial_construction");
+    group.sample_size(20);
+    for &n in &[16usize, 64] {
+        for power in [ObliviousPower::Uniform, ObliviousPower::Linear] {
+            group.bench_with_input(
+                BenchmarkId::new(oblisched_sinr::PowerScheme::name(&power), n),
+                &n,
+                |b, &n| b.iter(|| black_box(adversarial_for(&power, &params, n))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_power_control(c: &mut Criterion) {
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let scheduler = Scheduler::new(params).variant(Variant::Directed);
+    let mut group = c.benchmark_group("power_control_scheduling");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32] {
+        let chain = nested_chain(n, 2.0);
+        group.bench_with_input(BenchmarkId::new("nested_chain", n), &chain, |b, inst| {
+            b.iter(|| black_box(scheduler.schedule_with_power_control(inst)))
+        });
+        let adv = adversarial_for(&ObliviousPower::Linear, &params, n.min(32));
+        group.bench_with_input(BenchmarkId::new("linear_adversarial", n), adv.instance(), |b, inst| {
+            b.iter(|| black_box(scheduler.schedule_with_power_control(inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_power_control);
+criterion_main!(benches);

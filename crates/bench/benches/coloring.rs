@@ -1,0 +1,76 @@
+//! Benchmarks of the coloring algorithms: greedy first-fit vs the §5
+//! LP-rounding algorithm (experiments E2–E4 measure quality; this measures
+//! running time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblisched::{first_fit_coloring, sqrt_coloring, SqrtColoringConfig};
+use oblisched_instances::{nested_chain, uniform_deployment, DeploymentConfig};
+use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_greedy(c: &mut Criterion) {
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let mut group = c.benchmark_group("greedy_first_fit");
+    group.sample_size(15);
+    for &n in &[32usize, 64, 128] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let instance = uniform_deployment(
+            DeploymentConfig {
+                num_requests: n,
+                side: 40.0 * (n as f64).sqrt(),
+                min_link: 1.0,
+                max_link: 15.0,
+            },
+            &mut rng,
+        );
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(params, &power);
+            let view = eval.view(Variant::Bidirectional);
+            group.bench_with_input(
+                BenchmarkId::new(oblisched_sinr::PowerScheme::name(&power), n),
+                &view,
+                |b, v| b.iter(|| black_box(first_fit_coloring(v))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sqrt_lp(c: &mut Criterion) {
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let mut group = c.benchmark_group("sqrt_lp_coloring");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let instance = uniform_deployment(
+            DeploymentConfig {
+                num_requests: n,
+                side: 40.0 * (n as f64).sqrt(),
+                min_link: 1.0,
+                max_link: 15.0,
+            },
+            &mut rng,
+        );
+        group.bench_with_input(BenchmarkId::new("uniform_deployment", n), &instance, |b, inst| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                black_box(sqrt_coloring(inst, &params, &SqrtColoringConfig::default(), &mut rng))
+            })
+        });
+    }
+    for &n in &[16usize, 32] {
+        let instance = nested_chain(n, 2.0);
+        group.bench_with_input(BenchmarkId::new("nested_chain", n), &instance, |b, inst| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                black_box(sqrt_coloring(inst, &params, &SqrtColoringConfig::default(), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_sqrt_lp);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks of the FRT tree embeddings and dominating tree families
+//! (Lemma 6 substrate, experiment E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblisched_metric::{DominatingTreeFamily, EmbeddingConfig, EuclideanSpace, Point2, TreeEmbedding};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn random_space(n: usize, seed: u64) -> EuclideanSpace<2> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    EuclideanSpace::from_points(
+        (0..n).map(|_| Point2::xy(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0))).collect(),
+    )
+}
+
+fn bench_single_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frt_embedding");
+    group.sample_size(15);
+    for &n in &[32usize, 128, 256] {
+        let space = random_space(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &space, |b, s| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                black_box(TreeEmbedding::frt(s, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominating_tree_family");
+    group.sample_size(10);
+    for &n in &[32usize, 96] {
+        let space = random_space(n, 3 * n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &space, |b, s| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(11);
+                black_box(DominatingTreeFamily::build(s, EmbeddingConfig::default(), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_embedding, bench_family);
+criterion_main!(benches);

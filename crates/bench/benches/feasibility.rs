@@ -1,0 +1,40 @@
+//! Micro-benchmark of the SINR feasibility kernel — the inner loop of every
+//! scheduler in the workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblisched_instances::{uniform_deployment, DeploymentConfig};
+use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_feasibility(c: &mut Criterion) {
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let mut group = c.benchmark_group("sinr_feasibility");
+    group.sample_size(20);
+    for &n in &[32usize, 128, 512] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let instance = uniform_deployment(
+            DeploymentConfig {
+                num_requests: n,
+                side: 40.0 * (n as f64).sqrt(),
+                min_link: 1.0,
+                max_link: 15.0,
+            },
+            &mut rng,
+        );
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        let all: Vec<usize> = (0..n).collect();
+        for variant in [Variant::Directed, Variant::Bidirectional] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{variant}"), n),
+                &all,
+                |b, set| b.iter(|| black_box(eval.is_feasible(variant, black_box(set)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasibility);
+criterion_main!(benches);

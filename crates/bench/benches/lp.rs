@@ -1,0 +1,58 @@
+//! Benchmarks of the LP substrate: dense simplex and packing LPs with
+//! randomized rounding (the inner machinery of the §5 coloring algorithm).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblisched_lp::{round_packing, PackingLp, RoundingConfig};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn interference_lp(n: usize, seed: u64) -> PackingLp {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0..1.0) / (1.0 + (i as f64 - j as f64).powi(2))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    PackingLp::new(vec![1.0; n], rows, vec![1.0; n]).unwrap()
+}
+
+fn bench_packing_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing_lp_solve");
+    group.sample_size(10);
+    for &n in &[16usize, 32, 64] {
+        let lp = interference_lp(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+            b.iter(|| black_box(lp.solve().unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomized_rounding");
+    group.sample_size(20);
+    for &n in &[32usize, 64] {
+        let lp = interference_lp(n, 100 + n as u64);
+        let solution = lp.solve().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(lp, solution), |b, (lp, s)| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                black_box(round_packing(lp, s, RoundingConfig::default(), &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing_solve, bench_rounding);
+criterion_main!(benches);

@@ -1,0 +1,500 @@
+//! The experiments E1–E8: one per quantitative claim of the paper.
+
+use crate::table::Table;
+use oblisched::scheduler::Scheduler;
+use oblisched::{
+    decay_classes, exact_chromatic_number, first_fit_coloring, sqrt_coloring, star_sqrt_subset,
+    SqrtColoringConfig,
+};
+use oblisched_instances::{
+    adversarial_for, clustered_deployment, max_supported_n, nested_chain, uniform_deployment,
+    DeploymentConfig,
+};
+use oblisched_metric::{DominatingTreeFamily, EmbeddingConfig, EuclideanSpace, MetricSpace, Point2, StarMetric};
+use oblisched_sinr::{
+    extract_feasible_subset, rescale_coloring, Instance, NodeLossInstance, ObliviousPower,
+    PowerScheme, Schedule, SinrParams, Variant,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Identifier of an experiment in the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Theorem 1: oblivious assignments need Ω(n) colors on adversarial
+    /// directed instances; power control needs O(1).
+    E1,
+    /// §1.2: the nested chain separates uniform/linear from the square root.
+    E2,
+    /// Theorem 15: quality of the LP coloring vs greedy and the exact optimum.
+    E3,
+    /// Theorem 2: colors of the square-root assignment on instances with
+    /// known O(1) optimum, as n grows.
+    E4,
+    /// Propositions 3/4: gain rescaling — kept fraction and color blow-up.
+    E5,
+    /// Lemma 5: fraction of star nodes kept by the square-root assignment.
+    E6,
+    /// Lemma 6: dominating tree families — stretch and core statistics.
+    E7,
+    /// §6: directed simulation of bidirectional schedules and the
+    /// energy/colors trade-off of oblivious assignments.
+    E8,
+}
+
+impl Experiment {
+    /// Parses an experiment id such as `"e3"` or `"E3"`.
+    pub fn parse(s: &str) -> Option<Experiment> {
+        match s.to_ascii_lowercase().as_str() {
+            "e1" => Some(Experiment::E1),
+            "e2" => Some(Experiment::E2),
+            "e3" => Some(Experiment::E3),
+            "e4" => Some(Experiment::E4),
+            "e5" => Some(Experiment::E5),
+            "e6" => Some(Experiment::E6),
+            "e7" => Some(Experiment::E7),
+            "e8" => Some(Experiment::E8),
+            _ => None,
+        }
+    }
+}
+
+/// All experiments in order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment::E1,
+        Experiment::E2,
+        Experiment::E3,
+        Experiment::E4,
+        Experiment::E5,
+        Experiment::E6,
+        Experiment::E7,
+        Experiment::E8,
+    ]
+}
+
+/// Runs one experiment and returns its table.
+pub fn run_experiment(exp: Experiment) -> Table {
+    match exp {
+        Experiment::E1 => e1_adversarial_directed(),
+        Experiment::E2 => e2_nested_chain(),
+        Experiment::E3 => e3_lp_coloring_quality(),
+        Experiment::E4 => e4_sqrt_vs_known_optimum(),
+        Experiment::E5 => e5_gain_rescaling(),
+        Experiment::E6 => e6_star_fraction(),
+        Experiment::E7 => e7_tree_embeddings(),
+        Experiment::E8 => e8_directed_simulation_and_energy(),
+    }
+}
+
+fn params() -> SinrParams {
+    SinrParams::new(3.0, 1.0).expect("valid parameters")
+}
+
+fn random_instance(seed: u64, n: usize) -> Instance<EuclideanSpace<2>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    uniform_deployment(
+        DeploymentConfig {
+            num_requests: n,
+            side: 40.0 * (n as f64).sqrt(),
+            min_link: 1.0,
+            max_link: 15.0,
+        },
+        &mut rng,
+    )
+}
+
+/// E1 — Theorem 1: Ω(n) vs O(1) on adversarial directed instances.
+pub fn e1_adversarial_directed() -> Table {
+    let p = params();
+    let mut table = Table::new(
+        "E1",
+        "Theorem 1: oblivious assignments vs power control on adversarial directed instances",
+        vec!["target assignment", "n", "colors (target oblivious)", "colors (power control)"],
+    );
+    let scheduler = Scheduler::new(p).variant(Variant::Directed);
+    for power in ObliviousPower::standard_assignments() {
+        let cap = max_supported_n(&power, &p);
+        for &n in &[4usize, 8, 16, 32, 64] {
+            if n > cap {
+                continue;
+            }
+            let adv = adversarial_for(&power, &p, n);
+            let oblivious = scheduler.schedule_with_assignment(adv.instance(), power);
+            let optimal = scheduler.schedule_with_power_control(adv.instance());
+            table.push_row(vec![
+                power.name(),
+                n.to_string(),
+                oblivious.num_colors().to_string(),
+                optimal.num_colors().to_string(),
+            ]);
+        }
+    }
+    table.push_note("alpha = 3, beta = 1; the square-root construction is doubly exponential, so only small n fit in f64");
+    table.push_note("paper prediction: the oblivious column grows linearly in n, the power-control column stays O(1)");
+    table
+}
+
+/// E2 — §1.2: the nested chain.
+pub fn e2_nested_chain() -> Table {
+    let p = params();
+    let mut table = Table::new(
+        "E2",
+        "§1.2: colors needed on the nested chain u_i = -2^i, v_i = 2^i (bidirectional, first-fit)",
+        vec!["n", "uniform", "linear", "sqrt", "one-shot capacity (sqrt)"],
+    );
+    for &n in &[4usize, 8, 16, 24, 32] {
+        let instance = nested_chain(n, 2.0);
+        let mut row = vec![n.to_string()];
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(p, &power);
+            let schedule = first_fit_coloring(&eval.view(Variant::Bidirectional));
+            row.push(schedule.num_colors().to_string());
+        }
+        let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let all: Vec<usize> = (0..n).collect();
+        row.push(oblisched::greedy_one_shot(&view, &all).len().to_string());
+        table.push_row(row);
+    }
+    table.push_note("paper prediction: uniform and linear grow ~n, sqrt stays O(1); the sqrt one-shot capacity grows ~n/4");
+    table
+}
+
+/// E3 — Theorem 15: LP coloring vs greedy vs exact optimum.
+pub fn e3_lp_coloring_quality() -> Table {
+    let p = params();
+    let mut table = Table::new(
+        "E3",
+        "Theorem 15: LP-rounding coloring for the sqrt assignment vs greedy and the exact optimum",
+        vec!["n", "seeds", "greedy (avg)", "lp (avg)", "exact (avg, n<=10)", "lp / exact"],
+    );
+    for &n in &[8usize, 10, 16, 32, 64] {
+        let seeds: Vec<u64> = (0..3).map(|s| 1000 + s * 97 + n as u64).collect();
+        let mut greedy_sum = 0.0;
+        let mut lp_sum = 0.0;
+        let mut exact_sum = 0.0;
+        let mut exact_count = 0usize;
+        for &seed in &seeds {
+            let instance = random_instance(seed, n);
+            let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+            let view = eval.view(Variant::Bidirectional);
+            let greedy = first_fit_coloring(&view);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdead);
+            let lp = sqrt_coloring(&instance, &p, &SqrtColoringConfig::default(), &mut rng);
+            greedy_sum += greedy.num_colors() as f64;
+            lp_sum += lp.num_colors() as f64;
+            if n <= 10 {
+                let (optimum, _) = exact_chromatic_number(&view);
+                exact_sum += optimum as f64;
+                exact_count += 1;
+            }
+        }
+        let k = seeds.len() as f64;
+        let exact_avg = if exact_count > 0 { exact_sum / exact_count as f64 } else { f64::NAN };
+        let ratio = if exact_count > 0 { lp_sum / k / exact_avg } else { f64::NAN };
+        table.push_row(vec![
+            n.to_string(),
+            seeds.len().to_string(),
+            format!("{:.2}", greedy_sum / k),
+            format!("{:.2}", lp_sum / k),
+            if exact_count > 0 { format!("{exact_avg:.2}") } else { "-".to_string() },
+            if exact_count > 0 { format!("{ratio:.2}") } else { "-".to_string() },
+        ]);
+    }
+    table.push_note("random uniform deployments, alpha = 3, beta = 1");
+    table.push_note("paper prediction: lp / exact stays O(log n) — in practice a small constant");
+    table
+}
+
+/// E4 — Theorem 2: sqrt colors on instances whose optimum is O(1) by
+/// construction.
+pub fn e4_sqrt_vs_known_optimum() -> Table {
+    let p = params();
+    let mut table = Table::new(
+        "E4",
+        "Theorem 2: sqrt-assignment schedule length on instances with O(1)-color optima",
+        vec!["family", "n", "sqrt colors (greedy)", "sqrt colors (lp)", "power-control colors"],
+    );
+    let scheduler = Scheduler::new(p);
+    for &n in &[8usize, 16, 32, 64] {
+        let chain = nested_chain(n, 2.0);
+        let greedy = scheduler.schedule_with_assignment(&chain, ObliviousPower::SquareRoot);
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let lp = scheduler.schedule_sqrt_lp(&chain, &mut rng);
+        let pc = scheduler.schedule_with_power_control(&chain);
+        table.push_row(vec![
+            "nested chain".to_string(),
+            n.to_string(),
+            greedy.num_colors().to_string(),
+            lp.num_colors().to_string(),
+            pc.num_colors().to_string(),
+        ]);
+    }
+    for &n in &[8usize, 16, 32] {
+        let adv = adversarial_for(&ObliviousPower::Uniform, &p, n);
+        let instance = adv.instance();
+        let greedy = scheduler.schedule_with_assignment(instance, ObliviousPower::SquareRoot);
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64 ^ 0xff);
+        let lp = scheduler.schedule_sqrt_lp(instance, &mut rng);
+        let pc = scheduler.schedule_with_power_control(instance);
+        table.push_row(vec![
+            "uniform-adversarial".to_string(),
+            n.to_string(),
+            greedy.num_colors().to_string(),
+            lp.num_colors().to_string(),
+            pc.num_colors().to_string(),
+        ]);
+    }
+    table.push_note("both families have O(1)-color schedules under non-oblivious powers (last column approximates them)");
+    table.push_note("paper prediction: the sqrt columns stay polylog(n) — empirically flat in n");
+    table
+}
+
+/// E5 — Propositions 3/4: gain rescaling.
+pub fn e5_gain_rescaling() -> Table {
+    let p = params();
+    let mut table = Table::new(
+        "E5",
+        "Propositions 3/4: extracting stricter-gain subsets and rescaled colorings",
+        vec![
+            "n",
+            "gamma'/gamma",
+            "kept fraction",
+            "bound gamma/(8 gamma')",
+            "rescaled colors",
+            "bound O(g'/g log n)",
+        ],
+    );
+    for &n in &[16usize, 32, 64] {
+        for &factor in &[2.0f64, 4.0, 8.0] {
+            let instance = random_instance(7 + n as u64, n);
+            let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+            let view = eval.view(Variant::Bidirectional);
+            // Start from the greedy coloring at the base gain.
+            let base = first_fit_coloring(&view);
+            let gamma = p.beta();
+            let gamma_prime = gamma * factor;
+            // Kept fraction of the largest base class.
+            let largest = base
+                .classes()
+                .into_iter()
+                .max_by_key(|c| c.len())
+                .unwrap_or_default();
+            let kept = extract_feasible_subset(&view, &largest, gamma_prime);
+            let fraction = if largest.is_empty() {
+                1.0
+            } else {
+                kept.len() as f64 / largest.len() as f64
+            };
+            let rescaled = rescale_coloring(&view, &base, gamma_prime);
+            let bound_colors =
+                (factor * (n as f64).log2()).ceil() * base.num_colors() as f64;
+            table.push_row(vec![
+                n.to_string(),
+                format!("{factor:.0}"),
+                format!("{fraction:.2}"),
+                format!("{:.3}", gamma / (8.0 * gamma_prime)),
+                rescaled.num_colors().to_string(),
+                format!("{bound_colors:.0}"),
+            ]);
+        }
+    }
+    table.push_note("kept fraction is measured on the largest color class of the greedy base coloring");
+    table.push_note("paper prediction: kept fraction >= gamma/(8 gamma'); rescaled colors <= O(gamma'/gamma log n) x base colors");
+    table
+}
+
+/// E6 — Lemma 5: stars.
+pub fn e6_star_fraction() -> Table {
+    let p = params();
+    let mut table = Table::new(
+        "E6",
+        "Lemma 5: fraction of star nodes kept by the square-root assignment",
+        vec!["n", "star type", "gamma", "kept fraction", "decay classes"],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    for &n in &[32usize, 128, 512] {
+        // Balanced stars (loss parameter = decay) and skewed stars (random
+        // loss parameters).
+        let radii: Vec<f64> = (0..n).map(|i| 1.5f64.powi((i % 40) as i32)).collect();
+        let balanced_losses: Vec<f64> = radii.iter().map(|r| r.powi(3)).collect();
+        let skewed_losses: Vec<f64> =
+            (0..n).map(|_| 10f64.powf(rng.gen_range(0.0..6.0))).collect();
+        for (kind, losses) in [("balanced", balanced_losses), ("skewed", skewed_losses)] {
+            let star = StarMetric::new(radii.clone());
+            let classes = decay_classes(&star, p.alpha()).len();
+            let instance = NodeLossInstance::new(star, losses).expect("positive losses");
+            for &gamma in &[0.25f64, 1.0] {
+                let kept = star_sqrt_subset(&instance, &p, gamma);
+                table.push_row(vec![
+                    n.to_string(),
+                    kind.to_string(),
+                    format!("{gamma:.2}"),
+                    format!("{:.2}", kept.len() as f64 / n as f64),
+                    classes.to_string(),
+                ]);
+            }
+        }
+    }
+    table.push_note("paper prediction: the kept fraction approaches 1 as gamma shrinks relative to the gain at which the star is feasible");
+    table
+}
+
+/// E7 — Lemma 6: dominating tree families.
+pub fn e7_tree_embeddings() -> Table {
+    let mut table = Table::new(
+        "E7",
+        "Lemma 6: dominating tree families — stretch and core statistics (FRT embeddings)",
+        vec!["n", "trees", "avg stretch", "max stretch", "stretch threshold", "min core fraction"],
+    );
+    for &n in &[16usize, 64, 256] {
+        let mut rng = ChaCha8Rng::seed_from_u64(5 + n as u64);
+        let points: Vec<Point2> = (0..n)
+            .map(|_| Point2::xy(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect();
+        let space = EuclideanSpace::from_points(points);
+        let family = DominatingTreeFamily::build(&space, EmbeddingConfig::default(), &mut rng);
+        let mut stretches = Vec::new();
+        for tree in family.trees() {
+            for v in 0..n {
+                stretches.push(tree.max_stretch_at(&space, v));
+            }
+        }
+        let avg = stretches.iter().sum::<f64>() / stretches.len() as f64;
+        let max = stretches.iter().copied().fold(0.0, f64::max);
+        let min_core = (0..n)
+            .map(|v| family.core_fraction_of(v))
+            .fold(f64::INFINITY, f64::min);
+        table.push_row(vec![
+            n.to_string(),
+            family.num_trees().to_string(),
+            format!("{avg:.1}"),
+            format!("{max:.1}"),
+            format!("{:.1}", family.stretch_threshold()),
+            format!("{min_core:.2}"),
+        ]);
+    }
+    table.push_note("every tree dominates the metric by construction; the table reports the per-node worst-case stretch");
+    table.push_note("paper prediction: O(log n) trees suffice for every node to be in 9/10 of the cores with O(log n) stretch");
+    table
+}
+
+/// E8 — §6: directed simulation and the energy/colors trade-off.
+pub fn e8_directed_simulation_and_energy() -> Table {
+    let p = params();
+    let mut table = Table::new(
+        "E8",
+        "§6: directed simulation of bidirectional schedules and energy/colors trade-off",
+        vec![
+            "n",
+            "bidi colors (sqrt)",
+            "directed simulation colors",
+            "energy sqrt / energy linear",
+            "colors linear / colors sqrt",
+        ],
+    );
+    for &n in &[16usize, 32, 64] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64 * 31);
+        let instance = clustered_deployment(
+            DeploymentConfig {
+                num_requests: n,
+                side: 50.0 * (n as f64).sqrt(),
+                min_link: 1.0,
+                max_link: 20.0,
+            },
+            4,
+            30.0,
+            &mut rng,
+        );
+        let scheduler = Scheduler::new(p);
+        let sqrt = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
+        let linear = scheduler.schedule_with_assignment(&instance, ObliviousPower::Linear);
+        let doubled = oblisched::convert::verify_directed_simulation(
+            &instance,
+            &p,
+            &sqrt.powers,
+            &sqrt.schedule,
+        )
+        .expect("simulation of a valid schedule is valid");
+        table.push_row(vec![
+            n.to_string(),
+            sqrt.num_colors().to_string(),
+            doubled.to_string(),
+            format!("{:.2}", sqrt.total_energy() / linear.total_energy()),
+            format!("{:.2}", linear.num_colors() as f64 / sqrt.num_colors() as f64),
+        ]);
+    }
+    table.push_note("paper prediction: the directed simulation uses exactly twice the bidirectional colors");
+    table.push_note("the energy column quantifies the §6 remark that sqrt trades energy (vs the energy-optimal linear assignment) for schedule length");
+    table
+}
+
+/// Validates a schedule against an instance/power pair — used by the harness
+/// to double-check each experiment's artefacts before reporting.
+pub fn check_schedule<M: MetricSpace>(
+    instance: &Instance<M>,
+    schedule: &Schedule,
+    power: ObliviousPower,
+    variant: Variant,
+) -> bool {
+    let eval = instance.evaluator(params(), &power);
+    schedule.validate(&eval, variant).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_parse() {
+        assert_eq!(Experiment::parse("e1"), Some(Experiment::E1));
+        assert_eq!(Experiment::parse("E8"), Some(Experiment::E8));
+        assert_eq!(Experiment::parse("e9"), None);
+        assert_eq!(all_experiments().len(), 8);
+    }
+
+    #[test]
+    fn nested_chain_experiment_has_expected_shape() {
+        let table = e2_nested_chain();
+        assert_eq!(table.id, "E2");
+        assert_eq!(table.rows.len(), 5);
+        // Uniform needs n colors, sqrt stays small: check the last row.
+        let last = table.rows.last().unwrap();
+        let n: usize = last[0].parse().unwrap();
+        let uniform: usize = last[1].parse().unwrap();
+        let sqrt: usize = last[3].parse().unwrap();
+        assert_eq!(uniform, n);
+        assert!(sqrt <= 8);
+    }
+
+    #[test]
+    fn gain_rescaling_experiment_respects_bounds() {
+        let table = e5_gain_rescaling();
+        for row in &table.rows {
+            let fraction: f64 = row[2].parse().unwrap();
+            let bound: f64 = row[3].parse().unwrap();
+            assert!(fraction + 1e-9 >= bound, "kept fraction {fraction} below bound {bound}");
+        }
+    }
+
+    #[test]
+    fn star_experiment_reports_fractions_in_range() {
+        let table = e6_star_fraction();
+        for row in &table.rows {
+            let fraction: f64 = row[3].parse().unwrap();
+            assert!((0.0..=1.0).contains(&fraction));
+        }
+    }
+
+    #[test]
+    fn check_schedule_helper_detects_feasibility() {
+        let instance = nested_chain(6, 2.0);
+        let eval = instance.evaluator(params(), &ObliviousPower::SquareRoot);
+        let good = first_fit_coloring(&eval.view(Variant::Bidirectional));
+        assert!(check_schedule(&instance, &good, ObliviousPower::SquareRoot, Variant::Bidirectional));
+        let bad = Schedule::new(vec![0; 6]);
+        assert!(!check_schedule(&instance, &bad, ObliviousPower::Uniform, Variant::Bidirectional));
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the `oblisched` workspace.
+//!
+//! The paper *Oblivious Interference Scheduling* is a theory paper without an
+//! experimental section; its "evaluation" is the set of quantitative claims
+//! made by its theorems. This crate regenerates each of those claims as a
+//! table (experiments E1–E8, see `DESIGN.md` and `EXPERIMENTS.md`), plus
+//! criterion micro-benchmarks of the computational kernels.
+//!
+//! Run all experiments with
+//! `cargo run -p oblisched-bench --bin experiments --release`, or a single one
+//! with `--exp e3`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{all_experiments, run_experiment, Experiment};
+pub use table::Table;

@@ -1,0 +1,143 @@
+//! Simulating bidirectional schedules by directed ones (§6).
+//!
+//! The discussion section of the paper observes that any bidirectional
+//! schedule can be executed in the directed model by doubling the number of
+//! colors: each bidirectional slot becomes two directed slots, one per
+//! direction of the pairs. This module materialises that construction so the
+//! experiment harness can compare the two variants directly.
+
+use oblisched_metric::MetricSpace;
+use oblisched_sinr::{Instance, Schedule, SinrError, SinrParams};
+
+/// Builds the directed simulation of a bidirectional instance and schedule:
+/// every request is replaced by its two directed copies (forward then
+/// backward), and every bidirectional color `c` becomes the two directed
+/// colors `2c` (forward copies) and `2c + 1` (backward copies).
+///
+/// Returns the directed instance (over the same metric, with `2n` requests —
+/// request `i` maps to copies `2i` and `2i + 1`) and the doubled schedule.
+///
+/// # Errors
+///
+/// Returns [`SinrError::ColoringLengthMismatch`] if the schedule does not
+/// cover exactly the instance's requests.
+pub fn directed_simulation<M: MetricSpace + Clone>(
+    instance: &Instance<M>,
+    schedule: &Schedule,
+) -> Result<(Instance<M>, Schedule), SinrError> {
+    if schedule.len() != instance.len() {
+        return Err(SinrError::ColoringLengthMismatch {
+            expected: instance.len(),
+            actual: schedule.len(),
+        });
+    }
+    let mut requests = Vec::with_capacity(2 * instance.len());
+    let mut colors = Vec::with_capacity(2 * instance.len());
+    for i in 0..instance.len() {
+        let r = instance.request(i);
+        requests.push(r);
+        colors.push(2 * schedule.color_of(i));
+        requests.push(r.reversed());
+        colors.push(2 * schedule.color_of(i) + 1);
+    }
+    let directed = Instance::new(instance.metric().clone(), requests)?;
+    Ok((directed, Schedule::new(colors)))
+}
+
+/// Duplicates a power assignment of a bidirectional instance onto its
+/// directed simulation (both directed copies of a pair transmit with the
+/// pair's power).
+pub fn duplicate_powers(powers: &[f64]) -> Vec<f64> {
+    powers.iter().flat_map(|&p| [p, p]).collect()
+}
+
+/// Convenience: checks that the directed simulation of a feasible
+/// bidirectional schedule is itself feasible in the directed variant (the §6
+/// claim), returning the number of directed colors.
+///
+/// # Errors
+///
+/// Propagates construction and validation errors.
+pub fn verify_directed_simulation<M: MetricSpace + Clone>(
+    instance: &Instance<M>,
+    params: &SinrParams,
+    powers: &[f64],
+    schedule: &Schedule,
+) -> Result<usize, SinrError> {
+    let (directed, directed_schedule) = directed_simulation(instance, schedule)?;
+    let eval = oblisched_sinr::Evaluator::with_powers(
+        &directed,
+        *params,
+        duplicate_powers(powers),
+    )?;
+    directed_schedule.validate(&eval, oblisched_sinr::Variant::Directed)?;
+    Ok(directed_schedule.num_colors())
+}
+
+/// The trivial direction of §6: interprets a *directed* schedule of the
+/// doubled instance as evidence about the bidirectional instance — the number
+/// of bidirectional colors needed is at most the number of directed colors
+/// (each bidirectional slot can simply reuse the directed slot of its forward
+/// copy, transmitting the two directions in consecutive sub-slots).
+pub fn directed_to_bidirectional_bound(directed_colors: usize) -> usize {
+    directed_colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::first_fit_coloring;
+    use oblisched_instances::nested_chain;
+    use oblisched_sinr::{ObliviousPower, PowerScheme, Variant};
+
+    fn params() -> SinrParams {
+        SinrParams::new(3.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn simulation_doubles_requests_and_colors() {
+        let inst = nested_chain(6, 2.0);
+        let p = params();
+        let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+        let schedule = first_fit_coloring(&eval.view(Variant::Bidirectional));
+        let (directed, directed_schedule) = directed_simulation(&inst, &schedule).unwrap();
+        assert_eq!(directed.len(), 12);
+        assert_eq!(directed_schedule.len(), 12);
+        assert_eq!(directed_schedule.num_colors(), 2 * schedule.num_colors());
+        // Copies 2i and 2i+1 are the two directions of request i.
+        for i in 0..inst.len() {
+            assert_eq!(directed.request(2 * i), inst.request(i));
+            assert_eq!(directed.request(2 * i + 1), inst.request(i).reversed());
+        }
+    }
+
+    #[test]
+    fn simulated_schedule_is_directed_feasible() {
+        let inst = nested_chain(8, 2.0);
+        let p = params();
+        let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+        let schedule = first_fit_coloring(&eval.view(Variant::Bidirectional));
+        assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+        let powers = ObliviousPower::SquareRoot.powers(&inst, &p);
+        let directed_colors =
+            verify_directed_simulation(&inst, &p, &powers, &schedule).unwrap();
+        assert_eq!(directed_colors, 2 * schedule.num_colors());
+        assert_eq!(directed_to_bidirectional_bound(directed_colors), directed_colors);
+    }
+
+    #[test]
+    fn duplicate_powers_interleaves() {
+        assert_eq!(duplicate_powers(&[1.0, 3.0]), vec![1.0, 1.0, 3.0, 3.0]);
+        assert!(duplicate_powers(&[]).is_empty());
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let inst = nested_chain(4, 2.0);
+        let bad = Schedule::new(vec![0, 1]);
+        assert!(matches!(
+            directed_simulation(&inst, &bad),
+            Err(SinrError::ColoringLengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,225 @@
+//! Greedy baselines: first-fit coloring and greedy one-shot selection.
+//!
+//! First-fit over any [`InterferenceSystem`] is the natural `O(n)`-color
+//! baseline mentioned in the paper's abstract (scheduling every request in
+//! its own slot is always feasible without noise, so first-fit never does
+//! worse). It is also the workhorse that turns any "large feasible subset"
+//! primitive into a full coloring.
+
+use oblisched_sinr::{InterferenceSystem, Schedule};
+
+/// First-fit coloring in index order.
+///
+/// Each item is placed into the first existing color class that remains
+/// feasible (at the system's gain) after adding it; if no class accepts the
+/// item, a new color is opened. Singletons without noise are always feasible,
+/// so the result covers every item.
+pub fn first_fit_coloring<S: InterferenceSystem>(system: &S) -> Schedule {
+    let order: Vec<usize> = (0..system.len()).collect();
+    first_fit_with_order(system, &order)
+}
+
+/// First-fit coloring in a caller-chosen order.
+///
+/// Orderings matter in practice: processing requests by decreasing length
+/// usually saves colors because long (fragile) links get first pick of the
+/// empty slots. The experiment harness compares several orders.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..system.len()`.
+pub fn first_fit_with_order<S: InterferenceSystem>(system: &S, order: &[usize]) -> Schedule {
+    let n = system.len();
+    assert_eq!(order.len(), n, "order must cover every item exactly once");
+    let mut seen = vec![false; n];
+    for &i in order {
+        assert!(i < n && !seen[i], "order must be a permutation of 0..n");
+        seen[i] = true;
+    }
+
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut colors = vec![usize::MAX; n];
+    for &i in order {
+        let mut placed = false;
+        for (c, class) in classes.iter_mut().enumerate() {
+            class.push(i);
+            if system.is_feasible(class) {
+                colors[i] = c;
+                placed = true;
+                break;
+            }
+            class.pop();
+        }
+        if !placed {
+            colors[i] = classes.len();
+            classes.push(vec![i]);
+        }
+    }
+    Schedule::new(colors)
+}
+
+/// Greedily builds one large feasible set ("one shot") from `candidates`,
+/// considering them in the given order and keeping an item whenever the set
+/// stays feasible.
+///
+/// The returned set is always feasible at the system's gain; its size is the
+/// greedy counterpart of the quantity `σ` (the maximum number of requests
+/// schedulable with one color) that §5 approximates.
+pub fn greedy_one_shot<S: InterferenceSystem>(system: &S, candidates: &[usize]) -> Vec<usize> {
+    let mut kept: Vec<usize> = Vec::new();
+    for &i in candidates {
+        kept.push(i);
+        if !system.is_feasible(&kept) {
+            kept.pop();
+        }
+    }
+    kept
+}
+
+/// Extends an already feasible set `base` by greedily adding further
+/// candidates whenever the set stays feasible at the system's gain.
+///
+/// Used by the LP-based and decomposition-based schedulers to make every
+/// color class maximal, which never hurts and often saves colors on small
+/// instances.
+pub fn greedy_augment<S: InterferenceSystem>(
+    system: &S,
+    base: Vec<usize>,
+    candidates: &[usize],
+) -> Vec<usize> {
+    let mut kept = base;
+    for &i in candidates {
+        if kept.contains(&i) {
+            continue;
+        }
+        kept.push(i);
+        if !system.is_feasible(&kept) {
+            kept.pop();
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched_instances::{evenly_spaced_line, nested_chain};
+    use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+
+    #[test]
+    fn first_fit_uses_one_color_for_well_separated_links() {
+        let inst = evenly_spaced_line(8, 1.0, 100.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let schedule = first_fit_coloring(&eval.view(Variant::Bidirectional));
+        assert_eq!(schedule.num_colors(), 1);
+        assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+    }
+
+    #[test]
+    fn first_fit_produces_feasible_schedules_on_nested_chains() {
+        let inst = nested_chain(10, 2.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = inst.evaluator(params, &power);
+            let schedule = first_fit_coloring(&eval.view(Variant::Bidirectional));
+            assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+            assert_eq!(schedule.len(), 10);
+        }
+    }
+
+    #[test]
+    fn sqrt_assignment_beats_uniform_and_linear_on_nested_chains() {
+        // §1.2: the square-root assignment needs O(1) colors on the nested
+        // chain while uniform and linear need Ω(n).
+        let inst = nested_chain(12, 2.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let colors_for = |power: ObliviousPower| {
+            let eval = inst.evaluator(params, &power);
+            first_fit_coloring(&eval.view(Variant::Bidirectional)).num_colors()
+        };
+        let uniform = colors_for(ObliviousPower::Uniform);
+        let linear = colors_for(ObliviousPower::Linear);
+        let sqrt = colors_for(ObliviousPower::SquareRoot);
+        assert!(sqrt < uniform, "sqrt ({sqrt}) must beat uniform ({uniform})");
+        assert!(sqrt < linear, "sqrt ({sqrt}) must beat linear ({linear})");
+        assert!(sqrt <= 6, "sqrt should need O(1) colors, used {sqrt}");
+        assert!(uniform >= 10, "uniform should need ~n colors, used {uniform}");
+    }
+
+    #[test]
+    fn first_fit_respects_custom_order() {
+        let inst = nested_chain(8, 2.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        // Longest-first order.
+        let order: Vec<usize> = (0..8).rev().collect();
+        let schedule = first_fit_with_order(&view, &order);
+        assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+        assert_eq!(schedule.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn first_fit_rejects_duplicate_order() {
+        let inst = evenly_spaced_line(3, 1.0, 10.0);
+        let params = SinrParams::default();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let _ = first_fit_with_order(&eval.view(Variant::Directed), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn greedy_one_shot_returns_feasible_subset() {
+        let inst = nested_chain(10, 2.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let all: Vec<usize> = (0..10).collect();
+        let set = greedy_one_shot(&view, &all);
+        assert!(!set.is_empty());
+        assert!(view.is_feasible(&set));
+        // On the nested chain the square-root assignment packs several
+        // requests into one shot.
+        assert!(set.len() >= 2);
+    }
+
+    #[test]
+    fn greedy_one_shot_on_empty_candidates() {
+        let inst = evenly_spaced_line(2, 1.0, 10.0);
+        let params = SinrParams::default();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Directed);
+        assert!(greedy_one_shot(&view, &[]).is_empty());
+    }
+
+    #[test]
+    fn greedy_augment_extends_without_breaking_feasibility() {
+        let inst = nested_chain(10, 2.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let base = vec![0usize];
+        let all: Vec<usize> = (0..10).collect();
+        let augmented = greedy_augment(&view, base.clone(), &all);
+        assert!(view.is_feasible(&augmented));
+        assert!(augmented.len() >= base.len());
+        assert!(augmented.contains(&0));
+        // No duplicates.
+        let mut sorted = augmented.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), augmented.len());
+    }
+
+    #[test]
+    fn empty_system_yields_empty_schedule() {
+        let metric = oblisched_metric::LineMetric::new(vec![0.0, 1.0]);
+        let inst = oblisched_sinr::Instance::new(metric, vec![]).unwrap();
+        let params = SinrParams::default();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let schedule = first_fit_coloring(&eval.view(Variant::Directed));
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.num_colors(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Exact baselines for small instances: maximum one-shot sets and minimum
+//! colorings.
+//!
+//! The interference scheduling problem is strongly NP-hard (the paper notes a
+//! reduction from 3-Partition), so exact optima are only available for small
+//! instances. These branch-and-bound routines provide the ground truth that
+//! the approximation-ratio experiments (E3) compare against. They work for
+//! any fixed power assignment via the [`InterferenceSystem`] abstraction and
+//! exploit the fact that feasibility is downward closed: a superset of an
+//! infeasible set is infeasible, because adding requests only adds
+//! interference.
+
+use oblisched_sinr::{InterferenceSystem, Schedule};
+
+/// Default guard on the instance size accepted by the exact routines.
+pub const DEFAULT_EXACT_LIMIT: usize = 20;
+
+/// Computes a maximum-cardinality feasible subset of `candidates` by branch
+/// and bound.
+///
+/// # Panics
+///
+/// Panics if there are more than [`DEFAULT_EXACT_LIMIT`] candidates — the
+/// search is exponential and larger inputs are almost certainly a mistake;
+/// use [`crate::greedy::greedy_one_shot`] instead.
+pub fn exact_max_one_shot<S: InterferenceSystem>(system: &S, candidates: &[usize]) -> Vec<usize> {
+    assert!(
+        candidates.len() <= DEFAULT_EXACT_LIMIT,
+        "exact_max_one_shot is exponential; got {} candidates (limit {DEFAULT_EXACT_LIMIT})",
+        candidates.len()
+    );
+    let mut best: Vec<usize> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    branch_one_shot(system, candidates, 0, &mut current, &mut best);
+    best
+}
+
+fn branch_one_shot<S: InterferenceSystem>(
+    system: &S,
+    candidates: &[usize],
+    index: usize,
+    current: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+) {
+    if current.len() > best.len() {
+        *best = current.clone();
+    }
+    if index == candidates.len() {
+        return;
+    }
+    // Prune: even taking every remaining candidate cannot beat the best.
+    if current.len() + (candidates.len() - index) <= best.len() {
+        return;
+    }
+    // Branch 1: include candidates[index] if the set stays feasible
+    // (feasibility is downward closed, so an infeasible prefix can never be
+    // completed into a feasible set).
+    current.push(candidates[index]);
+    if system.is_feasible(current) {
+        branch_one_shot(system, candidates, index + 1, current, best);
+    }
+    current.pop();
+    // Branch 2: exclude it.
+    branch_one_shot(system, candidates, index + 1, current, best);
+}
+
+/// Computes the exact minimum number of colors and one optimal schedule by
+/// branch and bound over color assignments.
+///
+/// # Panics
+///
+/// Panics if the system has more than [`DEFAULT_EXACT_LIMIT`] items.
+pub fn exact_chromatic_number<S: InterferenceSystem>(system: &S) -> (usize, Schedule) {
+    let n = system.len();
+    assert!(
+        n <= DEFAULT_EXACT_LIMIT,
+        "exact_chromatic_number is exponential; got {n} items (limit {DEFAULT_EXACT_LIMIT})"
+    );
+    if n == 0 {
+        return (0, Schedule::new(vec![]));
+    }
+    // Upper bound from greedy first-fit.
+    let greedy = crate::greedy::first_fit_coloring(system);
+    let mut best_colors = greedy.num_colors();
+    let mut best = greedy;
+
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut assignment = vec![usize::MAX; n];
+    branch_coloring(system, 0, &mut classes, &mut assignment, &mut best_colors, &mut best);
+    (best_colors, best)
+}
+
+fn branch_coloring<S: InterferenceSystem>(
+    system: &S,
+    item: usize,
+    classes: &mut Vec<Vec<usize>>,
+    assignment: &mut Vec<usize>,
+    best_colors: &mut usize,
+    best: &mut Schedule,
+) {
+    let n = system.len();
+    if classes.len() >= *best_colors {
+        return; // cannot improve
+    }
+    if item == n {
+        *best_colors = classes.len();
+        *best = Schedule::new(assignment.clone());
+        return;
+    }
+    // Try every existing class (symmetry: classes are created in order).
+    for c in 0..classes.len() {
+        classes[c].push(item);
+        if system.is_feasible(&classes[c]) {
+            assignment[item] = c;
+            branch_coloring(system, item + 1, classes, assignment, best_colors, best);
+        }
+        classes[c].pop();
+    }
+    // Open a new class (only if that still has a chance to improve).
+    if classes.len() + 1 < *best_colors {
+        classes.push(vec![item]);
+        assignment[item] = classes.len() - 1;
+        branch_coloring(system, item + 1, classes, assignment, best_colors, best);
+        classes.pop();
+    }
+}
+
+/// The pigeonhole lower bound `⌈n / s⌉` on the schedule length, where `s` is
+/// the exact maximum one-shot size (computed exactly, so only valid for small
+/// systems).
+///
+/// # Panics
+///
+/// Panics if the system exceeds [`DEFAULT_EXACT_LIMIT`] items.
+pub fn exact_pigeonhole_bound<S: InterferenceSystem>(system: &S) -> usize {
+    let all: Vec<usize> = (0..system.len()).collect();
+    let s = exact_max_one_shot(system, &all).len();
+    oblisched_sinr::measure::pigeonhole_lower_bound(system.len(), s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched_instances::{evenly_spaced_line, nested_chain};
+    use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+
+    fn params() -> SinrParams {
+        SinrParams::new(3.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn max_one_shot_on_separated_links_takes_everything() {
+        let inst = evenly_spaced_line(6, 1.0, 80.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Bidirectional);
+        let all: Vec<usize> = (0..6).collect();
+        let best = exact_max_one_shot(&view, &all);
+        assert_eq!(best.len(), 6);
+    }
+
+    #[test]
+    fn max_one_shot_on_nested_chain_under_uniform_is_one() {
+        // Any two nested requests conflict under uniform power.
+        let inst = nested_chain(8, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Bidirectional);
+        let all: Vec<usize> = (0..8).collect();
+        let best = exact_max_one_shot(&view, &all);
+        assert_eq!(best.len(), 1);
+    }
+
+    #[test]
+    fn exact_dominates_greedy_one_shot() {
+        let inst = nested_chain(9, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let all: Vec<usize> = (0..9).collect();
+        let greedy = crate::greedy::greedy_one_shot(&view, &all);
+        let exact = exact_max_one_shot(&view, &all);
+        assert!(exact.len() >= greedy.len());
+        assert!(view.is_feasible(&exact));
+    }
+
+    #[test]
+    fn exact_chromatic_number_matches_structure_of_nested_chain() {
+        let inst = nested_chain(6, 2.0);
+        let p = params();
+        // Uniform: pairwise conflicts everywhere => n colors.
+        let uniform = inst.evaluator(p, &ObliviousPower::Uniform);
+        let (k, schedule) = exact_chromatic_number(&uniform.view(Variant::Bidirectional));
+        assert_eq!(k, 6);
+        assert!(schedule.validate(&uniform, Variant::Bidirectional).is_ok());
+
+        // Square root: a constant number of colors suffices and the optimum is
+        // at most the greedy count.
+        let sqrt = inst.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = sqrt.view(Variant::Bidirectional);
+        let greedy = crate::greedy::first_fit_coloring(&view);
+        let (k, schedule) = exact_chromatic_number(&view);
+        assert!(k <= greedy.num_colors());
+        assert!(k < 6);
+        assert!(schedule.validate(&sqrt, Variant::Bidirectional).is_ok());
+        assert_eq!(schedule.num_colors(), k);
+    }
+
+    #[test]
+    fn exact_chromatic_number_of_empty_and_single() {
+        let metric = oblisched_metric::LineMetric::new(vec![0.0, 1.0]);
+        let empty = oblisched_sinr::Instance::new(metric.clone(), vec![]).unwrap();
+        let eval = empty.evaluator(params(), &ObliviousPower::Uniform);
+        let (k, schedule) = exact_chromatic_number(&eval.view(Variant::Directed));
+        assert_eq!(k, 0);
+        assert!(schedule.is_empty());
+
+        let single =
+            oblisched_sinr::Instance::new(metric, vec![oblisched_sinr::Request::new(0, 1)])
+                .unwrap();
+        let eval = single.evaluator(params(), &ObliviousPower::Uniform);
+        let (k, _) = exact_chromatic_number(&eval.view(Variant::Directed));
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn pigeonhole_bound_is_a_valid_lower_bound() {
+        let inst = nested_chain(7, 2.0);
+        let p = params();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = inst.evaluator(p, &power);
+            let view = eval.view(Variant::Bidirectional);
+            let bound = exact_pigeonhole_bound(&view);
+            let (k, _) = exact_chromatic_number(&view);
+            assert!(bound <= k, "pigeonhole bound {bound} exceeds the optimum {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn oversized_exact_search_is_rejected() {
+        let inst = evenly_spaced_line(25, 1.0, 10.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Directed);
+        let all: Vec<usize> = (0..25).collect();
+        let _ = exact_max_one_shot(&view, &all);
+    }
+}

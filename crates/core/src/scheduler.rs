@@ -1,0 +1,267 @@
+//! A facade bundling parameters, problem variant and algorithm choice.
+//!
+//! Most users only want "give me a schedule for this instance"; the
+//! [`Scheduler`] builder wraps the individual algorithms of this crate behind
+//! one entry point and always returns a [`ScheduleResult`] whose schedule has
+//! been validated against the exact SINR checker.
+
+use crate::decomposition::{sqrt_schedule_via_decomposition, DecompositionConfig};
+use crate::greedy::first_fit_coloring;
+use crate::power_control::{greedy_with_power_control, PowerControlConfig};
+use crate::sqrt_coloring::{sqrt_coloring, SqrtColoringConfig};
+use oblisched_metric::MetricSpace;
+use oblisched_sinr::{
+    Evaluator, Instance, ObliviousPower, PowerScheme, Schedule, SinrParams, Variant,
+};
+use rand::Rng;
+
+/// The outcome of a scheduling run: the coloring, the powers it was validated
+/// with, and a label describing the algorithm/assignment used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResult {
+    /// The validated schedule.
+    pub schedule: Schedule,
+    /// The per-request powers under which the schedule is feasible.
+    pub powers: Vec<f64>,
+    /// Human-readable description of assignment and algorithm (used in
+    /// experiment tables).
+    pub label: String,
+}
+
+impl ScheduleResult {
+    /// Number of colors of the schedule.
+    pub fn num_colors(&self) -> usize {
+        self.schedule.num_colors()
+    }
+
+    /// Total transmission energy `Σ p_i` of the powers used.
+    pub fn total_energy(&self) -> f64 {
+        self.powers.iter().sum()
+    }
+}
+
+/// Scheduler facade: fix the SINR parameters and problem variant once, then
+/// schedule instances with different algorithms.
+///
+/// # Example
+///
+/// ```
+/// use oblisched::scheduler::Scheduler;
+/// use oblisched_instances::nested_chain;
+/// use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+///
+/// let scheduler = Scheduler::new(SinrParams::new(3.0, 1.0)?).variant(Variant::Bidirectional);
+/// let instance = nested_chain(8, 2.0);
+/// let sqrt = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
+/// let uniform = scheduler.schedule_with_assignment(&instance, ObliviousPower::Uniform);
+/// assert!(sqrt.num_colors() < uniform.num_colors());
+/// # Ok::<(), oblisched_sinr::SinrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scheduler {
+    params: SinrParams,
+    variant: Variant,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for the bidirectional variant (the paper's main
+    /// setting) with the given parameters.
+    pub fn new(params: SinrParams) -> Self {
+        Self { params, variant: Variant::Bidirectional }
+    }
+
+    /// Selects the problem variant.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// The SINR parameters.
+    pub fn params(&self) -> SinrParams {
+        self.params
+    }
+
+    /// The problem variant.
+    pub fn problem_variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Schedules with greedy first-fit under a fixed power scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the produced schedule fails validation (a bug in the greedy
+    /// algorithm, not an input condition).
+    pub fn schedule_with_assignment<M: MetricSpace, P: PowerScheme>(
+        &self,
+        instance: &Instance<M>,
+        scheme: P,
+    ) -> ScheduleResult {
+        let evaluator = instance.evaluator(self.params, &scheme);
+        let schedule = first_fit_coloring(&evaluator.view(self.variant));
+        schedule
+            .validate(&evaluator, self.variant)
+            .expect("greedy schedules are feasible by construction");
+        ScheduleResult {
+            schedule,
+            powers: evaluator.powers().to_vec(),
+            label: format!("first-fit/{}", scheme.name()),
+        }
+    }
+
+    /// Schedules with greedy first-fit where each color class gets its own
+    /// optimised (non-oblivious) power assignment.
+    pub fn schedule_with_power_control<M: MetricSpace>(
+        &self,
+        instance: &Instance<M>,
+    ) -> ScheduleResult {
+        let (schedule, powers) = greedy_with_power_control(
+            instance,
+            &self.params,
+            self.variant,
+            PowerControlConfig::default(),
+        );
+        let evaluator = Evaluator::with_powers(instance, self.params, powers.clone())
+            .expect("power control returns positive finite powers");
+        schedule
+            .validate(&evaluator, self.variant)
+            .expect("power-controlled schedules are feasible by construction");
+        ScheduleResult { schedule, powers, label: "first-fit/power-control".to_string() }
+    }
+
+    /// Schedules with the §5 randomized LP-rounding algorithm for the
+    /// square-root assignment (bidirectional variant only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler is configured for the directed variant — the
+    /// paper's algorithm (and its guarantee) only applies to bidirectional
+    /// requests.
+    pub fn schedule_sqrt_lp<M: MetricSpace, R: Rng + ?Sized>(
+        &self,
+        instance: &Instance<M>,
+        rng: &mut R,
+    ) -> ScheduleResult {
+        assert_eq!(
+            self.variant,
+            Variant::Bidirectional,
+            "the square-root LP coloring applies to the bidirectional variant"
+        );
+        let schedule = sqrt_coloring(instance, &self.params, &SqrtColoringConfig::default(), rng);
+        let evaluator = instance.evaluator(self.params, &ObliviousPower::SquareRoot);
+        schedule
+            .validate(&evaluator, self.variant)
+            .expect("the sqrt coloring certifies every color class");
+        ScheduleResult {
+            schedule,
+            powers: evaluator.powers().to_vec(),
+            label: "lp-rounding/sqrt".to_string(),
+        }
+    }
+
+    /// Schedules with the Theorem 2 decomposition pipeline (tree embeddings +
+    /// star analysis) for the square-root assignment (bidirectional variant
+    /// only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler is configured for the directed variant.
+    pub fn schedule_sqrt_decomposition<M: MetricSpace, R: Rng + ?Sized>(
+        &self,
+        instance: &Instance<M>,
+        rng: &mut R,
+    ) -> ScheduleResult {
+        assert_eq!(
+            self.variant,
+            Variant::Bidirectional,
+            "the decomposition pipeline applies to the bidirectional variant"
+        );
+        let schedule = sqrt_schedule_via_decomposition(
+            instance,
+            &self.params,
+            &DecompositionConfig::default(),
+            rng,
+        );
+        let evaluator = instance.evaluator(self.params, &ObliviousPower::SquareRoot);
+        schedule
+            .validate(&evaluator, self.variant)
+            .expect("the decomposition pipeline certifies every color class");
+        ScheduleResult {
+            schedule,
+            powers: evaluator.powers().to_vec(),
+            label: "decomposition/sqrt".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched_instances::{nested_chain, uniform_deployment, DeploymentConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn scheduler() -> Scheduler {
+        Scheduler::new(SinrParams::new(3.0, 1.0).unwrap())
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let s = scheduler().variant(Variant::Directed);
+        assert_eq!(s.problem_variant(), Variant::Directed);
+        assert_eq!(s.params().alpha(), 3.0);
+    }
+
+    #[test]
+    fn assignment_scheduling_reports_energy_and_colors() {
+        let inst = nested_chain(8, 2.0);
+        let result = scheduler().schedule_with_assignment(&inst, ObliviousPower::Linear);
+        assert_eq!(result.schedule.len(), 8);
+        assert!(result.num_colors() >= 1);
+        assert!(result.total_energy() > 0.0);
+        assert!(result.label.contains("linear"));
+    }
+
+    #[test]
+    fn sqrt_beats_uniform_via_the_facade() {
+        let inst = nested_chain(10, 2.0);
+        let s = scheduler();
+        let sqrt = s.schedule_with_assignment(&inst, ObliviousPower::SquareRoot);
+        let uniform = s.schedule_with_assignment(&inst, ObliviousPower::Uniform);
+        assert!(sqrt.num_colors() < uniform.num_colors());
+    }
+
+    #[test]
+    fn lp_and_decomposition_schedulers_produce_valid_schedules() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let inst = uniform_deployment(
+            DeploymentConfig { num_requests: 12, side: 300.0, min_link: 1.0, max_link: 10.0 },
+            &mut rng,
+        );
+        let s = scheduler();
+        let lp = s.schedule_sqrt_lp(&inst, &mut rng);
+        assert_eq!(lp.schedule.len(), 12);
+        assert!(lp.label.contains("lp"));
+        let dec = s.schedule_sqrt_decomposition(&inst, &mut rng);
+        assert_eq!(dec.schedule.len(), 12);
+        assert!(dec.label.contains("decomposition"));
+    }
+
+    #[test]
+    fn power_control_scheduling_works_in_both_variants() {
+        let inst = nested_chain(6, 2.0);
+        for variant in Variant::all() {
+            let result = scheduler().variant(variant).schedule_with_power_control(&inst);
+            assert_eq!(result.schedule.len(), 6);
+            assert!(result.powers.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bidirectional variant")]
+    fn lp_scheduler_rejects_directed_variant() {
+        let inst = nested_chain(4, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = scheduler().variant(Variant::Directed).schedule_sqrt_lp(&inst, &mut rng);
+    }
+}

@@ -1,0 +1,257 @@
+//! Lemma 5 machinery: the square-root assignment on star metrics (§4).
+//!
+//! §4 of the paper analyses the node-loss scheduling problem on a star: nodes
+//! sit around a centre at distances `δ_i`, each with a loss parameter `ℓ_i`.
+//! Lemma 5 states that if *some* power assignment makes the whole star
+//! `γ'`-feasible, then all but a `O((γ/γ')^{2/3})` fraction of the nodes is
+//! `γ`-feasible under the square-root assignment. The proof splits the nodes
+//! by the ratio `a_i = ℓ_i / d_i` between loss parameter and decay
+//! (`d_i = δ_i^α`) into **large-loss** and **small-loss** nodes and argues
+//! per *decay class* `D_j = {u : 2^(j−1) < d_u ≤ 2^j}`.
+//!
+//! This module provides the constructive counterpart used by the
+//! decomposition pipeline (Lemma 9 / Theorem 2): classification of nodes,
+//! decay classes, and a selection procedure that always returns a
+//! `γ`-feasible subset under the square-root assignment. Experiment E6
+//! measures the kept fraction against Lemma 5's bound.
+
+use oblisched_metric::StarMetric;
+use oblisched_sinr::{extract_feasible_subset, InterferenceSystem, NodeLossInstance, SinrParams};
+
+/// Classification of a star node by the ratio between its loss parameter and
+/// its decay (§4.2 vs §4.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StarNodeKind {
+    /// `a_i = ℓ_i / d_i > 2^(α+1) / γ'` — the loss parameter dominates.
+    LargeLoss,
+    /// `a_i ≤ 2^(α+1) / γ'` — the decay dominates.
+    SmallLoss,
+}
+
+/// Classifies every node of a star node-loss instance relative to the gain
+/// `gamma_prime` (the paper's `γ'`).
+///
+/// # Panics
+///
+/// Panics if `gamma_prime` is not positive and finite.
+pub fn node_kinds(
+    instance: &NodeLossInstance<StarMetric>,
+    params: &SinrParams,
+    gamma_prime: f64,
+) -> Vec<StarNodeKind> {
+    assert!(gamma_prime > 0.0 && gamma_prime.is_finite(), "gamma_prime must be positive");
+    let threshold = 2f64.powf(params.alpha() + 1.0) / gamma_prime;
+    (0..instance.len())
+        .map(|i| {
+            let decay = instance.metric().decay(i, params.alpha());
+            // Nodes at the centre (decay 0) behave like large-loss nodes: all
+            // of their loss comes from the loss parameter.
+            let a = if decay == 0.0 { f64::INFINITY } else { instance.loss(i) / decay };
+            if a > threshold {
+                StarNodeKind::LargeLoss
+            } else {
+                StarNodeKind::SmallLoss
+            }
+        })
+        .collect()
+}
+
+/// Partitions star nodes into decay classes `D_j = {u : 2^(j−1) < d_u ≤ 2^j}`
+/// after normalising so the smallest positive decay falls into class 0.
+///
+/// Nodes with decay zero (sitting on the centre) are placed in class 0.
+/// Returns the classes in increasing decay order; empty classes are omitted.
+pub fn decay_classes(star: &StarMetric, alpha: f64) -> Vec<Vec<usize>> {
+    let n = star.radii().len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let decays: Vec<f64> = (0..n).map(|i| star.decay(i, alpha)).collect();
+    let min_positive =
+        decays.iter().copied().filter(|d| *d > 0.0).fold(f64::INFINITY, f64::min);
+    if !min_positive.is_finite() {
+        // All nodes coincide with the centre.
+        return vec![(0..n).collect()];
+    }
+    let mut classes: std::collections::BTreeMap<i64, Vec<usize>> = std::collections::BTreeMap::new();
+    for (i, &d) in decays.iter().enumerate() {
+        let class = if d <= 0.0 {
+            0
+        } else {
+            // Class j such that 2^(j-1) < d / min_positive <= 2^j.
+            (d / min_positive).log2().ceil().max(0.0) as i64
+        };
+        classes.entry(class).or_default().push(i);
+    }
+    classes.into_values().collect()
+}
+
+/// Selects a subset of the star's nodes that is `gamma`-feasible under the
+/// square-root power assignment.
+///
+/// The procedure follows the structure of the Lemma 5 proof: nodes are
+/// considered decay class by decay class, inside each class the nodes with
+/// the largest loss parameters (which Claim 12 shows must be rare whenever
+/// any assignment is feasible) are considered last, and the final set is
+/// certified by greedy extraction at gain `gamma`, so the returned subset is
+/// always genuinely feasible.
+///
+/// # Panics
+///
+/// Panics if `gamma` is not positive and finite.
+pub fn star_sqrt_subset(
+    instance: &NodeLossInstance<StarMetric>,
+    params: &SinrParams,
+    gamma: f64,
+) -> Vec<usize> {
+    assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive");
+    if instance.is_empty() {
+        return Vec::new();
+    }
+    // Order: by decay class, and inside a class by increasing loss parameter
+    // (small-loss nodes first — the ones Lemma 11 keeps).
+    let classes = decay_classes(instance.metric(), params.alpha());
+    let mut order: Vec<usize> = Vec::with_capacity(instance.len());
+    for class in classes {
+        let mut sorted = class;
+        sorted.sort_by(|&a, &b| {
+            instance
+                .loss(a)
+                .partial_cmp(&instance.loss(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order.extend(sorted);
+    }
+
+    let evaluator = instance.sqrt_evaluator(*params);
+    // First pass: greedy insertion in the analysis-guided order.
+    let mut kept: Vec<usize> = Vec::with_capacity(order.len());
+    for &i in &order {
+        kept.push(i);
+        if !evaluator.is_feasible_with_gain(&kept, gamma) {
+            kept.pop();
+        }
+    }
+    // Second pass: the margin-guided extraction can only keep more nodes;
+    // take whichever result is larger.
+    let all: Vec<usize> = (0..instance.len()).collect();
+    let extracted = extract_feasible_subset(&evaluator, &all, gamma);
+    if extracted.len() > kept.len() {
+        extracted
+    } else {
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched_metric::StarMetric;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params() -> SinrParams {
+        SinrParams::new(3.0, 1.0).unwrap()
+    }
+
+    /// A star whose loss parameters equal the decays — the "balanced" case in
+    /// which the square-root assignment performs best.
+    fn balanced_star(n: usize) -> NodeLossInstance<StarMetric> {
+        let radii: Vec<f64> = (0..n).map(|i| 2f64.powi(i as i32)).collect();
+        let losses: Vec<f64> = radii.iter().map(|r| r.powi(3)).collect();
+        NodeLossInstance::new(StarMetric::new(radii), losses).unwrap()
+    }
+
+    #[test]
+    fn node_kinds_split_by_loss_to_decay_ratio() {
+        // Radii 1 and 2 (decays 1 and 8); losses 1000 and 8.
+        let star = StarMetric::new(vec![1.0, 2.0]);
+        let inst = NodeLossInstance::new(star, vec![1000.0, 8.0]).unwrap();
+        let kinds = node_kinds(&inst, &params(), 1.0);
+        // Threshold is 2^(α+1)/γ' = 16. Node 0 has a = 1000, node 1 has a = 1.
+        assert_eq!(kinds, vec![StarNodeKind::LargeLoss, StarNodeKind::SmallLoss]);
+    }
+
+    #[test]
+    fn node_kinds_treat_centre_nodes_as_large_loss() {
+        let star = StarMetric::new(vec![0.0, 4.0]);
+        let inst = NodeLossInstance::new(star, vec![1.0, 1.0]).unwrap();
+        let kinds = node_kinds(&inst, &params(), 2.0);
+        assert_eq!(kinds[0], StarNodeKind::LargeLoss);
+    }
+
+    #[test]
+    fn decay_classes_group_by_powers_of_two() {
+        let star = StarMetric::new(vec![1.0, 1.1, 2.0, 4.0, 4.1]);
+        // alpha = 1 keeps decays equal to radii for easy reasoning.
+        let classes = decay_classes(&star, 1.0);
+        // Decays: 1, 1.1, 2, 4, 4.1 -> classes {1}, {1.1, 2}, {4}, {4.1}.
+        assert_eq!(classes[0], vec![0]);
+        assert!(classes.iter().any(|c| c.contains(&1) && c.contains(&2)));
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn decay_classes_handle_degenerate_stars() {
+        assert!(decay_classes(&StarMetric::new(vec![]), 3.0).is_empty());
+        let all_centre = decay_classes(&StarMetric::new(vec![0.0, 0.0]), 3.0);
+        assert_eq!(all_centre, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn star_subset_is_feasible_under_sqrt() {
+        let inst = balanced_star(10);
+        let p = params();
+        let subset = star_sqrt_subset(&inst, &p, 0.5);
+        let eval = inst.sqrt_evaluator(p);
+        assert!(eval.is_feasible_with_gain(&subset, 0.5));
+        assert!(!subset.is_empty());
+    }
+
+    #[test]
+    fn star_subset_keeps_a_large_fraction_on_balanced_stars() {
+        // Lemma 5: when a feasible assignment exists at a higher gain, the
+        // square-root assignment keeps most nodes. On the geometrically spread
+        // balanced star a large constant fraction survives at a modest gain.
+        let inst = balanced_star(16);
+        let p = SinrParams::new(3.0, 0.25).unwrap();
+        let subset = star_sqrt_subset(&inst, &p, 0.25);
+        assert!(
+            subset.len() * 2 >= inst.len(),
+            "expected at least half of the nodes, kept {} of {}",
+            subset.len(),
+            inst.len()
+        );
+    }
+
+    #[test]
+    fn star_subset_on_random_stars_is_feasible_and_nonempty() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let p = params();
+        for _ in 0..5 {
+            let n = 20;
+            let radii: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1000.0)).collect();
+            let losses: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..1.0e6)).collect();
+            let inst = NodeLossInstance::new(StarMetric::new(radii), losses).unwrap();
+            let subset = star_sqrt_subset(&inst, &p, 1.0);
+            let eval = inst.sqrt_evaluator(p);
+            assert!(eval.is_feasible_with_gain(&subset, 1.0));
+            assert!(!subset.is_empty());
+        }
+    }
+
+    #[test]
+    fn star_subset_of_empty_instance_is_empty() {
+        let inst = NodeLossInstance::new(StarMetric::new(vec![]), vec![]).unwrap();
+        assert!(star_sqrt_subset(&inst, &params(), 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn invalid_gamma_is_rejected() {
+        let inst = balanced_star(3);
+        let _ = star_sqrt_subset(&inst, &params(), 0.0);
+    }
+}

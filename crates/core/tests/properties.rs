@@ -1,0 +1,113 @@
+//! Property-based tests for the scheduling algorithms.
+
+use oblisched::{
+    exact_chromatic_number, exact_max_one_shot, first_fit_coloring, first_fit_with_order,
+    greedy_one_shot, sqrt_coloring, Scheduler, SqrtColoringConfig,
+};
+use oblisched_instances::{uniform_deployment, DeploymentConfig};
+use oblisched_metric::EuclideanSpace;
+use oblisched_sinr::{Instance, InterferenceSystem, ObliviousPower, SinrParams, Variant};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn instance_from_seed(seed: u64, n: usize) -> Instance<EuclideanSpace<2>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    uniform_deployment(
+        DeploymentConfig { num_requests: n, side: 400.0, min_link: 1.0, max_link: 25.0 },
+        &mut rng,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn first_fit_schedules_are_always_feasible(
+        seed in any::<u64>(),
+        n in 2usize..20,
+        alpha in 2.0f64..4.0,
+        beta in 0.5f64..2.0,
+        power_choice in 0usize..3,
+    ) {
+        let instance = instance_from_seed(seed, n);
+        let params = SinrParams::new(alpha, beta).unwrap();
+        let power = ObliviousPower::standard_assignments()[power_choice];
+        let eval = instance.evaluator(params, &power);
+        for variant in Variant::all() {
+            let schedule = first_fit_coloring(&eval.view(variant));
+            prop_assert!(schedule.validate(&eval, variant).is_ok());
+            prop_assert_eq!(schedule.len(), n);
+            prop_assert!(schedule.num_colors() <= n);
+        }
+    }
+
+    #[test]
+    fn first_fit_order_does_not_affect_feasibility(
+        seed in any::<u64>(),
+        n in 2usize..14,
+    ) {
+        let instance = instance_from_seed(seed, n);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let forward: Vec<usize> = (0..n).collect();
+        let backward: Vec<usize> = (0..n).rev().collect();
+        for order in [forward, backward] {
+            let schedule = first_fit_with_order(&view, &order);
+            prop_assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+        }
+    }
+
+    #[test]
+    fn exact_optimum_never_exceeds_greedy(
+        seed in any::<u64>(),
+        n in 2usize..9,
+    ) {
+        let instance = instance_from_seed(seed, n);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let greedy = first_fit_coloring(&view);
+        let (optimum, schedule) = exact_chromatic_number(&view);
+        prop_assert!(optimum <= greedy.num_colors());
+        prop_assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+        // The exact maximum one-shot set dominates the greedy one.
+        let all: Vec<usize> = (0..n).collect();
+        let exact_set = exact_max_one_shot(&view, &all);
+        let greedy_set = greedy_one_shot(&view, &all);
+        prop_assert!(exact_set.len() >= greedy_set.len());
+        prop_assert!(view.is_feasible(&exact_set));
+    }
+
+    #[test]
+    fn sqrt_lp_coloring_is_feasible_and_complete(
+        seed in any::<u64>(),
+        n in 2usize..14,
+    ) {
+        let instance = instance_from_seed(seed, n);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xabcd);
+        let schedule = sqrt_coloring(&instance, &params, &SqrtColoringConfig::default(), &mut rng);
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        prop_assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+        prop_assert_eq!(schedule.len(), n);
+    }
+
+    #[test]
+    fn scheduler_facade_results_are_consistent(
+        seed in any::<u64>(),
+        n in 2usize..12,
+    ) {
+        let instance = instance_from_seed(seed, n);
+        let scheduler = Scheduler::new(SinrParams::new(3.0, 1.0).unwrap());
+        let result = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
+        prop_assert_eq!(result.schedule.len(), n);
+        prop_assert_eq!(result.powers.len(), n);
+        prop_assert!(result.num_colors() >= 1);
+        prop_assert!(result.total_energy() > 0.0);
+        // Power control never uses more colors than the trivial n.
+        let pc = scheduler.schedule_with_power_control(&instance);
+        prop_assert!(pc.num_colors() <= n);
+    }
+}

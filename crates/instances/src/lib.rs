@@ -1,0 +1,32 @@
+//! Workload and instance generators for the `oblisched` workspace.
+//!
+//! Every experiment in the paper reduction is driven by one of three kinds of
+//! synthetic workloads:
+//!
+//! * **Random deployments** ([`random`]) — requests with endpoints placed in
+//!   a square (uniformly or in clusters), the standard "wireless network in a
+//!   field" scenario motivating the MAC-layer problem.
+//! * **Nested chains** ([`nested`]) — the instance family from §1.2 of the
+//!   paper (`u_i = −b^i`, `v_i = b^i`) on which uniform and linear power
+//!   assignments can schedule only `O(1)` requests per color while the
+//!   square-root assignment schedules a constant fraction.
+//! * **Adversarial directed families** ([`adversarial`]) — the Theorem 1
+//!   construction that defeats *any* oblivious power assignment in the
+//!   directed variant while an optimal (non-oblivious) assignment needs only
+//!   `O(1)` colors.
+//!
+//! All generators are deterministic given a seeded RNG, and every instance
+//! they produce is a valid [`oblisched_sinr::Instance`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod line;
+pub mod nested;
+pub mod random;
+
+pub use adversarial::{adversarial_for, max_supported_n, AdversarialInstance};
+pub use line::{evenly_spaced_line, exponential_line};
+pub use nested::nested_chain;
+pub use random::{clustered_deployment, random_matching, uniform_deployment, DeploymentConfig};

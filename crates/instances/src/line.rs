@@ -1,0 +1,133 @@
+//! Simple line workloads: evenly spaced and exponentially growing request
+//! chains.
+
+use oblisched_metric::LineMetric;
+use oblisched_sinr::{Instance, Request};
+
+/// Builds `n` requests of identical length laid out left to right on the
+/// line, with a fixed gap between consecutive pairs.
+///
+/// This is the "friendly" baseline workload: with a generous gap every power
+/// assignment schedules everything in a handful of colors, so it isolates
+/// constant-factor differences between algorithms.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or `link_len`/`gap` are not positive finite numbers.
+///
+/// # Example
+///
+/// ```
+/// use oblisched_instances::evenly_spaced_line;
+///
+/// let inst = evenly_spaced_line(3, 1.0, 10.0);
+/// assert_eq!(inst.len(), 3);
+/// assert_eq!(inst.link_distance(2), 1.0);
+/// ```
+pub fn evenly_spaced_line(n: usize, link_len: f64, gap: f64) -> Instance<LineMetric> {
+    assert!(n > 0, "need at least one request");
+    assert!(link_len > 0.0 && link_len.is_finite(), "link length must be positive and finite");
+    assert!(gap > 0.0 && gap.is_finite(), "gap must be positive and finite");
+    let mut coords = Vec::with_capacity(2 * n);
+    let mut requests = Vec::with_capacity(n);
+    let mut cursor = 0.0;
+    for _ in 0..n {
+        let u = coords.len();
+        coords.push(cursor);
+        coords.push(cursor + link_len);
+        requests.push(Request::new(u, u + 1));
+        cursor += link_len + gap;
+    }
+    Instance::new(LineMetric::new(coords), requests).expect("links have positive length")
+}
+
+/// Builds `n` consecutive requests whose lengths grow geometrically with
+/// factor `growth`, each separated from the previous pair by a gap equal to
+/// its own length.
+///
+/// The aspect ratio of this family is `growth^(n-1)`, so it exercises the
+/// dependence of schedule length on the aspect ratio discussed in the
+/// related-work section.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `growth <= 1`, or the largest length overflows `f64`.
+pub fn exponential_line(n: usize, growth: f64) -> Instance<LineMetric> {
+    assert!(n > 0, "need at least one request");
+    assert!(growth > 1.0 && growth.is_finite(), "growth factor must exceed 1");
+    let largest = growth.powi(n as i32 - 1);
+    assert!(largest.is_finite(), "growth^(n-1) overflows f64");
+    let mut coords = Vec::with_capacity(2 * n);
+    let mut requests = Vec::with_capacity(n);
+    let mut cursor = 0.0;
+    for i in 0..n {
+        let len = growth.powi(i as i32);
+        let u = coords.len();
+        coords.push(cursor);
+        coords.push(cursor + len);
+        requests.push(Request::new(u, u + 1));
+        cursor += 2.0 * len;
+    }
+    Instance::new(LineMetric::new(coords), requests).expect("links have positive length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched_metric::{aspect_ratio, MetricSpace};
+    use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+
+    #[test]
+    fn evenly_spaced_layout() {
+        let inst = evenly_spaced_line(4, 2.0, 8.0);
+        assert_eq!(inst.len(), 4);
+        for i in 0..4 {
+            assert_eq!(inst.link_distance(i), 2.0);
+        }
+        // Consecutive senders are link + gap apart.
+        let m = inst.metric();
+        assert_eq!(m.distance(0, 2), 10.0);
+    }
+
+    #[test]
+    fn evenly_spaced_with_large_gap_is_one_shot_feasible() {
+        let inst = evenly_spaced_line(6, 1.0, 40.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let all: Vec<usize> = (0..6).collect();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = inst.evaluator(params, &power);
+            assert!(
+                eval.is_feasible(Variant::Bidirectional, &all),
+                "assignment {} should schedule the well-separated line in one shot",
+                oblisched_sinr::PowerScheme::name(&power)
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_line_lengths_grow() {
+        let inst = exponential_line(5, 2.0);
+        for i in 0..5 {
+            assert_eq!(inst.link_distance(i), 2.0f64.powi(i as i32));
+        }
+        assert!(aspect_ratio(inst.metric()).unwrap() >= 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "growth factor")]
+    fn exponential_line_rejects_growth_one() {
+        let _ = exponential_line(3, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one request")]
+    fn evenly_spaced_rejects_zero() {
+        let _ = evenly_spaced_line(0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn exponential_line_rejects_overflow() {
+        let _ = exponential_line(5000, 2.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The nested request chain from §1.2 of the paper.
+
+use oblisched_metric::LineMetric;
+use oblisched_sinr::{Instance, Request};
+
+/// Builds the nested bidirectional chain `u_i = −b^i`, `v_i = b^i` for
+/// `i = 1..=n` with base `b` (the paper uses `b = 2`).
+///
+/// The pairs are perfectly nested: every outer pair contains all inner pairs.
+/// The paper uses this family to explain why the square-root assignment
+/// works: uniform power lets inner pairs drown the outer ones, linear power
+/// lets outer pairs drown the inner ones, while the square-root assignment
+/// balances the interference and schedules a constant fraction
+/// simultaneously.
+///
+/// Request `i` (0-based) connects the nodes at `−b^(i+1)` and `+b^(i+1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `base <= 1`, or the largest coordinate would overflow
+/// `f64` (`base^n` must be finite).
+///
+/// # Example
+///
+/// ```
+/// use oblisched_instances::nested_chain;
+///
+/// let inst = nested_chain(4, 2.0);
+/// assert_eq!(inst.len(), 4);
+/// assert_eq!(inst.link_distance(0), 4.0);   // from -2 to +2
+/// assert_eq!(inst.link_distance(3), 32.0);  // from -16 to +16
+/// ```
+pub fn nested_chain(n: usize, base: f64) -> Instance<LineMetric> {
+    assert!(n > 0, "the nested chain needs at least one request");
+    assert!(base > 1.0 && base.is_finite(), "base must be a finite number greater than 1");
+    let largest = base.powi(n as i32);
+    assert!(largest.is_finite(), "base^n overflows f64");
+
+    let mut coords = Vec::with_capacity(2 * n);
+    let mut requests = Vec::with_capacity(n);
+    for i in 1..=n {
+        let radius = base.powi(i as i32);
+        let u = coords.len();
+        coords.push(-radius);
+        coords.push(radius);
+        requests.push(Request::new(u, u + 1));
+    }
+    Instance::new(LineMetric::new(coords), requests).expect("nested links have positive length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched_metric::MetricSpace;
+    use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+
+    #[test]
+    fn coordinates_follow_the_paper() {
+        let inst = nested_chain(5, 2.0);
+        assert_eq!(inst.len(), 5);
+        // Request i spans [-2^(i+1), 2^(i+1)].
+        for i in 0..5 {
+            let expected = 2.0 * 2.0f64.powi(i as i32 + 1);
+            assert_eq!(inst.link_distance(i), expected);
+        }
+        // All pairs share the midpoint: the distance between the left nodes of
+        // consecutive pairs is the difference of radii.
+        assert_eq!(inst.metric().distance(0, 2), 2.0);
+    }
+
+    #[test]
+    fn base_three_chains_grow_faster() {
+        let inst = nested_chain(3, 3.0);
+        assert_eq!(inst.link_distance(2), 54.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_requests_is_rejected() {
+        let _ = nested_chain(0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "greater than 1")]
+    fn base_one_is_rejected() {
+        let _ = nested_chain(3, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflowing_base_is_rejected() {
+        let _ = nested_chain(2000, 2.0);
+    }
+
+    #[test]
+    fn uniform_power_cannot_schedule_many_nested_requests_together() {
+        // The defining property from §1.2: under uniform (and linear) power
+        // only O(1) nested requests are simultaneously feasible, while the
+        // square-root assignment handles a constant fraction. Here we check
+        // the qualitative separation for n = 10, alpha = 3, beta = 1.
+        let inst = nested_chain(10, 2.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let all: Vec<usize> = (0..inst.len()).collect();
+
+        let uniform = inst.evaluator(params, &ObliviousPower::Uniform);
+        assert!(!uniform.is_feasible(Variant::Bidirectional, &all));
+
+        let linear = inst.evaluator(params, &ObliviousPower::Linear);
+        assert!(!linear.is_feasible(Variant::Bidirectional, &all));
+
+        let sqrt = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        // A constant fraction (here every fourth request) is simultaneously
+        // feasible under the square-root assignment; under uniform or linear
+        // power the same sub-family is still infeasible.
+        let spaced: Vec<usize> = (0..inst.len()).step_by(4).collect();
+        assert!(spaced.len() >= 3);
+        assert!(sqrt.is_feasible(Variant::Bidirectional, &spaced));
+        assert!(!uniform.is_feasible(Variant::Bidirectional, &spaced));
+    }
+}

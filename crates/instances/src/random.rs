@@ -1,0 +1,245 @@
+//! Random planar deployments: uniform, clustered, and matching workloads.
+
+use oblisched_metric::{EuclideanSpace, Point2};
+use oblisched_sinr::{Instance, Request};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a random planar deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// Number of communication requests.
+    pub num_requests: usize,
+    /// Side length of the square area in which senders are placed.
+    pub side: f64,
+    /// Minimum link length.
+    pub min_link: f64,
+    /// Maximum link length.
+    pub max_link: f64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        Self { num_requests: 32, side: 1000.0, min_link: 1.0, max_link: 50.0 }
+    }
+}
+
+impl DeploymentConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the side or link lengths are not positive and ordered.
+    fn validate(&self) {
+        assert!(self.side > 0.0 && self.side.is_finite(), "side must be positive");
+        assert!(
+            self.min_link > 0.0 && self.max_link >= self.min_link && self.max_link.is_finite(),
+            "link length range must satisfy 0 < min <= max"
+        );
+    }
+}
+
+/// Generates a request set with sender positions uniform in a square and each
+/// receiver at a uniformly random direction and distance from its sender.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`DeploymentConfig`]).
+pub fn uniform_deployment<R: Rng + ?Sized>(
+    config: DeploymentConfig,
+    rng: &mut R,
+) -> Instance<EuclideanSpace<2>> {
+    config.validate();
+    let mut points = Vec::with_capacity(2 * config.num_requests);
+    let mut requests = Vec::with_capacity(config.num_requests);
+    for _ in 0..config.num_requests {
+        let sender = Point2::xy(rng.gen_range(0.0..config.side), rng.gen_range(0.0..config.side));
+        let length = rng.gen_range(config.min_link..=config.max_link);
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let receiver = Point2::xy(sender.x() + length * angle.cos(), sender.y() + length * angle.sin());
+        let id = points.len();
+        points.push(sender);
+        points.push(receiver);
+        requests.push(Request::new(id, id + 1));
+    }
+    Instance::new(EuclideanSpace::from_points(points), requests)
+        .expect("generated links have positive length")
+}
+
+/// Generates a clustered deployment: senders are grouped around
+/// `num_clusters` random cluster centres (Gaussian-ish spread implemented as
+/// uniform within a disc of radius `cluster_radius`), receivers as in
+/// [`uniform_deployment`].
+///
+/// Clustered instances have highly non-uniform densities and exercise the
+/// "nested requests" behaviour that separates the power assignments.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `num_clusters == 0`.
+pub fn clustered_deployment<R: Rng + ?Sized>(
+    config: DeploymentConfig,
+    num_clusters: usize,
+    cluster_radius: f64,
+    rng: &mut R,
+) -> Instance<EuclideanSpace<2>> {
+    config.validate();
+    assert!(num_clusters > 0, "at least one cluster is required");
+    assert!(cluster_radius > 0.0 && cluster_radius.is_finite(), "cluster radius must be positive");
+    let centres: Vec<Point2> = (0..num_clusters)
+        .map(|_| Point2::xy(rng.gen_range(0.0..config.side), rng.gen_range(0.0..config.side)))
+        .collect();
+    let mut points = Vec::with_capacity(2 * config.num_requests);
+    let mut requests = Vec::with_capacity(config.num_requests);
+    for _ in 0..config.num_requests {
+        let centre = centres[rng.gen_range(0..num_clusters)];
+        let r = cluster_radius * rng.gen_range(0.0f64..1.0).sqrt();
+        let phi = rng.gen_range(0.0..std::f64::consts::TAU);
+        let sender = Point2::xy(centre.x() + r * phi.cos(), centre.y() + r * phi.sin());
+        let length = rng.gen_range(config.min_link..=config.max_link);
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let receiver = Point2::xy(sender.x() + length * angle.cos(), sender.y() + length * angle.sin());
+        let id = points.len();
+        points.push(sender);
+        points.push(receiver);
+        requests.push(Request::new(id, id + 1));
+    }
+    Instance::new(EuclideanSpace::from_points(points), requests)
+        .expect("generated links have positive length")
+}
+
+/// Generates `num_nodes` uniform points and pairs them up by a random perfect
+/// matching (dropping one node if the count is odd). The resulting requests
+/// have very heterogeneous lengths — the workload used to contrast against
+/// controlled-length deployments.
+///
+/// Coincident nodes are avoided by rejection, so the returned instance is
+/// always valid.
+///
+/// # Panics
+///
+/// Panics if `num_nodes < 2` or `side` is not positive.
+pub fn random_matching<R: Rng + ?Sized>(
+    num_nodes: usize,
+    side: f64,
+    rng: &mut R,
+) -> Instance<EuclideanSpace<2>> {
+    assert!(num_nodes >= 2, "need at least two nodes to form a request");
+    assert!(side > 0.0 && side.is_finite(), "side must be positive");
+    let points: Vec<Point2> = (0..num_nodes)
+        .map(|_| Point2::xy(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    let mut order: Vec<usize> = (0..num_nodes).collect();
+    // Fisher–Yates shuffle using the provided RNG.
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut requests = Vec::new();
+    let space = EuclideanSpace::from_points(points);
+    let mut iter = order.chunks_exact(2);
+    for pair in &mut iter {
+        let (a, b) = (pair[0], pair[1]);
+        if space.points()[a].distance(&space.points()[b]) > 0.0 {
+            requests.push(Request::new(a, b));
+        }
+    }
+    Instance::new(space, requests).expect("zero-length pairs were filtered out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched_metric::MetricSpace;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_deployment_respects_config() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config =
+            DeploymentConfig { num_requests: 20, side: 500.0, min_link: 2.0, max_link: 10.0 };
+        let inst = uniform_deployment(config, &mut rng);
+        assert_eq!(inst.len(), 20);
+        for i in 0..inst.len() {
+            let d = inst.link_distance(i);
+            assert!(d >= 2.0 - 1e-9 && d <= 10.0 + 1e-9, "link length {d} out of range");
+        }
+    }
+
+    #[test]
+    fn uniform_deployment_is_deterministic_per_seed() {
+        let config = DeploymentConfig::default();
+        let a = uniform_deployment(config, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = uniform_deployment(config, &mut ChaCha8Rng::seed_from_u64(7));
+        let c = uniform_deployment(config, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "link length range")]
+    fn invalid_link_range_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config = DeploymentConfig { min_link: 5.0, max_link: 1.0, ..Default::default() };
+        let _ = uniform_deployment(config, &mut rng);
+    }
+
+    #[test]
+    fn clustered_deployment_produces_valid_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let config =
+            DeploymentConfig { num_requests: 30, side: 1000.0, min_link: 1.0, max_link: 5.0 };
+        let inst = clustered_deployment(config, 4, 20.0, &mut rng);
+        assert_eq!(inst.len(), 30);
+        assert_eq!(inst.metric().len(), 60);
+        // Clustered senders should be denser than the full square: the mean
+        // nearest-sender distance must be well below side / sqrt(n).
+        let senders: Vec<_> = (0..inst.len()).map(|i| inst.request(i).sender).collect();
+        let mut nearest_sum = 0.0;
+        for &s in &senders {
+            let mut best = f64::INFINITY;
+            for &t in &senders {
+                if t != s {
+                    best = best.min(inst.metric().distance(s, t));
+                }
+            }
+            nearest_sum += best;
+        }
+        let mean_nearest = nearest_sum / senders.len() as f64;
+        assert!(mean_nearest < 1000.0 / (30f64).sqrt());
+    }
+
+    #[test]
+    fn random_matching_pairs_distinct_nodes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let inst = random_matching(21, 100.0, &mut rng);
+        // 21 nodes -> 10 pairs (one node unused), all with positive length.
+        assert_eq!(inst.len(), 10);
+        for i in 0..inst.len() {
+            assert!(inst.link_distance(i) > 0.0);
+            let r = inst.request(i);
+            assert_ne!(r.sender, r.receiver);
+        }
+        // Each node used at most once.
+        let mut used = std::collections::HashSet::new();
+        for r in inst.requests() {
+            assert!(used.insert(r.sender));
+            assert!(used.insert(r.receiver));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn clustered_requires_clusters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = clustered_deployment(DeploymentConfig::default(), 0, 10.0, &mut rng);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = DeploymentConfig::default();
+        assert!(c.num_requests > 0);
+        assert!(c.min_link <= c.max_link);
+    }
+}

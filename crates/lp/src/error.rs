@@ -1,0 +1,72 @@
+//! Error types for the LP substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or solving linear programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The dimensions of the objective, constraint matrix and right-hand side
+    /// do not agree.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// A coefficient, capacity or objective value is NaN or infinite.
+    InvalidValue {
+        /// Human-readable description of the offending value.
+        reason: String,
+    },
+    /// A right-hand side entry is negative. The solver only handles the
+    /// `b ≥ 0` form (the origin is then feasible), which covers every LP in
+    /// this workspace.
+    NegativeCapacity {
+        /// Index of the offending constraint.
+        row: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The simplex iteration limit was exceeded (should not happen with
+    /// Bland's rule; kept as a defensive guard).
+    IterationLimit {
+        /// The limit that was reached.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch { reason } => write!(f, "dimension mismatch: {reason}"),
+            LpError::InvalidValue { reason } => write!(f, "invalid value: {reason}"),
+            LpError::NegativeCapacity { row, value } => {
+                write!(f, "constraint {row} has negative capacity {value}")
+            }
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LpError::DimensionMismatch { reason: "c vs A".into() }
+            .to_string()
+            .contains("c vs A"));
+        assert!(LpError::InvalidValue { reason: "NaN".into() }.to_string().contains("NaN"));
+        assert!(LpError::NegativeCapacity { row: 2, value: -1.0 }.to_string().contains("-1"));
+        assert!(LpError::IterationLimit { limit: 10 }.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<LpError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! Linear-programming substrate for the `oblisched` workspace.
+//!
+//! The coloring algorithm of §5 of the paper selects, inside every distance
+//! class, a maximum set of requests subject to per-node interference budgets.
+//! That selection is a **packing LP** (maximise the number of chosen
+//! requests subject to non-negative linear capacity constraints) followed by
+//! **randomized rounding**. The paper assumes an LP oracle and omits the
+//! rounding details; this crate provides both from scratch:
+//!
+//! * [`simplex`] — a dense primal simplex solver for
+//!   `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` with `b ≥ 0` (the form all our LPs take),
+//!   using Bland's rule so it always terminates,
+//! * [`packing`] — a convenience front end for packing LPs with optional
+//!   `x ≤ 1` upper bounds,
+//! * [`rounding`] — randomized rounding with alteration, turning a fractional
+//!   packing solution into an integral one that respects every constraint.
+//!
+//! # Example
+//!
+//! ```
+//! use oblisched_lp::{LinearProgram, LpOutcome};
+//!
+//! // max x0 + x1  s.t.  x0 + 2 x1 <= 4,  3 x0 + x1 <= 6
+//! let lp = LinearProgram::new(
+//!     vec![1.0, 1.0],
+//!     vec![vec![1.0, 2.0], vec![3.0, 1.0]],
+//!     vec![4.0, 6.0],
+//! )?;
+//! let outcome = lp.solve()?;
+//! match outcome {
+//!     LpOutcome::Optimal(solution) => assert!((solution.objective() - 2.8).abs() < 1e-9),
+//!     LpOutcome::Unbounded => unreachable!(),
+//! }
+//! # Ok::<(), oblisched_lp::LpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod packing;
+pub mod rounding;
+pub mod simplex;
+
+pub use error::LpError;
+pub use packing::{PackingLp, PackingSolution};
+pub use rounding::{round_packing, RoundingConfig};
+pub use simplex::{LinearProgram, LpOutcome, LpSolution};

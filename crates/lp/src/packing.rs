@@ -1,0 +1,310 @@
+//! Packing LPs: `max Σ w_j x_j  s.t.  Ax ≤ b, 0 ≤ x ≤ 1` with non-negative
+//! data.
+//!
+//! The per-class selection problem of §5 of the paper is exactly this shape:
+//! one variable per candidate request, one capacity constraint per node
+//! bounding the interference it may receive.
+
+use crate::error::LpError;
+use crate::simplex::{LinearProgram, LpOutcome};
+use serde::{Deserialize, Serialize};
+
+/// A packing linear program with optional unit upper bounds on the variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackingLp {
+    weights: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    capacities: Vec<f64>,
+    unit_bounds: bool,
+}
+
+/// A (fractional) solution of a [`PackingLp`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackingSolution {
+    values: Vec<f64>,
+    objective: f64,
+}
+
+impl PackingSolution {
+    /// The fractional variable values, one per item.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The objective value `Σ w_j x_j`.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// The items with strictly positive fractional value.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.values.len()).filter(|&j| self.values[j] > 1e-12).collect()
+    }
+}
+
+impl PackingLp {
+    /// Creates a packing LP with `x_j ≤ 1` bounds (the common case).
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::DimensionMismatch`] for inconsistent shapes.
+    /// * [`LpError::InvalidValue`] for NaN/infinite or negative coefficients
+    ///   or weights (packing data must be non-negative).
+    /// * [`LpError::NegativeCapacity`] for negative capacities.
+    pub fn new(
+        weights: Vec<f64>,
+        rows: Vec<Vec<f64>>,
+        capacities: Vec<f64>,
+    ) -> Result<Self, LpError> {
+        Self::with_bounds(weights, rows, capacities, true)
+    }
+
+    /// Creates a packing LP, choosing whether to add the `x_j ≤ 1` bounds.
+    ///
+    /// # Errors
+    ///
+    /// See [`PackingLp::new`].
+    pub fn with_bounds(
+        weights: Vec<f64>,
+        rows: Vec<Vec<f64>>,
+        capacities: Vec<f64>,
+        unit_bounds: bool,
+    ) -> Result<Self, LpError> {
+        let n = weights.len();
+        if rows.len() != capacities.len() {
+            return Err(LpError::DimensionMismatch {
+                reason: format!("{} rows but {} capacities", rows.len(), capacities.len()),
+            });
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(LpError::DimensionMismatch {
+                    reason: format!("row {i} has {} coefficients, expected {n}", row.len()),
+                });
+            }
+        }
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(LpError::InvalidValue {
+                    reason: format!("packing weights must be finite and non-negative, got {w}"),
+                });
+            }
+        }
+        for row in &rows {
+            for &a in row {
+                if !a.is_finite() || a < 0.0 {
+                    return Err(LpError::InvalidValue {
+                        reason: format!(
+                            "packing constraint coefficients must be finite and non-negative, got {a}"
+                        ),
+                    });
+                }
+            }
+        }
+        for (row, &b) in capacities.iter().enumerate() {
+            if !b.is_finite() {
+                return Err(LpError::InvalidValue {
+                    reason: format!("capacity {b} in row {row} is not finite"),
+                });
+            }
+            if b < 0.0 {
+                return Err(LpError::NegativeCapacity { row, value: b });
+            }
+        }
+        Ok(Self { weights, rows, capacities, unit_bounds })
+    }
+
+    /// Number of items (variables).
+    pub fn num_items(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The objective weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The total weight of an integral selection.
+    pub fn selection_weight(&self, selection: &[usize]) -> f64 {
+        selection.iter().map(|&j| self.weights[j]).sum()
+    }
+
+    /// Number of capacity constraints (excluding the unit bounds).
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The capacity constraint rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// The capacities.
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// Checks whether an integral selection of items respects every capacity
+    /// constraint (unit bounds are automatic for selections).
+    pub fn selection_is_feasible(&self, selection: &[usize]) -> bool {
+        self.rows.iter().zip(self.capacities.iter()).all(|(row, &b)| {
+            let load: f64 = selection.iter().map(|&j| row[j]).sum();
+            load <= b + 1e-9 * (1.0 + b.abs())
+        })
+    }
+
+    /// Solves the fractional relaxation with the simplex solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; packing LPs are always bounded, so an
+    /// unbounded outcome is reported as an [`LpError::InvalidValue`].
+    pub fn solve(&self) -> Result<PackingSolution, LpError> {
+        let n = self.num_items();
+        let mut rows = self.rows.clone();
+        let mut capacities = self.capacities.clone();
+        if self.unit_bounds {
+            for j in 0..n {
+                let mut bound = vec![0.0; n];
+                bound[j] = 1.0;
+                rows.push(bound);
+                capacities.push(1.0);
+            }
+        }
+        let lp = LinearProgram::new(self.weights.clone(), rows, capacities)?;
+        match lp.solve()? {
+            LpOutcome::Optimal(s) => Ok(PackingSolution {
+                objective: s.objective(),
+                values: s.values().to_vec(),
+            }),
+            LpOutcome::Unbounded => Err(LpError::InvalidValue {
+                reason: "packing LP reported unbounded; weights or bounds are inconsistent".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_packing_prefers_heavy_items() {
+        // Two items, one shared capacity of 1; item 1 is heavier.
+        let lp = PackingLp::new(vec![1.0, 2.0], vec![vec![1.0, 1.0]], vec![1.0]).unwrap();
+        let s = lp.solve().unwrap();
+        assert!((s.objective() - 2.0).abs() < 1e-9);
+        assert!((s.values()[1] - 1.0).abs() < 1e-9);
+        assert!(s.values()[0].abs() < 1e-9);
+        assert_eq!(s.support(), vec![1]);
+    }
+
+    #[test]
+    fn unit_bounds_cap_variables_at_one() {
+        // Single item, huge capacity: without unit bounds the LP would pick a
+        // large fractional value.
+        let bounded = PackingLp::new(vec![1.0], vec![vec![1.0]], vec![10.0]).unwrap();
+        let s = bounded.solve().unwrap();
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+
+        let unbounded =
+            PackingLp::with_bounds(vec![1.0], vec![vec![1.0]], vec![10.0], false).unwrap();
+        let s = unbounded.solve().unwrap();
+        assert!((s.objective() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_solutions_appear_when_capacity_is_tight() {
+        // Three identical items, capacity 1.5: optimum 1.5, necessarily
+        // fractional.
+        let lp = PackingLp::new(
+            vec![1.0, 1.0, 1.0],
+            vec![vec![1.0, 1.0, 1.0]],
+            vec![1.5],
+        )
+        .unwrap();
+        let s = lp.solve().unwrap();
+        assert!((s.objective() - 1.5).abs() < 1e-9);
+        let total: f64 = s.values().iter().sum();
+        assert!((total - 1.5).abs() < 1e-9);
+        assert!(s.values().iter().all(|&x| x <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn zero_items_and_zero_constraints() {
+        let lp = PackingLp::new(vec![], vec![], vec![]).unwrap();
+        let s = lp.solve().unwrap();
+        assert_eq!(s.objective(), 0.0);
+        assert!(s.values().is_empty());
+        assert!(s.support().is_empty());
+
+        // No constraints at all: every variable goes to its unit bound.
+        let lp = PackingLp::new(vec![1.0, 1.0], vec![], vec![]).unwrap();
+        let s = lp.solve().unwrap();
+        assert!((s.objective() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selection_feasibility_check() {
+        let lp = PackingLp::new(
+            vec![1.0, 1.0, 1.0],
+            vec![vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 1.0]],
+            vec![1.0, 1.0],
+        )
+        .unwrap();
+        assert!(lp.selection_is_feasible(&[0, 2]));
+        assert!(!lp.selection_is_feasible(&[0, 1]));
+        assert!(lp.selection_is_feasible(&[]));
+        assert_eq!(lp.num_items(), 3);
+        assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(lp.rows().len(), 2);
+        assert_eq!(lp.capacities(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_data() {
+        assert!(matches!(
+            PackingLp::new(vec![1.0], vec![vec![1.0, 2.0]], vec![1.0]),
+            Err(LpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            PackingLp::new(vec![1.0], vec![vec![1.0]], vec![1.0, 2.0]),
+            Err(LpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            PackingLp::new(vec![-1.0], vec![vec![1.0]], vec![1.0]),
+            Err(LpError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            PackingLp::new(vec![1.0], vec![vec![-1.0]], vec![1.0]),
+            Err(LpError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            PackingLp::new(vec![1.0], vec![vec![1.0]], vec![-1.0]),
+            Err(LpError::NegativeCapacity { .. })
+        ));
+        assert!(matches!(
+            PackingLp::new(vec![1.0], vec![vec![1.0]], vec![f64::INFINITY]),
+            Err(LpError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn lp_optimum_upper_bounds_any_integral_selection() {
+        // The fractional optimum must dominate the best of a few integral
+        // selections (weak LP relaxation property, used by §5's analysis).
+        let lp = PackingLp::new(
+            vec![2.0, 1.0, 1.5, 1.0],
+            vec![vec![1.0, 0.5, 0.0, 1.0], vec![0.0, 1.0, 1.0, 1.0]],
+            vec![1.5, 2.0],
+        )
+        .unwrap();
+        let s = lp.solve().unwrap();
+        for selection in [vec![0], vec![0, 1], vec![2, 3], vec![0, 2]] {
+            if lp.selection_is_feasible(&selection) {
+                let value: f64 = selection.iter().map(|&j| [2.0, 1.0, 1.5, 1.0][j]).sum();
+                assert!(s.objective() + 1e-9 >= value);
+            }
+        }
+    }
+}

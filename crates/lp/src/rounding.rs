@@ -1,0 +1,226 @@
+//! Randomized rounding with alteration for packing LPs.
+//!
+//! §5 of the paper computes an optimal fractional solution of the per-class
+//! packing LP and states that "a feasible subset of cardinality Ω(opt') can
+//! be computed via randomized rounding" (details omitted). This module
+//! implements the standard rounding-with-alteration scheme:
+//!
+//! 1. include item `j` independently with probability `scale · x_j` for a
+//!    down-scaling factor `scale ∈ (0, 1]`,
+//! 2. while some capacity constraint is violated, drop the included item with
+//!    the largest total contribution to violated constraints.
+//!
+//! The returned selection always satisfies every constraint; with
+//! `scale = 1/2` the expected number of survivors is a constant fraction of
+//! the fractional objective for the row-sparse programs produced by the
+//! coloring algorithm (validated empirically in experiment E3 and the tests
+//! below).
+
+use crate::error::LpError;
+use crate::packing::{PackingLp, PackingSolution};
+use rand::Rng;
+
+/// Configuration of the rounding procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundingConfig {
+    /// Down-scaling factor applied to the fractional values before sampling.
+    pub scale: f64,
+    /// Number of independent sampling attempts; the best feasible outcome is
+    /// returned.
+    pub attempts: usize,
+}
+
+impl Default for RoundingConfig {
+    fn default() -> Self {
+        Self { scale: 0.5, attempts: 8 }
+    }
+}
+
+/// Rounds a fractional packing solution to an integral selection that
+/// satisfies every constraint of `lp`.
+///
+/// Several independent attempts are made and the largest surviving selection
+/// (by weight of the original objective, i.e. cardinality for unit weights)
+/// is returned; the greedy alteration step guarantees feasibility of every
+/// attempt, so the result is always feasible (possibly empty).
+///
+/// # Errors
+///
+/// Returns [`LpError::DimensionMismatch`] if the solution length does not
+/// match the LP.
+///
+/// # Panics
+///
+/// Panics if `config.scale` is not in `(0, 1]` or `config.attempts` is zero.
+pub fn round_packing<R: Rng + ?Sized>(
+    lp: &PackingLp,
+    solution: &PackingSolution,
+    config: RoundingConfig,
+    rng: &mut R,
+) -> Result<Vec<usize>, LpError> {
+    assert!(
+        config.scale > 0.0 && config.scale <= 1.0,
+        "rounding scale must lie in (0, 1]"
+    );
+    assert!(config.attempts > 0, "at least one rounding attempt is required");
+    if solution.values().len() != lp.num_items() {
+        return Err(LpError::DimensionMismatch {
+            reason: format!(
+                "solution has {} values but the LP has {} items",
+                solution.values().len(),
+                lp.num_items()
+            ),
+        });
+    }
+
+    let mut best: Vec<usize> = Vec::new();
+    for _ in 0..config.attempts {
+        let mut selected: Vec<usize> = (0..lp.num_items())
+            .filter(|&j| {
+                let p = (config.scale * solution.values()[j]).clamp(0.0, 1.0);
+                rng.gen_bool(p)
+            })
+            .collect();
+        alter_until_feasible(lp, &mut selected);
+        if selected.len() > best.len() {
+            best = selected;
+        }
+    }
+    Ok(best)
+}
+
+/// Greedy alteration: while a constraint is violated, drop the selected item
+/// with the largest total coefficient in the violated rows.
+fn alter_until_feasible(lp: &PackingLp, selected: &mut Vec<usize>) {
+    loop {
+        let violated: Vec<usize> = (0..lp.num_constraints())
+            .filter(|&i| {
+                let load: f64 = selected.iter().map(|&j| lp.rows()[i][j]).sum();
+                load > lp.capacities()[i] + 1e-9 * (1.0 + lp.capacities()[i].abs())
+            })
+            .collect();
+        if violated.is_empty() || selected.is_empty() {
+            return;
+        }
+        let worst = selected
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let contribution = |j: usize| -> f64 {
+                    violated.iter().map(|&i| lp.rows()[i][j]).sum()
+                };
+                contribution(a)
+                    .partial_cmp(&contribution(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("selection is non-empty");
+        selected.retain(|&j| j != worst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn interference_style_lp(n: usize) -> PackingLp {
+        // n items, n constraints; item j loads constraint i with a value that
+        // decays with |i - j| — a caricature of geometric interference. The
+        // capacity of 2 leaves room for several well-spread items.
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            0.0
+                        } else {
+                            1.0 / (1.0 + (i as f64 - j as f64).powi(2))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let capacities = vec![2.0; n];
+        PackingLp::new(vec![1.0; n], rows, capacities).unwrap()
+    }
+
+    #[test]
+    fn rounded_selection_is_always_feasible() {
+        let lp = interference_style_lp(12);
+        let solution = lp.solve().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..5 {
+            let selection =
+                round_packing(&lp, &solution, RoundingConfig::default(), &mut rng).unwrap();
+            assert!(lp.selection_is_feasible(&selection));
+        }
+    }
+
+    #[test]
+    fn rounding_recovers_a_constant_fraction() {
+        let lp = interference_style_lp(16);
+        let solution = lp.solve().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let selection = round_packing(
+            &lp,
+            &solution,
+            RoundingConfig { scale: 0.5, attempts: 16 },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            selection.len() as f64 >= 0.2 * solution.objective(),
+            "rounding kept {} of a fractional optimum of {}",
+            selection.len(),
+            solution.objective()
+        );
+    }
+
+    #[test]
+    fn rounding_handles_empty_programs() {
+        let lp = PackingLp::new(vec![], vec![], vec![]).unwrap();
+        let solution = lp.solve().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let selection =
+            round_packing(&lp, &solution, RoundingConfig::default(), &mut rng).unwrap();
+        assert!(selection.is_empty());
+    }
+
+    #[test]
+    fn rounding_respects_tight_capacity_zero() {
+        // Capacity 0 on an all-ones row forbids selecting anything.
+        let lp = PackingLp::new(vec![1.0, 1.0], vec![vec![1.0, 1.0]], vec![0.0]).unwrap();
+        let solution = lp.solve().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let selection =
+            round_packing(&lp, &solution, RoundingConfig::default(), &mut rng).unwrap();
+        assert!(selection.is_empty());
+    }
+
+    #[test]
+    fn rounding_validates_solution_length() {
+        let lp = PackingLp::new(vec![1.0], vec![vec![1.0]], vec![1.0]).unwrap();
+        let other = PackingLp::new(vec![1.0, 1.0], vec![vec![1.0, 1.0]], vec![1.0]).unwrap();
+        let solution = other.solve().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert!(matches!(
+            round_packing(&lp, &solution, RoundingConfig::default(), &mut rng),
+            Err(LpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "rounding scale")]
+    fn invalid_scale_panics() {
+        let lp = PackingLp::new(vec![1.0], vec![vec![1.0]], vec![1.0]).unwrap();
+        let solution = lp.solve().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = round_packing(
+            &lp,
+            &solution,
+            RoundingConfig { scale: 1.5, attempts: 1 },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Dense primal simplex for `max cᵀx  s.t.  Ax ≤ b, x ≥ 0, b ≥ 0`.
+//!
+//! The restriction `b ≥ 0` means the origin is always feasible, so no phase-I
+//! procedure is needed. Every LP solved in this workspace (the per-class
+//! packing LPs of §5 and the test programs) has this form. Bland's pivoting
+//! rule guarantees termination; an iteration cap is kept as a defensive
+//! guard against numerical pathologies.
+
+use crate::error::LpError;
+use serde::{Deserialize, Serialize};
+
+/// Numerical tolerance for pivoting decisions.
+const EPS: f64 = 1e-9;
+
+/// A linear program `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` with `b ≥ 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+}
+
+/// The result of solving a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal(LpSolution),
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+/// An optimal solution of a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    values: Vec<f64>,
+    objective: f64,
+}
+
+impl LpSolution {
+    /// The optimal variable values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The optimal objective value.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+}
+
+impl LinearProgram {
+    /// Creates a linear program, validating shapes and values.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::DimensionMismatch`] if the rows and the right-hand side
+    ///   have inconsistent lengths.
+    /// * [`LpError::InvalidValue`] for NaN or infinite coefficients.
+    /// * [`LpError::NegativeCapacity`] if an entry of `b` is negative.
+    pub fn new(
+        objective: Vec<f64>,
+        rows: Vec<Vec<f64>>,
+        rhs: Vec<f64>,
+    ) -> Result<Self, LpError> {
+        let n = objective.len();
+        if rows.len() != rhs.len() {
+            return Err(LpError::DimensionMismatch {
+                reason: format!("{} constraint rows but {} right-hand sides", rows.len(), rhs.len()),
+            });
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(LpError::DimensionMismatch {
+                    reason: format!("row {i} has {} coefficients, expected {n}", row.len()),
+                });
+            }
+        }
+        let all_values = objective.iter().chain(rows.iter().flatten()).chain(rhs.iter());
+        for &v in all_values {
+            if !v.is_finite() {
+                return Err(LpError::InvalidValue { reason: format!("non-finite coefficient {v}") });
+            }
+        }
+        for (row, &value) in rhs.iter().enumerate() {
+            if value < 0.0 {
+                return Err(LpError::NegativeCapacity { row, value });
+            }
+        }
+        Ok(Self { objective, rows, rhs })
+    }
+
+    /// Number of structural variables.
+    pub fn num_variables(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Checks whether `x` is feasible (within tolerance `tol`).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_variables() {
+            return false;
+        }
+        if x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.rows.iter().zip(self.rhs.iter()).all(|(row, &b)| {
+            let lhs: f64 = row.iter().zip(x.iter()).map(|(a, v)| a * v).sum();
+            lhs <= b + tol * (1.0 + b.abs())
+        })
+    }
+
+    /// Evaluates the objective at `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+    }
+
+    /// Solves the program with the primal simplex method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::IterationLimit`] if the (very generous) iteration
+    /// cap is exceeded, which indicates a numerical pathology.
+    pub fn solve(&self) -> Result<LpOutcome, LpError> {
+        let n = self.num_variables();
+        let m = self.num_constraints();
+
+        if n == 0 {
+            return Ok(LpOutcome::Optimal(LpSolution { values: Vec::new(), objective: 0.0 }));
+        }
+
+        // Tableau: m constraint rows over n structural + m slack columns,
+        // followed by the RHS column; plus an objective row holding the
+        // negated reduced costs.
+        let cols = n + m + 1;
+        let mut tableau = vec![vec![0.0; cols]; m + 1];
+        for i in 0..m {
+            tableau[i][..n].copy_from_slice(&self.rows[i]);
+            tableau[i][n + i] = 1.0;
+            tableau[i][cols - 1] = self.rhs[i];
+        }
+        for j in 0..n {
+            tableau[m][j] = -self.objective[j];
+        }
+        // basis[i] = index of the variable that is basic in row i.
+        let mut basis: Vec<usize> = (n..n + m).collect();
+
+        let limit = 200 + 50 * (n + m) * (n + m);
+        for _ in 0..limit {
+            // Bland's rule: entering variable is the lowest-index column with
+            // a negative reduced cost.
+            let entering = (0..n + m).find(|&j| tableau[m][j] < -EPS);
+            let entering = match entering {
+                Some(j) => j,
+                None => {
+                    // Optimal: read off the solution.
+                    let mut values = vec![0.0; n];
+                    for (i, &b) in basis.iter().enumerate() {
+                        if b < n {
+                            values[b] = tableau[i][cols - 1];
+                        }
+                    }
+                    let objective = self.objective_value(&values);
+                    return Ok(LpOutcome::Optimal(LpSolution { values, objective }));
+                }
+            };
+
+            // Ratio test; Bland's rule breaks ties by the smallest basis index.
+            let mut leaving: Option<(usize, f64)> = None;
+            for i in 0..m {
+                let coeff = tableau[i][entering];
+                if coeff > EPS {
+                    let ratio = tableau[i][cols - 1] / coeff;
+                    let better = match leaving {
+                        None => true,
+                        Some((best_row, best_ratio)) => {
+                            ratio < best_ratio - EPS
+                                || (ratio < best_ratio + EPS && basis[i] < basis[best_row])
+                        }
+                    };
+                    if better {
+                        leaving = Some((i, ratio));
+                    }
+                }
+            }
+            let (pivot_row, _) = match leaving {
+                Some(x) => x,
+                None => return Ok(LpOutcome::Unbounded),
+            };
+
+            // Pivot.
+            let pivot = tableau[pivot_row][entering];
+            for value in tableau[pivot_row].iter_mut() {
+                *value /= pivot;
+            }
+            for i in 0..=m {
+                if i != pivot_row {
+                    let factor = tableau[i][entering];
+                    if factor.abs() > 0.0 {
+                        for j in 0..cols {
+                            tableau[i][j] -= factor * tableau[pivot_row][j];
+                        }
+                    }
+                }
+            }
+            basis[pivot_row] = entering;
+        }
+        Err(LpError::IterationLimit { limit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(lp: &LinearProgram) -> LpSolution {
+        match lp.solve().unwrap() {
+            LpOutcome::Optimal(s) => s,
+            LpOutcome::Unbounded => panic!("expected optimal, got unbounded"),
+        }
+    }
+
+    #[test]
+    fn textbook_two_variable_program() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (optimum 36 at (2,6))
+        let lp = LinearProgram::new(
+            vec![3.0, 5.0],
+            vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            vec![4.0, 12.0, 18.0],
+        )
+        .unwrap();
+        let s = optimal(&lp);
+        assert!((s.objective() - 36.0).abs() < 1e-9);
+        assert!((s.values()[0] - 2.0).abs() < 1e-9);
+        assert!((s.values()[1] - 6.0).abs() < 1e-9);
+        assert!(lp.is_feasible(s.values(), 1e-9));
+    }
+
+    #[test]
+    fn doc_example_program() {
+        let lp = LinearProgram::new(
+            vec![1.0, 1.0],
+            vec![vec![1.0, 2.0], vec![3.0, 1.0]],
+            vec![4.0, 6.0],
+        )
+        .unwrap();
+        let s = optimal(&lp);
+        // Optimum at the intersection (1.6, 1.2).
+        assert!((s.objective() - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbounded_program_is_detected() {
+        // max x with no constraints binding it from above in that direction.
+        let lp = LinearProgram::new(vec![1.0, 0.0], vec![vec![0.0, 1.0]], vec![5.0]).unwrap();
+        assert_eq!(lp.solve().unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_programs_terminate() {
+        // Multiple redundant constraints through the origin; Bland's rule must
+        // not cycle.
+        let lp = LinearProgram::new(
+            vec![1.0, 1.0, 1.0],
+            vec![
+                vec![1.0, 1.0, 0.0],
+                vec![1.0, 1.0, 0.0],
+                vec![0.0, 1.0, 1.0],
+                vec![1.0, 0.0, 1.0],
+            ],
+            vec![0.0, 0.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let s = optimal(&lp);
+        // x0 = x1 = 0 forced; best is x2 = 1.
+        assert!((s.objective() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_forces_zero_solution() {
+        let lp = LinearProgram::new(vec![2.0], vec![vec![1.0]], vec![0.0]).unwrap();
+        let s = optimal(&lp);
+        assert_eq!(s.objective(), 0.0);
+        assert_eq!(s.values(), &[0.0]);
+    }
+
+    #[test]
+    fn empty_objective_program() {
+        let lp = LinearProgram::new(vec![], vec![], vec![]).unwrap();
+        let s = optimal(&lp);
+        assert_eq!(s.objective(), 0.0);
+        assert!(s.values().is_empty());
+    }
+
+    #[test]
+    fn negative_objective_coefficients_stay_at_zero() {
+        let lp = LinearProgram::new(
+            vec![-1.0, 2.0],
+            vec![vec![1.0, 1.0]],
+            vec![3.0],
+        )
+        .unwrap();
+        let s = optimal(&lp);
+        assert!((s.objective() - 6.0).abs() < 1e-9);
+        assert!((s.values()[0]).abs() < 1e-9);
+        assert!((s.values()[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert!(matches!(
+            LinearProgram::new(vec![1.0], vec![vec![1.0]], vec![1.0, 2.0]),
+            Err(LpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            LinearProgram::new(vec![1.0], vec![vec![1.0, 2.0]], vec![1.0]),
+            Err(LpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            LinearProgram::new(vec![f64::NAN], vec![vec![1.0]], vec![1.0]),
+            Err(LpError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            LinearProgram::new(vec![1.0], vec![vec![1.0]], vec![-1.0]),
+            Err(LpError::NegativeCapacity { row: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn feasibility_and_objective_helpers() {
+        let lp = LinearProgram::new(
+            vec![1.0, 2.0],
+            vec![vec![1.0, 1.0]],
+            vec![2.0],
+        )
+        .unwrap();
+        assert!(lp.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[3.0, 0.0], 1e-9));
+        assert!(!lp.is_feasible(&[-0.5, 0.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.0], 1e-9));
+        assert_eq!(lp.objective_value(&[1.0, 1.0]), 3.0);
+        assert_eq!(lp.num_variables(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+    }
+
+    #[test]
+    fn larger_random_like_program_is_solved_and_feasible() {
+        // A 6-variable, 8-constraint packing-style program with deterministic
+        // pseudo-random coefficients.
+        let n = 6;
+        let m = 8;
+        let coeff = |i: usize, j: usize| ((i * 7 + j * 13) % 10) as f64 / 3.0 + 0.1;
+        let rows: Vec<Vec<f64>> = (0..m).map(|i| (0..n).map(|j| coeff(i, j)).collect()).collect();
+        let rhs: Vec<f64> = (0..m).map(|i| 5.0 + (i % 3) as f64).collect();
+        let lp = LinearProgram::new(vec![1.0; n], rows, rhs).unwrap();
+        let s = optimal(&lp);
+        assert!(lp.is_feasible(s.values(), 1e-7));
+        assert!(s.objective() > 0.0);
+        // Weak duality style sanity check: objective cannot exceed the most
+        // generous single-constraint bound sum(b) / min coefficient.
+        assert!(s.objective() < 100.0);
+    }
+}

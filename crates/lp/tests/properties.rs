@@ -1,0 +1,113 @@
+//! Property-based tests for the LP substrate.
+
+use oblisched_lp::{round_packing, LinearProgram, LpOutcome, PackingLp, RoundingConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random bounded LP: non-negative objective and coefficients with an extra
+/// row bounding the sum of all variables, so the program is never unbounded.
+fn arb_bounded_lp() -> impl Strategy<Value = LinearProgram> {
+    (1usize..6, 0usize..5).prop_flat_map(|(n, m)| {
+        (
+            prop::collection::vec(0.0f64..5.0, n),
+            prop::collection::vec(prop::collection::vec(0.0f64..3.0, n), m),
+            prop::collection::vec(0.5f64..10.0, m),
+        )
+            .prop_map(move |(c, mut rows, mut rhs)| {
+                rows.push(vec![1.0; n]);
+                rhs.push(25.0);
+                LinearProgram::new(c, rows, rhs).unwrap()
+            })
+    })
+}
+
+fn arb_packing() -> impl Strategy<Value = PackingLp> {
+    (1usize..8, 1usize..8).prop_flat_map(|(n, m)| {
+        (
+            prop::collection::vec(0.1f64..3.0, n),
+            prop::collection::vec(prop::collection::vec(0.0f64..2.0, n), m),
+            prop::collection::vec(0.1f64..6.0, m),
+        )
+            .prop_map(|(w, rows, caps)| PackingLp::new(w, rows, caps).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simplex_solutions_are_feasible(lp in arb_bounded_lp()) {
+        match lp.solve().unwrap() {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(lp.is_feasible(s.values(), 1e-6));
+                prop_assert!((lp.objective_value(s.values()) - s.objective()).abs() < 1e-6);
+                prop_assert!(s.objective() >= -1e-9);
+            }
+            LpOutcome::Unbounded => prop_assert!(false, "bounded LP reported unbounded"),
+        }
+    }
+
+    #[test]
+    fn simplex_dominates_the_origin_and_axis_points(lp in arb_bounded_lp()) {
+        // The optimum must be at least as good as any feasible axis-aligned
+        // candidate we can construct cheaply.
+        if let LpOutcome::Optimal(s) = lp.solve().unwrap() {
+            let n = lp.num_variables();
+            for j in 0..n {
+                for magnitude in [0.5, 1.0, 2.0] {
+                    let mut x = vec![0.0; n];
+                    x[j] = magnitude;
+                    if lp.is_feasible(&x, 1e-9) {
+                        prop_assert!(s.objective() + 1e-6 >= lp.objective_value(&x));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packing_solutions_respect_bounds(lp in arb_packing()) {
+        let s = lp.solve().unwrap();
+        for &x in s.values() {
+            prop_assert!(x >= -1e-9);
+            prop_assert!(x <= 1.0 + 1e-9);
+        }
+        // Feasibility of the fractional solution against every row.
+        for (row, &cap) in lp.rows().iter().zip(lp.capacities().iter()) {
+            let load: f64 = row.iter().zip(s.values()).map(|(a, x)| a * x).sum();
+            prop_assert!(load <= cap + 1e-6 * (1.0 + cap));
+        }
+    }
+
+    #[test]
+    fn rounding_is_always_feasible(lp in arb_packing(), seed in any::<u64>()) {
+        let s = lp.solve().unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let selection = round_packing(&lp, &s, RoundingConfig::default(), &mut rng).unwrap();
+        prop_assert!(lp.selection_is_feasible(&selection));
+        // No duplicates and all indices in range.
+        let mut sorted = selection.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), selection.len());
+        prop_assert!(selection.iter().all(|&j| j < lp.num_items()));
+    }
+
+    #[test]
+    fn fractional_optimum_dominates_greedy_integral_solutions(lp in arb_packing()) {
+        let s = lp.solve().unwrap();
+        // Greedy integral packing in index order; the LP relaxation must
+        // dominate every integral feasible selection.
+        let n = lp.num_items();
+        let mut selection = Vec::new();
+        for j in 0..n {
+            selection.push(j);
+            if !lp.selection_is_feasible(&selection) {
+                selection.pop();
+            }
+        }
+        prop_assert!(lp.selection_is_feasible(&selection));
+        prop_assert!(s.objective() + 1e-6 >= lp.selection_weight(&selection));
+    }
+}

@@ -1,0 +1,90 @@
+//! Aspect ratio and related global statistics of a metric.
+//!
+//! The related-work discussion of the paper (and the follow-up ICALP 2009
+//! paper on linear power assignments) measures approximation factors in terms
+//! of the *aspect ratio* Δ — the ratio between the largest and smallest
+//! positive distance. The experiment harness reports these statistics for
+//! every generated instance.
+
+use crate::space::MetricSpace;
+
+/// Largest pairwise distance of the metric (0 for metrics with fewer than two
+/// nodes).
+pub fn diameter<M: MetricSpace>(metric: &M) -> f64 {
+    let n = metric.len();
+    let mut best: f64 = 0.0;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            best = best.max(metric.distance(u, v));
+        }
+    }
+    best
+}
+
+/// Smallest strictly positive pairwise distance, or `None` if all pairs
+/// coincide (or there are fewer than two nodes).
+pub fn min_positive_distance<M: MetricSpace>(metric: &M) -> Option<f64> {
+    let n = metric.len();
+    let mut best: Option<f64> = None;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = metric.distance(u, v);
+            if d > 0.0 {
+                best = Some(best.map_or(d, |b: f64| b.min(d)));
+            }
+        }
+    }
+    best
+}
+
+/// Aspect ratio Δ = (maximum distance) / (minimum positive distance).
+///
+/// Returns `None` when the ratio is undefined (fewer than two distinct
+/// points).
+pub fn aspect_ratio<M: MetricSpace>(metric: &M) -> Option<f64> {
+    let min = min_positive_distance(metric)?;
+    Some(diameter(metric) / min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::LineMetric;
+
+    #[test]
+    fn diameter_of_line() {
+        let line = LineMetric::new(vec![0.0, 1.0, 10.0]);
+        assert_eq!(diameter(&line), 10.0);
+    }
+
+    #[test]
+    fn min_positive_skips_zero_pairs() {
+        let line = LineMetric::new(vec![0.0, 0.0, 3.0]);
+        assert_eq!(min_positive_distance(&line), Some(3.0));
+    }
+
+    #[test]
+    fn aspect_ratio_of_line() {
+        let line = LineMetric::new(vec![0.0, 1.0, 10.0]);
+        assert_eq!(aspect_ratio(&line), Some(10.0));
+    }
+
+    #[test]
+    fn degenerate_metrics_have_no_aspect_ratio() {
+        let single = LineMetric::new(vec![5.0]);
+        assert_eq!(aspect_ratio(&single), None);
+        assert_eq!(min_positive_distance(&single), None);
+        assert_eq!(diameter(&single), 0.0);
+
+        let coincident = LineMetric::new(vec![2.0, 2.0]);
+        assert_eq!(aspect_ratio(&coincident), None);
+    }
+
+    #[test]
+    fn empty_metric() {
+        let empty = LineMetric::new(vec![]);
+        assert_eq!(diameter(&empty), 0.0);
+        assert_eq!(min_positive_distance(&empty), None);
+        assert_eq!(aspect_ratio(&empty), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types for metric construction and validation.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating a metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricError {
+    /// A distance value was negative, NaN or infinite.
+    InvalidDistance {
+        /// First node of the offending pair.
+        u: usize,
+        /// Second node of the offending pair.
+        v: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The matrix is not symmetric: `d(u, v) != d(v, u)`.
+    Asymmetric {
+        /// First node of the offending pair.
+        u: usize,
+        /// Second node of the offending pair.
+        v: usize,
+    },
+    /// A diagonal entry `d(u, u)` is non-zero.
+    NonZeroDiagonal {
+        /// The offending node.
+        u: usize,
+    },
+    /// The triangle inequality `d(u, w) <= d(u, v) + d(v, w)` is violated.
+    TriangleViolation {
+        /// First node of the offending triple.
+        u: usize,
+        /// Middle node of the offending triple.
+        v: usize,
+        /// Last node of the offending triple.
+        w: usize,
+    },
+    /// A node index was out of range for the metric.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the metric.
+        len: usize,
+    },
+    /// The provided data had an inconsistent shape (e.g. a non-square matrix).
+    ShapeMismatch {
+        /// Expected number of entries.
+        expected: usize,
+        /// Number of entries actually provided.
+        actual: usize,
+    },
+    /// A tree operation was attempted on a disconnected or cyclic edge set.
+    NotATree {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::InvalidDistance { u, v, value } => {
+                write!(f, "invalid distance {value} between nodes {u} and {v}")
+            }
+            MetricError::Asymmetric { u, v } => {
+                write!(f, "distance matrix is asymmetric at pair ({u}, {v})")
+            }
+            MetricError::NonZeroDiagonal { u } => {
+                write!(f, "diagonal entry for node {u} is non-zero")
+            }
+            MetricError::TriangleViolation { u, v, w } => {
+                write!(f, "triangle inequality violated for nodes ({u}, {v}, {w})")
+            }
+            MetricError::NodeOutOfRange { node, len } => {
+                write!(f, "node index {node} out of range for metric with {len} nodes")
+            }
+            MetricError::ShapeMismatch { expected, actual } => {
+                write!(f, "expected {expected} entries, got {actual}")
+            }
+            MetricError::NotATree { reason } => write!(f, "edge set is not a tree: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MetricError::InvalidDistance { u: 1, v: 2, value: f64::NAN };
+        assert!(e.to_string().contains("invalid distance"));
+        let e = MetricError::Asymmetric { u: 0, v: 3 };
+        assert!(e.to_string().contains("asymmetric"));
+        let e = MetricError::NonZeroDiagonal { u: 7 };
+        assert!(e.to_string().contains("diagonal"));
+        let e = MetricError::TriangleViolation { u: 0, v: 1, w: 2 };
+        assert!(e.to_string().contains("triangle"));
+        let e = MetricError::NodeOutOfRange { node: 9, len: 3 };
+        assert!(e.to_string().contains("out of range"));
+        let e = MetricError::ShapeMismatch { expected: 9, actual: 8 };
+        assert!(e.to_string().contains("expected 9"));
+        let e = MetricError::NotATree { reason: "cycle".into() };
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<MetricError>();
+    }
+}

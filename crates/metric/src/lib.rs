@@ -1,0 +1,59 @@
+//! Metric-space substrate for the `oblisched` workspace.
+//!
+//! The interference scheduling problem of Fanghänel, Kesselheim, Räcke and
+//! Vöcking (PODC 2009) is posed over an arbitrary metric space: communication
+//! requests are pairs of points, the path loss between two points is a power
+//! of their distance, and the analysis of the square-root power assignment
+//! proceeds by reducing general metrics to **tree metrics** and tree metrics
+//! to **star metrics**.
+//!
+//! This crate provides every metric-space ingredient that reduction needs:
+//!
+//! * [`Point`] — fixed-dimension Euclidean points ([`Point1`], [`Point2`], …),
+//! * [`MetricSpace`] — the trait all finite metrics implement,
+//! * [`EuclideanSpace`], [`LineMetric`] — point-set metrics,
+//! * [`DistanceMatrix`] — validated explicit metrics,
+//! * [`WeightedTree`], [`TreeMetric`] — edge-weighted trees, their shortest
+//!   path metrics and centroid decompositions (used by Lemma 9 of the paper),
+//! * [`StarMetric`] — stars around a centre (the object analysed in §4),
+//! * [`embedding`] — FRT-style probabilistic tree embeddings and dominating
+//!   tree families with *cores* (the Lemma 6 substrate).
+//!
+//! # Example
+//!
+//! ```
+//! use oblisched_metric::{EuclideanSpace, MetricSpace, Point2};
+//!
+//! let space = EuclideanSpace::from_points(vec![
+//!     Point2::new([0.0, 0.0]),
+//!     Point2::new([3.0, 4.0]),
+//! ]);
+//! assert_eq!(space.distance(0, 1), 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aspect;
+pub mod embedding;
+pub mod error;
+pub mod matrix;
+pub mod point;
+pub mod space;
+pub mod star;
+pub mod tree;
+
+pub use aspect::{aspect_ratio, diameter, min_positive_distance};
+pub use embedding::{DominatingTreeFamily, EmbeddingConfig, TreeEmbedding};
+pub use error::MetricError;
+pub use matrix::DistanceMatrix;
+pub use point::{Point, Point1, Point2, Point3};
+pub use space::{EuclideanSpace, LineMetric, MetricSpace, ScaledMetric, SubMetric};
+pub use star::StarMetric;
+pub use tree::{TreeMetric, WeightedTree};
+
+/// Identifier of a node (point) within a finite metric space.
+///
+/// Nodes of an `n`-point metric are always `0..n`; request end-points, tree
+/// vertices and star leaves all use the same index space.
+pub type NodeId = usize;

@@ -1,0 +1,467 @@
+//! The [`MetricSpace`] trait and point-set metric implementations.
+
+use crate::error::MetricError;
+use crate::matrix::DistanceMatrix;
+use crate::point::Point;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A finite metric space over nodes `0..len()`.
+///
+/// All scheduling algorithms in the workspace are generic over this trait so
+/// that the same code runs on Euclidean deployments, explicit distance
+/// matrices, tree metrics and star metrics.
+///
+/// Implementations must guarantee the metric axioms for nodes in range:
+/// non-negativity, `distance(u, u) == 0`, symmetry, and the triangle
+/// inequality (up to floating-point rounding).
+///
+/// # Example
+///
+/// ```
+/// use oblisched_metric::{LineMetric, MetricSpace};
+///
+/// let line = LineMetric::new(vec![0.0, 1.0, 4.0]);
+/// assert_eq!(line.distance(0, 2), 4.0);
+/// assert_eq!(line.len(), 3);
+/// ```
+pub trait MetricSpace {
+    /// Number of nodes in the metric.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the metric has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distance between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `u` or `v` is out of range.
+    fn distance(&self, u: NodeId, v: NodeId) -> f64;
+
+    /// Materialises the metric into an explicit [`DistanceMatrix`].
+    ///
+    /// This is `O(n^2)` space and is used when repeated distance queries make
+    /// the matrix representation cheaper than recomputation.
+    fn to_matrix(&self) -> DistanceMatrix {
+        DistanceMatrix::from_fn(self.len(), |u, v| self.distance(u, v))
+            .expect("a well-formed metric always yields a valid matrix")
+    }
+
+    /// Validates the metric axioms exhaustively in `O(n^3)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found (invalid value, asymmetry, non-zero
+    /// diagonal, or a triangle-inequality violation).
+    fn validate(&self) -> Result<(), MetricError> {
+        let n = self.len();
+        let tol = 1e-9;
+        for u in 0..n {
+            if self.distance(u, u).abs() > tol {
+                return Err(MetricError::NonZeroDiagonal { u });
+            }
+            for v in 0..n {
+                let d = self.distance(u, v);
+                if !d.is_finite() || d < 0.0 {
+                    return Err(MetricError::InvalidDistance { u, v, value: d });
+                }
+                if (d - self.distance(v, u)).abs() > tol * (1.0 + d.abs()) {
+                    return Err(MetricError::Asymmetric { u, v });
+                }
+            }
+        }
+        for u in 0..n {
+            for v in 0..n {
+                for w in 0..n {
+                    let direct = self.distance(u, w);
+                    let via = self.distance(u, v) + self.distance(v, w);
+                    if direct > via + tol * (1.0 + via.abs()) {
+                        return Err(MetricError::TriangleViolation { u, v, w });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<M: MetricSpace + ?Sized> MetricSpace for &M {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        (**self).distance(u, v)
+    }
+}
+
+impl<M: MetricSpace + ?Sized> MetricSpace for Box<M> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        (**self).distance(u, v)
+    }
+}
+
+/// A Euclidean metric over an explicit list of `D`-dimensional points.
+///
+/// # Example
+///
+/// ```
+/// use oblisched_metric::{EuclideanSpace, MetricSpace, Point2};
+///
+/// let space = EuclideanSpace::from_points(vec![Point2::xy(0.0, 0.0), Point2::xy(0.0, 2.0)]);
+/// assert_eq!(space.distance(0, 1), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EuclideanSpace<const D: usize> {
+    points: Vec<Point<D>>,
+}
+
+impl<const D: usize> EuclideanSpace<D> {
+    /// Creates a space from a list of points.
+    pub fn from_points(points: Vec<Point<D>>) -> Self {
+        Self { points }
+    }
+
+    /// Returns the underlying points.
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// Adds a point, returning its node id.
+    pub fn push(&mut self, p: Point<D>) -> NodeId {
+        self.points.push(p);
+        self.points.len() - 1
+    }
+
+    /// Returns the point for a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn point(&self, node: NodeId) -> Point<D> {
+        self.points[node]
+    }
+}
+
+impl<const D: usize> Default for EuclideanSpace<D> {
+    fn default() -> Self {
+        Self { points: Vec::new() }
+    }
+}
+
+impl<const D: usize> MetricSpace for EuclideanSpace<D> {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.points[u].distance(&self.points[v])
+    }
+}
+
+impl<const D: usize> FromIterator<Point<D>> for EuclideanSpace<D> {
+    fn from_iter<I: IntoIterator<Item = Point<D>>>(iter: I) -> Self {
+        Self { points: iter.into_iter().collect() }
+    }
+}
+
+/// A one-dimensional metric given by coordinates on the real line.
+///
+/// The paper's lower-bound constructions (Theorem 1, the nested chain of
+/// §1.2) all live on the line, so this metric gets a dedicated, allocation
+/// friendly representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct LineMetric {
+    coords: Vec<f64>,
+}
+
+impl LineMetric {
+    /// Creates a line metric from coordinates.
+    pub fn new(coords: Vec<f64>) -> Self {
+        Self { coords }
+    }
+
+    /// The coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coord(&self, node: NodeId) -> f64 {
+        self.coords[node]
+    }
+
+    /// Returns all coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Adds a coordinate, returning its node id.
+    pub fn push(&mut self, x: f64) -> NodeId {
+        self.coords.push(x);
+        self.coords.len() - 1
+    }
+}
+
+impl MetricSpace for LineMetric {
+    fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        (self.coords[u] - self.coords[v]).abs()
+    }
+}
+
+impl FromIterator<f64> for LineMetric {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self { coords: iter.into_iter().collect() }
+    }
+}
+
+/// A metric with all distances multiplied by a positive constant.
+///
+/// Scaling distances is used by the coloring algorithm of §5, which
+/// normalises each distance class so requests have length one.
+#[derive(Debug, Clone)]
+pub struct ScaledMetric<M> {
+    inner: M,
+    factor: f64,
+}
+
+impl<M: MetricSpace> ScaledMetric<M> {
+    /// Wraps `inner`, multiplying every distance by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a finite positive number.
+    pub fn new(inner: M, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive and finite");
+        Self { inner, factor }
+    }
+
+    /// The scale factor applied to every distance.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Returns the wrapped metric.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: MetricSpace> MetricSpace for ScaledMetric<M> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.factor * self.inner.distance(u, v)
+    }
+}
+
+/// A metric induced on a subset of the nodes of another metric.
+///
+/// Node `i` of the sub-metric corresponds to node `selection[i]` of the
+/// underlying metric. Used when the decomposition pipeline restricts
+/// attention to the *core* nodes of a tree (Lemma 6) or to one component of a
+/// centroid split (Lemma 9).
+#[derive(Debug, Clone)]
+pub struct SubMetric<M> {
+    inner: M,
+    selection: Vec<NodeId>,
+}
+
+impl<M: MetricSpace> SubMetric<M> {
+    /// Restricts `inner` to the nodes in `selection`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::NodeOutOfRange`] if any selected node does not
+    /// exist in the underlying metric.
+    pub fn new(inner: M, selection: Vec<NodeId>) -> Result<Self, MetricError> {
+        let len = inner.len();
+        if let Some(&node) = selection.iter().find(|&&s| s >= len) {
+            return Err(MetricError::NodeOutOfRange { node, len });
+        }
+        Ok(Self { inner, selection })
+    }
+
+    /// The underlying node id of sub-metric node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn original_node(&self, i: NodeId) -> NodeId {
+        self.selection[i]
+    }
+
+    /// The selected node ids, in sub-metric order.
+    pub fn selection(&self) -> &[NodeId] {
+        &self.selection
+    }
+}
+
+impl<M: MetricSpace> MetricSpace for SubMetric<M> {
+    fn len(&self) -> usize {
+        self.selection.len()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.inner.distance(self.selection[u], self.selection[v])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point2;
+
+    fn small_plane() -> EuclideanSpace<2> {
+        EuclideanSpace::from_points(vec![
+            Point2::xy(0.0, 0.0),
+            Point2::xy(1.0, 0.0),
+            Point2::xy(0.0, 1.0),
+            Point2::xy(3.0, 4.0),
+        ])
+    }
+
+    #[test]
+    fn euclidean_distances() {
+        let s = small_plane();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.distance(0, 3), 5.0);
+        assert_eq!(s.distance(0, 1), 1.0);
+    }
+
+    #[test]
+    fn euclidean_validates() {
+        assert!(small_plane().validate().is_ok());
+    }
+
+    #[test]
+    fn euclidean_push_and_point() {
+        let mut s = EuclideanSpace::default();
+        assert!(s.is_empty());
+        let id = s.push(Point2::xy(1.0, 1.0));
+        assert_eq!(id, 0);
+        assert_eq!(s.point(0), Point2::xy(1.0, 1.0));
+        assert_eq!(s.points().len(), 1);
+    }
+
+    #[test]
+    fn euclidean_from_iterator() {
+        let s: EuclideanSpace<2> = vec![Point2::xy(0.0, 0.0), Point2::xy(2.0, 0.0)].into_iter().collect();
+        assert_eq!(s.distance(0, 1), 2.0);
+    }
+
+    #[test]
+    fn line_metric_distances() {
+        let line = LineMetric::new(vec![-2.0, 0.0, 5.0]);
+        assert_eq!(line.distance(0, 2), 7.0);
+        assert_eq!(line.distance(2, 0), 7.0);
+        assert_eq!(line.coord(1), 0.0);
+        assert_eq!(line.coords(), &[-2.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn line_metric_push_and_collect() {
+        let mut line = LineMetric::default();
+        line.push(1.0);
+        let id = line.push(4.0);
+        assert_eq!(id, 1);
+        let collected: LineMetric = vec![1.0, 4.0].into_iter().collect();
+        assert_eq!(collected, line);
+    }
+
+    #[test]
+    fn line_metric_validates() {
+        let line = LineMetric::new(vec![0.0, 1.0, 10.0, -4.0]);
+        assert!(line.validate().is_ok());
+    }
+
+    #[test]
+    fn to_matrix_round_trips_distances() {
+        let s = small_plane();
+        let m = s.to_matrix();
+        for u in 0..s.len() {
+            for v in 0..s.len() {
+                assert!((m.distance(u, v) - s.distance(u, v)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_metric_multiplies_distances() {
+        let s = ScaledMetric::new(small_plane(), 2.5);
+        assert_eq!(s.factor(), 2.5);
+        assert_eq!(s.distance(0, 1), 2.5);
+        assert_eq!(s.len(), 4);
+        let inner = s.into_inner();
+        assert_eq!(inner.distance(0, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_metric_rejects_nonpositive_factor() {
+        let _ = ScaledMetric::new(small_plane(), 0.0);
+    }
+
+    #[test]
+    fn sub_metric_restricts_nodes() {
+        let s = SubMetric::new(small_plane(), vec![0, 3]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.distance(0, 1), 5.0);
+        assert_eq!(s.original_node(1), 3);
+        assert_eq!(s.selection(), &[0, 3]);
+    }
+
+    #[test]
+    fn sub_metric_rejects_out_of_range() {
+        let err = SubMetric::new(small_plane(), vec![0, 9]).unwrap_err();
+        assert_eq!(err, MetricError::NodeOutOfRange { node: 9, len: 4 });
+    }
+
+    #[test]
+    fn references_and_boxes_are_metrics() {
+        let s = small_plane();
+        fn diameter_of<M: MetricSpace>(m: M) -> f64 {
+            let mut best: f64 = 0.0;
+            for u in 0..m.len() {
+                for v in 0..m.len() {
+                    best = best.max(m.distance(u, v));
+                }
+            }
+            best
+        }
+        assert_eq!(diameter_of(&s), 5.0);
+        let boxed: Box<dyn MetricSpace> = Box::new(s);
+        assert_eq!(diameter_of(&boxed), 5.0);
+    }
+
+    #[test]
+    fn validate_detects_triangle_violation() {
+        // An explicit non-metric: d(0,2) much larger than d(0,1)+d(1,2).
+        let m = DistanceMatrix::from_rows_unchecked(vec![
+            vec![0.0, 1.0, 10.0],
+            vec![1.0, 0.0, 1.0],
+            vec![10.0, 1.0, 0.0],
+        ]);
+        assert!(matches!(m.validate(), Err(MetricError::TriangleViolation { .. })));
+    }
+
+    #[test]
+    fn empty_space_is_valid() {
+        let s: EuclideanSpace<2> = EuclideanSpace::default();
+        assert!(s.validate().is_ok());
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Star metrics: leaves arranged around a centre.
+//!
+//! Section 4 of the paper analyses the square-root power assignment on
+//! *stars*: `n` nodes placed around an (implicit) centre `c`, where node `i`
+//! sits at distance `δ_i` from the centre. The distance between two distinct
+//! leaves is `δ_i + δ_j` (the path through the centre), which is exactly the
+//! shortest-path metric of a star-shaped tree.
+
+use crate::space::MetricSpace;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A star metric over `n` leaves with given centre distances (radii).
+///
+/// Leaf indices are `0..n`; the centre is *not* a node of the metric (the
+/// node-loss scheduling problem of §3.2 only places requests on leaves) but
+/// its distances are available through [`StarMetric::radius`].
+///
+/// # Example
+///
+/// ```
+/// use oblisched_metric::{MetricSpace, StarMetric};
+///
+/// let star = StarMetric::new(vec![1.0, 2.0, 4.0]);
+/// assert_eq!(star.distance(0, 2), 5.0);
+/// assert_eq!(star.radius(1), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct StarMetric {
+    radii: Vec<f64>,
+}
+
+impl StarMetric {
+    /// Creates a star metric with the given centre distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any radius is negative, NaN or infinite.
+    pub fn new(radii: Vec<f64>) -> Self {
+        assert!(
+            radii.iter().all(|r| r.is_finite() && *r >= 0.0),
+            "star radii must be finite and non-negative"
+        );
+        Self { radii }
+    }
+
+    /// The distance from leaf `i` to the centre.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn radius(&self, i: NodeId) -> f64 {
+        self.radii[i]
+    }
+
+    /// All radii.
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// The *decay* of leaf `i`: `radius(i)^alpha`, the loss between the leaf
+    /// and the centre (notation `d_i` in §4 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn decay(&self, i: NodeId, alpha: f64) -> f64 {
+        self.radii[i].powf(alpha)
+    }
+
+    /// Adds a leaf with the given radius and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radius is negative, NaN or infinite.
+    pub fn push(&mut self, radius: f64) -> NodeId {
+        assert!(radius.is_finite() && radius >= 0.0, "star radii must be finite and non-negative");
+        self.radii.push(radius);
+        self.radii.len() - 1
+    }
+
+    /// Returns the leaves sorted by increasing radius (ties keep index order).
+    ///
+    /// §4 assumes w.l.o.g. that decays are sorted (`d_1 ≤ d_2 ≤ …`); this is
+    /// the permutation that realises that ordering.
+    pub fn leaves_by_radius(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.radii.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.radii[a].partial_cmp(&self.radii[b]).expect("radii are finite").then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+impl MetricSpace for StarMetric {
+    fn len(&self) -> usize {
+        self.radii.len()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            0.0
+        } else {
+            self.radii[u] + self.radii[v]
+        }
+    }
+}
+
+impl FromIterator<f64> for StarMetric {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_distances_go_through_center() {
+        let star = StarMetric::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(star.distance(0, 1), 3.0);
+        assert_eq!(star.distance(1, 2), 5.0);
+        assert_eq!(star.distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn star_is_a_valid_metric() {
+        let star = StarMetric::new(vec![0.5, 1.5, 2.5, 10.0]);
+        assert!(star.validate().is_ok());
+    }
+
+    #[test]
+    fn radius_and_decay() {
+        let star = StarMetric::new(vec![2.0, 3.0]);
+        assert_eq!(star.radius(1), 3.0);
+        assert_eq!(star.decay(0, 3.0), 8.0);
+        assert_eq!(star.decay(1, 2.0), 9.0);
+    }
+
+    #[test]
+    fn push_appends_leaves() {
+        let mut star = StarMetric::default();
+        assert_eq!(star.push(1.0), 0);
+        assert_eq!(star.push(4.0), 1);
+        assert_eq!(star.len(), 2);
+        assert_eq!(star.distance(0, 1), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_radius_rejected() {
+        let _ = StarMetric::new(vec![-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn push_rejects_nan() {
+        let mut star = StarMetric::default();
+        star.push(f64::NAN);
+    }
+
+    #[test]
+    fn leaves_by_radius_sorts() {
+        let star = StarMetric::new(vec![3.0, 1.0, 2.0, 1.0]);
+        assert_eq!(star.leaves_by_radius(), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let star: StarMetric = vec![1.0, 2.0].into_iter().collect();
+        assert_eq!(star.radii(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_star() {
+        let star = StarMetric::default();
+        assert!(star.is_empty());
+        assert!(star.leaves_by_radius().is_empty());
+    }
+
+    #[test]
+    fn zero_radius_leaves_coincide_with_center() {
+        let star = StarMetric::new(vec![0.0, 2.0]);
+        assert_eq!(star.distance(0, 1), 2.0);
+        assert!(star.validate().is_ok());
+    }
+}

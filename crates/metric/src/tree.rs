@@ -1,0 +1,513 @@
+//! Edge-weighted trees, tree metrics and centroid decomposition.
+//!
+//! The reduction in §3 of the paper first simulates a general metric by a
+//! family of trees (Lemma 6) and then hierarchically decomposes each tree
+//! into stars (Lemma 9). The decomposition picks a *centroid* — a node whose
+//! removal splits the tree into components of at most half the size — and
+//! treats the tree distances towards that centroid as a star metric.
+
+use crate::error::MetricError;
+use crate::matrix::DistanceMatrix;
+use crate::space::MetricSpace;
+use crate::star::StarMetric;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// An undirected tree (or forest while under construction) with positive
+/// edge weights.
+///
+/// # Example
+///
+/// ```
+/// use oblisched_metric::WeightedTree;
+///
+/// let mut tree = WeightedTree::new(3);
+/// tree.add_edge(0, 1, 1.0)?;
+/// tree.add_edge(1, 2, 2.0)?;
+/// assert_eq!(tree.distances_from(0)[2], 3.0);
+/// # Ok::<(), oblisched_metric::MetricError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedTree {
+    adj: Vec<Vec<(NodeId, f64)>>,
+    edge_count: usize,
+}
+
+impl WeightedTree {
+    /// Creates an edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Neighbours of a node together with the connecting edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[u]
+    }
+
+    /// Adds an undirected edge of weight `w`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MetricError::NodeOutOfRange`] if either endpoint does not exist.
+    /// * [`MetricError::InvalidDistance`] if `w` is not a positive finite
+    ///   number.
+    /// * [`MetricError::NotATree`] if the edge would be a self-loop.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<(), MetricError> {
+        let n = self.len();
+        if u >= n {
+            return Err(MetricError::NodeOutOfRange { node: u, len: n });
+        }
+        if v >= n {
+            return Err(MetricError::NodeOutOfRange { node: v, len: n });
+        }
+        if u == v {
+            return Err(MetricError::NotATree { reason: format!("self-loop at node {u}") });
+        }
+        if !w.is_finite() || w <= 0.0 {
+            return Err(MetricError::InvalidDistance { u, v, value: w });
+        }
+        self.adj[u].push((v, w));
+        self.adj[v].push((u, w));
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Returns `true` if the graph is a single connected tree.
+    pub fn is_tree(&self) -> bool {
+        let n = self.len();
+        if n == 0 {
+            return true;
+        }
+        if self.edge_count != n - 1 {
+            return false;
+        }
+        let order = self.dfs_order(0, None);
+        order.len() == n
+    }
+
+    /// Validates that the graph is a connected tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::NotATree`] describing the violation.
+    pub fn validate(&self) -> Result<(), MetricError> {
+        let n = self.len();
+        if n == 0 {
+            return Ok(());
+        }
+        if self.edge_count != n - 1 {
+            return Err(MetricError::NotATree {
+                reason: format!("{} edges for {} nodes (expected {})", self.edge_count, n, n - 1),
+            });
+        }
+        let reachable = self.dfs_order(0, None).len();
+        if reachable != n {
+            return Err(MetricError::NotATree {
+                reason: format!("only {reachable} of {n} nodes reachable from node 0"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Depth-first order of the nodes reachable from `start`, optionally
+    /// restricted to an active subset (`active[v] == true`).
+    fn dfs_order(&self, start: NodeId, active: Option<&[bool]>) -> Vec<NodeId> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut order = Vec::new();
+        if let Some(a) = active {
+            if !a[start] {
+                return order;
+            }
+        }
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &(v, _) in &self.adj[u] {
+                let allowed = active.map_or(true, |a| a[v]);
+                if allowed && !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        order
+    }
+
+    /// Shortest-path distances from `root` to every node.
+    ///
+    /// Unreachable nodes get `f64::INFINITY`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn distances_from(&self, root: NodeId) -> Vec<f64> {
+        self.distances_from_restricted(root, None)
+    }
+
+    /// Shortest-path distances from `root`, walking only through nodes marked
+    /// active (the root itself must be active). Inactive or unreachable nodes
+    /// get `f64::INFINITY`.
+    pub fn distances_from_restricted(&self, root: NodeId, active: Option<&[bool]>) -> Vec<f64> {
+        let n = self.len();
+        assert!(root < n, "root out of range");
+        let mut dist = vec![f64::INFINITY; n];
+        if let Some(a) = active {
+            if !a[root] {
+                return dist;
+            }
+        }
+        dist[root] = 0.0;
+        let mut stack = vec![root];
+        let mut seen = vec![false; n];
+        seen[root] = true;
+        while let Some(u) = stack.pop() {
+            for &(v, w) in &self.adj[u] {
+                let allowed = active.map_or(true, |a| a[v]);
+                if allowed && !seen[v] {
+                    seen[v] = true;
+                    dist[v] = dist[u] + w;
+                    stack.push(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs shortest-path distances as a [`DistanceMatrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected (some distance would be infinite).
+    pub fn all_pairs(&self) -> DistanceMatrix {
+        let n = self.len();
+        let rows: Vec<Vec<f64>> = (0..n).map(|u| self.distances_from(u)).collect();
+        for row in &rows {
+            assert!(row.iter().all(|d| d.is_finite()), "graph must be connected for all_pairs");
+        }
+        DistanceMatrix::from_rows_unchecked(rows)
+    }
+
+    /// Connected components among the nodes marked active.
+    pub fn components(&self, active: &[bool]) -> Vec<Vec<NodeId>> {
+        assert_eq!(active.len(), self.len(), "active mask must cover all nodes");
+        let mut seen = vec![false; self.len()];
+        let mut comps = Vec::new();
+        for s in 0..self.len() {
+            if active[s] && !seen[s] {
+                let comp = self.dfs_order(s, Some(active));
+                for &v in &comp {
+                    seen[v] = true;
+                }
+                comps.push(comp);
+            }
+        }
+        comps
+    }
+
+    /// A centroid of the component containing `component[0]`, restricted to
+    /// the active nodes given in `component`.
+    ///
+    /// The centroid is a node whose removal splits the component into pieces
+    /// of size at most `⌈|component| / 2⌉`; such a node always exists in a
+    /// tree. Returns `None` for an empty component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes in `component` are not all connected to each other
+    /// through active nodes (i.e. they do not form one component).
+    pub fn centroid_of(&self, component: &[NodeId]) -> Option<NodeId> {
+        if component.is_empty() {
+            return None;
+        }
+        let n = self.len();
+        let mut active = vec![false; n];
+        for &v in component {
+            active[v] = true;
+        }
+        let reach = self.dfs_order(component[0], Some(&active));
+        assert_eq!(reach.len(), component.len(), "component nodes must be connected");
+
+        let size = component.len();
+        let mut best: Option<(NodeId, usize)> = None;
+        for &c in component {
+            // Largest piece after removing c.
+            let mut without_c = active.clone();
+            without_c[c] = false;
+            let largest = self
+                .components(&without_c)
+                .into_iter()
+                .filter(|comp| comp.iter().any(|v| active[*v]))
+                .map(|comp| comp.len())
+                .max()
+                .unwrap_or(0);
+            if best.map_or(true, |(_, b)| largest < b) {
+                best = Some((c, largest));
+            }
+        }
+        let (c, largest) = best.expect("non-empty component has a centroid");
+        debug_assert!(largest <= size / 2 + 1, "centroid piece too large: {largest} of {size}");
+        Some(c)
+    }
+
+    /// Builds the star metric obtained by selecting `center` and using the
+    /// tree distances (restricted to the active component) as radii.
+    ///
+    /// Returns the star together with the list of original node ids, ordered
+    /// consistently with the star's leaf indices (the centre is not a leaf).
+    pub fn star_around(&self, center: NodeId, component: &[NodeId]) -> (StarMetric, Vec<NodeId>) {
+        let n = self.len();
+        let mut active = vec![false; n];
+        for &v in component {
+            active[v] = true;
+        }
+        active[center] = true;
+        let dist = self.distances_from_restricted(center, Some(&active));
+        let mut leaves = Vec::new();
+        let mut radii = Vec::new();
+        for &v in component {
+            if v != center {
+                leaves.push(v);
+                radii.push(dist[v]);
+            }
+        }
+        (StarMetric::new(radii), leaves)
+    }
+}
+
+/// A connected [`WeightedTree`] together with its materialised shortest-path
+/// metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeMetric {
+    tree: WeightedTree,
+    matrix: DistanceMatrix,
+}
+
+impl TreeMetric {
+    /// Builds the shortest-path metric of a connected tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::NotATree`] if the graph is not a connected
+    /// tree.
+    pub fn new(tree: WeightedTree) -> Result<Self, MetricError> {
+        tree.validate()?;
+        let matrix = if tree.is_empty() {
+            DistanceMatrix::from_rows_unchecked(Vec::new())
+        } else {
+            tree.all_pairs()
+        };
+        Ok(Self { tree, matrix })
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &WeightedTree {
+        &self.tree
+    }
+
+    /// The materialised all-pairs matrix.
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.matrix
+    }
+}
+
+impl MetricSpace for TreeMetric {
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.matrix.distance(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A path 0 - 1 - 2 - 3 with unit weights.
+    fn path4() -> WeightedTree {
+        let mut t = WeightedTree::new(4);
+        t.add_edge(0, 1, 1.0).unwrap();
+        t.add_edge(1, 2, 1.0).unwrap();
+        t.add_edge(2, 3, 1.0).unwrap();
+        t
+    }
+
+    /// A star with centre 0 and leaves 1..=4 at distances 1..=4.
+    fn star5() -> WeightedTree {
+        let mut t = WeightedTree::new(5);
+        for i in 1..5 {
+            t.add_edge(0, i, i as f64).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn add_edge_validates_inputs() {
+        let mut t = WeightedTree::new(3);
+        assert!(matches!(t.add_edge(0, 9, 1.0), Err(MetricError::NodeOutOfRange { .. })));
+        assert!(matches!(t.add_edge(9, 0, 1.0), Err(MetricError::NodeOutOfRange { .. })));
+        assert!(matches!(t.add_edge(0, 0, 1.0), Err(MetricError::NotATree { .. })));
+        assert!(matches!(t.add_edge(0, 1, 0.0), Err(MetricError::InvalidDistance { .. })));
+        assert!(matches!(t.add_edge(0, 1, f64::NAN), Err(MetricError::InvalidDistance { .. })));
+        assert!(t.add_edge(0, 1, 2.0).is_ok());
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn path_distances() {
+        let t = path4();
+        let d = t.distances_from(0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+        let d = t.distances_from(2);
+        assert_eq!(d, vec![2.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn is_tree_and_validate() {
+        let t = path4();
+        assert!(t.is_tree());
+        assert!(t.validate().is_ok());
+
+        let mut not_enough = WeightedTree::new(3);
+        not_enough.add_edge(0, 1, 1.0).unwrap();
+        assert!(!not_enough.is_tree());
+        assert!(matches!(not_enough.validate(), Err(MetricError::NotATree { .. })));
+
+        // A cycle: 3 nodes, 3 edges.
+        let mut cycle = WeightedTree::new(3);
+        cycle.add_edge(0, 1, 1.0).unwrap();
+        cycle.add_edge(1, 2, 1.0).unwrap();
+        cycle.add_edge(2, 0, 1.0).unwrap();
+        assert!(!cycle.is_tree());
+    }
+
+    #[test]
+    fn empty_tree_is_valid() {
+        let t = WeightedTree::new(0);
+        assert!(t.is_tree());
+        assert!(t.validate().is_ok());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn all_pairs_matches_manual_distances() {
+        let t = path4();
+        let m = t.all_pairs();
+        assert_eq!(m.distance(0, 3), 3.0);
+        assert_eq!(m.distance(1, 3), 2.0);
+        assert_eq!(m.distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn tree_metric_is_a_metric() {
+        let tm = TreeMetric::new(star5()).unwrap();
+        assert_eq!(tm.len(), 5);
+        assert_eq!(tm.distance(1, 2), 3.0); // 1 + 2 via the centre
+        assert!(tm.validate().is_ok());
+        assert_eq!(tm.tree().len(), 5);
+        assert_eq!(tm.matrix().size(), 5);
+    }
+
+    #[test]
+    fn tree_metric_rejects_disconnected() {
+        let mut t = WeightedTree::new(3);
+        t.add_edge(0, 1, 1.0).unwrap();
+        assert!(TreeMetric::new(t).is_err());
+    }
+
+    #[test]
+    fn components_respect_active_mask() {
+        let t = path4();
+        // Deactivate node 1: components are {0} and {2, 3}.
+        let comps = t.components(&[true, false, true, true]);
+        let mut sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2]);
+    }
+
+    #[test]
+    fn centroid_of_path_is_middle() {
+        let t = path4();
+        let c = t.centroid_of(&[0, 1, 2, 3]).unwrap();
+        // Both 1 and 2 are valid centroids of a 4-path.
+        assert!(c == 1 || c == 2);
+    }
+
+    #[test]
+    fn centroid_of_star_is_center() {
+        let t = star5();
+        assert_eq!(t.centroid_of(&[0, 1, 2, 3, 4]).unwrap(), 0);
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        let t = path4();
+        assert_eq!(t.centroid_of(&[]), None);
+    }
+
+    #[test]
+    fn centroid_of_subset() {
+        let t = path4();
+        // Only the sub-path {2, 3}.
+        let c = t.centroid_of(&[2, 3]).unwrap();
+        assert!(c == 2 || c == 3);
+    }
+
+    #[test]
+    fn star_around_uses_tree_distances() {
+        let t = star5();
+        let (star, leaves) = t.star_around(0, &[0, 1, 2, 3, 4]);
+        assert_eq!(leaves, vec![1, 2, 3, 4]);
+        assert_eq!(star.len(), 4);
+        // Leaf distances through the centre: radius_i + radius_j.
+        assert_eq!(star.distance(0, 1), 1.0 + 2.0);
+        assert_eq!(star.radius(3), 4.0);
+    }
+
+    #[test]
+    fn star_around_respects_component_restriction() {
+        let t = path4();
+        let (star, leaves) = t.star_around(2, &[2, 3]);
+        assert_eq!(leaves, vec![3]);
+        assert_eq!(star.radius(0), 1.0);
+    }
+
+    #[test]
+    fn distances_restricted_blocks_inactive_paths() {
+        let t = path4();
+        // Node 1 inactive: node 3 unreachable from 0.
+        let d = t.distances_from_restricted(0, Some(&[true, false, true, true]));
+        assert_eq!(d[0], 0.0);
+        assert!(d[2].is_infinite());
+        assert!(d[3].is_infinite());
+    }
+
+    #[test]
+    fn neighbors_lists_edges() {
+        let t = star5();
+        assert_eq!(t.neighbors(0).len(), 4);
+        assert_eq!(t.neighbors(3), &[(0, 3.0)]);
+    }
+}

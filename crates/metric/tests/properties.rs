@@ -1,0 +1,152 @@
+//! Property-based tests for the metric substrate.
+
+use oblisched_metric::{
+    aspect_ratio, diameter, min_positive_distance, DistanceMatrix, DominatingTreeFamily,
+    EmbeddingConfig, EuclideanSpace, LineMetric, MetricSpace, Point2, StarMetric, SubMetric,
+    TreeEmbedding, TreeMetric, WeightedTree,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec((-1000.0f64..1000.0, -1000.0f64..1000.0), 1..max_n)
+        .prop_map(|coords| coords.into_iter().map(|(x, y)| Point2::xy(x, y)).collect())
+}
+
+fn arb_line(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6f64..1.0e6, 1..max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn euclidean_space_satisfies_metric_axioms(points in arb_points(12)) {
+        let space = EuclideanSpace::from_points(points);
+        prop_assert!(space.validate().is_ok());
+    }
+
+    #[test]
+    fn line_metric_satisfies_metric_axioms(coords in arb_line(12)) {
+        let line = LineMetric::new(coords);
+        prop_assert!(line.validate().is_ok());
+    }
+
+    #[test]
+    fn star_metric_satisfies_metric_axioms(radii in prop::collection::vec(0.0f64..1.0e4, 1..16)) {
+        let star = StarMetric::new(radii);
+        prop_assert!(star.validate().is_ok());
+    }
+
+    #[test]
+    fn to_matrix_preserves_distances(points in arb_points(10)) {
+        let space = EuclideanSpace::from_points(points);
+        let matrix = space.to_matrix();
+        for u in 0..space.len() {
+            for v in 0..space.len() {
+                prop_assert!((matrix.distance(u, v) - space.distance(u, v)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sub_metric_agrees_with_parent(points in arb_points(10), selector in prop::collection::vec(any::<bool>(), 10)) {
+        let space = EuclideanSpace::from_points(points);
+        let selection: Vec<usize> = (0..space.len()).filter(|&i| selector.get(i).copied().unwrap_or(false)).collect();
+        let sub = SubMetric::new(&space, selection.clone()).unwrap();
+        for (i, &orig_i) in selection.iter().enumerate() {
+            for (j, &orig_j) in selection.iter().enumerate() {
+                prop_assert_eq!(sub.distance(i, j), space.distance(orig_i, orig_j));
+            }
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_is_at_least_one(points in arb_points(10)) {
+        let space = EuclideanSpace::from_points(points);
+        if let Some(ratio) = aspect_ratio(&space) {
+            prop_assert!(ratio >= 1.0 - 1e-12);
+            let dmin = min_positive_distance(&space).unwrap();
+            prop_assert!((ratio - diameter(&space) / dmin).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn frt_embedding_dominates(points in arb_points(10), seed in any::<u64>()) {
+        let space = EuclideanSpace::from_points(points);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let emb = TreeEmbedding::frt(&space, &mut rng);
+        for u in 0..space.len() {
+            for v in 0..space.len() {
+                prop_assert!(emb.distance(u, v) + 1e-6 >= space.distance(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn frt_embedding_is_a_metric(points in arb_points(8), seed in any::<u64>()) {
+        let space = EuclideanSpace::from_points(points);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let emb = TreeEmbedding::frt(&space, &mut rng);
+        prop_assert!(emb.validate().is_ok());
+    }
+
+    #[test]
+    fn dominating_family_has_cores(points in arb_points(8), seed in any::<u64>()) {
+        let space = EuclideanSpace::from_points(points);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = EmbeddingConfig { num_trees: Some(6), ..EmbeddingConfig::default() };
+        let family = DominatingTreeFamily::build(&space, config, &mut rng);
+        for v in 0..space.len() {
+            prop_assert!(family.core_fraction_of(v) >= 0.9 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_path_tree_metric_is_valid(weights in prop::collection::vec(0.001f64..1.0e3, 1..12)) {
+        let n = weights.len() + 1;
+        let mut tree = WeightedTree::new(n);
+        for (i, w) in weights.iter().enumerate() {
+            tree.add_edge(i, i + 1, *w).unwrap();
+        }
+        let tm = TreeMetric::new(tree).unwrap();
+        prop_assert!(tm.validate().is_ok());
+        // Path distance from 0 to n-1 is the sum of weights.
+        let total: f64 = weights.iter().sum();
+        prop_assert!((tm.distance(0, n - 1) - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    #[test]
+    fn centroid_splits_components_in_half(weights in prop::collection::vec(0.001f64..1.0e3, 2..14)) {
+        let n = weights.len() + 1;
+        let mut tree = WeightedTree::new(n);
+        for (i, w) in weights.iter().enumerate() {
+            tree.add_edge(i, i + 1, *w).unwrap();
+        }
+        let all: Vec<usize> = (0..n).collect();
+        let c = tree.centroid_of(&all).unwrap();
+        let mut active = vec![true; n];
+        active[c] = false;
+        let comps = tree.components(&active);
+        for comp in comps {
+            prop_assert!(comp.len() <= n / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn distance_matrix_from_fn_is_symmetric(n in 1usize..10, seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<Point2> = (0..n)
+            .map(|_| Point2::xy(rand::Rng::gen_range(&mut rng, -10.0..10.0), rand::Rng::gen_range(&mut rng, -10.0..10.0)))
+            .collect();
+        let space = EuclideanSpace::from_points(points);
+        let m = DistanceMatrix::from_metric(&space);
+        for u in 0..n {
+            prop_assert_eq!(m.distance(u, u), 0.0);
+            for v in 0..n {
+                prop_assert_eq!(m.distance(u, v), m.distance(v, u));
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Static interference measures and schedule-length lower bounds.
+//!
+//! These statistics are the baselines discussed in the related-work section:
+//! Moscibroda, Wattenhofer and Zollinger schedule any directed request set
+//! with `O(I_in · log² n)` colors, where `I_in` is a static measure of the
+//! incoming interference; and every schedule needs at least
+//! `⌈n / s_max⌉` colors where `s_max` is the largest simultaneously feasible
+//! set. The experiment harness reports these quantities next to the measured
+//! schedule lengths.
+
+use crate::feasibility::{InterferenceSystem, Variant};
+use crate::params::SinrParams;
+use crate::request::Instance;
+use oblisched_metric::MetricSpace;
+
+/// The static in-interference of request `i`: the sum over other requests `j`
+/// of `min(1, ℓ_i / ℓ(u_j, v_i))` — how strongly the other senders are heard
+/// at `i`'s receiver relative to `i`'s own signal, assuming equal powers.
+///
+/// This is the per-request quantity underlying the measure `I_in` from the
+/// related work ("Topology control meets SINR").
+pub fn in_interference_of<M: MetricSpace>(
+    instance: &Instance<M>,
+    params: &SinrParams,
+    i: usize,
+) -> f64 {
+    let metric = instance.metric();
+    let ri = instance.request(i);
+    let own_loss = instance.link_loss(i, params);
+    (0..instance.len())
+        .filter(|&j| j != i)
+        .map(|j| {
+            let rj = instance.request(j);
+            let cross = params.loss(metric.distance(rj.sender, ri.receiver));
+            if cross == 0.0 {
+                1.0
+            } else {
+                (own_loss / cross).min(1.0)
+            }
+        })
+        .sum()
+}
+
+/// The static interference measure `I_in = max_i` of
+/// [`in_interference_of`]. Schedule lengths of `O(I_in · log² n)` are
+/// achievable for directed instances (related work); the paper points out
+/// that `I_in` can be a factor `Ω(n)` away from the optimum.
+pub fn in_interference<M: MetricSpace>(instance: &Instance<M>, params: &SinrParams) -> f64 {
+    (0..instance.len())
+        .map(|i| in_interference_of(instance, params, i))
+        .fold(0.0, f64::max)
+}
+
+/// A lower bound on the number of colors of any schedule: `⌈n / s⌉` where `s`
+/// is an upper bound on the size of a simultaneously feasible set.
+pub fn pigeonhole_lower_bound(n: usize, max_simultaneous: usize) -> usize {
+    if n == 0 {
+        0
+    } else if max_simultaneous == 0 {
+        n
+    } else {
+        n.div_ceil(max_simultaneous)
+    }
+}
+
+/// Counts how many requests of `set` can share a color with request `i` under
+/// the pairwise test only (ignoring accumulation): `j` is compatible with `i`
+/// when `{i, j}` is feasible. The count is an optimistic upper bound used by
+/// the harness to sanity-check greedy results.
+pub fn pairwise_compatible<S: InterferenceSystem>(system: &S, i: usize, set: &[usize]) -> usize {
+    set.iter().filter(|&&j| j != i && system.is_feasible(&[i, j])).count()
+}
+
+/// Summary statistics of an instance reported by the experiment harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Number of requests.
+    pub num_requests: usize,
+    /// Minimum link length.
+    pub min_link: f64,
+    /// Maximum link length.
+    pub max_link: f64,
+    /// Aspect ratio of the link lengths (max / min).
+    pub link_aspect_ratio: f64,
+    /// The static in-interference measure `I_in`.
+    pub in_interference: f64,
+}
+
+/// Computes [`InstanceStats`] for an instance.
+pub fn instance_stats<M: MetricSpace>(instance: &Instance<M>, params: &SinrParams) -> InstanceStats {
+    let lengths: Vec<f64> = (0..instance.len()).map(|i| instance.link_distance(i)).collect();
+    let min_link = lengths.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_link = lengths.iter().copied().fold(0.0, f64::max);
+    InstanceStats {
+        num_requests: instance.len(),
+        min_link: if instance.is_empty() { 0.0 } else { min_link },
+        max_link,
+        link_aspect_ratio: if instance.is_empty() || min_link == 0.0 { 1.0 } else { max_link / min_link },
+        in_interference: in_interference(instance, params),
+    }
+}
+
+/// Convenience: the largest color-class size achievable by *some* power
+/// assignment is upper-bounded by the number of requests; this helper reports
+/// the trivial bounds used when exact optimisation is too expensive.
+pub fn trivial_bounds<M: MetricSpace>(
+    instance: &Instance<M>,
+    params: &SinrParams,
+    variant: Variant,
+) -> (usize, usize) {
+    // Lower bound: 0 or 1 colors; upper bound: one color per request.
+    let lower = usize::from(!instance.is_empty());
+    let upper = instance.len();
+    let _ = (params, variant);
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::ObliviousPower;
+    use crate::request::Request;
+    use oblisched_metric::LineMetric;
+
+    fn instance() -> Instance<LineMetric> {
+        let metric = LineMetric::new(vec![0.0, 1.0, 3.0, 4.0, 100.0, 102.0]);
+        Instance::new(
+            metric,
+            vec![Request::new(0, 1), Request::new(2, 3), Request::new(4, 5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn in_interference_of_matches_hand_computation() {
+        let inst = instance();
+        let params = SinrParams::new(2.0, 1.0).unwrap();
+        // Request 0: receiver at 1.0, own loss 1.
+        // From request 1 (sender at 3.0): cross loss 4 -> min(1, 1/4) = 0.25.
+        // From request 2 (sender at 100.0): cross loss 99^2 -> tiny.
+        let v = in_interference_of(&inst, &params, 0);
+        assert!((v - (0.25 + 1.0 / 9801.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_interference_is_max_over_requests() {
+        let inst = instance();
+        let params = SinrParams::new(2.0, 1.0).unwrap();
+        let per: Vec<f64> = (0..3).map(|i| in_interference_of(&inst, &params, i)).collect();
+        let max = per.iter().copied().fold(0.0, f64::max);
+        assert_eq!(in_interference(&inst, &params), max);
+    }
+
+    #[test]
+    fn zero_cross_distance_counts_as_one() {
+        // Sender of request 1 coincides with receiver of request 0.
+        let metric = LineMetric::new(vec![0.0, 1.0, 1.0, 5.0]);
+        let inst = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let v = in_interference_of(&inst, &params, 0);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pigeonhole_bound() {
+        assert_eq!(pigeonhole_lower_bound(10, 3), 4);
+        assert_eq!(pigeonhole_lower_bound(9, 3), 3);
+        assert_eq!(pigeonhole_lower_bound(0, 3), 0);
+        assert_eq!(pigeonhole_lower_bound(5, 0), 5);
+    }
+
+    #[test]
+    fn pairwise_compatible_counts_feasible_partners() {
+        let inst = instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let all = [0, 1, 2];
+        // The far-away request 2 is compatible with both others.
+        assert_eq!(pairwise_compatible(&view, 2, &all), 2);
+    }
+
+    #[test]
+    fn stats_summarise_the_instance() {
+        let inst = instance();
+        let params = SinrParams::new(2.0, 1.0).unwrap();
+        let stats = instance_stats(&inst, &params);
+        assert_eq!(stats.num_requests, 3);
+        assert_eq!(stats.min_link, 1.0);
+        assert_eq!(stats.max_link, 2.0);
+        assert_eq!(stats.link_aspect_ratio, 2.0);
+        assert!(stats.in_interference > 0.0);
+    }
+
+    #[test]
+    fn stats_of_empty_instance() {
+        let metric = LineMetric::new(vec![0.0, 1.0]);
+        let inst = Instance::new(metric, vec![]).unwrap();
+        let params = SinrParams::default();
+        let stats = instance_stats(&inst, &params);
+        assert_eq!(stats.num_requests, 0);
+        assert_eq!(stats.min_link, 0.0);
+        assert_eq!(stats.link_aspect_ratio, 1.0);
+        let (lower, upper) = trivial_bounds(&inst, &params, Variant::Directed);
+        assert_eq!((lower, upper), (0, 0));
+    }
+
+    #[test]
+    fn trivial_bounds_bracket_the_instance() {
+        let inst = instance();
+        let params = SinrParams::default();
+        let (lower, upper) = trivial_bounds(&inst, &params, Variant::Bidirectional);
+        assert_eq!(lower, 1);
+        assert_eq!(upper, 3);
+    }
+}

@@ -1,0 +1,534 @@
+//! The node-loss scheduling problem (§3.2: "splitting pairs").
+//!
+//! The analysis of the square-root assignment does not argue about pairs
+//! directly. Instead each pair `(u_i, v_i)` is split into its two endpoint
+//! nodes, and every node inherits the pair's loss `ℓ_i` as its *loss
+//! parameter*. A set `U` of nodes is `γ`-feasible for a power assignment `p`
+//! when `p_i / ℓ_i > γ · Σ_{j ∈ U \ {i}} p_j / ℓ(i, j)` for every `i ∈ U`.
+//!
+//! The module provides the node-loss instance type, its evaluator (which
+//! implements [`InterferenceSystem`] so the generic gain machinery applies),
+//! and the conversions between pair feasibility and node feasibility used in
+//! §3.2:
+//!
+//! * a feasible pair set gives a node set that is `γ/(2+γ)`-feasible
+//!   ([`split_pairs`] + [`pair_gain_to_node_gain`]),
+//! * a feasible node set containing both endpoints of a pair lets those pairs
+//!   be scheduled together ([`PairNodeMap::requests_fully_covered`]).
+
+use crate::error::SinrError;
+use crate::feasibility::{InterferenceSystem, Variant, REL_TOL};
+use crate::params::SinrParams;
+use crate::request::Instance;
+use oblisched_metric::{MetricSpace, SubMetric};
+use serde::{Deserialize, Serialize};
+
+/// An instance of the node-loss scheduling problem: a metric over nodes and a
+/// positive loss parameter per node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeLossInstance<M> {
+    metric: M,
+    losses: Vec<f64>,
+}
+
+impl<M: MetricSpace> NodeLossInstance<M> {
+    /// Creates a node-loss instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`SinrError::LossLengthMismatch`] if the number of losses differs
+    ///   from the number of metric nodes.
+    /// * [`SinrError::InvalidLoss`] if a loss parameter is not positive and
+    ///   finite.
+    pub fn new(metric: M, losses: Vec<f64>) -> Result<Self, SinrError> {
+        if losses.len() != metric.len() {
+            return Err(SinrError::LossLengthMismatch {
+                expected: metric.len(),
+                actual: losses.len(),
+            });
+        }
+        for (index, &value) in losses.iter().enumerate() {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(SinrError::InvalidLoss { index, value });
+            }
+        }
+        Ok(Self { metric, losses })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// Returns `true` if the instance has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.losses.is_empty()
+    }
+
+    /// The underlying metric.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The loss parameters.
+    pub fn losses(&self) -> &[f64] {
+        &self.losses
+    }
+
+    /// The loss parameter of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn loss(&self, i: usize) -> f64 {
+        self.losses[i]
+    }
+
+    /// The square-root power assignment `p̄_i = √ℓ_i`.
+    pub fn sqrt_powers(&self) -> Vec<f64> {
+        self.losses.iter().map(|l| l.sqrt()).collect()
+    }
+
+    /// Builds an evaluator with explicit powers.
+    ///
+    /// # Errors
+    ///
+    /// * [`SinrError::PowerLengthMismatch`] if the power vector length
+    ///   differs from the number of nodes.
+    /// * [`SinrError::InvalidPower`] if a power is not positive and finite.
+    pub fn evaluator(
+        &self,
+        params: SinrParams,
+        powers: Vec<f64>,
+    ) -> Result<NodeLossEvaluator<'_, M>, SinrError> {
+        NodeLossEvaluator::new(self, params, powers)
+    }
+
+    /// Builds an evaluator using the square-root power assignment.
+    pub fn sqrt_evaluator(&self, params: SinrParams) -> NodeLossEvaluator<'_, M> {
+        NodeLossEvaluator::new(self, params, self.sqrt_powers())
+            .expect("square roots of valid losses are valid powers")
+    }
+
+    /// Restricts the instance to a subset of its nodes. Node `i` of the
+    /// result corresponds to `selection[i]` of this instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a selected node is out of range.
+    pub fn restrict(&self, selection: &[usize]) -> NodeLossInstance<SubMetric<&M>> {
+        let losses = selection.iter().map(|&v| self.losses[v]).collect();
+        let metric = SubMetric::new(&self.metric, selection.to_vec())
+            .expect("selection validated by caller");
+        NodeLossInstance { metric, losses }
+    }
+}
+
+/// Maps between pair indices of an [`Instance`] and node indices of the
+/// node-loss instance produced by [`split_pairs`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairNodeMap {
+    num_requests: usize,
+}
+
+impl PairNodeMap {
+    /// The node indices of the two endpoints of request `i` (sender first).
+    pub fn nodes_of_request(&self, i: usize) -> (usize, usize) {
+        (2 * i, 2 * i + 1)
+    }
+
+    /// The request a node-loss node belongs to.
+    pub fn request_of_node(&self, v: usize) -> usize {
+        v / 2
+    }
+
+    /// Number of requests in the original instance.
+    pub fn num_requests(&self) -> usize {
+        self.num_requests
+    }
+
+    /// The requests whose *both* endpoints appear in `nodes`.
+    ///
+    /// This is the direction "node-loss schedule → pair schedule" of §3.2: a
+    /// feasible node set that contains more than half of all nodes yields a
+    /// feasible pair set containing a constant fraction of all pairs.
+    pub fn requests_fully_covered(&self, nodes: &[usize]) -> Vec<usize> {
+        let mut seen = vec![[false, false]; self.num_requests];
+        for &v in nodes {
+            let r = self.request_of_node(v);
+            if r < self.num_requests {
+                seen[r][v % 2] = true;
+            }
+        }
+        (0..self.num_requests).filter(|&r| seen[r][0] && seen[r][1]).collect()
+    }
+}
+
+/// Splits every request of `instance` into its two endpoints, producing the
+/// node-loss instance of §3.2 over the 2n endpoint nodes.
+///
+/// Both endpoints of request `i` receive the pair's loss `ℓ_i` as their loss
+/// parameter. The metric over the endpoints is the restriction of the
+/// original metric.
+pub fn split_pairs<'a, M: MetricSpace>(
+    instance: &'a Instance<M>,
+    params: &SinrParams,
+) -> (NodeLossInstance<SubMetric<&'a M>>, PairNodeMap) {
+    let mut selection = Vec::with_capacity(2 * instance.len());
+    let mut losses = Vec::with_capacity(2 * instance.len());
+    for i in 0..instance.len() {
+        let r = instance.request(i);
+        let loss = instance.link_loss(i, params);
+        selection.push(r.sender);
+        losses.push(loss);
+        selection.push(r.receiver);
+        losses.push(loss);
+    }
+    let metric = SubMetric::new(instance.metric(), selection)
+        .expect("instance nodes are in range by construction");
+    let node_loss = NodeLossInstance { metric, losses };
+    (node_loss, PairNodeMap { num_requests: instance.len() })
+}
+
+/// The node-loss gain guaranteed by a pair-level gain (§3.2): a set of pairs
+/// that is feasible with gain `γ` yields a node set that is `γ / (2 + γ)`
+/// feasible.
+pub fn pair_gain_to_node_gain(gamma: f64) -> f64 {
+    gamma / (2.0 + gamma)
+}
+
+/// Evaluates SINR quantities of a node-loss instance under explicit powers.
+#[derive(Debug, Clone)]
+pub struct NodeLossEvaluator<'a, M> {
+    instance: &'a NodeLossInstance<M>,
+    params: SinrParams,
+    powers: Vec<f64>,
+}
+
+impl<'a, M: MetricSpace> NodeLossEvaluator<'a, M> {
+    /// Creates an evaluator, validating the power vector.
+    ///
+    /// # Errors
+    ///
+    /// See [`NodeLossInstance::evaluator`].
+    pub fn new(
+        instance: &'a NodeLossInstance<M>,
+        params: SinrParams,
+        powers: Vec<f64>,
+    ) -> Result<Self, SinrError> {
+        if powers.len() != instance.len() {
+            return Err(SinrError::PowerLengthMismatch {
+                expected: instance.len(),
+                actual: powers.len(),
+            });
+        }
+        for (index, &value) in powers.iter().enumerate() {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(SinrError::InvalidPower { index, value });
+            }
+        }
+        Ok(Self { instance, params, powers })
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &'a NodeLossInstance<M> {
+        self.instance
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> SinrParams {
+        self.params
+    }
+
+    /// The power of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn power(&self, i: usize) -> f64 {
+        self.powers[i]
+    }
+
+    /// All powers.
+    pub fn powers(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// Received signal strength `p_i / ℓ_i` of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn signal(&self, i: usize) -> f64 {
+        self.params.received_strength(self.powers[i], self.instance.loss(i))
+    }
+
+    /// Interference at node `i` from the nodes in `others` (minus `i`), the
+    /// quantity `I_p(i | U)` of the paper.
+    pub fn interference(&self, i: usize, others: &[usize]) -> f64 {
+        let metric = self.instance.metric();
+        others
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| {
+                let loss = self.params.loss(metric.distance(i, j));
+                self.params.received_strength(self.powers[j], loss)
+            })
+            .sum()
+    }
+}
+
+impl<'a, M: MetricSpace> InterferenceSystem for NodeLossEvaluator<'a, M> {
+    fn len(&self) -> usize {
+        self.powers.len()
+    }
+
+    fn sinr(&self, i: usize, others: &[usize]) -> f64 {
+        let interference = self.interference(i, others) + self.params.noise();
+        if interference == 0.0 {
+            f64::INFINITY
+        } else {
+            self.signal(i) / interference
+        }
+    }
+
+    fn beta(&self) -> f64 {
+        self.params.beta()
+    }
+}
+
+/// Converts a feasible pair set into a node set and checks the §3.2 claim:
+/// the endpoints of a `γ`-feasible pair set form a `γ/(2+γ)`-feasible node
+/// set for the same powers (each endpoint inheriting its pair's power).
+///
+/// Returns the node indices (in the node-loss instance produced by
+/// [`split_pairs`]) and whether the claimed feasibility holds.
+pub fn pair_set_to_node_set<M: MetricSpace>(
+    instance: &Instance<M>,
+    params: &SinrParams,
+    pair_powers: &[f64],
+    pairs: &[usize],
+) -> Result<(Vec<usize>, bool), SinrError> {
+    if pair_powers.len() != instance.len() {
+        return Err(SinrError::PowerLengthMismatch {
+            expected: instance.len(),
+            actual: pair_powers.len(),
+        });
+    }
+    let (node_loss, map) = split_pairs(instance, params);
+    let node_powers: Vec<f64> =
+        (0..node_loss.len()).map(|v| pair_powers[map.request_of_node(v)]).collect();
+    let eval = node_loss.evaluator(*params, node_powers)?;
+    let nodes: Vec<usize> = pairs
+        .iter()
+        .flat_map(|&i| {
+            let (a, b) = map.nodes_of_request(i);
+            [a, b]
+        })
+        .collect();
+    let gain = pair_gain_to_node_gain(params.beta());
+    let feasible = eval.is_feasible_with_gain(&nodes, gain * (1.0 - REL_TOL));
+    Ok((nodes, feasible))
+}
+
+/// Checks the pair-level SINR feasibility of `pairs` (bidirectional variant)
+/// and, if feasible, returns the corresponding `γ/(2+γ)`-feasible node set.
+///
+/// Convenience wrapper combining [`Instance::evaluator`] and
+/// [`pair_set_to_node_set`]; used by the decomposition pipeline.
+pub fn feasible_pairs_to_nodes<M: MetricSpace>(
+    instance: &Instance<M>,
+    params: &SinrParams,
+    pair_powers: &[f64],
+    pairs: &[usize],
+) -> Result<Option<Vec<usize>>, SinrError> {
+    let eval = crate::feasibility::Evaluator::with_powers(instance, *params, pair_powers.to_vec())?;
+    if !eval.is_feasible(Variant::Bidirectional, pairs) {
+        return Ok(None);
+    }
+    let (nodes, _) = pair_set_to_node_set(instance, params, pair_powers, pairs)?;
+    Ok(Some(nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::{ObliviousPower, PowerScheme};
+    use crate::request::Request;
+    use oblisched_metric::{LineMetric, StarMetric};
+
+    fn simple_nodeloss() -> NodeLossInstance<LineMetric> {
+        let metric = LineMetric::new(vec![0.0, 10.0, 25.0]);
+        NodeLossInstance::new(metric, vec![1.0, 4.0, 9.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let metric = LineMetric::new(vec![0.0, 1.0]);
+        assert!(matches!(
+            NodeLossInstance::new(metric.clone(), vec![1.0]),
+            Err(SinrError::LossLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            NodeLossInstance::new(metric.clone(), vec![1.0, 0.0]),
+            Err(SinrError::InvalidLoss { index: 1, .. })
+        ));
+        assert!(NodeLossInstance::new(metric, vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn accessors_and_sqrt_powers() {
+        let inst = simple_nodeloss();
+        assert_eq!(inst.len(), 3);
+        assert!(!inst.is_empty());
+        assert_eq!(inst.loss(1), 4.0);
+        assert_eq!(inst.losses(), &[1.0, 4.0, 9.0]);
+        assert_eq!(inst.sqrt_powers(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(inst.metric().len(), 3);
+    }
+
+    #[test]
+    fn evaluator_interference_matches_hand_computation() {
+        let inst = simple_nodeloss();
+        let params = SinrParams::new(2.0, 1.0).unwrap();
+        let eval = inst.sqrt_evaluator(params);
+        // Interference at node 0 from node 1: p_1 / d(0,1)^2 = 2 / 100.
+        let i = eval.interference(0, &[1]);
+        assert!((i - 0.02).abs() < 1e-12);
+        // From both nodes: 2/100 + 3/625.
+        let i = eval.interference(0, &[0, 1, 2]);
+        assert!((i - (0.02 + 3.0 / 625.0)).abs() < 1e-12);
+        // Signal of node 0: 1 / 1.
+        assert_eq!(eval.signal(0), 1.0);
+    }
+
+    #[test]
+    fn evaluator_validates_powers() {
+        let inst = simple_nodeloss();
+        let params = SinrParams::default();
+        assert!(matches!(
+            inst.evaluator(params, vec![1.0]),
+            Err(SinrError::PowerLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            inst.evaluator(params, vec![1.0, -1.0, 1.0]),
+            Err(SinrError::InvalidPower { index: 1, .. })
+        ));
+        let eval = inst.evaluator(params, vec![1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(eval.power(2), 1.0);
+        assert_eq!(eval.powers().len(), 3);
+        assert_eq!(eval.params().alpha(), 3.0);
+        assert_eq!(eval.instance().len(), 3);
+    }
+
+    #[test]
+    fn interference_system_impl_is_consistent() {
+        let inst = simple_nodeloss();
+        let params = SinrParams::new(2.0, 1.0).unwrap();
+        let eval = inst.sqrt_evaluator(params);
+        assert_eq!(eval.len(), 3);
+        assert_eq!(eval.beta(), 1.0);
+        let set = [0, 1, 2];
+        let g = eval.max_feasible_gain(&set);
+        assert!(g.is_finite());
+        assert_eq!(eval.is_feasible(&set), g >= 1.0 * (1.0 - REL_TOL));
+        // Singleton sets are always feasible (no interference, no noise).
+        assert!(eval.is_feasible(&[2]));
+        assert_eq!(eval.sinr(2, &[2]), f64::INFINITY);
+    }
+
+    #[test]
+    fn restrict_keeps_losses_and_distances() {
+        let inst = simple_nodeloss();
+        let sub = inst.restrict(&[0, 2]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.losses(), &[1.0, 9.0]);
+        assert_eq!(sub.metric().distance(0, 1), 25.0);
+    }
+
+    #[test]
+    fn star_metric_nodeloss_instances_work() {
+        let star = StarMetric::new(vec![1.0, 2.0, 8.0]);
+        let inst = NodeLossInstance::new(star, vec![1.0, 1.0, 1.0]).unwrap();
+        let eval = inst.sqrt_evaluator(SinrParams::new(2.0, 0.5).unwrap());
+        // Distances between leaves go through the centre, e.g. d(0,1) = 3.
+        let i = eval.interference(0, &[1]);
+        assert!((i - 1.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_pairs_produces_two_nodes_per_request() {
+        let metric = LineMetric::new(vec![0.0, 1.0, 10.0, 12.0]);
+        let instance =
+            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let params = SinrParams::new(2.0, 1.0).unwrap();
+        let (node_loss, map) = split_pairs(&instance, &params);
+        assert_eq!(node_loss.len(), 4);
+        assert_eq!(map.num_requests(), 2);
+        assert_eq!(map.nodes_of_request(1), (2, 3));
+        assert_eq!(map.request_of_node(3), 1);
+        // Both endpoints of a pair carry the pair's loss.
+        assert_eq!(node_loss.loss(0), 1.0);
+        assert_eq!(node_loss.loss(1), 1.0);
+        assert_eq!(node_loss.loss(2), 4.0);
+        assert_eq!(node_loss.loss(3), 4.0);
+        // Distances are inherited from the original metric.
+        assert_eq!(node_loss.metric().distance(1, 2), 9.0);
+    }
+
+    #[test]
+    fn requests_fully_covered_requires_both_endpoints() {
+        let map = PairNodeMap { num_requests: 3 };
+        assert_eq!(map.requests_fully_covered(&[0, 1, 2, 4, 5]), vec![0, 2]);
+        assert_eq!(map.requests_fully_covered(&[0, 2, 4]), Vec::<usize>::new());
+        assert_eq!(map.requests_fully_covered(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn pair_gain_to_node_gain_matches_formula() {
+        assert!((pair_gain_to_node_gain(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((pair_gain_to_node_gain(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasible_pair_set_yields_feasible_node_set() {
+        // Two well-separated unit links: feasible as pairs, and the §3.2
+        // conversion must certify the node set at the reduced gain.
+        let metric = LineMetric::new(vec![0.0, 1.0, 200.0, 201.0]);
+        let instance =
+            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let powers = ObliviousPower::SquareRoot.powers(&instance, &params);
+        let (nodes, feasible) =
+            pair_set_to_node_set(&instance, &params, &powers, &[0, 1]).unwrap();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        assert!(feasible, "endpoints of a feasible pair set must be node-feasible at gain γ/(2+γ)");
+
+        let maybe_nodes = feasible_pairs_to_nodes(&instance, &params, &powers, &[0, 1]).unwrap();
+        assert_eq!(maybe_nodes, Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn infeasible_pair_set_is_reported() {
+        // Two overlapping links with uniform powers are not simultaneously
+        // feasible, so the conversion reports None.
+        let metric = LineMetric::new(vec![0.0, 10.0, 1.0, 11.0]);
+        let instance =
+            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let powers = vec![1.0, 1.0];
+        let maybe_nodes = feasible_pairs_to_nodes(&instance, &params, &powers, &[0, 1]).unwrap();
+        assert_eq!(maybe_nodes, None);
+    }
+
+    #[test]
+    fn pair_set_to_node_set_validates_power_length() {
+        let metric = LineMetric::new(vec![0.0, 1.0]);
+        let instance = Instance::new(metric, vec![Request::new(0, 1)]).unwrap();
+        let params = SinrParams::default();
+        assert!(matches!(
+            pair_set_to_node_set(&instance, &params, &[], &[0]),
+            Err(SinrError::PowerLengthMismatch { .. })
+        ));
+    }
+}

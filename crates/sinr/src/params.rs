@@ -1,0 +1,193 @@
+//! Parameters of the physical (SINR) interference model.
+
+use crate::error::SinrError;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the SINR model: path-loss exponent `α`, gain `β` and
+/// ambient noise `ν`.
+///
+/// The loss between two points at distance `d` is `ℓ = d^α`. A signal sent
+/// with power `p` is received at strength `p / ℓ`, and decoding succeeds when
+/// that strength is at least `β` times the total interference plus noise.
+///
+/// The paper assumes `α ≥ 1` and `β > 0`; depending on the environment `α`
+/// usually lies between 2 and 5. The analysis neglects noise (`ν = 0`), which
+/// is also the default here, but the checker supports `ν > 0`.
+///
+/// # Example
+///
+/// ```
+/// use oblisched_sinr::SinrParams;
+///
+/// let params = SinrParams::new(3.0, 1.5)?;
+/// assert_eq!(params.loss(2.0), 8.0);
+/// # Ok::<(), oblisched_sinr::SinrError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinrParams {
+    alpha: f64,
+    beta: f64,
+    noise: f64,
+}
+
+impl SinrParams {
+    /// Creates parameters with zero ambient noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinrError::InvalidParams`] if `alpha < 1` or `beta <= 0`, or
+    /// if either value is not finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, SinrError> {
+        Self::with_noise(alpha, beta, 0.0)
+    }
+
+    /// Creates parameters with explicit ambient noise `ν ≥ 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinrError::InvalidParams`] if any value is outside its legal
+    /// range (`alpha ≥ 1`, `beta > 0`, `noise ≥ 0`) or not finite.
+    pub fn with_noise(alpha: f64, beta: f64, noise: f64) -> Result<Self, SinrError> {
+        if !alpha.is_finite() || alpha < 1.0 {
+            return Err(SinrError::InvalidParams {
+                reason: format!("path-loss exponent alpha must be finite and >= 1, got {alpha}"),
+            });
+        }
+        if !beta.is_finite() || beta <= 0.0 {
+            return Err(SinrError::InvalidParams {
+                reason: format!("gain beta must be finite and > 0, got {beta}"),
+            });
+        }
+        if !noise.is_finite() || noise < 0.0 {
+            return Err(SinrError::InvalidParams {
+                reason: format!("noise must be finite and >= 0, got {noise}"),
+            });
+        }
+        Ok(Self { alpha, beta, noise })
+    }
+
+    /// The path-loss exponent `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The gain (SINR threshold) `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The ambient noise `ν`.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// Returns a copy with the gain replaced by `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinrError::InvalidParams`] if `beta` is not positive and
+    /// finite.
+    pub fn with_beta(&self, beta: f64) -> Result<Self, SinrError> {
+        Self::with_noise(self.alpha, beta, self.noise)
+    }
+
+    /// Path loss `ℓ(d) = d^α` of a link of length `d`.
+    ///
+    /// Degenerate links (`d == 0`) have zero loss; callers reject such links
+    /// when building instances.
+    pub fn loss(&self, distance: f64) -> f64 {
+        distance.powf(self.alpha)
+    }
+
+    /// Inverse of [`SinrParams::loss`]: the distance whose loss is `loss`.
+    pub fn distance_for_loss(&self, loss: f64) -> f64 {
+        loss.powf(1.0 / self.alpha)
+    }
+
+    /// Received signal strength of a transmission with power `power` over a
+    /// link with path loss `loss`.
+    ///
+    /// Returns `f64::INFINITY` when `loss == 0`.
+    pub fn received_strength(&self, power: f64, loss: f64) -> f64 {
+        if loss == 0.0 {
+            f64::INFINITY
+        } else {
+            power / loss
+        }
+    }
+}
+
+impl Default for SinrParams {
+    /// `α = 3`, `β = 1`, `ν = 0` — the mid-range values used by the
+    /// experiment harness.
+    fn default() -> Self {
+        Self { alpha: 3.0, beta: 1.0, noise: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_params_are_accepted() {
+        let p = SinrParams::new(2.0, 0.5).unwrap();
+        assert_eq!(p.alpha(), 2.0);
+        assert_eq!(p.beta(), 0.5);
+        assert_eq!(p.noise(), 0.0);
+        let p = SinrParams::with_noise(4.0, 2.0, 0.1).unwrap();
+        assert_eq!(p.noise(), 0.1);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        assert!(SinrParams::new(0.5, 1.0).is_err());
+        assert!(SinrParams::new(f64::NAN, 1.0).is_err());
+        assert!(SinrParams::new(3.0, 0.0).is_err());
+        assert!(SinrParams::new(3.0, -1.0).is_err());
+        assert!(SinrParams::new(3.0, f64::INFINITY).is_err());
+        assert!(SinrParams::with_noise(3.0, 1.0, -0.1).is_err());
+        assert!(SinrParams::with_noise(3.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn loss_is_a_power_of_distance() {
+        let p = SinrParams::new(3.0, 1.0).unwrap();
+        assert_eq!(p.loss(2.0), 8.0);
+        assert_eq!(p.loss(1.0), 1.0);
+        assert_eq!(p.loss(0.0), 0.0);
+        assert!((p.distance_for_loss(8.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn received_strength_divides_by_loss() {
+        let p = SinrParams::new(2.0, 1.0).unwrap();
+        assert_eq!(p.received_strength(10.0, 4.0), 2.5);
+        assert_eq!(p.received_strength(10.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn with_beta_replaces_only_the_gain() {
+        let p = SinrParams::with_noise(2.5, 1.0, 0.2).unwrap();
+        let q = p.with_beta(3.0).unwrap();
+        assert_eq!(q.alpha(), 2.5);
+        assert_eq!(q.beta(), 3.0);
+        assert_eq!(q.noise(), 0.2);
+        assert!(p.with_beta(-1.0).is_err());
+    }
+
+    #[test]
+    fn default_is_mid_range() {
+        let p = SinrParams::default();
+        assert_eq!(p.alpha(), 3.0);
+        assert_eq!(p.beta(), 1.0);
+        assert_eq!(p.noise(), 0.0);
+    }
+
+    #[test]
+    fn alpha_one_is_allowed() {
+        // The paper's analysis holds for any constant alpha >= 1.
+        let p = SinrParams::new(1.0, 1.0).unwrap();
+        assert_eq!(p.loss(5.0), 5.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Power assignments, in particular the oblivious ones studied by the paper.
+//!
+//! A power assignment is **oblivious** when the power of a request depends
+//! only on the path loss (equivalently the distance) between its own
+//! endpoints: `p_i = f(ℓ_i)`. The paper's central objects are
+//!
+//! * the **uniform** assignment `f(ℓ) = 1`,
+//! * the **linear** assignment `f(ℓ) = ℓ`,
+//! * the **square-root** assignment `f(ℓ) = √ℓ`, which Theorem 2 shows to be
+//!   universally good for bidirectional requests,
+//! * general **exponent** assignments `f(ℓ) = ℓ^τ`, which interpolate
+//!   between these (τ = 0, 1, ½).
+//!
+//! Non-oblivious assignments (arbitrary per-request powers) are represented
+//! by [`PowerVec`] and are used for optimal baselines and adversarial
+//! constructions.
+
+use crate::error::SinrError;
+use crate::params::SinrParams;
+use crate::request::Instance;
+use oblisched_metric::MetricSpace;
+use serde::{Deserialize, Serialize};
+
+/// A rule assigning a transmission power to every request of an instance.
+///
+/// Implementations receive the request index and its path loss; oblivious
+/// assignments ignore the index, per-request assignments ignore the loss.
+pub trait PowerScheme {
+    /// The power for request `index` whose own link has path loss `loss`.
+    fn power_for(&self, index: usize, loss: f64) -> f64;
+
+    /// A short human-readable name used in experiment tables.
+    fn name(&self) -> String {
+        "custom".to_string()
+    }
+
+    /// Evaluates the scheme on every request of an instance.
+    fn powers<M: MetricSpace>(&self, instance: &Instance<M>, params: &SinrParams) -> Vec<f64>
+    where
+        Self: Sized,
+    {
+        (0..instance.len()).map(|i| self.power_for(i, instance.link_loss(i, params))).collect()
+    }
+}
+
+/// The oblivious power assignments studied by the paper.
+///
+/// # Example
+///
+/// ```
+/// use oblisched_sinr::{ObliviousPower, PowerScheme};
+///
+/// assert_eq!(ObliviousPower::Uniform.power_for(0, 16.0), 1.0);
+/// assert_eq!(ObliviousPower::Linear.power_for(0, 16.0), 16.0);
+/// assert_eq!(ObliviousPower::SquareRoot.power_for(0, 16.0), 4.0);
+/// assert_eq!(ObliviousPower::Exponent(0.25).power_for(0, 16.0), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ObliviousPower {
+    /// All requests transmit with the same power `1`.
+    Uniform,
+    /// Power proportional to the path loss: `p = ℓ`.
+    Linear,
+    /// The square-root assignment `p = √ℓ` (the paper's universally good
+    /// assignment for bidirectional requests).
+    SquareRoot,
+    /// The general exponent assignment `p = ℓ^τ`.
+    Exponent(f64),
+}
+
+impl ObliviousPower {
+    /// The exponent `τ` such that this assignment is `ℓ ↦ ℓ^τ`.
+    pub fn exponent(&self) -> f64 {
+        match self {
+            ObliviousPower::Uniform => 0.0,
+            ObliviousPower::Linear => 1.0,
+            ObliviousPower::SquareRoot => 0.5,
+            ObliviousPower::Exponent(tau) => *tau,
+        }
+    }
+
+    /// Evaluates the assignment on a path loss.
+    pub fn power(&self, loss: f64) -> f64 {
+        loss.powf(self.exponent())
+    }
+
+    /// The three named assignments compared throughout the experiments.
+    pub fn standard_assignments() -> [ObliviousPower; 3] {
+        [ObliviousPower::Uniform, ObliviousPower::Linear, ObliviousPower::SquareRoot]
+    }
+}
+
+impl PowerScheme for ObliviousPower {
+    fn power_for(&self, _index: usize, loss: f64) -> f64 {
+        self.power(loss)
+    }
+
+    fn name(&self) -> String {
+        match self {
+            ObliviousPower::Uniform => "uniform".to_string(),
+            ObliviousPower::Linear => "linear".to_string(),
+            ObliviousPower::SquareRoot => "sqrt".to_string(),
+            ObliviousPower::Exponent(tau) => format!("loss^{tau}"),
+        }
+    }
+}
+
+/// An arbitrary oblivious assignment given by a closure `f(ℓ)`.
+///
+/// Used by Theorem 1's adversarial construction, which works against *any*
+/// oblivious function.
+pub struct CustomOblivious<F> {
+    f: F,
+    label: String,
+}
+
+impl<F: Fn(f64) -> f64> CustomOblivious<F> {
+    /// Wraps a power function with a label for experiment tables.
+    pub fn new(label: impl Into<String>, f: F) -> Self {
+        Self { f, label: label.into() }
+    }
+}
+
+impl<F: Fn(f64) -> f64> PowerScheme for CustomOblivious<F> {
+    fn power_for(&self, _index: usize, loss: f64) -> f64 {
+        (self.f)(loss)
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// An explicit, possibly non-oblivious, per-request power vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerVec {
+    powers: Vec<f64>,
+}
+
+impl PowerVec {
+    /// Creates a power vector, validating that every power is positive and
+    /// finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinrError::InvalidPower`] for the first offending entry.
+    pub fn new(powers: Vec<f64>) -> Result<Self, SinrError> {
+        for (index, &value) in powers.iter().enumerate() {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(SinrError::InvalidPower { index, value });
+            }
+        }
+        Ok(Self { powers })
+    }
+
+    /// The number of entries.
+    pub fn len(&self) -> usize {
+        self.powers.len()
+    }
+
+    /// Returns `true` if the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.powers.is_empty()
+    }
+
+    /// The underlying powers.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// Total energy `Σ p_i` of the assignment — the quantity traded against
+    /// schedule length in the paper's discussion of energy efficiency (§6).
+    pub fn total_energy(&self) -> f64 {
+        self.powers.iter().sum()
+    }
+}
+
+impl PowerScheme for PowerVec {
+    fn power_for(&self, index: usize, _loss: f64) -> f64 {
+        self.powers[index]
+    }
+
+    fn name(&self) -> String {
+        "explicit".to_string()
+    }
+}
+
+impl From<PowerVec> for Vec<f64> {
+    fn from(v: PowerVec) -> Vec<f64> {
+        v.powers
+    }
+}
+
+/// Total energy `Σ p_i` of an arbitrary power vector.
+pub fn total_energy(powers: &[f64]) -> f64 {
+    powers.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use oblisched_metric::LineMetric;
+
+    #[test]
+    fn oblivious_assignments_evaluate_correctly() {
+        assert_eq!(ObliviousPower::Uniform.power(100.0), 1.0);
+        assert_eq!(ObliviousPower::Linear.power(100.0), 100.0);
+        assert_eq!(ObliviousPower::SquareRoot.power(100.0), 10.0);
+        assert_eq!(ObliviousPower::Exponent(2.0).power(3.0), 9.0);
+    }
+
+    #[test]
+    fn exponents_match_assignments() {
+        assert_eq!(ObliviousPower::Uniform.exponent(), 0.0);
+        assert_eq!(ObliviousPower::Linear.exponent(), 1.0);
+        assert_eq!(ObliviousPower::SquareRoot.exponent(), 0.5);
+        assert_eq!(ObliviousPower::Exponent(0.75).exponent(), 0.75);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ObliviousPower::Uniform.name(), "uniform");
+        assert_eq!(ObliviousPower::Linear.name(), "linear");
+        assert_eq!(ObliviousPower::SquareRoot.name(), "sqrt");
+        assert_eq!(ObliviousPower::Exponent(0.25).name(), "loss^0.25");
+        assert_eq!(PowerVec::new(vec![1.0]).unwrap().name(), "explicit");
+    }
+
+    #[test]
+    fn standard_assignments_cover_the_three_classics() {
+        let names: Vec<String> =
+            ObliviousPower::standard_assignments().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["uniform", "linear", "sqrt"]);
+    }
+
+    #[test]
+    fn custom_oblivious_uses_closure() {
+        let scheme = CustomOblivious::new("cube", |loss: f64| loss.powf(3.0));
+        assert_eq!(scheme.power_for(0, 2.0), 8.0);
+        assert_eq!(scheme.name(), "cube");
+    }
+
+    #[test]
+    fn power_vec_validation() {
+        assert!(PowerVec::new(vec![1.0, 2.0]).is_ok());
+        assert!(matches!(
+            PowerVec::new(vec![1.0, 0.0]),
+            Err(SinrError::InvalidPower { index: 1, .. })
+        ));
+        assert!(PowerVec::new(vec![f64::NAN]).is_err());
+        assert!(PowerVec::new(vec![-3.0]).is_err());
+    }
+
+    #[test]
+    fn power_vec_accessors_and_energy() {
+        let v = PowerVec::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(v.total_energy(), 6.0);
+        assert_eq!(v.power_for(1, 999.0), 2.0);
+        let raw: Vec<f64> = v.into();
+        assert_eq!(raw, vec![1.0, 2.0, 3.0]);
+        assert_eq!(total_energy(&raw), 6.0);
+    }
+
+    #[test]
+    fn powers_evaluates_whole_instance() {
+        let metric = LineMetric::new(vec![0.0, 2.0, 10.0, 14.0]);
+        let instance =
+            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let params = SinrParams::new(2.0, 1.0).unwrap();
+        // Losses are 4 and 16; the square-root assignment yields 2 and 4.
+        let powers = ObliviousPower::SquareRoot.powers(&instance, &params);
+        assert_eq!(powers, vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Communication requests and problem instances.
+
+use crate::error::SinrError;
+use crate::feasibility::Evaluator;
+use crate::params::SinrParams;
+use crate::power::PowerScheme;
+use oblisched_metric::{MetricSpace, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A single communication request between two nodes of a metric space.
+///
+/// In the **directed** variant `sender` transmits to `receiver`; in the
+/// **bidirectional** variant the two endpoints exchange signals in both
+/// directions and the naming is only a convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// The transmitting node (directed variant) or first endpoint.
+    pub sender: NodeId,
+    /// The receiving node (directed variant) or second endpoint.
+    pub receiver: NodeId,
+}
+
+impl Request {
+    /// Creates a request between two nodes.
+    pub fn new(sender: NodeId, receiver: NodeId) -> Self {
+        Self { sender, receiver }
+    }
+
+    /// The two endpoints as an array `[sender, receiver]`.
+    pub fn endpoints(&self) -> [NodeId; 2] {
+        [self.sender, self.receiver]
+    }
+
+    /// The request with sender and receiver swapped.
+    pub fn reversed(&self) -> Self {
+        Self { sender: self.receiver, receiver: self.sender }
+    }
+}
+
+/// An interference scheduling instance: a metric space together with a list
+/// of communication requests between its nodes.
+///
+/// # Example
+///
+/// ```
+/// use oblisched_metric::LineMetric;
+/// use oblisched_sinr::{Instance, Request, SinrParams};
+///
+/// let metric = LineMetric::new(vec![0.0, 1.0, 10.0, 12.0]);
+/// let instance = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)])?;
+/// assert_eq!(instance.len(), 2);
+/// assert_eq!(instance.link_distance(1), 2.0);
+/// let params = SinrParams::new(3.0, 1.0)?;
+/// assert_eq!(instance.link_loss(1, &params), 8.0);
+/// # Ok::<(), oblisched_sinr::SinrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance<M> {
+    metric: M,
+    requests: Vec<Request>,
+}
+
+impl<M: MetricSpace> Instance<M> {
+    /// Creates an instance, validating that every request references existing
+    /// nodes and has positive length.
+    ///
+    /// # Errors
+    ///
+    /// * [`SinrError::NodeOutOfRange`] if a request references a node outside
+    ///   the metric.
+    /// * [`SinrError::DegenerateRequest`] if a request's endpoints coincide
+    ///   (distance zero), which would make its SINR undefined.
+    pub fn new(metric: M, requests: Vec<Request>) -> Result<Self, SinrError> {
+        let n = metric.len();
+        for (i, r) in requests.iter().enumerate() {
+            for node in r.endpoints() {
+                if node >= n {
+                    return Err(SinrError::NodeOutOfRange { request: i, node, len: n });
+                }
+            }
+            if r.sender == r.receiver || metric.distance(r.sender, r.receiver) == 0.0 {
+                return Err(SinrError::DegenerateRequest { request: i });
+            }
+        }
+        Ok(Self { metric, requests })
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns `true` if the instance has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The underlying metric space.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The list of requests.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// A single request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn request(&self, i: usize) -> Request {
+        self.requests[i]
+    }
+
+    /// The distance between the endpoints of request `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn link_distance(&self, i: usize) -> f64 {
+        let r = self.requests[i];
+        self.metric.distance(r.sender, r.receiver)
+    }
+
+    /// The path loss `ℓ_i = d_i^α` of request `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn link_loss(&self, i: usize, params: &SinrParams) -> f64 {
+        params.loss(self.link_distance(i))
+    }
+
+    /// All link losses.
+    pub fn link_losses(&self, params: &SinrParams) -> Vec<f64> {
+        (0..self.len()).map(|i| self.link_loss(i, params)).collect()
+    }
+
+    /// Builds an [`Evaluator`] for this instance with the given parameters
+    /// and power scheme.
+    pub fn evaluator<P: PowerScheme + ?Sized>(
+        &self,
+        params: SinrParams,
+        scheme: &P,
+    ) -> Evaluator<'_, M> {
+        Evaluator::new(self, params, scheme)
+    }
+
+    /// Restricts the instance to the requests with the given indices, keeping
+    /// the same metric. Returns the new instance together with the mapping
+    /// from new request index to original request index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn restrict(&self, indices: &[usize]) -> (Instance<&M>, Vec<usize>)
+    where
+        M: Sized,
+    {
+        let requests: Vec<Request> = indices.iter().map(|&i| self.requests[i]).collect();
+        let instance = Instance { metric: &self.metric, requests };
+        (instance, indices.to_vec())
+    }
+
+    /// Consumes the instance and returns its parts.
+    pub fn into_parts(self) -> (M, Vec<Request>) {
+        (self.metric, self.requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::ObliviousPower;
+    use oblisched_metric::LineMetric;
+
+    fn line_instance() -> Instance<LineMetric> {
+        let metric = LineMetric::new(vec![0.0, 1.0, 10.0, 12.0, 12.0]);
+        Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn request_accessors() {
+        let r = Request::new(3, 5);
+        assert_eq!(r.endpoints(), [3, 5]);
+        assert_eq!(r.reversed(), Request::new(5, 3));
+    }
+
+    #[test]
+    fn instance_basic_accessors() {
+        let inst = line_instance();
+        assert_eq!(inst.len(), 2);
+        assert!(!inst.is_empty());
+        assert_eq!(inst.request(0), Request::new(0, 1));
+        assert_eq!(inst.requests().len(), 2);
+        assert_eq!(inst.link_distance(0), 1.0);
+        assert_eq!(inst.link_distance(1), 2.0);
+        assert_eq!(inst.metric().len(), 5);
+    }
+
+    #[test]
+    fn link_loss_uses_alpha() {
+        let inst = line_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        assert_eq!(inst.link_loss(1, &params), 8.0);
+        assert_eq!(inst.link_losses(&params), vec![1.0, 8.0]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        let metric = LineMetric::new(vec![0.0, 1.0]);
+        let err = Instance::new(metric, vec![Request::new(0, 7)]).unwrap_err();
+        assert!(matches!(err, SinrError::NodeOutOfRange { request: 0, node: 7, .. }));
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let metric = LineMetric::new(vec![0.0, 1.0, 1.0]);
+        let err = Instance::new(metric.clone(), vec![Request::new(1, 1)]).unwrap_err();
+        assert!(matches!(err, SinrError::DegenerateRequest { request: 0 }));
+        // Distinct nodes at distance zero are also degenerate.
+        let err = Instance::new(metric, vec![Request::new(1, 2)]).unwrap_err();
+        assert!(matches!(err, SinrError::DegenerateRequest { request: 0 }));
+    }
+
+    #[test]
+    fn empty_instance_is_allowed() {
+        let metric = LineMetric::new(vec![0.0, 1.0]);
+        let inst = Instance::new(metric, vec![]).unwrap();
+        assert!(inst.is_empty());
+        assert_eq!(inst.len(), 0);
+    }
+
+    #[test]
+    fn restrict_keeps_selected_requests() {
+        let inst = line_instance();
+        let (restricted, mapping) = inst.restrict(&[1]);
+        assert_eq!(restricted.len(), 1);
+        assert_eq!(restricted.request(0), Request::new(2, 3));
+        assert_eq!(mapping, vec![1]);
+        assert_eq!(restricted.link_distance(0), 2.0);
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let inst = line_instance();
+        let (metric, requests) = inst.into_parts();
+        assert_eq!(metric.len(), 5);
+        assert_eq!(requests.len(), 2);
+    }
+
+    #[test]
+    fn evaluator_is_constructible() {
+        let inst = line_instance();
+        let params = SinrParams::default();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        assert_eq!(eval.len(), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests for the SINR substrate.
+
+use oblisched_metric::{EuclideanSpace, MetricSpace, Point2};
+use oblisched_sinr::nodeloss::split_pairs;
+use oblisched_sinr::power::PowerScheme;
+use oblisched_sinr::{
+    extract_feasible_subset, partition_by_gain, rescale_coloring, Instance, InterferenceSystem,
+    ObliviousPower, Request, Schedule, SinrParams, Variant,
+};
+use proptest::prelude::*;
+
+/// Generates a random instance: `n` requests with endpoints in a square of
+/// side `side`, each link of length between 0.5 and `max_len`.
+fn arb_instance(
+    max_requests: usize,
+    side: f64,
+    max_len: f64,
+) -> impl Strategy<Value = Instance<EuclideanSpace<2>>> {
+    prop::collection::vec(
+        (0.0..side, 0.0..side, 0.5..max_len, 0.0..std::f64::consts::TAU),
+        1..max_requests,
+    )
+    .prop_map(|links| {
+        let mut points = Vec::new();
+        let mut requests = Vec::new();
+        for (x, y, len, angle) in links {
+            let a = Point2::xy(x, y);
+            let b = Point2::xy(x + len * angle.cos(), y + len * angle.sin());
+            let ia = points.len();
+            points.push(a);
+            points.push(b);
+            requests.push(Request::new(ia, ia + 1));
+        }
+        Instance::new(EuclideanSpace::from_points(points), requests).unwrap()
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = SinrParams> {
+    (1.5f64..5.0, 0.25f64..2.0).prop_map(|(alpha, beta)| SinrParams::new(alpha, beta).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn singleton_sets_are_always_feasible_without_noise(
+        instance in arb_instance(8, 100.0, 5.0),
+        params in arb_params(),
+    ) {
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        for i in 0..instance.len() {
+            prop_assert!(eval.is_feasible(Variant::Directed, &[i]));
+            prop_assert!(eval.is_feasible(Variant::Bidirectional, &[i]));
+        }
+    }
+
+    #[test]
+    fn bidirectional_interference_dominates_directed(
+        instance in arb_instance(8, 100.0, 5.0),
+        params in arb_params(),
+    ) {
+        let eval = instance.evaluator(params, &ObliviousPower::Uniform);
+        let all: Vec<usize> = (0..instance.len()).collect();
+        for i in 0..instance.len() {
+            let directed = eval.interference(Variant::Directed, i, &all);
+            let bidirectional = eval.interference(Variant::Bidirectional, i, &all);
+            prop_assert!(bidirectional >= directed - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sinr_decreases_when_adding_interferers(
+        instance in arb_instance(8, 100.0, 5.0),
+        params in arb_params(),
+    ) {
+        let eval = instance.evaluator(params, &ObliviousPower::Linear);
+        let n = instance.len();
+        if n >= 3 {
+            let small: Vec<usize> = (0..n - 1).collect();
+            let all: Vec<usize> = (0..n).collect();
+            for i in 0..n - 1 {
+                prop_assert!(
+                    eval.sinr(Variant::Directed, i, &all)
+                        <= eval.sinr(Variant::Directed, i, &small) + 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_all_powers_preserves_feasibility_without_noise(
+        instance in arb_instance(7, 80.0, 4.0),
+        params in arb_params(),
+        factor in 0.1f64..10.0,
+    ) {
+        // §1.1: with ν = 0, multiplying all power levels by the same positive
+        // factor leaves every SINR unchanged.
+        let base = ObliviousPower::SquareRoot.powers(&instance, &params);
+        let scaled: Vec<f64> = base.iter().map(|p| p * factor).collect();
+        let eval_base =
+            oblisched_sinr::Evaluator::with_powers(&instance, params, base).unwrap();
+        let eval_scaled =
+            oblisched_sinr::Evaluator::with_powers(&instance, params, scaled).unwrap();
+        let all: Vec<usize> = (0..instance.len()).collect();
+        for i in 0..instance.len() {
+            let a = eval_base.sinr(Variant::Bidirectional, i, &all);
+            let b = eval_scaled.sinr(Variant::Bidirectional, i, &all);
+            if a.is_finite() {
+                prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+            } else {
+                prop_assert!(b.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_schedule_always_validates(
+        instance in arb_instance(8, 50.0, 5.0),
+        params in arb_params(),
+    ) {
+        let eval = instance.evaluator(params, &ObliviousPower::Uniform);
+        let schedule = Schedule::sequential(instance.len());
+        prop_assert!(schedule.validate(&eval, Variant::Directed).is_ok());
+        prop_assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+    }
+
+    #[test]
+    fn extracted_subsets_are_feasible_at_the_stricter_gain(
+        instance in arb_instance(8, 60.0, 5.0),
+        params in arb_params(),
+        gamma_prime in 1.0f64..8.0,
+    ) {
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let all: Vec<usize> = (0..instance.len()).collect();
+        let subset = extract_feasible_subset(&view, &all, gamma_prime);
+        prop_assert!(view.is_feasible_with_gain(&subset, gamma_prime));
+        prop_assert!(subset.len() <= all.len());
+    }
+
+    #[test]
+    fn partition_groups_cover_everything_exactly_once(
+        instance in arb_instance(8, 60.0, 5.0),
+        params in arb_params(),
+        gamma_prime in 1.0f64..8.0,
+    ) {
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let all: Vec<usize> = (0..instance.len()).collect();
+        let groups = partition_by_gain(&view, &all, gamma_prime);
+        let mut covered: Vec<usize> = groups.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, all);
+    }
+
+    #[test]
+    fn rescaled_colorings_validate_at_the_stricter_gain(
+        instance in arb_instance(6, 60.0, 4.0),
+        params in arb_params(),
+    ) {
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let base = Schedule::new(vec![0; instance.len()]);
+        let gamma_prime = params.beta() * 2.0;
+        let rescaled = rescale_coloring(&view, &base, gamma_prime);
+        for class in rescaled.classes() {
+            prop_assert!(view.is_feasible_with_gain(&class, gamma_prime));
+        }
+    }
+
+    #[test]
+    fn split_pairs_preserves_losses_and_positions(
+        instance in arb_instance(8, 60.0, 5.0),
+        params in arb_params(),
+    ) {
+        let (node_loss, map) = split_pairs(&instance, &params);
+        prop_assert_eq!(node_loss.len(), 2 * instance.len());
+        for i in 0..instance.len() {
+            let (a, b) = map.nodes_of_request(i);
+            let loss = instance.link_loss(i, &params);
+            prop_assert!((node_loss.loss(a) - loss).abs() < 1e-9 * loss.max(1.0));
+            prop_assert!((node_loss.loss(b) - loss).abs() < 1e-9 * loss.max(1.0));
+            // The two endpoints of a pair are at the pair's link distance.
+            let d = node_loss.metric().distance(a, b);
+            prop_assert!((d - instance.link_distance(i)).abs() < 1e-9 * d.max(1.0));
+        }
+    }
+
+    #[test]
+    fn schedule_color_classes_partition_requests(colors in prop::collection::vec(0usize..6, 0..32)) {
+        let schedule = Schedule::new(colors.clone());
+        let classes = schedule.classes();
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, colors.len());
+        prop_assert!(schedule.num_colors() <= 6);
+        for (c, class) in classes.iter().enumerate() {
+            for &i in class {
+                prop_assert_eq!(schedule.color_of(i), c);
+            }
+        }
+    }
+
+    #[test]
+    fn oblivious_power_is_monotone_in_loss(
+        tau in 0.0f64..2.0,
+        l1 in 0.001f64..1.0e6,
+        l2 in 0.001f64..1.0e6,
+    ) {
+        let scheme = ObliviousPower::Exponent(tau);
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        prop_assert!(scheme.power(lo) <= scheme.power(hi) + 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Theorem 1 in action: for every oblivious power assignment there is a
+//! directed instance forcing `Ω(n)` colors, although a non-oblivious
+//! assignment needs only `O(1)`.
+//!
+//! Run with `cargo run --example adversarial_directed`.
+
+use oblisched::scheduler::Scheduler;
+use oblisched_instances::{adversarial_for, max_supported_n};
+use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = SinrParams::new(3.0, 1.0)?;
+    let scheduler = Scheduler::new(params).variant(Variant::Directed);
+
+    println!("Theorem 1: adversarial directed instances (α = 3, β = 1)\n");
+    println!(
+        "{:<10} {:>4} {:>18} {:>22}",
+        "target", "n", "colors (oblivious)", "colors (power control)"
+    );
+    for power in ObliviousPower::standard_assignments() {
+        // The construction against slowly growing assignments (square root) is
+        // doubly exponential, so only a few pairs fit into f64 range.
+        let n = max_supported_n(&power, &params).min(12);
+        let adversarial = adversarial_for(&power, &params, n);
+        let instance = adversarial.instance();
+
+        // Schedule with the oblivious assignment the instance was built against.
+        let oblivious = scheduler.schedule_with_assignment(instance, power);
+        // Schedule with free per-class power control (non-oblivious baseline).
+        let optimal = scheduler.schedule_with_power_control(instance);
+
+        println!(
+            "{:<10} {:>4} {:>18} {:>22}",
+            oblisched_sinr::PowerScheme::name(&power),
+            n,
+            oblivious.num_colors(),
+            optimal.num_colors(),
+        );
+    }
+    println!(
+        "\nthe oblivious column grows like n (every pair conflicts by construction), while\n\
+         power control keeps the schedule length constant — the Ω(n) vs O(1) gap of Theorem 1."
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! The §1.2 intuition: nested requests `u_i = −2^i`, `v_i = 2^i`.
+//!
+//! Uniform and linear power assignments can schedule only `O(1)` of these
+//! requests per color, while the square-root assignment schedules a constant
+//! fraction simultaneously. This example prints the number of colors each
+//! assignment needs as the chain grows.
+//!
+//! Run with `cargo run --example nested_chain`.
+
+use oblisched::first_fit_coloring;
+use oblisched_instances::nested_chain;
+use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = SinrParams::new(3.0, 1.0)?;
+    println!("colors needed on the nested chain (first-fit, bidirectional, α = 3, β = 1)\n");
+    println!("{:>4} {:>9} {:>8} {:>6}", "n", "uniform", "linear", "sqrt");
+    for n in [4, 8, 12, 16, 20, 24] {
+        let instance = nested_chain(n, 2.0);
+        let mut row = vec![format!("{n:>4}")];
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(params, &power);
+            let schedule = first_fit_coloring(&eval.view(Variant::Bidirectional));
+            schedule.validate(&eval, Variant::Bidirectional)?;
+            row.push(format!("{:>8}", schedule.num_colors()));
+        }
+        println!("{}", row.join(" "));
+    }
+    println!(
+        "\nuniform and linear grow linearly with n; the square-root assignment stays flat —\n\
+         exactly the separation §1.2 of the paper describes."
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a small wireless instance, schedule it with the three
+//! classic oblivious power assignments, and print the resulting schedules.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use oblisched::scheduler::Scheduler;
+use oblisched_instances::{uniform_deployment, DeploymentConfig};
+use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 20 bidirectional communication requests in a 500 m × 500 m field, link
+    // lengths between 1 m and 30 m — the MAC-layer scenario from the paper's
+    // introduction.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let instance = uniform_deployment(
+        DeploymentConfig { num_requests: 20, side: 500.0, min_link: 1.0, max_link: 30.0 },
+        &mut rng,
+    );
+
+    // Physical model: path-loss exponent α = 3, SINR threshold β = 1.
+    let params = SinrParams::new(3.0, 1.0)?;
+    let scheduler = Scheduler::new(params).variant(Variant::Bidirectional);
+
+    println!("scheduling {} bidirectional requests (α = 3, β = 1)\n", instance.len());
+    println!("{:<28} {:>8} {:>14}", "power assignment", "colors", "total energy");
+    for power in ObliviousPower::standard_assignments() {
+        let result = scheduler.schedule_with_assignment(&instance, power);
+        println!("{:<28} {:>8} {:>14.2}", result.label, result.num_colors(), result.total_energy());
+    }
+
+    // The paper's algorithm: LP-rounding coloring for the square-root
+    // assignment (Theorem 15).
+    let lp = scheduler.schedule_sqrt_lp(&instance, &mut rng);
+    println!("{:<28} {:>8} {:>14.2}", lp.label, lp.num_colors(), lp.total_energy());
+
+    // Non-oblivious baseline: greedy with per-class power control.
+    let pc = scheduler.schedule_with_power_control(&instance);
+    println!("{:<28} {:>8} {:>14.2}", pc.label, pc.num_colors(), pc.total_energy());
+
+    // Show one schedule in detail.
+    let result = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
+    println!("\nsquare-root schedule ({} colors):", result.num_colors());
+    for (color, class) in result.schedule.classes().iter().enumerate() {
+        println!("  slot {color}: requests {class:?}");
+    }
+    Ok(())
+}

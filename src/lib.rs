@@ -1,0 +1,11 @@
+//! `oblisched-suite` — umbrella crate for the oblisched workspace.
+//!
+//! This crate only exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). It re-exports the public
+//! crates so examples and tests can use a single set of imports.
+
+pub use oblisched;
+pub use oblisched_instances as instances;
+pub use oblisched_lp as lp;
+pub use oblisched_metric as metric;
+pub use oblisched_sinr as sinr;

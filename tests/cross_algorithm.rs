@@ -1,0 +1,166 @@
+//! Cross-algorithm consistency checks: different algorithms must agree on the
+//! invariants they share (feasibility, optimality relations, determinism).
+
+use oblisched::{
+    exact_chromatic_number, exact_max_one_shot, first_fit_coloring, greedy_one_shot,
+    sqrt_coloring, SqrtColoringConfig,
+};
+use oblisched_instances::{nested_chain, random_matching, uniform_deployment, DeploymentConfig};
+use oblisched_metric::MetricSpace;
+use oblisched_sinr::measure::pigeonhole_lower_bound;
+use oblisched_sinr::nodeloss::split_pairs;
+use oblisched_sinr::{
+    extract_feasible_subset, Instance, InterferenceSystem, ObliviousPower, SinrParams, Variant,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn params() -> SinrParams {
+    SinrParams::new(3.0, 1.0).unwrap()
+}
+
+fn small_instance(seed: u64, n: usize) -> Instance<oblisched_metric::EuclideanSpace<2>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    uniform_deployment(
+        DeploymentConfig { num_requests: n, side: 250.0, min_link: 1.0, max_link: 15.0 },
+        &mut rng,
+    )
+}
+
+#[test]
+fn greedy_exact_and_lp_respect_the_optimality_chain() {
+    // exact optimum <= LP coloring and greedy coloring; pigeonhole bound <= exact.
+    for seed in [3u64, 17, 55] {
+        let instance = small_instance(seed, 9);
+        let p = params();
+        let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+
+        let greedy = first_fit_coloring(&view);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let lp = sqrt_coloring(&instance, &p, &SqrtColoringConfig::default(), &mut rng);
+        let (optimum, optimal_schedule) = exact_chromatic_number(&view);
+
+        assert!(optimum <= greedy.num_colors());
+        assert!(optimum <= lp.num_colors());
+        assert!(optimal_schedule.validate(&eval, Variant::Bidirectional).is_ok());
+
+        let all: Vec<usize> = (0..instance.len()).collect();
+        let one_shot = exact_max_one_shot(&view, &all).len();
+        assert!(pigeonhole_lower_bound(instance.len(), one_shot) <= optimum);
+        assert!(greedy_one_shot(&view, &all).len() <= one_shot);
+    }
+}
+
+#[test]
+fn node_loss_feasibility_transfers_to_pairs() {
+    // §3.2 both directions: a feasible pair set gives a feasible node set at
+    // the reduced gain; a feasible node set containing both endpoints of some
+    // pairs gives a feasible pair set after thinning.
+    let instance = small_instance(23, 12);
+    let p = params();
+    let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+    let view = eval.view(Variant::Bidirectional);
+    let all: Vec<usize> = (0..instance.len()).collect();
+    let pair_set = greedy_one_shot(&view, &all);
+    assert!(!pair_set.is_empty());
+
+    let powers = eval.powers().to_vec();
+    let (nodes, node_feasible) =
+        oblisched_sinr::nodeloss::pair_set_to_node_set(&instance, &p, &powers, &pair_set).unwrap();
+    assert!(node_feasible, "a feasible pair set must yield a node set feasible at gain γ/(2+γ)");
+    assert_eq!(nodes.len(), 2 * pair_set.len());
+
+    // Reverse direction: start from a feasible node set under sqrt powers.
+    let (node_loss, map) = split_pairs(&instance, &p);
+    let node_eval = node_loss.sqrt_evaluator(p);
+    let node_all: Vec<usize> = (0..node_loss.len()).collect();
+    let node_set = extract_feasible_subset(&node_eval, &node_all, p.beta());
+    let covered = map.requests_fully_covered(&node_set);
+    let certified = extract_feasible_subset(&view, &covered, p.beta());
+    assert!(view.is_feasible(&certified));
+}
+
+#[test]
+fn deterministic_generators_and_schedulers_are_reproducible() {
+    let a = small_instance(77, 10);
+    let b = small_instance(77, 10);
+    assert_eq!(a, b);
+    let p = params();
+    let mut rng_a = ChaCha8Rng::seed_from_u64(5);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(5);
+    let sched_a = sqrt_coloring(&a, &p, &SqrtColoringConfig::default(), &mut rng_a);
+    let sched_b = sqrt_coloring(&b, &p, &SqrtColoringConfig::default(), &mut rng_b);
+    assert_eq!(sched_a, sched_b);
+}
+
+#[test]
+fn matching_workloads_are_schedulable_by_every_assignment() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let instance = random_matching(30, 400.0, &mut rng);
+    let p = params();
+    for power in ObliviousPower::standard_assignments() {
+        let eval = instance.evaluator(p, &power);
+        for variant in Variant::all() {
+            let schedule = first_fit_coloring(&eval.view(variant));
+            assert!(schedule.validate(&eval, variant).is_ok());
+        }
+    }
+}
+
+#[test]
+fn directed_is_never_harder_than_bidirectional_for_the_same_assignment() {
+    // The bidirectional constraints dominate the directed ones, so any
+    // bidirectional-feasible color class is directed-feasible; greedy may
+    // therefore never need more colors in the directed variant when given the
+    // bidirectional schedule as a starting point. We check the weaker
+    // observable: the directed greedy count is at most the bidirectional one
+    // on the same instance and order.
+    for seed in [2u64, 9, 41] {
+        let instance = small_instance(seed, 14);
+        let p = params();
+        let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+        let directed = first_fit_coloring(&eval.view(Variant::Directed));
+        let bidirectional = first_fit_coloring(&eval.view(Variant::Bidirectional));
+        assert!(directed.num_colors() <= bidirectional.num_colors());
+    }
+}
+
+#[test]
+fn nested_chain_capacity_is_maximised_near_tau_half() {
+    // The balancing effect of §1.2: among the exponents tested, τ = 0.5 packs
+    // the largest one-shot set on the nested chain.
+    let instance = nested_chain(12, 2.0);
+    let p = params();
+    let capacity = |tau: f64| {
+        let eval = instance.evaluator(p, &ObliviousPower::Exponent(tau));
+        let view = eval.view(Variant::Bidirectional);
+        let all: Vec<usize> = (0..instance.len()).collect();
+        exact_max_one_shot(&view, &all).len()
+    };
+    let at_half = capacity(0.5);
+    for tau in [0.0, 0.1, 0.9, 1.0, 1.5] {
+        assert!(
+            capacity(tau) <= at_half,
+            "τ = {tau} packs more than τ = 0.5 on the nested chain"
+        );
+    }
+    assert!(at_half >= 3);
+}
+
+#[test]
+fn schedules_remain_valid_after_metric_materialisation() {
+    // Converting the metric to an explicit distance matrix must not change
+    // any scheduling decision (regression guard for metric substrates).
+    let instance = small_instance(61, 10);
+    let p = params();
+    let (metric, requests) = instance.clone().into_parts();
+    let matrix = metric.to_matrix();
+    let materialised = Instance::new(matrix, requests).unwrap();
+
+    let eval_a = instance.evaluator(p, &ObliviousPower::SquareRoot);
+    let eval_b = materialised.evaluator(p, &ObliviousPower::SquareRoot);
+    let a = first_fit_coloring(&eval_a.view(Variant::Bidirectional));
+    let b = first_fit_coloring(&eval_b.view(Variant::Bidirectional));
+    assert_eq!(a, b);
+}

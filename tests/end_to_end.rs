@@ -1,0 +1,136 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! instance generation → power assignment → scheduling → independent
+//! validation.
+
+use oblisched::scheduler::Scheduler;
+use oblisched::{first_fit_coloring, sqrt_coloring, SqrtColoringConfig};
+use oblisched_instances::{
+    adversarial_for, clustered_deployment, nested_chain, uniform_deployment, DeploymentConfig,
+};
+use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn params() -> SinrParams {
+    SinrParams::new(3.0, 1.0).unwrap()
+}
+
+#[test]
+fn every_scheduler_produces_valid_schedules_on_a_random_deployment() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let instance = uniform_deployment(
+        DeploymentConfig { num_requests: 25, side: 600.0, min_link: 1.0, max_link: 25.0 },
+        &mut rng,
+    );
+    let scheduler = Scheduler::new(params()).variant(Variant::Bidirectional);
+
+    let results = vec![
+        scheduler.schedule_with_assignment(&instance, ObliviousPower::Uniform),
+        scheduler.schedule_with_assignment(&instance, ObliviousPower::Linear),
+        scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot),
+        scheduler.schedule_sqrt_lp(&instance, &mut rng),
+        scheduler.schedule_sqrt_decomposition(&instance, &mut rng),
+        scheduler.schedule_with_power_control(&instance),
+    ];
+    for result in &results {
+        // Each result is internally validated; independently re-validate here
+        // with a fresh evaluator built from the returned powers.
+        let eval =
+            oblisched_sinr::Evaluator::with_powers(&instance, params(), result.powers.clone())
+                .unwrap();
+        result
+            .schedule
+            .validate(&eval, Variant::Bidirectional)
+            .unwrap_or_else(|e| panic!("{} produced an invalid schedule: {e}", result.label));
+        assert_eq!(result.schedule.len(), instance.len());
+    }
+    // The non-oblivious baseline is never worse than the worst oblivious one.
+    let pc_colors = results.last().unwrap().num_colors();
+    let worst_oblivious = results[..3].iter().map(|r| r.num_colors()).max().unwrap();
+    assert!(pc_colors <= worst_oblivious);
+}
+
+#[test]
+fn the_paper_headline_results_hold_end_to_end() {
+    let p = params();
+
+    // Theorem 1 (directed): the adversarial instance forces ~n colors for its
+    // target assignment, while power control stays constant.
+    let adv = adversarial_for(&ObliviousPower::Linear, &p, 10);
+    let directed = Scheduler::new(p).variant(Variant::Directed);
+    let oblivious = directed.schedule_with_assignment(adv.instance(), ObliviousPower::Linear);
+    let optimal = directed.schedule_with_power_control(adv.instance());
+    assert_eq!(oblivious.num_colors(), 10);
+    assert!(optimal.num_colors() <= 4);
+
+    // §1.2 / Theorem 2 (bidirectional): on the nested chain the square-root
+    // assignment needs a constant number of colors, uniform needs n.
+    let chain = nested_chain(16, 2.0);
+    let bidirectional = Scheduler::new(p);
+    let uniform = bidirectional.schedule_with_assignment(&chain, ObliviousPower::Uniform);
+    let sqrt = bidirectional.schedule_with_assignment(&chain, ObliviousPower::SquareRoot);
+    assert_eq!(uniform.num_colors(), 16);
+    assert!(sqrt.num_colors() <= 6);
+
+    // §6: the bidirectional schedule can be simulated by a directed one with
+    // exactly twice the colors.
+    let powers = sqrt.powers.clone();
+    let doubled =
+        oblisched::convert::verify_directed_simulation(&chain, &p, &powers, &sqrt.schedule)
+            .unwrap();
+    assert_eq!(doubled, 2 * sqrt.num_colors());
+}
+
+#[test]
+fn lp_coloring_matches_greedy_quality_on_clustered_instances() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let instance = clustered_deployment(
+        DeploymentConfig { num_requests: 30, side: 1500.0, min_link: 1.0, max_link: 20.0 },
+        4,
+        50.0,
+        &mut rng,
+    );
+    let p = params();
+    let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+    let greedy = first_fit_coloring(&eval.view(Variant::Bidirectional));
+    let lp = sqrt_coloring(&instance, &p, &SqrtColoringConfig::default(), &mut rng);
+    lp.validate(&eval, Variant::Bidirectional).unwrap();
+    // The LP algorithm carries an O(log n) guarantee; empirically it stays
+    // within a factor 2 of greedy on clustered deployments.
+    assert!(lp.num_colors() <= 2 * greedy.num_colors().max(1));
+}
+
+#[test]
+fn schedules_survive_extreme_model_parameters() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let instance = uniform_deployment(
+        DeploymentConfig { num_requests: 12, side: 300.0, min_link: 0.5, max_link: 10.0 },
+        &mut rng,
+    );
+    for (alpha, beta) in [(1.0, 0.1), (2.0, 1.0), (5.0, 3.0)] {
+        let p = SinrParams::new(alpha, beta).unwrap();
+        let scheduler = Scheduler::new(p);
+        for power in ObliviousPower::standard_assignments() {
+            let result = scheduler.schedule_with_assignment(&instance, power);
+            assert_eq!(result.schedule.len(), 12);
+        }
+    }
+}
+
+#[test]
+fn noise_only_increases_the_number_of_colors() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let instance = uniform_deployment(
+        DeploymentConfig { num_requests: 15, side: 400.0, min_link: 1.0, max_link: 10.0 },
+        &mut rng,
+    );
+    let quiet = SinrParams::new(3.0, 1.0).unwrap();
+    // Powers of the square-root assignment are >= 1 here, so a small noise
+    // keeps singletons feasible while adding interference pressure.
+    let noisy = SinrParams::with_noise(3.0, 1.0, 1e-6).unwrap();
+    let eval_quiet = instance.evaluator(quiet, &ObliviousPower::SquareRoot);
+    let eval_noisy = instance.evaluator(noisy, &ObliviousPower::SquareRoot);
+    let colors_quiet = first_fit_coloring(&eval_quiet.view(Variant::Bidirectional)).num_colors();
+    let colors_noisy = first_fit_coloring(&eval_noisy.view(Variant::Bidirectional)).num_colors();
+    assert!(colors_noisy >= colors_quiet);
+}

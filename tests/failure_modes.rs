@@ -1,0 +1,169 @@
+//! Failure-injection tests: malformed inputs must be rejected with the
+//! documented errors, never silently accepted, across crate boundaries.
+
+use oblisched_metric::{DistanceMatrix, MetricError, MetricSpace, SubMetric, WeightedTree};
+use oblisched_sinr::{
+    Evaluator, Instance, ObliviousPower, PowerVec, Request, Schedule, SinrError, SinrParams,
+    Variant,
+};
+
+#[test]
+fn non_metric_matrices_are_detected() {
+    // Triangle violation.
+    let m = DistanceMatrix::from_rows_unchecked(vec![
+        vec![0.0, 1.0, 50.0],
+        vec![1.0, 0.0, 1.0],
+        vec![50.0, 1.0, 0.0],
+    ]);
+    assert!(matches!(m.validate(), Err(MetricError::TriangleViolation { .. })));
+    // Asymmetry is caught by the checked constructor.
+    assert!(matches!(
+        DistanceMatrix::from_rows(vec![vec![0.0, 2.0], vec![1.0, 0.0]]),
+        Err(MetricError::Asymmetric { .. })
+    ));
+    // NaN distances.
+    assert!(matches!(
+        DistanceMatrix::from_fn(2, |_, _| f64::NAN),
+        Err(MetricError::InvalidDistance { .. })
+    ));
+}
+
+#[test]
+fn malformed_trees_are_rejected() {
+    let mut tree = WeightedTree::new(4);
+    tree.add_edge(0, 1, 1.0).unwrap();
+    tree.add_edge(2, 3, 1.0).unwrap();
+    // Disconnected: not a tree.
+    assert!(matches!(tree.validate(), Err(MetricError::NotATree { .. })));
+    // Self loops and non-positive weights are rejected eagerly.
+    assert!(tree.add_edge(1, 1, 1.0).is_err());
+    assert!(tree.add_edge(0, 2, -1.0).is_err());
+    assert!(tree.add_edge(0, 2, f64::INFINITY).is_err());
+}
+
+#[test]
+fn degenerate_requests_are_rejected_at_instance_construction() {
+    let metric = oblisched_metric::LineMetric::new(vec![0.0, 0.0, 5.0]);
+    // Same node twice.
+    assert!(matches!(
+        Instance::new(metric.clone(), vec![Request::new(2, 2)]),
+        Err(SinrError::DegenerateRequest { .. })
+    ));
+    // Distinct nodes at distance zero.
+    assert!(matches!(
+        Instance::new(metric.clone(), vec![Request::new(0, 1)]),
+        Err(SinrError::DegenerateRequest { .. })
+    ));
+    // Out of range node.
+    assert!(matches!(
+        Instance::new(metric, vec![Request::new(0, 9)]),
+        Err(SinrError::NodeOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn invalid_model_parameters_are_rejected() {
+    assert!(SinrParams::new(0.9, 1.0).is_err());
+    assert!(SinrParams::new(3.0, 0.0).is_err());
+    assert!(SinrParams::with_noise(3.0, 1.0, -2.0).is_err());
+    assert!(SinrParams::new(f64::INFINITY, 1.0).is_err());
+}
+
+#[test]
+fn power_vectors_are_validated_end_to_end() {
+    let metric = oblisched_metric::LineMetric::new(vec![0.0, 1.0, 10.0, 11.0]);
+    let instance =
+        Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+    let params = SinrParams::default();
+    assert!(matches!(
+        PowerVec::new(vec![1.0, -1.0]),
+        Err(SinrError::InvalidPower { index: 1, .. })
+    ));
+    assert!(matches!(
+        Evaluator::with_powers(&instance, params, vec![1.0]),
+        Err(SinrError::PowerLengthMismatch { .. })
+    ));
+    assert!(matches!(
+        Evaluator::with_powers(&instance, params, vec![1.0, f64::NAN]),
+        Err(SinrError::InvalidPower { .. })
+    ));
+}
+
+#[test]
+fn schedule_validation_catches_bad_colorings() {
+    let metric = oblisched_metric::LineMetric::new(vec![0.0, 10.0, 1.0, 11.0]);
+    let instance =
+        Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let eval = instance.evaluator(params, &ObliviousPower::Uniform);
+    // Both overlapping links in one slot: infeasible.
+    let bad = Schedule::new(vec![0, 0]);
+    assert!(matches!(
+        bad.validate(&eval, Variant::Directed),
+        Err(SinrError::InfeasibleColorClass { .. })
+    ));
+    // Wrong length.
+    let short = Schedule::new(vec![0]);
+    assert!(matches!(
+        short.validate(&eval, Variant::Bidirectional),
+        Err(SinrError::ColoringLengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn sub_metric_selection_is_range_checked() {
+    let metric = oblisched_metric::LineMetric::new(vec![0.0, 1.0]);
+    assert!(matches!(
+        SubMetric::new(&metric, vec![0, 5]),
+        Err(MetricError::NodeOutOfRange { node: 5, .. })
+    ));
+}
+
+#[test]
+fn node_loss_instances_validate_losses() {
+    let metric = oblisched_metric::LineMetric::new(vec![0.0, 1.0]);
+    assert!(matches!(
+        oblisched_sinr::NodeLossInstance::new(metric.clone(), vec![1.0]),
+        Err(SinrError::LossLengthMismatch { .. })
+    ));
+    assert!(matches!(
+        oblisched_sinr::NodeLossInstance::new(metric, vec![1.0, 0.0]),
+        Err(SinrError::InvalidLoss { .. })
+    ));
+}
+
+#[test]
+fn lp_substrate_rejects_malformed_programs() {
+    use oblisched_lp::{LinearProgram, LpError, PackingLp};
+    assert!(matches!(
+        LinearProgram::new(vec![1.0], vec![vec![1.0, 2.0]], vec![1.0]),
+        Err(LpError::DimensionMismatch { .. })
+    ));
+    assert!(matches!(
+        LinearProgram::new(vec![1.0], vec![vec![1.0]], vec![-1.0]),
+        Err(LpError::NegativeCapacity { .. })
+    ));
+    assert!(matches!(
+        PackingLp::new(vec![1.0], vec![vec![-0.5]], vec![1.0]),
+        Err(LpError::InvalidValue { .. })
+    ));
+}
+
+#[test]
+fn extreme_geometry_is_handled_without_panicking() {
+    // Very long links, very close together, with a huge path-loss exponent:
+    // the schedule degenerates to one color per request but must stay valid.
+    let metric = oblisched_metric::LineMetric::new(vec![
+        0.0, 1.0e6, 0.5, 1.0e6 + 0.5, 1.0, 1.0e6 + 1.0,
+    ]);
+    let instance = Instance::new(
+        metric,
+        vec![Request::new(0, 1), Request::new(2, 3), Request::new(4, 5)],
+    )
+    .unwrap();
+    let params = SinrParams::new(5.0, 2.0).unwrap();
+    let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+    let schedule = oblisched::first_fit_coloring(&eval.view(Variant::Bidirectional));
+    assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+    assert_eq!(schedule.num_colors(), 3);
+}
