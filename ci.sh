@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, lint and document the whole workspace.
+# Mirrors the tier-1 verify (`cargo build --release && cargo test -q`) and
+# adds clippy (warnings are errors) and a warning-free doc build.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "CI OK"

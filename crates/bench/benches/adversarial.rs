@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oblisched::scheduler::Scheduler;
-use oblisched_instances::{adversarial_for, nested_chain};
+use oblisched_instances::{adversarial_for, max_supported_n, nested_chain};
 use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
 use std::hint::black_box;
 
@@ -14,6 +14,8 @@ fn bench_construction(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[16usize, 64] {
         for power in [ObliviousPower::Uniform, ObliviousPower::Linear] {
+            // The uniform construction supports only ~33 pairs in f64.
+            let n = n.min(max_supported_n(&power, &params));
             group.bench_with_input(
                 BenchmarkId::new(oblisched_sinr::PowerScheme::name(&power), n),
                 &n,

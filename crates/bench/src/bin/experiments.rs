@@ -3,9 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p oblisched-bench --bin experiments --release             # all experiments
-//! cargo run -p oblisched-bench --bin experiments --release -- --exp e3 # one experiment
-//! cargo run -p oblisched-bench --bin experiments --release -- --json out.json
+//! cargo run -p oblisched_bench --bin experiments --release             # all experiments
+//! cargo run -p oblisched_bench --bin experiments --release -- --exp e3 # one experiment
+//! cargo run -p oblisched_bench --bin experiments --release -- --json out.json
 //! ```
 
 use oblisched_bench::{all_experiments, run_experiment, Experiment, Table};

@@ -232,7 +232,11 @@ pub fn e4_sqrt_vs_known_optimum() -> Table {
             pc.num_colors().to_string(),
         ]);
     }
+    let cap = max_supported_n(&ObliviousPower::Uniform, &p);
     for &n in &[8usize, 16, 32] {
+        if n > cap {
+            continue;
+        }
         let adv = adversarial_for(&ObliviousPower::Uniform, &p, n);
         let instance = adv.instance();
         let greedy = scheduler.schedule_with_assignment(instance, ObliviousPower::SquareRoot);

@@ -7,7 +7,7 @@
 //! criterion micro-benchmarks of the computational kernels.
 //!
 //! Run all experiments with
-//! `cargo run -p oblisched-bench --bin experiments --release`, or a single one
+//! `cargo run -p oblisched_bench --bin experiments --release`, or a single one
 //! with `--exp e3`.
 
 #![forbid(unsafe_code)]

@@ -150,7 +150,7 @@ fn recurse_on_tree<M: MetricSpace>(
         let host_vertex = component
             .iter()
             .copied()
-            .find(|v| hosted.get(v).map_or(false, |nodes| nodes.contains(&node)))
+            .find(|v| hosted.get(v).is_some_and(|nodes| nodes.contains(&node)))
             .expect("present nodes have a host in the component");
         let r = dist[host_vertex];
         if r.is_finite() {

@@ -12,13 +12,13 @@
 //!
 //! * in the **directed** variant they are hopeless: for every oblivious
 //!   assignment there are instances needing `Ω(n)` colors although `O(1)`
-//!   suffice ([`oblisched_instances::adversarial`] builds those instances and
+//!   suffice (`oblisched_instances::adversarial` builds those instances and
 //!   [`greedy`]/[`power_control`] realise both sides of the gap);
 //! * in the **bidirectional** variant the **square-root assignment**
 //!   `p = √ℓ` is universally good: it always admits a coloring within
 //!   `polylog(n)` of the optimum (Theorem 2), and a randomized polynomial
 //!   time algorithm finds an `O(log n)`-approximate coloring for it
-//!   (Theorem 15, implemented in [`sqrt_coloring`]).
+//!   (Theorem 15, implemented in [`sqrt_coloring`](mod@sqrt_coloring)).
 //!
 //! ## Crate layout
 //!
@@ -27,7 +27,7 @@
 //! | [`greedy`] | baseline | first-fit coloring and greedy one-shot selection for any [`InterferenceSystem`] |
 //! | [`power_control`] | baseline | non-oblivious per-set power optimisation (the "optimal schedule" side of Theorem 1) |
 //! | [`optimal`] | baseline | exact maximum one-shot sets and exact minimum colorings for small instances |
-//! | [`sqrt_coloring`] | §5 | the randomized LP-rounding coloring algorithm for the square-root assignment |
+//! | [`sqrt_coloring`](mod@sqrt_coloring) | §5 | the randomized LP-rounding coloring algorithm for the square-root assignment |
 //! | [`star_analysis`] | §4 | Lemma 5 machinery: decay classes, large/small-loss split, square-root-feasible subsets on stars |
 //! | [`decomposition`] | §3 | metric → tree → star reduction (Lemmas 6–9) and the constructive Theorem 2 pipeline |
 //! | [`convert`] | §6 | simulating bidirectional schedules by directed ones |

@@ -103,13 +103,13 @@ pub fn greedy_with_power_control<M: MetricSpace>(
     let mut classes: Vec<Vec<usize>> = Vec::new();
     let mut class_powers: Vec<Vec<f64>> = Vec::new();
     let mut colors = vec![usize::MAX; n];
-    for i in 0..n {
+    for (i, color) in colors.iter_mut().enumerate() {
         let mut placed = false;
         for (c, class) in classes.iter_mut().enumerate() {
             class.push(i);
             if let Some(powers) = feasible_powers(instance, params, variant, class, config) {
                 class_powers[c] = powers;
-                colors[i] = c;
+                *color = c;
                 placed = true;
                 break;
             }
@@ -119,7 +119,7 @@ pub fn greedy_with_power_control<M: MetricSpace>(
             let class = vec![i];
             let powers = feasible_powers(instance, params, variant, &class, config)
                 .expect("singletons are feasible under some power without noise");
-            colors[i] = classes.len();
+            *color = classes.len();
             classes.push(class);
             class_powers.push(powers);
         }

@@ -83,14 +83,28 @@ pub fn max_supported_n(power: &ObliviousPower, params: &SinrParams) -> usize {
 
 fn fits_in_f64(power: &ObliviousPower, params: &SinrParams, n: usize) -> bool {
     let (lengths, gaps) = construction(power, params, n);
-    let span: f64 = lengths.iter().chain(gaps.iter()).sum();
-    let worst_loss = params.loss(span);
-    let min_length = lengths.iter().copied().fold(f64::INFINITY, f64::min);
-    lengths.iter().all(|v| v.is_finite() && *v > 0.0)
-        && gaps.iter().all(|v| v.is_finite() && *v >= 0.0)
-        && span.is_finite()
-        && worst_loss.is_finite()
-        && params.loss(min_length) > 0.0
+    if !lengths.iter().all(|v| v.is_finite() && *v > 0.0)
+        || !gaps.iter().all(|v| v.is_finite() && *v >= 0.0)
+    {
+        return false;
+    }
+    // Lay the pairs out exactly as `adversarial_for` does and require the
+    // resulting coordinates to stay distinct: once the cursor dwarfs a link
+    // length (shrinking lengths for bounded assignments, exploding gaps for
+    // unbounded ones), `cursor + x` rounds back to `cursor` and the request
+    // would be degenerate.
+    let mut cursor = 0.0_f64;
+    let mut min_length = f64::INFINITY;
+    for i in 0..n {
+        cursor += gaps[i];
+        let end = cursor + lengths[i];
+        if !end.is_finite() || end <= cursor {
+            return false;
+        }
+        min_length = min_length.min(end - cursor);
+        cursor = end;
+    }
+    params.loss(cursor).is_finite() && params.loss(min_length) > 0.0
 }
 
 /// Computes the lengths `x_i` and gaps `y_i` of the construction (without
@@ -102,9 +116,13 @@ fn construction(power: &ObliviousPower, params: &SinrParams, n: usize) -> (Vec<f
     let mut gaps = Vec::with_capacity(n);
     if tau <= 0.0 {
         // Bounded assignment: geometrically shrinking lengths, pairs adjacent
-        // (gap equal to a quarter of the previous length keeps every later
-        // sender within one link length of every earlier receiver).
-        let shrink: f64 = 8.0;
+        // (gap equal to a quarter of the previous length). A later sender sits
+        // at distance at most x_j/4 + 1.25 · x_j/(shrink − 1) from the
+        // receiver of pair j; shrink = 3 keeps that below 0.875 · x_j — within
+        // one link length, so every pair conflicts — while consuming only
+        // log2(3) ≈ 1.6 bits of f64 precision per pair (shrink = 8 would
+        // support barely 18 pairs before coordinates collapse).
+        let shrink: f64 = 3.0;
         for i in 0..n {
             let x = shrink.powi(-(i as i32));
             lengths.push(x);

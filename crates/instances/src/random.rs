@@ -163,7 +163,7 @@ mod tests {
         assert_eq!(inst.len(), 20);
         for i in 0..inst.len() {
             let d = inst.link_distance(i);
-            assert!(d >= 2.0 - 1e-9 && d <= 10.0 + 1e-9, "link length {d} out of range");
+            assert!((2.0 - 1e-9..=10.0 + 1e-9).contains(&d), "link length {d} out of range");
         }
     }
 

@@ -142,13 +142,16 @@ impl LinearProgram {
             tableau[i][n + i] = 1.0;
             tableau[i][cols - 1] = self.rhs[i];
         }
-        for j in 0..n {
-            tableau[m][j] = -self.objective[j];
+        for (cell, c) in tableau[m].iter_mut().zip(&self.objective) {
+            *cell = -c;
         }
         // basis[i] = index of the variable that is basic in row i.
         let mut basis: Vec<usize> = (n..n + m).collect();
 
         let limit = 200 + 50 * (n + m) * (n + m);
+        // Scratch copy of the pivot row, reused across pivots so the
+        // elimination below can update every other row without aliasing.
+        let mut pivot_values = vec![0.0; cols];
         for _ in 0..limit {
             // Bland's rule: entering variable is the lowest-index column with
             // a negative reduced cost.
@@ -196,12 +199,13 @@ impl LinearProgram {
             for value in tableau[pivot_row].iter_mut() {
                 *value /= pivot;
             }
-            for i in 0..=m {
+            pivot_values.copy_from_slice(&tableau[pivot_row]);
+            for (i, row) in tableau.iter_mut().enumerate() {
                 if i != pivot_row {
-                    let factor = tableau[i][entering];
+                    let factor = row[entering];
                     if factor.abs() > 0.0 {
-                        for j in 0..cols {
-                            tableau[i][j] -= factor * tableau[pivot_row][j];
+                        for (value, pivot_value) in row.iter_mut().zip(&pivot_values) {
+                            *value -= factor * pivot_value;
                         }
                     }
                 }

@@ -144,7 +144,7 @@ impl WeightedTree {
         while let Some(u) = stack.pop() {
             order.push(u);
             for &(v, _) in &self.adj[u] {
-                let allowed = active.map_or(true, |a| a[v]);
+                let allowed = active.is_none_or(|a| a[v]);
                 if allowed && !seen[v] {
                     seen[v] = true;
                     stack.push(v);
@@ -183,7 +183,7 @@ impl WeightedTree {
         seen[root] = true;
         while let Some(u) = stack.pop() {
             for &(v, w) in &self.adj[u] {
-                let allowed = active.map_or(true, |a| a[v]);
+                let allowed = active.is_none_or(|a| a[v]);
                 if allowed && !seen[v] {
                     seen[v] = true;
                     dist[v] = dist[u] + w;
@@ -261,7 +261,7 @@ impl WeightedTree {
                 .map(|comp| comp.len())
                 .max()
                 .unwrap_or(0);
-            if best.map_or(true, |(_, b)| largest < b) {
+            if best.is_none_or(|(_, b)| largest < b) {
                 best = Some((c, largest));
             }
         }

@@ -1,0 +1,57 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// An (inclusive-low, exclusive-high) length range for collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    low: usize,
+    high: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self { low: exact, high: exact + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        Self { low: range.start, high: range.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        Self { low: *range.start(), high: *range.end() + 1 }
+    }
+}
+
+/// A strategy for `Vec<T>` with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_one(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.low + 1 == self.size.high {
+            self.size.low
+        } else {
+            rng.gen_range(self.size.low..self.size.high)
+        };
+        (0..len).map(|_| self.element.sample_one(rng)).collect()
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for the subset of [`proptest`](https://crates.io/crates/proptest)
+//! used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the `proptest!` macro, the [`strategy::Strategy`] trait (ranges, tuples,
+//! `prop_map`, `prop_flat_map`), [`collection::vec`], [`arbitrary::any`] and
+//! the `prop_assert*` macros over a deterministic ChaCha8-seeded sampler.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports the case number and message
+//!   only; re-running is deterministic, so the failure reproduces exactly;
+//! * **derandomization is implicit** — every test function derives its RNG
+//!   seed from its own name, so runs are stable across processes with no
+//!   persistence files;
+//! * only the strategy combinators listed above exist.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of real proptest's `prelude::prop` module of strategy factories.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each function's arguments are drawn from the given
+/// strategies for `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample_one(&($strategy), __rng);
+                    )*
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __outcome
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {{
+        // Bind to a bool first so lints about negated partial-ord comparisons
+        // do not fire on the user's expression.
+        let __prop_assert_holds: bool = $cond;
+        if !__prop_assert_holds {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Discards the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.5f64..9.0, n in 3usize..17) {
+            prop_assert!((1.5..9.0).contains(&x));
+            prop_assert!((3..17).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in prop::collection::vec(0u64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0.0f64..1.0, 10usize..20),
+            doubled in (1u64..50).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(pair.0 < 1.0);
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!(doubled < 100);
+        }
+
+        #[test]
+        fn flat_map_uses_inner_value(v in (1usize..5).prop_flat_map(|n| prop::collection::vec(0u64..10, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn exact_length_vec(bits in prop::collection::vec(any::<bool>(), 7)) {
+            prop_assert_eq!(bits.len(), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges_fail")]
+    fn failures_panic_with_test_name() {
+        crate::test_runner::run_cases(
+            &ProptestConfig::with_cases(4),
+            "ranges_fail",
+            |_| Err(TestCaseError::fail("boom")),
+        );
+    }
+}

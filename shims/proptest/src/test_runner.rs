@@ -1,0 +1,100 @@
+//! The case runner: configuration, case errors and the deterministic loop
+//! behind the `proptest!` macro.
+
+use crate::strategy::TestRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion; fails the whole test.
+    Fail(String),
+    /// The case rejected its inputs (`prop_assume!`); skipped, not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fail(msg) => write!(f, "{msg}"),
+            Self::Reject(msg) => write!(f, "rejected: {msg}"),
+        }
+    }
+}
+
+/// Runs `case` for each configured case with a deterministic, per-test RNG.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first failing case.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base_seed = fnv1a(test_name.as_bytes());
+    let mut rejected = 0u32;
+    for index in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(base_seed ^ (u64::from(index) << 32 | 0x5eed));
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                // Mirror proptest's global rejection cap loosely.
+                assert!(
+                    rejected <= config.cases.saturating_mul(16),
+                    "proptest shim: too many rejected cases in {test_name}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed: {test_name}, case {index}/{}: {msg} \
+                     (deterministic: re-running reproduces this case)",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// FNV-1a, used to give every test function its own stable seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

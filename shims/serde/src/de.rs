@@ -1,0 +1,548 @@
+//! Deserialization half of the framework: [`Deserialize`], [`Deserializer`],
+//! the [`Visitor`] protocol and the access traits for compound types.
+
+use std::fmt::{self, Display};
+
+/// Error values produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Creates an error with an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A sequence had the wrong number of elements.
+    fn invalid_length(len: usize, expected: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {}", ExpectedDisplay(expected)))
+    }
+
+    /// A struct was missing an expected field.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// A struct repeated a field.
+    fn duplicate_field(field: &'static str) -> Self {
+        Self::custom(format_args!("duplicate field `{field}`"))
+    }
+
+    /// An enum carried an unknown variant name.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!("unknown variant `{variant}`, expected one of {expected:?}"))
+    }
+}
+
+/// What a [`Visitor`] expected, for error messages.
+pub trait Expected {
+    /// Formats the expectation, e.g. "a sequence of 3 coordinates".
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, T: Visitor<'de>> Expected for T {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+struct ExpectedDisplay<'a>(&'a dyn Expected);
+
+impl Display for ExpectedDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// A data structure that can be deserialized from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format from which the serde data model can be deserialized.
+///
+/// Every `deserialize_*` method defaults to [`Deserializer::deserialize_any`],
+/// which is the only required method; self-describing formats (like the
+/// workspace JSON shim) dispatch on their own value type there.
+pub trait Deserializer<'de>: Sized {
+    /// The error type of the format.
+    type Error: Error;
+
+    /// Deserializes whatever value comes next, driving the visitor.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a boolean.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes a signed integer.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes an unsigned integer.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes a floating point number.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes a string.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes a string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes an optional value.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes a struct with named fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_map(visitor)
+    }
+
+    /// Deserializes an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+
+    /// Deserializes and discards whatever value comes next.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+}
+
+fn unexpected<'de, V: Visitor<'de>, E: Error>(visitor: &V, got: &str) -> E {
+    E::custom(format_args!("invalid type: {got}, expected {}", ExpectedDisplay(visitor)))
+}
+
+/// Drives construction of a value from whatever the format contains.
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Formats a description of what the visitor expects.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Visits a boolean.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "a boolean"))
+    }
+
+    /// Visits a signed integer.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "an integer"))
+    }
+
+    /// Visits an unsigned integer.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "an unsigned integer"))
+    }
+
+    /// Visits a floating point number.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "a floating point number"))
+    }
+
+    /// Visits a borrowed string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(unexpected(&self, "a string"))
+    }
+
+    /// Visits an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits a unit (or null) value.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "unit"))
+    }
+
+    /// Visits a missing optional value.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(unexpected(&self, "none"))
+    }
+
+    /// Visits a present optional value.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(unexpected(&self, "some"))
+    }
+
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(unexpected(&self, "a sequence"))
+    }
+
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(unexpected(&self, "a map"))
+    }
+
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(unexpected(&self, "an enum"))
+    }
+}
+
+/// Element-by-element access to a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    /// The error type of the format.
+    type Error: Error;
+
+    /// Deserializes the next element, or returns `None` at the end.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+    /// The number of remaining elements, if known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry-by-entry access to a map being deserialized.
+pub trait MapAccess<'de> {
+    /// The error type of the format.
+    type Error: Error;
+
+    /// Deserializes the next key, or returns `None` at the end.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>;
+
+    /// Deserializes the value of the entry whose key was just read.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>;
+}
+
+/// Access to the variant name and payload of an enum being deserialized.
+pub trait EnumAccess<'de>: Sized {
+    /// The error type of the format.
+    type Error: Error;
+    /// Gives access to the variant payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Reads the variant name and returns the payload accessor.
+    fn variant(self) -> Result<(String, Self::Variant), Self::Error>;
+}
+
+/// Access to the payload of one specific enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// The error type of the format.
+    type Error: Error;
+
+    /// Confirms the variant carries no payload.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes a single-value payload.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error>;
+}
+
+/// A value that deserializes from anything and stores nothing; used to skip
+/// unknown struct fields.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IgnoredAny;
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IgnoredVisitor;
+
+        impl<'de> Visitor<'de> for IgnoredVisitor {
+            type Value = IgnoredAny;
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("anything")
+            }
+
+            fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+
+            fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+
+            fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+
+            fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+
+            fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+
+            fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+
+            fn visit_none<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<IgnoredAny, D::Error> {
+                d.deserialize_ignored_any(IgnoredVisitor)
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+                while seq.next_element::<IgnoredAny>()?.is_some() {}
+                Ok(IgnoredAny)
+            }
+
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+                while map.next_key::<IgnoredAny>()?.is_some() {
+                    map.next_value::<IgnoredAny>()?;
+                }
+                Ok(IgnoredAny)
+            }
+        }
+
+        deserializer.deserialize_ignored_any(IgnoredVisitor)
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct IntVisitor;
+
+                impl<'de> Visitor<'de> for IntVisitor {
+                    type Value = $t;
+
+                    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        formatter.write_str(concat!("an integer fitting ", stringify!($t)))
+                    }
+
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("integer {v} out of range")))
+                    }
+
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("integer {v} out of range")))
+                    }
+
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$t, E> {
+                        if v.fract() == 0.0 && v >= <$t>::MIN as f64 && v <= <$t>::MAX as f64 {
+                            Ok(v as $t)
+                        } else {
+                            Err(E::custom(format_args!("{v} is not a valid {}", stringify!($t))))
+                        }
+                    }
+                }
+
+                deserializer.deserialize_u64(IntVisitor)
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct FloatVisitor;
+
+                impl<'de> Visitor<'de> for FloatVisitor {
+                    type Value = $t;
+
+                    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        formatter.write_str("a floating point number")
+                    }
+
+                    fn visit_f64<E: Error>(self, v: f64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+
+                    fn visit_u64<E: Error>(self, v: u64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+
+                    fn visit_i64<E: Error>(self, v: i64) -> Result<$t, E> {
+                        Ok(v as $t)
+                    }
+                }
+
+                deserializer.deserialize_f64(FloatVisitor)
+            }
+        }
+    )*};
+}
+
+deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BoolVisitor;
+
+        impl<'de> Visitor<'de> for BoolVisitor {
+            type Value = bool;
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("a boolean")
+            }
+
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+
+        deserializer.deserialize_bool(BoolVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("a string")
+            }
+
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(std::marker::PhantomData<fn() -> T>);
+
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("a sequence")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut values = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(value) = seq.next_element()? {
+                    values.push(value);
+                }
+                Ok(values)
+            }
+        }
+
+        deserializer.deserialize_seq(VecVisitor(std::marker::PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(std::marker::PhantomData<fn() -> T>);
+
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+
+            fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                formatter.write_str("an optional value")
+            }
+
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+
+        deserializer.deserialize_option(OptionVisitor(std::marker::PhantomData))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal: $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct TupleVisitor<$($name),+>(std::marker::PhantomData<fn() -> ($($name,)+)>);
+
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+
+                    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(formatter, "a sequence of {} elements", $len)
+                    }
+
+                    #[allow(non_snake_case)]
+                    fn visit_seq<Acc: SeqAccess<'de>>(
+                        self,
+                        mut seq: Acc,
+                    ) -> Result<Self::Value, Acc::Error> {
+                        let mut index = 0usize;
+                        $(
+                            let $name: $name = seq
+                                .next_element()?
+                                .ok_or_else(|| <Acc::Error as Error>::invalid_length(index, &self))?;
+                            index += 1;
+                        )+
+                        let _ = index;
+                        Ok(($($name,)+))
+                    }
+                }
+
+                deserializer.deserialize_seq(TupleVisitor(std::marker::PhantomData))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (1: T0)
+    (2: T0, T1)
+    (3: T0, T1, T2)
+    (4: T0, T1, T2, T3)
+}

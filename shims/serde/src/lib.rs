@@ -1,0 +1,22 @@
+//! Offline stand-in for the subset of [`serde`](https://crates.io/crates/serde)
+//! used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a small, API-compatible serialization framework: the [`Serialize`] /
+//! [`Deserialize`] traits with a reduced data model (booleans, integers,
+//! floats, strings, options, sequences, maps, structs, and unit/newtype enum
+//! variants), visitor-based deserialization, and derive macros for structs
+//! with named fields and for enums with unit or newtype variants.
+//!
+//! Compared to real serde there is no zero-copy deserialization, no `*_seed`
+//! API, and no `#[serde(...)]` attribute support — none of which the
+//! workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,502 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses:
+//!
+//! * structs with named fields (including type- and const-generic structs),
+//! * enums whose variants are units or carry a single unnamed payload.
+//!
+//! The macro is written against `proc_macro` directly (no `syn`/`quote`,
+//! which are unavailable offline): the item is scanned for its name, generic
+//! parameters and field/variant names, and the generated impls are assembled
+//! as source text. `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, generics: Vec<Param>, fields: Vec<String> },
+    Enum { name: String, generics: Vec<Param>, variants: Vec<(String, bool)> },
+}
+
+/// One generic parameter of the deriving type.
+#[derive(Debug)]
+enum Param {
+    /// A type parameter, e.g. `M`.
+    Type(String),
+    /// A const parameter: (name, type), e.g. `("D", "usize")`.
+    Const(String, String),
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+        }
+    }
+
+    fn generics(&self) -> &[Param] {
+        match self {
+            Item::Struct { generics, .. } | Item::Enum { generics, .. } => generics,
+        }
+    }
+
+    /// `<M: BOUND, const D: usize>` (empty string when not generic). The
+    /// extra `'de` lifetime is prepended by the caller when needed.
+    fn impl_generics(&self, bound: &str) -> String {
+        let params: Vec<String> = self
+            .generics()
+            .iter()
+            .map(|p| match p {
+                Param::Type(name) => format!("{name}: {bound}"),
+                Param::Const(name, ty) => format!("const {name}: {ty}"),
+            })
+            .collect();
+        params.join(", ")
+    }
+
+    /// `<M, D>` (empty string when not generic).
+    fn ty_generics(&self) -> String {
+        if self.generics().is_empty() {
+            String::new()
+        } else {
+            let names: Vec<&str> = self
+                .generics()
+                .iter()
+                .map(|p| match p {
+                    Param::Type(name) | Param::Const(name, _) => name.as_str(),
+                })
+                .collect();
+            format!("<{}>", names.join(", "))
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: TokenStream) -> Self {
+        Self { tokens: input.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            // Outer attribute body: `[...]`.
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Parses `<...>` generic parameters if present.
+    fn parse_generics(&mut self) -> Vec<Param> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+            _ => return Vec::new(),
+        }
+        self.next();
+        let mut depth = 1usize;
+        let mut raw: Vec<TokenTree> = Vec::new();
+        loop {
+            let t = self.next().expect("serde_derive shim: unterminated generics");
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            raw.push(t);
+        }
+
+        let mut params = Vec::new();
+        for group in split_top_level_commas(&raw) {
+            if group.is_empty() {
+                continue;
+            }
+            match &group[0] {
+                TokenTree::Ident(id) if id.to_string() == "const" => {
+                    let name = match &group[1] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => panic!("serde_derive shim: bad const parameter: {other:?}"),
+                    };
+                    // group[2] is the `:`; the rest is the const's type.
+                    let ty: String =
+                        group[3..].iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+                    params.push(Param::Const(name, ty));
+                }
+                TokenTree::Ident(id) => {
+                    if group.len() > 1 {
+                        panic!(
+                            "serde_derive shim: bounds on type parameters are not supported \
+                             (parameter `{id}`)"
+                        );
+                    }
+                    params.push(Param::Type(id.to_string()));
+                }
+                other => panic!(
+                    "serde_derive shim: unsupported generic parameter starting with {other:?}"
+                ),
+            }
+        }
+        params
+    }
+
+    fn parse(mut self) -> Item {
+        self.skip_attributes();
+        self.skip_visibility();
+        let kind = self.expect_ident("`struct` or `enum`");
+        let name = self.expect_ident("type name");
+        let generics = self.parse_generics();
+        let body = match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!(
+                "serde_derive shim: only braced bodies are supported (deriving for `{name}`), \
+                 found {other:?}"
+            ),
+        };
+        match kind.as_str() {
+            "struct" => Item::Struct { name, generics, fields: parse_fields(body) },
+            "enum" => Item::Enum { name, generics, variants: parse_variants(body) },
+            other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+        }
+    }
+}
+
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(t.clone());
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+/// Extracts field names from the body of a braced struct.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut p = Parser::new(body);
+    let mut fields = Vec::new();
+    loop {
+        p.skip_attributes();
+        if p.at_end() {
+            break;
+        }
+        p.skip_visibility();
+        let name = p.expect_ident("field name");
+        match p.next() {
+            Some(TokenTree::Punct(pt)) if pt.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type, stopping at a top-level comma.
+        let mut angle_depth = 0usize;
+        loop {
+            match p.next() {
+                None => break,
+                Some(TokenTree::Punct(pt)) => match pt.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts `(name, has_payload)` pairs from the body of an enum.
+fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
+    let mut p = Parser::new(body);
+    let mut variants = Vec::new();
+    loop {
+        p.skip_attributes();
+        if p.at_end() {
+            break;
+        }
+        let name = p.expect_ident("variant name");
+        let mut has_payload = false;
+        if let Some(TokenTree::Group(g)) = p.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let parts = split_top_level_commas(&inner);
+                    if parts.len() != 1 {
+                        panic!(
+                            "serde_derive shim: variant `{name}` has {} payload fields; only \
+                             newtype variants are supported",
+                            parts.len()
+                        );
+                    }
+                    has_payload = true;
+                    p.next();
+                }
+                Delimiter::Brace => {
+                    panic!("serde_derive shim: struct variants (`{name}`) are not supported")
+                }
+                _ => {}
+            }
+        }
+        variants.push((name, has_payload));
+        // Skip anything up to the separating comma (e.g. discriminants).
+        loop {
+            match p.next() {
+                None => break,
+                Some(TokenTree::Punct(pt)) if pt.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+    }
+    variants
+}
+
+fn wrap_impl_generics(inner: &str, extra_first: Option<&str>) -> String {
+    match (extra_first, inner.is_empty()) {
+        (None, true) => String::new(),
+        (None, false) => format!("<{inner}>"),
+        (Some(extra), true) => format!("<{extra}>"),
+        (Some(extra), false) => format!("<{extra}, {inner}>"),
+    }
+}
+
+/// Derives the workspace `serde::Serialize` for structs with named fields and
+/// unit/newtype enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Parser::new(input).parse();
+    let name = item.name();
+    let impl_generics = wrap_impl_generics(&item.impl_generics("::serde::Serialize"), None);
+    let ty_generics = item.ty_generics();
+
+    let body = match &item {
+        Item::Struct { fields, .. } => {
+            let mut code = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(__serializer, \
+                 \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for field in fields {
+                code.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{field}\", \
+                     &self.{field})?;\n"
+                ));
+            }
+            code.push_str("::serde::ser::SerializeStruct::end(__state)\n");
+            code
+        }
+        Item::Enum { variants, .. } => {
+            let mut arms = String::new();
+            for (index, (variant, has_payload)) in variants.iter().enumerate() {
+                if *has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{variant}(ref __value) => \
+                         ::serde::Serializer::serialize_newtype_variant(__serializer, \
+                         \"{name}\", {index}u32, \"{variant}\", __value),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{variant} => \
+                         ::serde::Serializer::serialize_unit_variant(__serializer, \
+                         \"{name}\", {index}u32, \"{variant}\"),\n"
+                    ));
+                }
+            }
+            format!("match *self {{\n{arms}}}\n")
+        }
+    };
+
+    let output = format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    );
+    output.parse().expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives the workspace `serde::Deserialize` for structs with named fields
+/// and unit/newtype enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Parser::new(input).parse();
+    let name = item.name();
+    let inner = item.impl_generics("::serde::Deserialize<'de>");
+    let impl_generics = wrap_impl_generics(&inner, Some("'de"));
+    let visitor_decl_generics = {
+        let params: Vec<String> = item
+            .generics()
+            .iter()
+            .map(|p| match p {
+                Param::Type(n) => n.clone(),
+                Param::Const(n, ty) => format!("const {n}: {ty}"),
+            })
+            .collect();
+        if params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", params.join(", "))
+        }
+    };
+    let ty_generics = item.ty_generics();
+    let phantom_ty = format!("::std::marker::PhantomData<fn() -> {name}{ty_generics}>");
+
+    let (visit_method, driver) = match &item {
+        Item::Struct { fields, .. } => {
+            let mut decls = String::new();
+            let mut arms = String::new();
+            let mut build = String::new();
+            for (index, field) in fields.iter().enumerate() {
+                decls.push_str(&format!("let mut __field{index} = ::std::option::Option::None;\n"));
+                arms.push_str(&format!(
+                    "\"{field}\" => {{ __field{index} = \
+                     ::std::option::Option::Some(__map.next_value()?); }}\n"
+                ));
+                build.push_str(&format!(
+                    "{field}: match __field{index} {{\n\
+                     ::std::option::Option::Some(__v) => __v,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                     <__A::Error as ::serde::de::Error>::missing_field(\"{field}\")),\n}},\n"
+                ));
+            }
+            let visit = format!(
+                "fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                 -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 {decls}\
+                 while let ::std::option::Option::Some(__key) = \
+                 __map.next_key::<::std::string::String>()? {{\n\
+                 match __key.as_str() {{\n\
+                 {arms}\
+                 _ => {{ let _ = __map.next_value::<::serde::de::IgnoredAny>()?; }}\n\
+                 }}\n}}\n\
+                 ::std::result::Result::Ok({name} {{\n{build}}})\n}}\n"
+            );
+            let field_list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            let driver = format!(
+                "::serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", \
+                 &[{}], __Visitor(::std::marker::PhantomData))",
+                field_list.join(", ")
+            );
+            (visit, driver)
+        }
+        Item::Enum { variants, .. } => {
+            let mut arms = String::new();
+            for (variant, has_payload) in variants {
+                if *has_payload {
+                    arms.push_str(&format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}(\
+                         ::serde::de::VariantAccess::newtype_variant(__payload)?)),\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "\"{variant}\" => {{ \
+                         ::serde::de::VariantAccess::unit_variant(__payload)?; \
+                         ::std::result::Result::Ok({name}::{variant}) }}\n"
+                    ));
+                }
+            }
+            let variant_list: Vec<String> =
+                variants.iter().map(|(v, _)| format!("\"{v}\"")).collect();
+            let variant_list = variant_list.join(", ");
+            let visit = format!(
+                "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) \
+                 -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__variant, __payload) = ::serde::de::EnumAccess::variant(__data)?;\n\
+                 match __variant.as_str() {{\n\
+                 {arms}\
+                 __other => ::std::result::Result::Err(\
+                 <__A::Error as ::serde::de::Error>::unknown_variant(__other, \
+                 &[{variant_list}])),\n}}\n}}\n"
+            );
+            let driver = format!(
+                "::serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", \
+                 &[{variant_list}], __Visitor(::std::marker::PhantomData))"
+            );
+            (visit, driver)
+        }
+    };
+
+    let output = format!(
+        "impl{impl_generics} ::serde::Deserialize<'de> for {name}{ty_generics} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         struct __Visitor{visitor_decl_generics}({phantom_ty});\n\
+         impl{impl_generics} ::serde::de::Visitor<'de> for __Visitor{ty_generics} {{\n\
+         type Value = {name}{ty_generics};\n\
+         fn expecting(&self, __formatter: &mut ::std::fmt::Formatter<'_>) \
+         -> ::std::fmt::Result {{\n\
+         __formatter.write_str(\"{kind} {name}\")\n}}\n\
+         {visit_method}\
+         }}\n\
+         {driver}\n\
+         }}\n}}\n",
+        kind = match &item {
+            Item::Struct { .. } => "struct",
+            Item::Enum { .. } => "enum",
+        },
+    );
+    output.parse().expect("serde_derive shim: generated invalid Deserialize impl")
+}

@@ -1,0 +1,296 @@
+//! The owned JSON [`Value`] tree plus the bridges to the workspace `serde`
+//! shim: a serializer building values and a deserializer consuming them.
+
+use crate::Error;
+use serde::de::{self, Visitor};
+use serde::ser;
+use serde::{Deserialize, Serialize, Serializer};
+
+/// An owned JSON value.
+///
+/// Object entries keep insertion order (duplicate keys are kept as parsed;
+/// lookups during deserialization see the entries in order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key–value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// Serializes any `Serialize` value into a [`Value`] tree.
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+pub struct ValueSerializer;
+
+pub struct SeqSerializer {
+    items: Vec<Value>,
+}
+
+pub struct StructSerializer {
+    entries: Vec<(String, Value)>,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqSerializer;
+    type SerializeStruct = StructSerializer;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(v as f64))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(v as f64))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        if v.is_finite() {
+            Ok(Value::Number(v))
+        } else {
+            Err(Error::new(format!("cannot serialize non-finite float {v} as JSON")))
+        }
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_owned()))
+    }
+
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(ValueSerializer)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqSerializer, Error> {
+        Ok(SeqSerializer { items: Vec::with_capacity(len.unwrap_or(0)) })
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<StructSerializer, Error> {
+        Ok(StructSerializer { entries: Vec::with_capacity(len) })
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_owned()))
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        let payload = value.serialize(ValueSerializer)?;
+        Ok(Value::Object(vec![(variant.to_owned(), payload)]))
+    }
+}
+
+impl ser::SerializeSeq for SeqSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+impl ser::SerializeStruct for StructSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries.push((key.to_owned(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.entries))
+    }
+}
+
+/// Deserializer that consumes an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> de::Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(b),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&n) {
+                    visitor.visit_u64(n as u64)
+                } else if n.fract() == 0.0 && (i64::MIN as f64..0.0).contains(&n) {
+                    visitor.visit_i64(n as i64)
+                } else {
+                    visitor.visit_f64(n)
+                }
+            }
+            Value::String(s) => visitor.visit_string(s),
+            Value::Array(items) => visitor.visit_seq(SeqAccess { iter: items.into_iter() }),
+            Value::Object(entries) => {
+                visitor.visit_map(MapAccess { iter: entries.into_iter(), value: None })
+            }
+        }
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Number(n) => visitor.visit_f64(n),
+            other => ValueDeserializer(other).deserialize_any(visitor),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::Null => visitor.visit_none(),
+            other => visitor.visit_some(ValueDeserializer(other)),
+        }
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        match self.0 {
+            Value::String(variant) => visitor.visit_enum(EnumAccess { variant, payload: None }),
+            Value::Object(mut entries) => {
+                if entries.len() != 1 {
+                    return Err(Error::new(format!(
+                        "expected single-entry object for enum {name}, found {} entries",
+                        entries.len()
+                    )));
+                }
+                let (variant, payload) = entries.pop().expect("len checked above");
+                visitor.visit_enum(EnumAccess { variant, payload: Some(payload) })
+            }
+            other => Err(Error::new(format!(
+                "expected string or object for enum {name}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_unit()
+    }
+}
+
+struct SeqAccess {
+    iter: std::vec::IntoIter<Value>,
+}
+
+impl<'de> de::SeqAccess<'de> for SeqAccess {
+    type Error = Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        match self.iter.next() {
+            Some(v) => T::deserialize(ValueDeserializer(v)).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct MapAccess {
+    iter: std::vec::IntoIter<(String, Value)>,
+    value: Option<Value>,
+}
+
+impl<'de> de::MapAccess<'de> for MapAccess {
+    type Error = Error;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Error> {
+        match self.iter.next() {
+            Some((key, value)) => {
+                self.value = Some(value);
+                K::deserialize(ValueDeserializer(Value::String(key))).map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Error> {
+        let value = self.value.take().ok_or_else(|| Error::new("next_value before next_key"))?;
+        V::deserialize(ValueDeserializer(value))
+    }
+}
+
+struct EnumAccess {
+    variant: String,
+    payload: Option<Value>,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumAccess {
+    type Error = Error;
+    type Variant = VariantAccess;
+
+    fn variant(self) -> Result<(String, VariantAccess), Error> {
+        Ok((self.variant, VariantAccess { payload: self.payload }))
+    }
+}
+
+struct VariantAccess {
+    payload: Option<Value>,
+}
+
+impl<'de> de::VariantAccess<'de> for VariantAccess {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<(), Error> {
+        match self.payload {
+            None | Some(Value::Null) => Ok(()),
+            Some(other) => {
+                Err(Error::new(format!("unexpected payload {other:?} for unit variant")))
+            }
+        }
+    }
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Error> {
+        match self.payload {
+            Some(v) => T::deserialize(ValueDeserializer(v)),
+            None => Err(Error::new("missing payload for newtype variant")),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! JSON text output, compact or pretty-printed.
+
+use crate::Value;
+use std::fmt::Write as _;
+
+/// Renders a [`Value`] as JSON text. `indent` of `None` is compact output;
+/// `Some(n)` pretty-prints with `n`-space indentation.
+pub fn write(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, indent, 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            // `{}` on f64 is the shortest representation that round-trips.
+            write!(out, "{n}").expect("writing to a String cannot fail");
+            // Distinguish floats that happen to be integral? JSON does not
+            // care: `1` and `1.0` denote the same number.
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_compound(out, indent, level, b'[', items.len(), |out, i| {
+            write_value(out, &items[i], indent, level + 1)
+        }),
+        Value::Object(entries) => {
+            write_compound(out, indent, level, b'{', entries.len(), |out, i| {
+                let (key, value) = &entries[i];
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, indent, level + 1);
+            })
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: u8,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    let close = if open == b'[' { ']' } else { '}' };
+    out.push(open as char);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(n) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', n * (level + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(n) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', n * level));
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
