@@ -11,6 +11,19 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> engine property + integration + golden tests (release)"
+# The workspace test run above already includes these in debug mode; the
+# release pass exercises the same code the benches measure (fast-math-free
+# release codegen) on the suites that pin the engine's exact equivalence.
+cargo test -q --release -p oblisched_sinr --test properties
+cargo test -q --release -p oblisched-suite --test scheduler_families --test golden_schedules
+
+echo "==> scaling bench (smoke mode)"
+# Runs the engine-vs-naive speedup check end to end on small sizes so a
+# regression in the hot path (or a divergence between the engine and the
+# naive evaluator) fails the pipeline without the multi-minute full bench.
+SCALING_SMOKE=1 cargo bench -p oblisched_bench --bench scaling
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 

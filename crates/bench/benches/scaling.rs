@@ -1,0 +1,131 @@
+//! Scaling benchmark: first-fit coloring on the incremental interference
+//! engine vs the naive `O(class²)`-per-query evaluator path.
+//!
+//! This is the measurement behind the engine's reason to exist: identical
+//! colorings, an order of magnitude (and asymptotically more) less time.
+//!
+//! * `first_fit_incremental/*` — the engine path (on-the-fly contributions)
+//!   across growing `n`,
+//! * `first_fit_matrix/*` — the engine path with the pre-computed
+//!   [`GainMatrix`] (build time included),
+//! * `first_fit_naive/*` — the naive baseline, restricted to sizes where it
+//!   terminates in reasonable time,
+//! * `speedup-check` — the acceptance measurement: one timed run of both
+//!   paths on the seed-pinned `n = 5000` uniform deployment, asserting the
+//!   colorings are identical and reporting the speedup factor.
+//!
+//! Set `SCALING_SMOKE=1` to shrink every size for CI: the same code paths
+//! run (so hot-path regressions still fail the pipeline) without the
+//! multi-second naive baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblisched::{first_fit_coloring, first_fit_coloring_naive};
+use oblisched_instances::{scaling_line, scaling_uniform};
+use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+fn smoke() -> bool {
+    std::env::var_os("SCALING_SMOKE").is_some()
+}
+
+fn params() -> SinrParams {
+    SinrParams::new(3.0, 1.0).unwrap()
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let p = params();
+    let sizes: &[usize] = if smoke() { &[100, 200] } else { &[500, 1000, 2000, 5000] };
+    let mut group = c.benchmark_group("first_fit_incremental");
+    group.sample_size(5);
+    for &n in sizes {
+        let inst = scaling_uniform(n, SEED);
+        let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        group.bench_with_input(BenchmarkId::new("uniform", n), &view, |b, v| {
+            b.iter(|| black_box(first_fit_coloring(v)))
+        });
+    }
+    for &n in sizes {
+        let inst = scaling_line(n);
+        let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        group.bench_with_input(BenchmarkId::new("line", n), &view, |b, v| {
+            b.iter(|| black_box(first_fit_coloring(v)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let p = params();
+    // The matrix is O(n²) memory, so it only covers the moderate sizes.
+    let sizes: &[usize] = if smoke() { &[100, 200] } else { &[500, 1000, 2000] };
+    let mut group = c.benchmark_group("first_fit_matrix");
+    group.sample_size(5);
+    for &n in sizes {
+        let inst = scaling_uniform(n, SEED);
+        let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        group.bench_with_input(BenchmarkId::new("uniform", n), &view, |b, v| {
+            b.iter(|| black_box(first_fit_coloring(&v.cached())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let p = params();
+    let sizes: &[usize] = if smoke() { &[100, 200] } else { &[500, 1000] };
+    let mut group = c.benchmark_group("first_fit_naive");
+    group.sample_size(2);
+    for &n in sizes {
+        let inst = scaling_uniform(n, SEED);
+        let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        group.bench_with_input(BenchmarkId::new("uniform", n), &view, |b, v| {
+            b.iter(|| black_box(first_fit_coloring_naive(v)))
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance measurement: first-fit on the seed-pinned uniform
+/// deployment, naive vs incremental, identical colorings required.
+fn speedup_check(_c: &mut Criterion) {
+    let n = if smoke() { 300 } else { 5000 };
+    let p = params();
+    let inst = scaling_uniform(n, SEED);
+    let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+    let view = eval.view(Variant::Bidirectional);
+
+    let start = Instant::now();
+    let incremental = first_fit_coloring(&view);
+    let t_incremental = start.elapsed();
+
+    let start = Instant::now();
+    let naive = first_fit_coloring_naive(&view);
+    let t_naive = start.elapsed();
+
+    assert_eq!(
+        incremental, naive,
+        "incremental and naive first-fit colorings diverged on the seed-pinned instance"
+    );
+    let speedup = t_naive.as_secs_f64() / t_incremental.as_secs_f64().max(1e-12);
+    println!(
+        "scaling/speedup-check uniform n={n}: naive {t_naive:?}, incremental \
+         {t_incremental:?}, speedup {speedup:.1}x, colors {} (identical)",
+        incremental.num_colors()
+    );
+    if !smoke() {
+        assert!(
+            speedup >= 10.0,
+            "incremental first-fit must be >= 10x faster than naive at n={n}, got {speedup:.1}x"
+        );
+    }
+}
+
+criterion_group!(benches, bench_incremental, bench_matrix, bench_naive, speedup_check);
+criterion_main!(benches);

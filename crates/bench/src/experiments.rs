@@ -1,4 +1,5 @@
-//! The experiments E1–E8: one per quantitative claim of the paper.
+//! The experiments E1–E9: one per quantitative claim of the paper, plus the
+//! E9 scaling measurement of the incremental interference engine.
 
 use crate::table::Table;
 use oblisched::scheduler::Scheduler;
@@ -41,6 +42,9 @@ pub enum Experiment {
     /// §6: directed simulation of bidirectional schedules and the
     /// energy/colors trade-off of oblivious assignments.
     E8,
+    /// Scaling: first-fit wall time and colors, incremental engine vs the
+    /// naive evaluator, across growing n (identical colorings asserted).
+    E9,
 }
 
 impl Experiment {
@@ -55,6 +59,7 @@ impl Experiment {
             "e6" => Some(Experiment::E6),
             "e7" => Some(Experiment::E7),
             "e8" => Some(Experiment::E8),
+            "e9" => Some(Experiment::E9),
             _ => None,
         }
     }
@@ -71,6 +76,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         Experiment::E6,
         Experiment::E7,
         Experiment::E8,
+        Experiment::E9,
     ]
 }
 
@@ -85,6 +91,7 @@ pub fn run_experiment(exp: Experiment) -> Table {
         Experiment::E6 => e6_star_fraction(),
         Experiment::E7 => e7_tree_embeddings(),
         Experiment::E8 => e8_directed_simulation_and_energy(),
+        Experiment::E9 => e9_scaling_engine(),
     }
 }
 
@@ -435,6 +442,75 @@ pub fn e8_directed_simulation_and_energy() -> Table {
     table
 }
 
+/// E9 — scaling: the incremental interference engine vs the naive evaluator.
+///
+/// Runs first-fit on the seed-pinned scaling families across growing `n`,
+/// recording colors and wall time for both paths (the naive path is skipped
+/// beyond `n = 1000`, where it takes minutes). Where both run, the colorings
+/// are asserted identical — the engine's exact-equivalence guarantee,
+/// measured rather than assumed. The full `n = 5000` acceptance measurement
+/// lives in the `scaling` criterion bench.
+pub fn e9_scaling_engine() -> Table {
+    /// Naive first-fit is cubic-ish in practice; skip it above this size.
+    const NAIVE_LIMIT: usize = 1000;
+    let p = params();
+    let mut table = Table::new(
+        "E9",
+        "Scaling: first-fit colors and wall time, incremental engine vs naive evaluator (sqrt, bidirectional)",
+        vec!["family", "n", "colors", "engine ms", "naive ms", "speedup"],
+    );
+    let mut run_row = |family: &str, instance_colors: (usize, Schedule, f64, Option<(Schedule, f64)>)| {
+        let (n, engine, engine_ms, naive) = instance_colors;
+        let (naive_ms, speedup) = match &naive {
+            Some((schedule, ms)) => {
+                assert_eq!(
+                    schedule, &engine,
+                    "incremental and naive colorings diverged on {family} n={n}"
+                );
+                (format!("{ms:.1}"), format!("{:.1}x", ms / engine_ms.max(1e-9)))
+            }
+            None => ("-".to_string(), "-".to_string()),
+        };
+        table.push_row(vec![
+            family.to_string(),
+            n.to_string(),
+            engine.num_colors().to_string(),
+            format!("{engine_ms:.1}"),
+            naive_ms,
+            speedup,
+        ]);
+    };
+
+    let time_first_fit = |view: &dyn Fn() -> Schedule| -> (Schedule, f64) {
+        let start = std::time::Instant::now();
+        let schedule = view();
+        (schedule, start.elapsed().as_secs_f64() * 1e3)
+    };
+
+    for &n in &[200usize, 500, 1000, 2000, 5000] {
+        let instance = oblisched_instances::scaling_uniform(n, 42);
+        let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let (engine, engine_ms) = time_first_fit(&|| first_fit_coloring(&view));
+        let naive = (n <= NAIVE_LIMIT)
+            .then(|| time_first_fit(&|| oblisched::first_fit_coloring_naive(&view)));
+        run_row("uniform", (n, engine, engine_ms, naive));
+    }
+    for &n in &[200usize, 500, 2000] {
+        let instance = oblisched_instances::scaling_line(n);
+        let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let (engine, engine_ms) = time_first_fit(&|| first_fit_coloring(&view));
+        let naive = (n <= 500)
+            .then(|| time_first_fit(&|| oblisched::first_fit_coloring_naive(&view)));
+        run_row("line", (n, engine, engine_ms, naive));
+    }
+    table.push_note("seed-pinned instances (seed 42); '-' marks sizes where the naive baseline is skipped");
+    table.push_note("where both paths run the colorings are asserted identical (exact-equivalence guarantee)");
+    table.push_note("the n=5000 >=10x acceptance measurement is the `scaling` criterion bench's speedup-check");
+    table
+}
+
 /// Validates a schedule against an instance/power pair — used by the harness
 /// to double-check each experiment's artefacts before reporting.
 pub fn check_schedule<M: MetricSpace>(
@@ -455,8 +531,9 @@ mod tests {
     fn experiment_ids_parse() {
         assert_eq!(Experiment::parse("e1"), Some(Experiment::E1));
         assert_eq!(Experiment::parse("E8"), Some(Experiment::E8));
-        assert_eq!(Experiment::parse("e9"), None);
-        assert_eq!(all_experiments().len(), 8);
+        assert_eq!(Experiment::parse("e9"), Some(Experiment::E9));
+        assert_eq!(Experiment::parse("e10"), None);
+        assert_eq!(all_experiments().len(), 9);
     }
 
     #[test]
@@ -490,6 +567,19 @@ mod tests {
             let fraction: f64 = row[3].parse().unwrap();
             assert!((0.0..=1.0).contains(&fraction));
         }
+    }
+
+    #[test]
+    fn scaling_experiment_reports_identical_colors_and_speedups() {
+        // Keep this test cheap: run the real experiment shape on a small
+        // instance rather than the full E9 sizes.
+        let p = params();
+        let instance = oblisched_instances::scaling_uniform(120, 42);
+        let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let engine = first_fit_coloring(&view);
+        let naive = oblisched::first_fit_coloring_naive(&view);
+        assert_eq!(engine, naive);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! The paper *Oblivious Interference Scheduling* is a theory paper without an
 //! experimental section; its "evaluation" is the set of quantitative claims
 //! made by its theorems. This crate regenerates each of those claims as a
-//! table (experiments E1–E8, see `DESIGN.md` and `EXPERIMENTS.md`), plus
-//! criterion micro-benchmarks of the computational kernels.
+//! table (experiments E1–E8, see `DESIGN.md` and `EXPERIMENTS.md`), plus the
+//! E9 scaling measurement of the incremental interference engine and
+//! criterion micro-benchmarks of the computational kernels (including the
+//! `scaling` bench comparing the engine against the naive evaluator).
 //!
 //! Run all experiments with
 //! `cargo run -p oblisched_bench --bin experiments --release`, or a single one

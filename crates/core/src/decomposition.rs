@@ -20,7 +20,11 @@
 //! our star step is constructive, the whole pipeline below is an executable
 //! algorithm. Every color class it emits is certified by the exact SINR
 //! checker, so the schedules are always valid; the `polylog(n)` *quality* is
-//! what experiment E4 measures.
+//! what experiment E4 measures. The per-round certification and greedy
+//! maximisation steps run on the incremental interference engine (the
+//! node-loss evaluator implements
+//! [`oblisched_sinr::IncrementalSystem`]), keeping rounds `O(set)` per
+//! admission test.
 
 use crate::star_analysis::star_sqrt_subset;
 use oblisched_metric::{

@@ -5,21 +5,30 @@
 //! its own slot is always feasible without noise, so first-fit never does
 //! worse). It is also the workhorse that turns any "large feasible subset"
 //! primitive into a full coloring.
+//!
+//! All greedy procedures here run on the incremental engine
+//! ([`oblisched_sinr::engine`]): every "does this item fit into this class"
+//! query is answered from per-class running interference sums in
+//! `O(class size)` contributions instead of the naive `O(class size²)`
+//! recomputation. The sums are folded in the same order as the naive path,
+//! so the results are **bit-for-bit identical**; the naive implementations
+//! are kept as [`first_fit_coloring_naive`] / [`first_fit_with_order_naive`]
+//! for baseline benchmarking and equivalence testing.
 
-use oblisched_sinr::{InterferenceSystem, Schedule};
+use oblisched_sinr::{ColorAccumulator, IncrementalSystem, InterferenceSystem, Schedule};
 
-/// First-fit coloring in index order.
+/// First-fit coloring in index order, on the incremental engine.
 ///
 /// Each item is placed into the first existing color class that remains
 /// feasible (at the system's gain) after adding it; if no class accepts the
 /// item, a new color is opened. Singletons without noise are always feasible,
 /// so the result covers every item.
-pub fn first_fit_coloring<S: InterferenceSystem>(system: &S) -> Schedule {
+pub fn first_fit_coloring<S: IncrementalSystem>(system: &S) -> Schedule {
     let order: Vec<usize> = (0..system.len()).collect();
     first_fit_with_order(system, &order)
 }
 
-/// First-fit coloring in a caller-chosen order.
+/// First-fit coloring in a caller-chosen order, on the incremental engine.
 ///
 /// Orderings matter in practice: processing requests by decreasing length
 /// usually saves colors because long (fragile) links get first pick of the
@@ -28,14 +37,50 @@ pub fn first_fit_coloring<S: InterferenceSystem>(system: &S) -> Schedule {
 /// # Panics
 ///
 /// Panics if `order` is not a permutation of `0..system.len()`.
-pub fn first_fit_with_order<S: InterferenceSystem>(system: &S, order: &[usize]) -> Schedule {
+pub fn first_fit_with_order<S: IncrementalSystem>(system: &S, order: &[usize]) -> Schedule {
     let n = system.len();
-    assert_eq!(order.len(), n, "order must cover every item exactly once");
-    let mut seen = vec![false; n];
+    assert_order_is_permutation(n, order);
+
+    let mut classes: Vec<ColorAccumulator<'_, S>> = Vec::new();
+    let mut colors = vec![usize::MAX; n];
     for &i in order {
-        assert!(i < n && !seen[i], "order must be a permutation of 0..n");
-        seen[i] = true;
+        let mut placed = false;
+        for (c, class) in classes.iter_mut().enumerate() {
+            if class.try_insert(i) {
+                colors[i] = c;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            let mut class = ColorAccumulator::new(system);
+            class.insert_unchecked(i);
+            colors[i] = classes.len();
+            classes.push(class);
+        }
     }
+    Schedule::new(colors)
+}
+
+/// The naive `O(class²)`-per-query first-fit coloring, kept as the reference
+/// the incremental engine is benchmarked and property-tested against.
+pub fn first_fit_coloring_naive<S: InterferenceSystem>(system: &S) -> Schedule {
+    let order: Vec<usize> = (0..system.len()).collect();
+    first_fit_with_order_naive(system, &order)
+}
+
+/// Naive counterpart of [`first_fit_with_order`]; identical results, without
+/// the incremental engine.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..system.len()`.
+pub fn first_fit_with_order_naive<S: InterferenceSystem>(
+    system: &S,
+    order: &[usize],
+) -> Schedule {
+    let n = system.len();
+    assert_order_is_permutation(n, order);
 
     let mut classes: Vec<Vec<usize>> = Vec::new();
     let mut colors = vec![usize::MAX; n];
@@ -58,6 +103,20 @@ pub fn first_fit_with_order<S: InterferenceSystem>(system: &S, order: &[usize]) 
     Schedule::new(colors)
 }
 
+/// Shared order contract of the first-fit variants.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..n`.
+fn assert_order_is_permutation(n: usize, order: &[usize]) {
+    assert_eq!(order.len(), n, "order must cover every item exactly once");
+    let mut seen = vec![false; n];
+    for &i in order {
+        assert!(i < n && !seen[i], "order must be a permutation of 0..n");
+        seen[i] = true;
+    }
+}
+
 /// Greedily builds one large feasible set ("one shot") from `candidates`,
 /// considering them in the given order and keeping an item whenever the set
 /// stays feasible.
@@ -65,15 +124,12 @@ pub fn first_fit_with_order<S: InterferenceSystem>(system: &S, order: &[usize]) 
 /// The returned set is always feasible at the system's gain; its size is the
 /// greedy counterpart of the quantity `σ` (the maximum number of requests
 /// schedulable with one color) that §5 approximates.
-pub fn greedy_one_shot<S: InterferenceSystem>(system: &S, candidates: &[usize]) -> Vec<usize> {
-    let mut kept: Vec<usize> = Vec::new();
+pub fn greedy_one_shot<S: IncrementalSystem>(system: &S, candidates: &[usize]) -> Vec<usize> {
+    let mut kept = ColorAccumulator::new(system);
     for &i in candidates {
-        kept.push(i);
-        if !system.is_feasible(&kept) {
-            kept.pop();
-        }
+        let _ = kept.try_insert(i);
     }
-    kept
+    kept.members().to_vec()
 }
 
 /// Extends an already feasible set `base` by greedily adding further
@@ -82,22 +138,19 @@ pub fn greedy_one_shot<S: InterferenceSystem>(system: &S, candidates: &[usize]) 
 /// Used by the LP-based and decomposition-based schedulers to make every
 /// color class maximal, which never hurts and often saves colors on small
 /// instances.
-pub fn greedy_augment<S: InterferenceSystem>(
+pub fn greedy_augment<S: IncrementalSystem>(
     system: &S,
     base: Vec<usize>,
     candidates: &[usize],
 ) -> Vec<usize> {
-    let mut kept = base;
+    let mut kept = ColorAccumulator::with_members(system, &base);
     for &i in candidates {
-        if kept.contains(&i) {
+        if kept.contains(i) {
             continue;
         }
-        kept.push(i);
-        if !system.is_feasible(&kept) {
-            kept.pop();
-        }
+        let _ = kept.try_insert(i);
     }
-    kept
+    kept.members().to_vec()
 }
 
 #[cfg(test)]
@@ -210,6 +263,34 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), augmented.len());
+    }
+
+    #[test]
+    fn incremental_first_fit_matches_naive_exactly() {
+        let inst = nested_chain(12, 2.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = inst.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                assert_eq!(first_fit_coloring(&view), first_fit_coloring_naive(&view));
+                let order: Vec<usize> = (0..12).rev().collect();
+                assert_eq!(
+                    first_fit_with_order(&view, &order),
+                    first_fit_with_order_naive(&view, &order)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_first_fit_matches_naive_on_cached_matrix() {
+        let inst = nested_chain(10, 2.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let matrix = view.cached();
+        assert_eq!(first_fit_coloring(&matrix), first_fit_coloring_naive(&view));
     }
 
     #[test]

@@ -22,9 +22,16 @@
 //!
 //! ## Crate layout
 //!
+//! All coloring algorithms run on the **incremental interference engine** of
+//! [`oblisched_sinr::engine`]: per-color running interference sums answer the
+//! "can request *i* join color *c*" query in `O(|c|)` contributions (with an
+//! optional cached gain matrix below a memory budget), while agreeing
+//! bit-for-bit with the naive evaluator — the naive first-fit is kept as
+//! [`first_fit_coloring_naive`] for baseline benchmarking.
+//!
 //! | module | paper section | contents |
 //! |--------|---------------|----------|
-//! | [`greedy`] | baseline | first-fit coloring and greedy one-shot selection for any [`InterferenceSystem`] |
+//! | [`greedy`] | baseline | first-fit coloring and greedy one-shot selection on the incremental engine |
 //! | [`power_control`] | baseline | non-oblivious per-set power optimisation (the "optimal schedule" side of Theorem 1) |
 //! | [`optimal`] | baseline | exact maximum one-shot sets and exact minimum colorings for small instances |
 //! | [`sqrt_coloring`](mod@sqrt_coloring) | §5 | the randomized LP-rounding coloring algorithm for the square-root assignment |
@@ -66,7 +73,10 @@ pub mod star_analysis;
 
 pub use convert::directed_simulation;
 pub use decomposition::{sqrt_feasible_nodes, sqrt_schedule_via_decomposition, DecompositionConfig};
-pub use greedy::{first_fit_coloring, first_fit_with_order, greedy_augment, greedy_one_shot};
+pub use greedy::{
+    first_fit_coloring, first_fit_coloring_naive, first_fit_with_order,
+    first_fit_with_order_naive, greedy_augment, greedy_one_shot,
+};
 pub use optimal::{exact_chromatic_number, exact_max_one_shot};
 pub use power_control::{feasible_powers, greedy_with_power_control, PowerControlConfig};
 pub use scheduler::{ScheduleResult, Scheduler};

@@ -79,8 +79,10 @@ pub fn exact_chromatic_number<S: InterferenceSystem>(system: &S) -> (usize, Sche
     if n == 0 {
         return (0, Schedule::new(vec![]));
     }
-    // Upper bound from greedy first-fit.
-    let greedy = crate::greedy::first_fit_coloring(system);
+    // Upper bound from greedy first-fit (the naive path keeps these exact
+    // routines available to any plain `InterferenceSystem`; at the exact
+    // limit of 20 items the difference is irrelevant).
+    let greedy = crate::greedy::first_fit_coloring_naive(system);
     let mut best_colors = greedy.num_colors();
     let mut best = greedy;
 

@@ -50,31 +50,77 @@ pub fn feasible_powers<M: MetricSpace>(
     if set.is_empty() {
         return Some(vec![1.0; instance.len()]);
     }
-    let mut powers = vec![1.0; instance.len()];
     let beta = params.beta();
+    let m = set.len();
+
+    // The geometry of the set is fixed across iterations, so the effective
+    // path losses (the expensive distance + `powf` part of every
+    // interference term) are cached once, taken from the engine's
+    // [`VariantView::effective_loss`] — the single source of truth for the
+    // per-variant convention. Each iteration then recomputes the very same
+    // `p / loss` terms the naive evaluator folds, so the per-iteration
+    // arithmetic is unchanged.
+    let geometry = instance.evaluator(*params, &oblisched_sinr::ObliviousPower::Uniform);
+    let view = geometry.view(variant);
+    let ports = oblisched_sinr::IncrementalSystem::num_ports(&view);
+    let link_losses: Vec<f64> = set.iter().map(|&i| geometry.loss(i)).collect();
+    // Flat row-major: entry ((a * ports) + port) * m + b is the effective
+    // loss of member b's signal at port `port` of member a.
+    let mut pair_loss = vec![f64::INFINITY; m * ports * m];
+    for (a, &i) in set.iter().enumerate() {
+        for port in 0..ports {
+            let row = (a * ports + port) * m;
+            for (b, &j) in set.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                pair_loss[row + b] = view.effective_loss(i, port, j);
+            }
+        }
+    }
+    // Interference at member `a` under the current (set-local) powers,
+    // folding the members in set order exactly as the naive evaluator does.
+    let interference_of = |a: usize, local: &[f64]| -> f64 {
+        let mut worst = f64::NEG_INFINITY;
+        for port in 0..ports {
+            let row = (a * ports + port) * m;
+            let mut sum = 0.0;
+            for b in 0..m {
+                if set[b] == set[a] {
+                    continue;
+                }
+                sum += params.received_strength(local[b], pair_loss[row + b]);
+            }
+            worst = worst.max(sum);
+        }
+        worst
+    };
+
+    let mut local = vec![1.0f64; m];
     for _ in 0..config.max_iterations {
         // One synchronous update: every request raises (or lowers) its power
         // to `slack · β · ℓ_i · (interference + noise)`, with a floor of 1.
-        let eval = Evaluator::with_powers(instance, *params, powers.clone())
-            .expect("powers stay positive and finite during the iteration");
-        let mut next = powers.clone();
-        for &i in set {
-            let interference = eval.interference(variant, i, set) + params.noise();
-            let loss = instance.link_loss(i, params);
-            let required = config.slack * beta * loss * interference;
-            next[i] = required.max(1.0);
-            if !next[i].is_finite() || next[i] > config.power_ceiling {
+        let mut next = local.clone();
+        for a in 0..m {
+            let interference = interference_of(a, &local) + params.noise();
+            let required = config.slack * beta * link_losses[a] * interference;
+            next[a] = required.max(1.0);
+            if !next[a].is_finite() || next[a] > config.power_ceiling {
                 return None;
             }
         }
-        let converged = set.iter().all(|&i| {
-            let rel = (next[i] - powers[i]).abs() / powers[i].max(1.0);
+        let converged = (0..m).all(|a| {
+            let rel = (next[a] - local[a]).abs() / local[a].max(1.0);
             rel < 1e-9
         });
-        powers = next;
+        local = next;
         if converged {
             break;
         }
+    }
+    let mut powers = vec![1.0; instance.len()];
+    for (a, &i) in set.iter().enumerate() {
+        powers[i] = local[a];
     }
     let eval = Evaluator::with_powers(instance, *params, powers.clone()).ok()?;
     if eval.is_feasible(variant, set) {
@@ -139,6 +185,7 @@ mod tests {
     use super::*;
     use oblisched_instances::{adversarial_for, evenly_spaced_line, nested_chain};
     use oblisched_sinr::ObliviousPower;
+    use rand::SeedableRng;
 
     fn params() -> SinrParams {
         SinrParams::new(3.0, 1.0).unwrap()
@@ -230,6 +277,93 @@ mod tests {
             "power control should need O(1) colors, used {}",
             schedule.num_colors()
         );
+    }
+
+    /// The pre-engine implementation of the fixed point, kept verbatim as a
+    /// reference: rebuilds an [`Evaluator`] every iteration instead of
+    /// caching the loss geometry. `feasible_powers` must agree with it
+    /// exactly — this pins the cached `effective_loss` table to the
+    /// evaluator's interference convention.
+    fn reference_feasible_powers<M: MetricSpace>(
+        instance: &Instance<M>,
+        params: &SinrParams,
+        variant: Variant,
+        set: &[usize],
+        config: PowerControlConfig,
+    ) -> Option<Vec<f64>> {
+        if set.is_empty() {
+            return Some(vec![1.0; instance.len()]);
+        }
+        let mut powers = vec![1.0; instance.len()];
+        let beta = params.beta();
+        for _ in 0..config.max_iterations {
+            let eval = Evaluator::with_powers(instance, *params, powers.clone()).unwrap();
+            let mut next = powers.clone();
+            for &i in set {
+                let interference = eval.interference(variant, i, set) + params.noise();
+                let loss = instance.link_loss(i, params);
+                let required = config.slack * beta * loss * interference;
+                next[i] = required.max(1.0);
+                if !next[i].is_finite() || next[i] > config.power_ceiling {
+                    return None;
+                }
+            }
+            let converged = set.iter().all(|&i| {
+                let rel = (next[i] - powers[i]).abs() / powers[i].max(1.0);
+                rel < 1e-9
+            });
+            powers = next;
+            if converged {
+                break;
+            }
+        }
+        let eval = Evaluator::with_powers(instance, *params, powers.clone()).ok()?;
+        if eval.is_feasible(variant, set) {
+            Some(powers)
+        } else {
+            None
+        }
+    }
+
+    #[test]
+    fn cached_geometry_matches_the_reference_fixed_point_exactly() {
+        let p = params();
+        let chain = nested_chain(8, 2.0);
+        let mut rng_sets: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![3],
+            (0..8).step_by(2).collect(),
+            (0..8).collect(),
+            vec![7, 2, 5, 0],
+        ];
+        // A Euclidean instance too, so both metric kinds are covered.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let planar = oblisched_instances::uniform_deployment(
+            oblisched_instances::DeploymentConfig {
+                num_requests: 8,
+                side: 150.0,
+                min_link: 1.0,
+                max_link: 10.0,
+            },
+            &mut rng,
+        );
+        rng_sets.push(vec![1, 4, 6]);
+        for variant in Variant::all() {
+            for set in &rng_sets {
+                assert_eq!(
+                    feasible_powers(&chain, &p, variant, set, Default::default()),
+                    reference_feasible_powers(&chain, &p, variant, set, Default::default()),
+                    "chain set {set:?} under {variant}"
+                );
+                if set.iter().all(|&i| i < planar.len()) {
+                    assert_eq!(
+                        feasible_powers(&planar, &p, variant, set, Default::default()),
+                        reference_feasible_powers(&planar, &p, variant, set, Default::default()),
+                        "planar set {set:?} under {variant}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

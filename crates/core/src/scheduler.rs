@@ -11,7 +11,8 @@ use crate::power_control::{greedy_with_power_control, PowerControlConfig};
 use crate::sqrt_coloring::{sqrt_coloring, SqrtColoringConfig};
 use oblisched_metric::MetricSpace;
 use oblisched_sinr::{
-    Evaluator, Instance, ObliviousPower, PowerScheme, Schedule, SinrParams, Variant,
+    Evaluator, GainMatrix, IncrementalSystem, Instance, ObliviousPower, PowerScheme, Schedule,
+    SinrParams, Variant,
 };
 use rand::Rng;
 
@@ -61,18 +62,33 @@ impl ScheduleResult {
 pub struct Scheduler {
     params: SinrParams,
     variant: Variant,
+    matrix_budget: usize,
 }
+
+/// Default memory budget for the cached [`GainMatrix`]: below this size the
+/// facade pre-computes all pairwise contributions (fast repeated lookups),
+/// above it the incremental engine computes contributions on the fly (same
+/// results, `O(n)` memory).
+pub const DEFAULT_MATRIX_BUDGET: usize = 64 * 1024 * 1024;
 
 impl Scheduler {
     /// Creates a scheduler for the bidirectional variant (the paper's main
     /// setting) with the given parameters.
     pub fn new(params: SinrParams) -> Self {
-        Self { params, variant: Variant::Bidirectional }
+        Self { params, variant: Variant::Bidirectional, matrix_budget: DEFAULT_MATRIX_BUDGET }
     }
 
     /// Selects the problem variant.
     pub fn variant(mut self, variant: Variant) -> Self {
         self.variant = variant;
+        self
+    }
+
+    /// Sets the memory budget (in bytes) under which the facade caches the
+    /// full [`GainMatrix`] instead of computing contributions on the fly.
+    /// Both paths produce identical schedules; `0` disables the cache.
+    pub fn matrix_budget(mut self, bytes: usize) -> Self {
+        self.matrix_budget = bytes;
         self
     }
 
@@ -88,20 +104,41 @@ impl Scheduler {
 
     /// Schedules with greedy first-fit under a fixed power scheme.
     ///
+    /// With ambient noise a request can be infeasible even in a slot of its
+    /// own (`signal / noise < β`); first-fit still gives such a request its
+    /// own color — the best any schedule can do — and the result is returned
+    /// rather than rejected.
+    ///
     /// # Panics
     ///
-    /// Panics if the produced schedule fails validation (a bug in the greedy
-    /// algorithm, not an input condition).
+    /// Panics if a *multi-request* color class fails validation (a bug in
+    /// the greedy algorithm, not an input condition).
     pub fn schedule_with_assignment<M: MetricSpace, P: PowerScheme>(
         &self,
         instance: &Instance<M>,
         scheme: P,
     ) -> ScheduleResult {
         let evaluator = instance.evaluator(self.params, &scheme);
-        let schedule = first_fit_coloring(&evaluator.view(self.variant));
-        schedule
-            .validate(&evaluator, self.variant)
-            .expect("greedy schedules are feasible by construction");
+        let view = evaluator.view(self.variant);
+        let schedule = if GainMatrix::bytes_for(instance.len(), view.num_ports())
+            <= self.matrix_budget
+        {
+            first_fit_coloring(&view.cached())
+        } else {
+            first_fit_coloring(&view)
+        };
+        if let Err(e) = schedule.validate(&evaluator, self.variant) {
+            // Only inherently infeasible singletons (heavy noise) are
+            // acceptable; any other violation is a greedy bug.
+            let only_doomed_singletons = schedule
+                .classes()
+                .iter()
+                .all(|class| class.len() == 1 || evaluator.is_feasible(self.variant, class));
+            assert!(
+                only_doomed_singletons,
+                "greedy schedules are feasible by construction (modulo noise-doomed singletons): {e}"
+            );
+        }
         ScheduleResult {
             schedule,
             powers: evaluator.powers().to_vec(),
@@ -255,6 +292,21 @@ mod tests {
             assert_eq!(result.schedule.len(), 6);
             assert!(result.powers.iter().all(|&p| p > 0.0));
         }
+    }
+
+    #[test]
+    fn heavy_noise_instances_are_scheduled_not_panicked() {
+        // With noise 10 and unit links, a request is infeasible even alone;
+        // the facade must return the sequential-style schedule instead of
+        // panicking on validation.
+        let inst = nested_chain(4, 2.0);
+        let params = SinrParams::with_noise(3.0, 1.0, 10.0).unwrap();
+        let result =
+            Scheduler::new(params).schedule_with_assignment(&inst, ObliviousPower::Uniform);
+        assert_eq!(result.schedule.len(), 4);
+        // Every class is a singleton: nothing can share a slot under this
+        // noise, and doomed requests still get their own color.
+        assert_eq!(result.schedule.num_colors(), 4);
     }
 
     #[test]

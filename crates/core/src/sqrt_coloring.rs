@@ -18,6 +18,11 @@
 //! assignment*; combined with Theorem 2 this gives the paper's headline
 //! `polylog(n)` approximation for the bidirectional interference scheduling
 //! problem.
+//!
+//! The round-finishing steps (Proposition 3 thinning and the greedy
+//! maximisation) run on the incremental interference engine, so each
+//! admission test costs `O(selected)` contributions instead of
+//! `O(selected²)`.
 
 use oblisched_lp::{round_packing, PackingLp, RoundingConfig};
 use oblisched_metric::{MetricSpace, NodeId};

@@ -1,8 +1,9 @@
 //! Property-based tests for the scheduling algorithms.
 
 use oblisched::{
-    exact_chromatic_number, exact_max_one_shot, first_fit_coloring, first_fit_with_order,
-    greedy_one_shot, sqrt_coloring, Scheduler, SqrtColoringConfig,
+    exact_chromatic_number, exact_max_one_shot, first_fit_coloring, first_fit_coloring_naive,
+    first_fit_with_order, first_fit_with_order_naive, greedy_one_shot, sqrt_coloring, Scheduler,
+    SqrtColoringConfig,
 };
 use oblisched_instances::{uniform_deployment, DeploymentConfig};
 use oblisched_metric::EuclideanSpace;
@@ -56,6 +57,35 @@ proptest! {
         for order in [forward, backward] {
             let schedule = first_fit_with_order(&view, &order);
             prop_assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
+        }
+    }
+
+    #[test]
+    fn incremental_first_fit_equals_naive_everywhere(
+        seed in any::<u64>(),
+        n in 2usize..18,
+        alpha in 2.0f64..4.0,
+        beta in 0.5f64..2.0,
+    ) {
+        // The engine migration must be drift-free: the incremental first-fit
+        // (and its matrix-cached flavour) produce the *same* coloring as the
+        // naive evaluator path on random instances, for every oblivious
+        // assignment and both variants.
+        let instance = instance_from_seed(seed, n);
+        let params = SinrParams::new(alpha, beta).unwrap();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let naive = first_fit_coloring_naive(&view);
+                prop_assert_eq!(first_fit_coloring(&view), naive.clone());
+                prop_assert_eq!(first_fit_coloring(&view.cached()), naive.clone());
+                let backward: Vec<usize> = (0..n).rev().collect();
+                prop_assert_eq!(
+                    first_fit_with_order(&view, &backward),
+                    first_fit_with_order_naive(&view, &backward)
+                );
+            }
         }
     }
 

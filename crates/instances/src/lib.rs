@@ -14,6 +14,9 @@
 //!   construction that defeats *any* oblivious power assignment in the
 //!   directed variant while an optimal (non-oblivious) assignment needs only
 //!   `O(1)` colors.
+//! * **Scaling families** ([`scale`]) — seed-pinned, density-normalised
+//!   large-`n` variants of the above (`n = 10⁴–10⁵`), the workloads the
+//!   incremental interference engine of `oblisched_sinr` makes tractable.
 //!
 //! All generators are deterministic given a seeded RNG, and every instance
 //! they produce is a valid [`oblisched_sinr::Instance`].
@@ -25,8 +28,10 @@ pub mod adversarial;
 pub mod line;
 pub mod nested;
 pub mod random;
+pub mod scale;
 
 pub use adversarial::{adversarial_for, max_supported_n, AdversarialInstance};
 pub use line::{evenly_spaced_line, exponential_line};
 pub use nested::nested_chain;
 pub use random::{clustered_deployment, random_matching, uniform_deployment, DeploymentConfig};
+pub use scale::{scaling_clustered, scaling_config, scaling_line, scaling_uniform};

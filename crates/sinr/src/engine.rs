@@ -1,0 +1,684 @@
+//! The incremental interference engine.
+//!
+//! Every scheduling algorithm in the workspace is driven by the same query:
+//! *"can request `i` join color class `C`?"*. Answered naively through
+//! [`InterferenceSystem::is_feasible`] this costs `O(|C|²)` interference
+//! terms per query, which makes first-fit coloring effectively cubic in the
+//! class sizes and caps usable instance sizes. This module removes that
+//! bottleneck while preserving the naive semantics **exactly**:
+//!
+//! * [`IncrementalSystem`] — the structural property the engine exploits:
+//!   interference is a *sum of pairwise contributions per port* (one port for
+//!   directed / node-loss items, the two endpoints for bidirectional pairs),
+//!   and an item's interference is the maximum over its ports.
+//! * [`ColorAccumulator`] — maintains the per-port running interference sums
+//!   of one color class, so a join query costs `O(|C|)` contributions instead
+//!   of `O(|C|²)`, and a commit is a further `O(|C|)` update.
+//! * [`GainMatrix`] — a flat row-major cache of all `ports · n · n`
+//!   contributions, computed once per (instance, power assignment, variant),
+//!   turning every contribution into an array lookup. It is itself a
+//!   self-contained [`InterferenceSystem`] + [`IncrementalSystem`].
+//!
+//! # Exact-equivalence guarantee
+//!
+//! The accumulator adds contributions in exactly the order the naive
+//! [`Evaluator`] path folds them (class insertion order),
+//! and the matrix stores the very values the naive path computes, so every
+//! `sinr` / `is_feasible` verdict — and therefore every coloring produced by
+//! the migrated algorithms — is **bit-for-bit identical** to the naive path.
+//! The property tests in `tests/properties.rs` pin this down across all
+//! oblivious assignments and both problem variants.
+//!
+//! # When is the naive path still used?
+//!
+//! The naive `Evaluator` remains the single source of truth for *validation*
+//! ([`Schedule::validate`](crate::Schedule::validate) recomputes every sum
+//! from scratch), for one-off queries where no class state exists, and as the
+//! reference implementation the engine is tested against. [`GainMatrix`]
+//! costs `8 · ports · n²` bytes, so callers (e.g. the `Scheduler` facade in
+//! `oblisched`) only build it under a memory budget and otherwise fall back
+//! to on-the-fly contributions — which still get the accumulator's
+//! `O(|C|)`-per-query behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use oblisched_metric::LineMetric;
+//! use oblisched_sinr::engine::{ColorAccumulator, GainMatrix};
+//! use oblisched_sinr::{Instance, InterferenceSystem, ObliviousPower, Request, SinrParams, Variant};
+//!
+//! let metric = LineMetric::new(vec![0.0, 1.0, 50.0, 51.0, 52.0, 53.0]);
+//! let instance = Instance::new(
+//!     metric,
+//!     vec![Request::new(0, 1), Request::new(2, 3), Request::new(4, 5)],
+//! )?;
+//! let eval = instance.evaluator(SinrParams::new(3.0, 1.0)?, &ObliviousPower::SquareRoot);
+//! let view = eval.view(Variant::Bidirectional);
+//! let matrix = GainMatrix::build(&view);
+//!
+//! let mut class = ColorAccumulator::new(&matrix);
+//! assert!(class.try_insert(0));
+//! assert!(class.try_insert(1));
+//! // Verdicts agree exactly with the naive evaluator.
+//! assert_eq!(matrix.is_feasible(&[0, 1]), eval.is_feasible(Variant::Bidirectional, &[0, 1]));
+//! # Ok::<(), oblisched_sinr::SinrError>(())
+//! ```
+
+use crate::feasibility::{Evaluator, InterferenceSystem, Variant, VariantView, REL_TOL};
+use crate::nodeloss::NodeLossEvaluator;
+use oblisched_metric::MetricSpace;
+
+/// Upper bound on [`IncrementalSystem::num_ports`]: directed and node-loss
+/// systems have one interference port per item, bidirectional pairs have two
+/// (their endpoints).
+pub const MAX_PORTS: usize = 2;
+
+/// An [`InterferenceSystem`] whose interference decomposes into pairwise
+/// contributions.
+///
+/// The contract mirrors how the naive evaluator computes interference: item
+/// `i` has [`num_ports`](IncrementalSystem::num_ports) ports, the
+/// interference of `i` against a set `S` is
+/// `max_port Σ_{j ∈ S \ {i}} contribution(i, port, j)`, and its SINR is
+/// `signal(i) / (interference + noise)` (infinite when the denominator is
+/// zero). Implementations must make `contribution` agree term-for-term with
+/// their [`InterferenceSystem::sinr`], so that accumulated sums reproduce the
+/// naive fold exactly.
+pub trait IncrementalSystem: InterferenceSystem {
+    /// Number of interference ports per item (`1` or `2`, never more than
+    /// [`MAX_PORTS`]). Uniform across the system.
+    fn num_ports(&self) -> usize;
+
+    /// The interference contribution of item `j` at port `port` of item `i`.
+    ///
+    /// Must return `0.0` when `j == i` (an item never interferes with
+    /// itself), and may return `f64::INFINITY` for coinciding positions.
+    fn contribution(&self, i: usize, port: usize, j: usize) -> f64;
+
+    /// The received strength of item `i`'s own signal.
+    fn signal(&self, i: usize) -> f64;
+
+    /// The ambient noise added to every interference sum.
+    fn noise(&self) -> f64;
+}
+
+/// Combines per-port interference sums into an SINR the way the naive
+/// evaluator does: max over ports, plus noise, infinite on a zero
+/// denominator.
+#[inline]
+fn sinr_from_ports(signal: f64, ports: &[f64], noise: f64) -> f64 {
+    let worst = ports.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let total = worst + noise;
+    if total == 0.0 {
+        f64::INFINITY
+    } else {
+        signal / total
+    }
+}
+
+/// Incrementally maintained interference state of one color class.
+///
+/// The accumulator stores, for every member, the running interference sum at
+/// each of its ports. Checking whether a candidate can join is `O(members)`;
+/// committing the candidate is another `O(members)` update. Sums are
+/// accumulated in insertion order — the same left-to-right fold the naive
+/// evaluator performs over the class vector — so verdicts are exactly those
+/// of the naive path.
+#[derive(Debug, Clone)]
+pub struct ColorAccumulator<'s, S: ?Sized> {
+    system: &'s S,
+    ports: usize,
+    members: Vec<usize>,
+    /// Flat row-major per-member sums: entry `pos * ports + port`.
+    sums: Vec<f64>,
+}
+
+impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
+    /// Creates an empty accumulator for one color class.
+    pub fn new(system: &'s S) -> Self {
+        let ports = system.num_ports();
+        assert!(
+            (1..=MAX_PORTS).contains(&ports),
+            "systems must expose between 1 and {MAX_PORTS} ports, got {ports}"
+        );
+        Self { system, ports, members: Vec::new(), sums: Vec::new() }
+    }
+
+    /// Creates an accumulator pre-filled with `members`, inserted unchecked
+    /// in order (the set need not be feasible).
+    pub fn with_members(system: &'s S, members: &[usize]) -> Self {
+        let mut acc = Self::new(system);
+        for &i in members {
+            acc.insert_unchecked(i);
+        }
+        acc
+    }
+
+    /// The members of the class, in insertion order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.members.clear();
+        self.sums.clear();
+    }
+
+    /// Returns `true` if item `i` is already a member (`O(members)` scan).
+    pub fn contains(&self, i: usize) -> bool {
+        self.members.contains(&i)
+    }
+
+    /// The current interference experienced by the member at position `pos`
+    /// (max over its ports, before noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn interference_of(&self, pos: usize) -> f64 {
+        let row = &self.sums[pos * self.ports..(pos + 1) * self.ports];
+        row.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The current SINR of the member at position `pos` against the rest of
+    /// the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn sinr_of(&self, pos: usize) -> f64 {
+        let row = &self.sums[pos * self.ports..(pos + 1) * self.ports];
+        sinr_from_ports(self.system.signal(self.members[pos]), row, self.system.noise())
+    }
+
+    /// The per-port interference candidate `i` would experience from the
+    /// current members (`O(members)`).
+    fn candidate_ports(&self, i: usize) -> [f64; MAX_PORTS] {
+        let mut acc = [0.0f64; MAX_PORTS];
+        for &j in &self.members {
+            for (port, slot) in acc.iter_mut().enumerate().take(self.ports) {
+                *slot += self.system.contribution(i, port, j);
+            }
+        }
+        acc
+    }
+
+    /// Checks whether the class stays feasible at `gain` if `i` joins, and
+    /// commits the insertion when it does. Returns `true` on success; on
+    /// failure the accumulator is left untouched.
+    ///
+    /// Verdicts match `is_feasible_with_gain(class ∪ {i}, gain)` of the naive
+    /// path exactly.
+    pub fn try_insert_with_gain(&mut self, i: usize, gain: f64) -> bool {
+        let threshold = gain * (1.0 - REL_TOL);
+        let noise = self.system.noise();
+        let cand = self.candidate_ports(i);
+        // `sinr >= threshold` (not a negated `<`) so that a NaN SINR counts
+        // as infeasible, exactly as in the naive `is_feasible_with_gain`.
+        let cand_ok =
+            sinr_from_ports(self.system.signal(i), &cand[..self.ports], noise) >= threshold;
+        if !cand_ok {
+            return false;
+        }
+        for (pos, &j) in self.members.iter().enumerate() {
+            let mut ports = [0.0f64; MAX_PORTS];
+            for (port, slot) in ports.iter_mut().enumerate().take(self.ports) {
+                *slot = self.sums[pos * self.ports + port] + self.system.contribution(j, port, i);
+            }
+            let member_ok =
+                sinr_from_ports(self.system.signal(j), &ports[..self.ports], noise) >= threshold;
+            if !member_ok {
+                return false;
+            }
+        }
+        self.commit(i, cand);
+        true
+    }
+
+    /// [`try_insert_with_gain`](ColorAccumulator::try_insert_with_gain) at
+    /// the system's own gain [`InterferenceSystem::beta`].
+    pub fn try_insert(&mut self, i: usize) -> bool {
+        self.try_insert_with_gain(i, self.system.beta())
+    }
+
+    /// Inserts `i` without any feasibility check (used to open a fresh class
+    /// for an item no existing class accepts, mirroring first-fit, and to
+    /// rebuild state from an existing — possibly infeasible — set).
+    pub fn insert_unchecked(&mut self, i: usize) {
+        let cand = self.candidate_ports(i);
+        self.commit(i, cand);
+    }
+
+    /// Adds `i` as a member with pre-computed candidate sums, updating every
+    /// existing member's running sums.
+    fn commit(&mut self, i: usize, cand: [f64; MAX_PORTS]) {
+        for (pos, &j) in self.members.iter().enumerate() {
+            for port in 0..self.ports {
+                self.sums[pos * self.ports + port] += self.system.contribution(j, port, i);
+            }
+        }
+        self.members.push(i);
+        self.sums.extend_from_slice(&cand[..self.ports]);
+    }
+}
+
+/// A flat row-major cache of all pairwise interference contributions of an
+/// [`IncrementalSystem`], plus its signals, noise and gain.
+///
+/// Built once per (instance, power assignment, variant), the matrix is a
+/// self-contained interference system: every later contribution query is an
+/// array lookup instead of a distance computation and a `powf`. Memory is
+/// `8 · ports · n²` bytes (see [`GainMatrix::bytes_for`]), so large-`n`
+/// callers should prefer the un-cached accumulator path.
+#[derive(Debug, Clone)]
+pub struct GainMatrix {
+    n: usize,
+    ports: usize,
+    beta: f64,
+    noise: f64,
+    signals: Vec<f64>,
+    /// Entry `(i * ports + port) * n + j` = contribution of `j` at `port` of
+    /// `i`; the diagonal (`j == i`) is zero.
+    data: Vec<f64>,
+}
+
+impl GainMatrix {
+    /// Computes the full contribution matrix of `system`.
+    ///
+    /// Runs in `O(ports · n²)` time and allocates
+    /// [`bytes_for`](GainMatrix::bytes_for) bytes.
+    pub fn build<S: IncrementalSystem + ?Sized>(system: &S) -> Self {
+        let n = system.len();
+        let ports = system.num_ports();
+        assert!(
+            (1..=MAX_PORTS).contains(&ports),
+            "systems must expose between 1 and {MAX_PORTS} ports, got {ports}"
+        );
+        let mut data = Vec::with_capacity(n * n * ports);
+        for i in 0..n {
+            for port in 0..ports {
+                for j in 0..n {
+                    data.push(if j == i { 0.0 } else { system.contribution(i, port, j) });
+                }
+            }
+        }
+        let signals = (0..n).map(|i| system.signal(i)).collect();
+        Self { n, ports, beta: system.beta(), noise: system.noise(), signals, data }
+    }
+
+    /// The memory footprint (in bytes) of the contribution table of a matrix
+    /// for `n` items with `ports` ports, saturating on overflow. Callers use
+    /// this to decide between the cached and the on-the-fly path.
+    pub fn bytes_for(n: usize, ports: usize) -> usize {
+        n.saturating_mul(n).saturating_mul(ports).saturating_mul(std::mem::size_of::<f64>())
+    }
+
+    /// Number of ports per item.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The row of contributions arriving at `port` of item `i` (indexed by
+    /// interferer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `port` is out of range.
+    pub fn row(&self, i: usize, port: usize) -> &[f64] {
+        assert!(port < self.ports, "port {port} out of range");
+        let start = (i * self.ports + port) * self.n;
+        &self.data[start..start + self.n]
+    }
+}
+
+impl InterferenceSystem for GainMatrix {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn sinr(&self, i: usize, others: &[usize]) -> f64 {
+        let mut ports = [0.0f64; MAX_PORTS];
+        for &j in others {
+            for (port, slot) in ports.iter_mut().enumerate().take(self.ports) {
+                // The diagonal is zero, so `j == i` adds nothing — same fold
+                // as the naive path's explicit skip.
+                *slot += self.data[(i * self.ports + port) * self.n + j];
+            }
+        }
+        sinr_from_ports(self.signals[i], &ports[..self.ports], self.noise)
+    }
+
+    fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl IncrementalSystem for GainMatrix {
+    fn num_ports(&self) -> usize {
+        self.ports
+    }
+
+    fn contribution(&self, i: usize, port: usize, j: usize) -> f64 {
+        self.data[(i * self.ports + port) * self.n + j]
+    }
+
+    fn signal(&self, i: usize) -> f64 {
+        self.signals[i]
+    }
+
+    fn noise(&self) -> f64 {
+        self.noise
+    }
+}
+
+impl<'e, 'a, M: MetricSpace> VariantView<'e, 'a, M> {
+    /// Builds the cached [`GainMatrix`] of this view (`O(ports · n²)` time
+    /// and memory).
+    pub fn cached(&self) -> GainMatrix {
+        GainMatrix::build(self)
+    }
+
+    /// The effective path loss of request `j`'s signal at port `port` of
+    /// request `i` — the single source of truth for the per-variant
+    /// interference convention: the interferer's *sender*-to-receiver loss
+    /// in the directed variant, the *closest-endpoint* loss in the
+    /// bidirectional one. [`IncrementalSystem::contribution`] is
+    /// `received_strength(p_j, effective_loss)`, and the power-control
+    /// fixed point caches exactly these values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index or port is out of range.
+    pub fn effective_loss(&self, i: usize, port: usize, j: usize) -> f64 {
+        let eval = self.evaluator();
+        let params = eval.params();
+        let metric = eval.instance().metric();
+        let ri = eval.instance().request(i);
+        let rj = eval.instance().request(j);
+        match self.variant() {
+            Variant::Directed => {
+                assert_eq!(port, 0, "directed requests have a single port");
+                params.loss(metric.distance(rj.sender, ri.receiver))
+            }
+            Variant::Bidirectional => {
+                assert!(port < 2, "bidirectional requests have two ports");
+                let w = if port == 0 { ri.sender } else { ri.receiver };
+                params
+                    .loss(metric.distance(rj.sender, w))
+                    .min(params.loss(metric.distance(rj.receiver, w)))
+            }
+        }
+    }
+}
+
+impl<'e, 'a, M: MetricSpace> IncrementalSystem for VariantView<'e, 'a, M> {
+    fn num_ports(&self) -> usize {
+        match self.variant() {
+            Variant::Directed => 1,
+            Variant::Bidirectional => 2,
+        }
+    }
+
+    fn contribution(&self, i: usize, port: usize, j: usize) -> f64 {
+        if j == i {
+            return 0.0;
+        }
+        let eval: &Evaluator<'a, M> = self.evaluator();
+        eval.params().received_strength(eval.power(j), self.effective_loss(i, port, j))
+    }
+
+    fn signal(&self, i: usize) -> f64 {
+        self.evaluator().signal(i)
+    }
+
+    fn noise(&self) -> f64 {
+        self.evaluator().params().noise()
+    }
+}
+
+impl<'a, M: MetricSpace> IncrementalSystem for NodeLossEvaluator<'a, M> {
+    fn num_ports(&self) -> usize {
+        1
+    }
+
+    fn contribution(&self, i: usize, port: usize, j: usize) -> f64 {
+        debug_assert_eq!(port, 0);
+        if j == i {
+            return 0.0;
+        }
+        let loss = self.params().loss(self.instance().metric().distance(i, j));
+        self.params().received_strength(self.power(j), loss)
+    }
+
+    fn signal(&self, i: usize) -> f64 {
+        NodeLossEvaluator::signal(self, i)
+    }
+
+    fn noise(&self) -> f64 {
+        self.params().noise()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nodeloss::NodeLossInstance;
+    use crate::params::SinrParams;
+    use crate::power::ObliviousPower;
+    use crate::request::{Instance, Request};
+    use oblisched_metric::LineMetric;
+
+    /// Four unit links with mixed separations so that some subsets are
+    /// feasible and some are not.
+    fn mixed_instance() -> Instance<LineMetric> {
+        let metric = LineMetric::new(vec![0.0, 1.0, 3.0, 4.0, 40.0, 41.0, 43.0, 44.0]);
+        Instance::new(
+            metric,
+            vec![
+                Request::new(0, 1),
+                Request::new(2, 3),
+                Request::new(4, 5),
+                Request::new(6, 7),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn all_subsets(n: usize) -> Vec<Vec<usize>> {
+        (0..1usize << n)
+            .map(|mask| (0..n).filter(|&i| mask >> i & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matrix_sinr_matches_naive_evaluator_exactly() {
+        let inst = mixed_instance();
+        for power in ObliviousPower::standard_assignments() {
+            for params in [
+                SinrParams::new(3.0, 1.0).unwrap(),
+                SinrParams::with_noise(2.5, 0.5, 0.01).unwrap(),
+            ] {
+                let eval = inst.evaluator(params, &power);
+                for variant in Variant::all() {
+                    let view = eval.view(variant);
+                    let matrix = view.cached();
+                    for set in all_subsets(inst.len()) {
+                        for &i in &set {
+                            assert_eq!(
+                                matrix.sinr(i, &set),
+                                view.sinr(i, &set),
+                                "sinr({i}, {set:?}) diverged for {variant}"
+                            );
+                        }
+                        assert_eq!(matrix.is_feasible(&set), view.is_feasible(&set));
+                        assert_eq!(matrix.max_feasible_gain(&set), view.max_feasible_gain(&set));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_naive_push_pop_sequence() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = inst.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let mut acc = ColorAccumulator::new(&view);
+                let mut naive: Vec<usize> = Vec::new();
+                for i in 0..inst.len() {
+                    naive.push(i);
+                    let naive_ok = view.is_feasible(&naive);
+                    if !naive_ok {
+                        naive.pop();
+                    }
+                    assert_eq!(acc.try_insert(i), naive_ok, "verdict for {i} under {variant}");
+                    assert_eq!(acc.members(), naive.as_slice());
+                }
+                // The accumulated per-member SINRs equal fresh recomputation.
+                for (pos, &i) in acc.members().iter().enumerate() {
+                    assert_eq!(acc.sinr_of(pos), view.sinr(i, &naive));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_respects_explicit_gain() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        for gain in [0.25, 1.0, 4.0] {
+            let mut acc = ColorAccumulator::new(&view);
+            let mut naive: Vec<usize> = Vec::new();
+            for i in 0..inst.len() {
+                naive.push(i);
+                let naive_ok = view.is_feasible_with_gain(&naive, gain);
+                if !naive_ok {
+                    naive.pop();
+                }
+                assert_eq!(acc.try_insert_with_gain(i, gain), naive_ok);
+            }
+            assert_eq!(acc.members(), naive.as_slice());
+        }
+    }
+
+    #[test]
+    fn accumulator_state_helpers() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Directed);
+        let mut acc = ColorAccumulator::with_members(&view, &[2, 3]);
+        assert_eq!(acc.len(), 2);
+        assert!(!acc.is_empty());
+        assert!(acc.contains(2) && !acc.contains(0));
+        assert!(acc.interference_of(0) > 0.0);
+        acc.clear();
+        assert!(acc.is_empty());
+        assert_eq!(acc.members(), &[] as &[usize]);
+    }
+
+    #[test]
+    fn unchecked_insert_tracks_infeasible_sets() {
+        // Nested links are mutually infeasible under uniform power; the
+        // accumulator must still track their sums faithfully.
+        let metric = LineMetric::new(vec![0.0, 10.0, 4.0, 5.0]);
+        let inst =
+            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Bidirectional);
+        let acc = ColorAccumulator::with_members(&view, &[0, 1]);
+        assert!(!view.is_feasible(&[0, 1]));
+        for (pos, &i) in acc.members().iter().enumerate() {
+            assert_eq!(acc.sinr_of(pos), view.sinr(i, &[0, 1]));
+        }
+    }
+
+    #[test]
+    fn nodeloss_incremental_matches_naive() {
+        let metric = LineMetric::new(vec![0.0, 5.0, 11.0, 18.0, 26.0]);
+        let inst = NodeLossInstance::new(metric, vec![1.0, 1.5, 2.0, 1.0, 3.0]).unwrap();
+        let eval = inst.sqrt_evaluator(SinrParams::new(2.0, 0.25).unwrap());
+        let matrix = GainMatrix::build(&eval);
+        for set in all_subsets(inst.len()) {
+            for &i in &set {
+                assert_eq!(matrix.sinr(i, &set), eval.sinr(i, &set));
+            }
+            assert_eq!(matrix.is_feasible(&set), eval.is_feasible(&set));
+        }
+        let mut acc = ColorAccumulator::new(&eval);
+        let mut naive: Vec<usize> = Vec::new();
+        for i in 0..inst.len() {
+            naive.push(i);
+            let ok = eval.is_feasible(&naive);
+            if !ok {
+                naive.pop();
+            }
+            assert_eq!(acc.try_insert(i), ok);
+        }
+    }
+
+    #[test]
+    fn matrix_accessors_and_memory_estimate() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let matrix = eval.view(Variant::Bidirectional).cached();
+        assert_eq!(matrix.len(), 4);
+        assert_eq!(matrix.ports(), 2);
+        assert_eq!(matrix.row(1, 0).len(), 4);
+        assert_eq!(matrix.row(1, 0)[1], 0.0, "diagonal must be zero");
+        assert_eq!(GainMatrix::bytes_for(4, 2), 4 * 4 * 2 * 8);
+        assert_eq!(GainMatrix::bytes_for(usize::MAX, 2), usize::MAX);
+        let directed = eval.view(Variant::Directed).cached();
+        assert_eq!(directed.ports(), 1);
+    }
+
+    #[test]
+    fn noise_is_carried_through() {
+        // With heavy noise even singletons are infeasible; the accumulator
+        // must mirror the naive first-fit behaviour of rejecting them while
+        // unchecked insertion still works.
+        let metric = LineMetric::new(vec![0.0, 1.0, 50.0, 51.0]);
+        let inst =
+            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let params = SinrParams::with_noise(2.0, 1.0, 10.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Directed);
+        assert!(!view.is_feasible(&[0]));
+        let mut acc = ColorAccumulator::new(&view);
+        assert!(!acc.try_insert(0));
+        acc.insert_unchecked(0);
+        assert_eq!(acc.members(), &[0]);
+        assert_eq!(acc.sinr_of(0), view.sinr(0, &[0]));
+    }
+
+    #[test]
+    fn empty_set_queries_are_well_defined() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Bidirectional);
+        let matrix = view.cached();
+        assert!(matrix.is_feasible(&[]));
+        assert_eq!(matrix.max_feasible_gain(&[]), f64::INFINITY);
+        let acc = ColorAccumulator::new(&matrix);
+        assert!(acc.is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 //! Experiment E5 measures the extracted fraction and group counts against the
 //! `γ/8γ'` and `O(γ'/γ log n)` bounds.
 
+use crate::engine::{ColorAccumulator, IncrementalSystem};
 use crate::feasibility::InterferenceSystem;
 use crate::schedule::Schedule;
 
@@ -45,20 +46,21 @@ fn by_decreasing_margin<S: InterferenceSystem>(system: &S, set: &[usize]) -> Vec
 /// empirically.
 ///
 /// Returns the extracted subset (a sub-slice of `set`, original indices).
-pub fn extract_feasible_subset<S: InterferenceSystem>(
+///
+/// Runs on the incremental engine, so each admission test costs `O(kept)`
+/// contributions; verdicts are exactly those of the naive path. An empty
+/// `set` yields an empty subset.
+pub fn extract_feasible_subset<S: IncrementalSystem>(
     system: &S,
     set: &[usize],
     gamma_prime: f64,
 ) -> Vec<usize> {
     let order = by_decreasing_margin(system, set);
-    let mut kept: Vec<usize> = Vec::with_capacity(set.len());
+    let mut kept = ColorAccumulator::new(system);
     for &i in &order {
-        kept.push(i);
-        if !system.is_feasible_with_gain(&kept, gamma_prime) {
-            kept.pop();
-        }
+        let _ = kept.try_insert_with_gain(i, gamma_prime);
     }
-    kept
+    kept.members().to_vec()
 }
 
 /// Partitions `set` into groups, each feasible at gain `gamma_prime`, using
@@ -69,28 +71,28 @@ pub fn extract_feasible_subset<S: InterferenceSystem>(
 /// the noise is dominated by the item's own signal. (With heavy noise a
 /// singleton can be infeasible at `gamma_prime`; such items still get their
 /// own group, mirroring the paper's noise-free analysis.)
-pub fn partition_by_gain<S: InterferenceSystem>(
+pub fn partition_by_gain<S: IncrementalSystem>(
     system: &S,
     set: &[usize],
     gamma_prime: f64,
 ) -> Vec<Vec<usize>> {
     let order = by_decreasing_margin(system, set);
-    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut groups: Vec<ColorAccumulator<'_, S>> = Vec::new();
     for &i in &order {
         let mut placed = false;
         for group in groups.iter_mut() {
-            group.push(i);
-            if system.is_feasible_with_gain(group, gamma_prime) {
+            if group.try_insert_with_gain(i, gamma_prime) {
                 placed = true;
                 break;
             }
-            group.pop();
         }
         if !placed {
-            groups.push(vec![i]);
+            let mut group = ColorAccumulator::new(system);
+            group.insert_unchecked(i);
+            groups.push(group);
         }
     }
-    groups
+    groups.into_iter().map(|g| g.members().to_vec()).collect()
 }
 
 /// Proposition 4: refines a coloring that is feasible at the system's gain
@@ -104,7 +106,7 @@ pub fn partition_by_gain<S: InterferenceSystem>(
 /// # Panics
 ///
 /// Panics if the schedule length differs from the system size.
-pub fn rescale_coloring<S: InterferenceSystem>(
+pub fn rescale_coloring<S: IncrementalSystem>(
     system: &S,
     schedule: &Schedule,
     gamma_prime: f64,
@@ -263,6 +265,61 @@ mod tests {
         let groups = partition_by_gain(&eval, &all, 1.0);
         let total: usize = groups.iter().map(|g| g.len()).sum();
         assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn empty_set_edge_cases() {
+        let inst = spread_instance(4, 5.0);
+        let params = SinrParams::default();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Bidirectional);
+        // Extraction and partition of the empty set are empty, not errors.
+        assert!(extract_feasible_subset(&view, &[], 2.0).is_empty());
+        assert!(partition_by_gain(&view, &[], 2.0).is_empty());
+        // The empty set is vacuously feasible at every gain.
+        assert_eq!(view.max_feasible_gain(&[]), f64::INFINITY);
+        assert!(view.is_feasible_with_gain(&[], f64::MAX));
+    }
+
+    #[test]
+    fn rescale_handles_empty_schedule() {
+        let metric = LineMetric::new(vec![0.0, 1.0]);
+        let inst = Instance::new(metric, vec![]).unwrap();
+        let eval = inst.evaluator(SinrParams::default(), &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Directed);
+        let rescaled = rescale_coloring(&view, &Schedule::new(vec![]), 2.0);
+        assert!(rescaled.is_empty());
+        assert_eq!(rescaled.num_colors(), 0);
+    }
+
+    #[test]
+    fn rescale_handles_singleton_color_classes() {
+        // A sequential schedule has only singleton classes; rescaling to any
+        // stricter gain keeps them singleton (without noise singletons are
+        // feasible at every finite gain).
+        let inst = spread_instance(3, 2.0);
+        let eval = inst.evaluator(SinrParams::new(3.0, 1.0).unwrap(), &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Bidirectional);
+        let base = Schedule::sequential(3);
+        let rescaled = rescale_coloring(&view, &base, 1e6);
+        assert_eq!(rescaled.num_colors(), 3);
+        assert_eq!(rescaled.len(), 3);
+        for class in rescaled.classes() {
+            assert_eq!(class.len(), 1);
+        }
+    }
+
+    #[test]
+    fn singleton_set_max_feasible_gain_and_extraction() {
+        let inst = spread_instance(2, 8.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        // A noise-free singleton has infinite max feasible gain and survives
+        // extraction at any gain.
+        assert_eq!(view.max_feasible_gain(&[1]), f64::INFINITY);
+        assert_eq!(extract_feasible_subset(&view, &[1], 1e12), vec![1]);
+        assert_eq!(partition_by_gain(&view, &[1], 1e12), vec![vec![1]]);
     }
 
     #[test]

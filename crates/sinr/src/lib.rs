@@ -13,6 +13,13 @@
 //!   paper studies,
 //! * [`feasibility`] — SINR feasibility of a set of simultaneously scheduled
 //!   requests, in both the **directed** and the **bidirectional** variant,
+//! * [`engine`] — the **incremental interference engine**: a cached
+//!   [`GainMatrix`] of pairwise contributions plus a [`ColorAccumulator`]
+//!   that maintains per-color running interference sums, turning the
+//!   "can request *i* join color *c*" query from `O(|c|²)` into `O(|c|)`
+//!   while agreeing **exactly** (bit-for-bit) with the naive
+//!   [`Evaluator`] path; the naive path remains the source of truth for
+//!   schedule validation,
 //! * [`nodeloss`] — the node-loss scheduling problem of §3.2 (splitting
 //!   pairs) used by the analysis of the square-root assignment,
 //! * [`gain`] — constructive counterparts of Propositions 3 and 4 (trading
@@ -38,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
 pub mod feasibility;
 pub mod gain;
@@ -48,6 +56,7 @@ pub mod power;
 pub mod request;
 pub mod schedule;
 
+pub use engine::{ColorAccumulator, GainMatrix, IncrementalSystem};
 pub use error::SinrError;
 pub use feasibility::{Evaluator, InterferenceSystem, Variant};
 pub use gain::{extract_feasible_subset, partition_by_gain, rescale_coloring};

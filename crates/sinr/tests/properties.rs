@@ -4,8 +4,8 @@ use oblisched_metric::{EuclideanSpace, MetricSpace, Point2};
 use oblisched_sinr::nodeloss::split_pairs;
 use oblisched_sinr::power::PowerScheme;
 use oblisched_sinr::{
-    extract_feasible_subset, partition_by_gain, rescale_coloring, Instance, InterferenceSystem,
-    ObliviousPower, Request, Schedule, SinrParams, Variant,
+    extract_feasible_subset, partition_by_gain, rescale_coloring, ColorAccumulator, GainMatrix,
+    Instance, InterferenceSystem, ObliviousPower, Request, Schedule, SinrParams, Variant,
 };
 use proptest::prelude::*;
 
@@ -196,6 +196,111 @@ proptest! {
         for (c, class) in classes.iter().enumerate() {
             for &i in class {
                 prop_assert_eq!(schedule.color_of(i), c);
+            }
+        }
+    }
+
+    #[test]
+    fn gain_matrix_agrees_with_naive_evaluator_on_all_assignments(
+        instance in arb_instance(10, 80.0, 6.0),
+        params in arb_params(),
+        subset_mask in 0usize..1024,
+    ) {
+        // Tentpole guarantee: the cached engine returns *identical*
+        // `sinr`/`is_feasible` verdicts to the naive evaluator, for every
+        // oblivious assignment and both problem variants.
+        let n = instance.len();
+        let set: Vec<usize> = (0..n).filter(|&i| subset_mask >> i & 1 == 1).collect();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let matrix = GainMatrix::build(&view);
+                for &i in &set {
+                    let naive = view.sinr(i, &set);
+                    let cached = matrix.sinr(i, &set);
+                    prop_assert!(
+                        naive == cached || (naive.is_infinite() && cached.is_infinite()),
+                        "sinr({i}) diverged under {} / {variant}: naive {naive}, cached {cached}",
+                        power.name()
+                    );
+                }
+                prop_assert_eq!(matrix.is_feasible(&set), view.is_feasible(&set));
+                prop_assert_eq!(
+                    matrix.max_feasible_gain(&set),
+                    view.max_feasible_gain(&set)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn color_accumulator_matches_naive_greedy_verdicts(
+        instance in arb_instance(10, 80.0, 6.0),
+        params in arb_params(),
+        gain in 0.25f64..4.0,
+    ) {
+        // The accumulator's try-insert answers must equal the naive
+        // push / is_feasible / pop protocol, item for item, for every
+        // assignment and variant — this is what makes the migrated greedy
+        // algorithms drift-free.
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let mut acc = ColorAccumulator::new(&view);
+                let mut naive: Vec<usize> = Vec::new();
+                for i in 0..instance.len() {
+                    naive.push(i);
+                    let ok = view.is_feasible_with_gain(&naive, gain);
+                    if !ok {
+                        naive.pop();
+                    }
+                    let engine_ok = acc.try_insert_with_gain(i, gain);
+                    prop_assert!(
+                        engine_ok == ok,
+                        "verdict for item {} under {} / {} diverged",
+                        i,
+                        power.name(),
+                        variant
+                    );
+                }
+                prop_assert_eq!(acc.members(), naive.as_slice());
+                for (pos, &i) in acc.members().iter().enumerate() {
+                    let fresh = view.sinr(i, &naive);
+                    let held = acc.sinr_of(pos);
+                    prop_assert!(
+                        fresh == held || (fresh.is_infinite() && held.is_infinite()),
+                        "accumulated sinr of {i} drifted: {held} vs {fresh}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_over_cached_matrix_matches_naive_too(
+        instance in arb_instance(9, 70.0, 5.0),
+        params in arb_params(),
+    ) {
+        // Compose the two engine layers (matrix + accumulator) and compare
+        // against the naive path at the model gain.
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let matrix = GainMatrix::build(&view);
+                let mut acc = ColorAccumulator::new(&matrix);
+                let mut naive: Vec<usize> = Vec::new();
+                for i in 0..instance.len() {
+                    naive.push(i);
+                    let ok = view.is_feasible(&naive);
+                    if !ok {
+                        naive.pop();
+                    }
+                    prop_assert_eq!(acc.try_insert(i), ok);
+                }
+                prop_assert_eq!(acc.members(), naive.as_slice());
             }
         }
     }

@@ -1,0 +1,122 @@
+//! Golden tests: seed-pinned experiment-table output (colors per algorithm
+//! on fixed instances) diffed against a committed snapshot, so future
+//! refactors of the interference engine or the algorithms are checked
+//! against known-good numbers.
+//!
+//! On mismatch the test prints both lines; run with `GOLDEN_UPDATE=1` to
+//! regenerate `tests/golden/schedules.txt` after an *intentional* behaviour
+//! change (and justify the diff in the PR).
+
+use oblisched::{first_fit_coloring, Scheduler};
+use oblisched_instances::{
+    adversarial_for, evenly_spaced_line, exponential_line, max_supported_n, nested_chain,
+    scaling_clustered, scaling_line, scaling_uniform,
+};
+use oblisched_sinr::{ObliviousPower, PowerScheme, SinrParams, Variant};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+
+fn params() -> SinrParams {
+    SinrParams::new(3.0, 1.0).unwrap()
+}
+
+/// Generates the snapshot: one line per (instance, algorithm) with the
+/// number of colors. Everything is seed-pinned and deterministic.
+fn generate() -> Vec<String> {
+    let p = params();
+    let mut lines = Vec::new();
+
+    // First-fit colors per assignment and variant on the canonical families.
+    let families: Vec<(&str, oblisched_sinr::Instance<oblisched_metric::LineMetric>)> = vec![
+        ("nested_chain/12", nested_chain(12, 2.0)),
+        ("evenly_spaced_line/10", evenly_spaced_line(10, 1.0, 8.0)),
+        ("exponential_line/8", exponential_line(8, 2.0)),
+        ("scaling_line/40", scaling_line(40)),
+    ];
+    for (name, instance) in &families {
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(p, &power);
+            for variant in Variant::all() {
+                let colors = first_fit_coloring(&eval.view(variant)).num_colors();
+                lines.push(format!("{name} first-fit/{}/{variant} colors={colors}", power.name()));
+            }
+        }
+    }
+
+    // Random scaling families (Euclidean metric), bidirectional facade runs.
+    for (name, instance) in [
+        ("scaling_uniform/64:42", scaling_uniform(64, 42)),
+        ("scaling_clustered/64:7", scaling_clustered(64, 7)),
+    ] {
+        let scheduler = Scheduler::new(p);
+        for power in ObliviousPower::standard_assignments() {
+            let result = scheduler.schedule_with_assignment(&instance, power);
+            lines.push(format!("{name} {} colors={}", result.label, result.num_colors()));
+        }
+        let pc = scheduler.schedule_with_power_control(&instance);
+        lines.push(format!("{name} {} colors={}", pc.label, pc.num_colors()));
+        let mut rng = ChaCha8Rng::seed_from_u64(2029);
+        let lp = scheduler.schedule_sqrt_lp(&instance, &mut rng);
+        lines.push(format!("{name} {} colors={}", lp.label, lp.num_colors()));
+        let dec = scheduler.schedule_sqrt_decomposition(&instance, &mut rng);
+        lines.push(format!("{name} {} colors={}", dec.label, dec.num_colors()));
+    }
+
+    // Theorem 1 families: the target assignment degenerates, power control
+    // stays constant.
+    for power in ObliviousPower::standard_assignments() {
+        let n = max_supported_n(&power, &p).min(8);
+        let adv = adversarial_for(&power, &p, n);
+        let scheduler = Scheduler::new(p).variant(Variant::Directed);
+        let oblivious = scheduler.schedule_with_assignment(adv.instance(), power);
+        let pc = scheduler.schedule_with_power_control(adv.instance());
+        lines.push(format!(
+            "adversarial[{}]/{n} oblivious colors={} power-control colors={}",
+            power.name(),
+            oblivious.num_colors(),
+            pc.num_colors()
+        ));
+    }
+
+    lines
+}
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/schedules.txt")
+}
+
+#[test]
+fn schedules_match_the_committed_golden_snapshot() {
+    let actual = generate().join("\n") + "\n";
+    let path = snapshot_path();
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("golden snapshot rewritten at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with GOLDEN_UPDATE=1 to create it",
+            path.display()
+        )
+    });
+    // Compare line-wise (tolerating CRLF checkouts and a missing trailing
+    // newline) so a mismatch always points at a concrete line.
+    let actual_lines: Vec<&str> = actual.lines().collect();
+    let expected_lines: Vec<&str> =
+        expected.lines().map(|l| l.trim_end_matches('\r')).collect();
+    for (i, (a, e)) in actual_lines.iter().zip(expected_lines.iter()).enumerate() {
+        assert_eq!(
+            a, e,
+            "golden mismatch at line {} (set GOLDEN_UPDATE=1 only for intentional changes)",
+            i + 1
+        );
+    }
+    assert_eq!(
+        actual_lines.len(),
+        expected_lines.len(),
+        "golden snapshot line count changed (set GOLDEN_UPDATE=1 only for intentional changes)"
+    );
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration test: the `Scheduler` facade end-to-end on every
+//! instance family of `oblisched_instances`, with every returned schedule
+//! re-checked against the exact SINR checker (never the engine that produced
+//! it).
+
+use oblisched::Scheduler;
+use oblisched_instances::{
+    adversarial_for, clustered_deployment, evenly_spaced_line, exponential_line, max_supported_n,
+    nested_chain, random_matching, scaling_clustered, scaling_line, scaling_uniform,
+    uniform_deployment, DeploymentConfig,
+};
+use oblisched_metric::MetricSpace;
+use oblisched_sinr::{
+    Evaluator, Instance, ObliviousPower, PowerScheme, SinrParams, Variant,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn params() -> SinrParams {
+    SinrParams::new(3.0, 1.0).unwrap()
+}
+
+/// Runs every scheduler entry point applicable to `variant` on the instance
+/// and validates each result with the exact checker.
+fn drive_scheduler<M: MetricSpace>(family: &str, instance: &Instance<M>, variant: Variant) {
+    let scheduler = Scheduler::new(params()).variant(variant);
+    let n = instance.len();
+
+    for power in ObliviousPower::standard_assignments() {
+        let result = scheduler.schedule_with_assignment(instance, power);
+        assert_eq!(result.schedule.len(), n, "{family}: first-fit must cover every request");
+        let eval = instance.evaluator(params(), &power);
+        result
+            .schedule
+            .validate(&eval, variant)
+            .unwrap_or_else(|e| panic!("{family}/{}/{variant}: first-fit schedule invalid: {e}", power.name()));
+        assert!(result.label.contains(&power.name()));
+    }
+
+    let pc = scheduler.schedule_with_power_control(instance);
+    assert_eq!(pc.schedule.len(), n);
+    let eval = Evaluator::with_powers(instance, params(), pc.powers.clone())
+        .expect("power control returns valid powers");
+    pc.schedule
+        .validate(&eval, variant)
+        .unwrap_or_else(|e| panic!("{family}/{variant}: power-control schedule invalid: {e}"));
+
+    if variant == Variant::Bidirectional {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5eed ^ n as u64);
+        let lp = scheduler.schedule_sqrt_lp(instance, &mut rng);
+        let dec = scheduler.schedule_sqrt_decomposition(instance, &mut rng);
+        let eval = instance.evaluator(params(), &ObliviousPower::SquareRoot);
+        for (label, result) in [("lp", lp), ("decomposition", dec)] {
+            assert_eq!(result.schedule.len(), n);
+            result
+                .schedule
+                .validate(&eval, variant)
+                .unwrap_or_else(|e| panic!("{family}/{label}: schedule invalid: {e}"));
+        }
+    }
+}
+
+#[test]
+fn scheduler_handles_every_line_family() {
+    for variant in Variant::all() {
+        drive_scheduler("evenly_spaced_line", &evenly_spaced_line(10, 1.0, 8.0), variant);
+        drive_scheduler("exponential_line", &exponential_line(8, 2.0), variant);
+        drive_scheduler("scaling_line", &scaling_line(12), variant);
+    }
+}
+
+#[test]
+fn scheduler_handles_the_nested_chain() {
+    for variant in Variant::all() {
+        drive_scheduler("nested_chain", &nested_chain(9, 2.0), variant);
+    }
+}
+
+#[test]
+fn scheduler_handles_random_deployments() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2027);
+    let uniform = uniform_deployment(
+        DeploymentConfig { num_requests: 14, side: 300.0, min_link: 1.0, max_link: 10.0 },
+        &mut rng,
+    );
+    let clustered = clustered_deployment(
+        DeploymentConfig { num_requests: 12, side: 400.0, min_link: 1.0, max_link: 8.0 },
+        3,
+        25.0,
+        &mut rng,
+    );
+    let matching = random_matching(25, 500.0, &mut rng);
+    for variant in Variant::all() {
+        drive_scheduler("uniform_deployment", &uniform, variant);
+        drive_scheduler("clustered_deployment", &clustered, variant);
+        drive_scheduler("random_matching", &matching, variant);
+    }
+}
+
+#[test]
+fn scheduler_handles_the_scaling_families() {
+    for variant in Variant::all() {
+        drive_scheduler("scaling_uniform", &scaling_uniform(16, 11), variant);
+        drive_scheduler("scaling_clustered", &scaling_clustered(16, 11), variant);
+    }
+}
+
+#[test]
+fn scheduler_handles_adversarial_families() {
+    let p = params();
+    for power in ObliviousPower::standard_assignments() {
+        let n = max_supported_n(&power, &p).min(8);
+        let adv = adversarial_for(&power, &p, n);
+        for variant in Variant::all() {
+            drive_scheduler("adversarial", adv.instance(), variant);
+        }
+    }
+}
+
+#[test]
+fn large_scaling_instance_is_scheduled_and_exactly_checked() {
+    // A mid-sized engine-regime run end-to-end through the facade: n = 600
+    // would already be painful for the naive cubic path inside a test, but
+    // the engine colors it quickly and the exact checker confirms the
+    // result.
+    let instance = scaling_uniform(600, 42);
+    let scheduler = Scheduler::new(params());
+    let result = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
+    assert_eq!(result.schedule.len(), 600);
+    let eval = instance.evaluator(params(), &ObliviousPower::SquareRoot);
+    assert!(result.schedule.validate(&eval, Variant::Bidirectional).is_ok());
+}
