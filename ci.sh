@@ -18,11 +18,29 @@ echo "==> engine property + integration + golden tests (release)"
 cargo test -q --release -p oblisched_sinr --test properties
 cargo test -q --release -p oblisched-suite --test scheduler_families --test golden_schedules
 
+echo "==> dynamic churn acceptance (release)"
+# The full-size acceptance configuration (>= 2000 events around >= 1000 live
+# requests, every intermediate state validated against the naive evaluator)
+# only runs in release; the debug workspace pass above covers the scaled-down
+# variant of the same test.
+cargo test -q --release -p oblisched-suite --test dynamic_churn
+
 echo "==> scaling bench (smoke mode)"
 # Runs the engine-vs-naive speedup check end to end on small sizes so a
 # regression in the hot path (or a divergence between the engine and the
 # naive evaluator) fails the pipeline without the multi-minute full bench.
 SCALING_SMOKE=1 cargo bench -p oblisched_bench --bench scaling
+
+echo "==> churn bench (smoke mode)"
+# Same idea for the dynamic scheduler: replays the incremental-vs-full
+# reschedule comparison end to end on small traces.
+CHURN_SMOKE=1 cargo bench -p oblisched_bench --bench churn
+
+echo "==> experiment E10 (churn: incremental vs full reschedule)"
+# E10 validates the final dynamic state against the naive evaluator and
+# reports the wall-time comparison; running it here keeps the experiment
+# harness (and the speedup claim it documents) green.
+cargo run -q -p oblisched_bench --bin experiments --release -- --exp e10
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,120 @@
+//! Churn benchmark: the dynamic scheduler's per-event incremental
+//! maintenance vs a full first-fit reschedule of the live set per event.
+//!
+//! This is the measurement behind the dynamic subsystem's reason to exist:
+//! an arrival probes the existing color accumulators (`O(live)`
+//! contributions), a departure subtracts one member from one class
+//! (`O(class)`), while the baseline redoes first-fit over the whole live set
+//! on every event.
+//!
+//! * `churn_incremental/*` — full trace replay through `DynamicScheduler`,
+//! * `churn_full_reschedule/*` — the per-event full reschedule baseline (on
+//!   a shorter trace; it is the slow side),
+//! * `churn-check` — the acceptance measurement: one timed replay of both
+//!   strategies on the same seed-pinned trace, final dynamic state validated
+//!   against the naive evaluator, speedup asserted.
+//!
+//! Set `CHURN_SMOKE=1` to shrink the workload for CI: the same code paths
+//! run without the multi-second full-reschedule baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oblisched_bench::{replay_full_reschedule, replay_incremental};
+use oblisched_instances::{churn_clustered, churn_uniform, ChurnTrace};
+use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+fn smoke() -> bool {
+    std::env::var_os("CHURN_SMOKE").is_some()
+}
+
+fn params() -> SinrParams {
+    SinrParams::new(3.0, 1.0).unwrap()
+}
+
+fn workloads(
+    n: usize,
+    target: usize,
+    events: usize,
+) -> [(&'static str, (oblisched_sinr::Instance<oblisched_metric::EuclideanSpace<2>>, ChurnTrace)); 2]
+{
+    [
+        ("uniform", churn_uniform(n, target, events, SEED)),
+        ("clustered", churn_clustered(n, target, events, SEED)),
+    ]
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let p = params();
+    let (n, target, events) = if smoke() { (120, 70, 240) } else { (1000, 650, 2000) };
+    let mut group = c.benchmark_group("churn_incremental");
+    group.sample_size(5);
+    for (family, (inst, trace)) in workloads(n, target, events) {
+        let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let matrix = view.cached();
+        group.bench_with_input(BenchmarkId::new(family, events), &matrix, |b, m| {
+            b.iter(|| black_box(replay_incremental(m, &trace).num_colors()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_reschedule(c: &mut Criterion) {
+    let p = params();
+    // The baseline is the slow side; keep its trace shorter.
+    let (n, target, events) = if smoke() { (120, 70, 120) } else { (600, 400, 600) };
+    let mut group = c.benchmark_group("churn_full_reschedule");
+    group.sample_size(2);
+    for (family, (inst, trace)) in workloads(n, target, events) {
+        let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let matrix = view.cached();
+        group.bench_with_input(BenchmarkId::new(family, events), &matrix, |b, m| {
+            b.iter(|| black_box(replay_full_reschedule(m, &trace)))
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance measurement: both strategies on the same seed-pinned
+/// trace; the dynamic state must certify against the naive evaluator and the
+/// incremental path must win on total wall time.
+fn churn_check(_c: &mut Criterion) {
+    let p = params();
+    let (n, target, events) = if smoke() { (150, 90, 300) } else { (1500, 1000, 2000) };
+    let (inst, trace) = churn_uniform(n, target, events, SEED);
+    let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
+    let view = eval.view(Variant::Bidirectional);
+    let matrix = view.cached();
+
+    let start = Instant::now();
+    let sched = replay_incremental(&matrix, &trace);
+    let t_incremental = start.elapsed();
+    sched
+        .validate_against(&view)
+        .expect("the final churn state must certify against the naive evaluator");
+    sched.validate().expect("accumulated sums must stay within drift tolerance");
+
+    let start = Instant::now();
+    let full_colors = replay_full_reschedule(&matrix, &trace);
+    let t_full = start.elapsed();
+
+    let speedup = t_full.as_secs_f64() / t_incremental.as_secs_f64().max(1e-12);
+    println!(
+        "churn/churn-check uniform n={n} live~{target} events={events}: full {t_full:?}, \
+         incremental {t_incremental:?}, speedup {speedup:.1}x, colors dyn {} vs full {full_colors}",
+        sched.num_colors()
+    );
+    if !smoke() {
+        assert!(
+            speedup >= 3.0,
+            "incremental maintenance must beat per-event full reschedules, got {speedup:.1}x"
+        );
+    }
+}
+
+criterion_group!(benches, bench_incremental, bench_full_reschedule, churn_check);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Shared replay loops of the churn workloads — the single definition of
+//! "run a trace incrementally" and "run a trace with full reschedules" used
+//! by experiment E10, the `churn` criterion bench, and the harness tests, so
+//! they all measure exactly the same event loop.
+
+use oblisched::dynamic::DynamicScheduler;
+use oblisched::first_fit_subset;
+use oblisched_instances::{ChurnEvent, ChurnTrace};
+use oblisched_sinr::IncrementalSystem;
+
+/// Replays a trace through the dynamic scheduler (one `insert`/`remove` per
+/// event), returning the final scheduler so callers can validate it and read
+/// off colors / live count.
+///
+/// # Panics
+///
+/// Panics if the trace is inconsistent with the system (arrivals of live
+/// requests, departures of dead ones, items out of range) — impossible for
+/// generator-produced traces over their own universe.
+pub fn replay_incremental<'s, S: IncrementalSystem + ?Sized>(
+    system: &'s S,
+    trace: &ChurnTrace,
+) -> DynamicScheduler<'s, S> {
+    replay_incremental_with(system, trace, |_, _| {})
+}
+
+/// [`replay_incremental`] with a hook called after every applied event
+/// (receiving the scheduler state and the 0-based event index) — the loop
+/// the per-event-validating acceptance test runs is thereby exactly the loop
+/// E10 and the `churn` bench time.
+///
+/// # Panics
+///
+/// Same trace-consistency contract as [`replay_incremental`].
+pub fn replay_incremental_with<'s, S, F>(
+    system: &'s S,
+    trace: &ChurnTrace,
+    mut on_event: F,
+) -> DynamicScheduler<'s, S>
+where
+    S: IncrementalSystem + ?Sized,
+    F: FnMut(&DynamicScheduler<'s, S>, usize),
+{
+    let mut sched = DynamicScheduler::new(system);
+    let mut ids = vec![None; trace.universe];
+    for (index, event) in trace.events.iter().enumerate() {
+        match *event {
+            ChurnEvent::Arrive(i) => {
+                ids[i] = Some(sched.insert(i).expect("arrivals target dead requests"));
+            }
+            ChurnEvent::Depart(i) => {
+                let id = ids[i].take().expect("departures target live requests");
+                sched.remove(id).expect("the id is live");
+            }
+        }
+        on_event(&sched, index);
+    }
+    sched
+}
+
+/// Replays a trace with a full first-fit reschedule of the live set after
+/// every event — the baseline the dynamic scheduler is measured against.
+/// Returns the color count after the final event.
+///
+/// # Panics
+///
+/// Panics if the trace is inconsistent (departure of a dead request).
+pub fn replay_full_reschedule<S: IncrementalSystem + ?Sized>(
+    system: &S,
+    trace: &ChurnTrace,
+) -> usize {
+    let mut live: Vec<usize> = Vec::new();
+    let mut colors = 0usize;
+    for event in &trace.events {
+        match *event {
+            ChurnEvent::Arrive(i) => live.push(i),
+            ChurnEvent::Depart(i) => {
+                let pos = live.iter().position(|&x| x == i).expect("departures target live");
+                live.remove(pos);
+            }
+        }
+        colors = first_fit_subset(system, &live).len();
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched_instances::churn_uniform;
+    use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+
+    #[test]
+    fn both_replays_cover_the_same_final_live_set() {
+        let (instance, trace) = churn_uniform(40, 24, 100, 5);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let sched = replay_incremental(&view, &trace);
+        let mut live = sched.live_items();
+        live.sort_unstable();
+        assert_eq!(live, trace.final_live());
+        sched.validate().unwrap();
+        let colors = replay_full_reschedule(&view, &trace);
+        assert!(colors >= 1);
+    }
+}

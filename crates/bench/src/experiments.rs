@@ -1,5 +1,6 @@
-//! The experiments E1–E9: one per quantitative claim of the paper, plus the
-//! E9 scaling measurement of the incremental interference engine.
+//! The experiments E1–E10: one per quantitative claim of the paper, plus the
+//! E9 scaling measurement of the incremental interference engine and the E10
+//! churn comparison of the dynamic scheduler.
 
 use crate::table::Table;
 use oblisched::scheduler::Scheduler;
@@ -45,6 +46,10 @@ pub enum Experiment {
     /// Scaling: first-fit wall time and colors, incremental engine vs the
     /// naive evaluator, across growing n (identical colorings asserted).
     E9,
+    /// Churn: the dynamic scheduler's incremental maintenance vs a full
+    /// reschedule per event, across power assignments (colors, per-event
+    /// latency, total wall time).
+    E10,
 }
 
 impl Experiment {
@@ -60,6 +65,7 @@ impl Experiment {
             "e7" => Some(Experiment::E7),
             "e8" => Some(Experiment::E8),
             "e9" => Some(Experiment::E9),
+            "e10" => Some(Experiment::E10),
             _ => None,
         }
     }
@@ -77,6 +83,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         Experiment::E7,
         Experiment::E8,
         Experiment::E9,
+        Experiment::E10,
     ]
 }
 
@@ -92,6 +99,7 @@ pub fn run_experiment(exp: Experiment) -> Table {
         Experiment::E7 => e7_tree_embeddings(),
         Experiment::E8 => e8_directed_simulation_and_energy(),
         Experiment::E9 => e9_scaling_engine(),
+        Experiment::E10 => e10_dynamic_churn(),
     }
 }
 
@@ -511,6 +519,81 @@ pub fn e9_scaling_engine() -> Table {
     table
 }
 
+/// E10 — churn: incremental maintenance vs full reschedules.
+///
+/// Replays the seed-pinned churn traces of `oblisched_instances::churn`
+/// through the `DynamicScheduler` (per-event incremental work on the cached
+/// gain matrix) and through a full first-fit reschedule of the live set
+/// after every event, for each oblivious power assignment. The final dynamic
+/// state is certified against the naive evaluator (`validate_against`), so
+/// the speedup column compares two *valid* maintenance strategies.
+pub fn e10_dynamic_churn() -> Table {
+    use crate::churn::{replay_full_reschedule, replay_incremental};
+    use oblisched_instances::{churn_clustered, churn_uniform};
+
+    let p = params();
+    let mut table = Table::new(
+        "E10",
+        "Churn: dynamic scheduler (incremental) vs full reschedule per event (bidirectional)",
+        vec![
+            "family",
+            "assignment",
+            "events",
+            "final live",
+            "colors (dyn)",
+            "colors (full)",
+            "dyn ms",
+            "dyn µs/event",
+            "full ms",
+            "speedup",
+        ],
+    );
+    let workloads = [
+        ("uniform", churn_uniform(400, 260, 800, 42)),
+        ("clustered", churn_clustered(400, 260, 800, 42)),
+    ];
+    for (family, (instance, trace)) in &workloads {
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(p, &power);
+            let view = eval.view(Variant::Bidirectional);
+            let matrix = view.cached();
+
+            // Incremental maintenance: one insert/remove per event.
+            let start = std::time::Instant::now();
+            let sched = replay_incremental(&matrix, trace);
+            let dyn_time = start.elapsed();
+            sched
+                .validate_against(&view)
+                .expect("the final churn state must certify against the naive evaluator");
+            sched.validate().expect("accumulated sums must stay within drift tolerance");
+
+            // Baseline: full first-fit reschedule of the live set per event.
+            let start = std::time::Instant::now();
+            let full_colors = replay_full_reschedule(&matrix, trace);
+            let full_time = start.elapsed();
+
+            let dyn_ms = dyn_time.as_secs_f64() * 1e3;
+            let full_ms = full_time.as_secs_f64() * 1e3;
+            table.push_row(vec![
+                family.to_string(),
+                power.name(),
+                trace.len().to_string(),
+                sched.len().to_string(),
+                sched.num_colors().to_string(),
+                full_colors.to_string(),
+                format!("{dyn_ms:.1}"),
+                format!("{:.1}", dyn_ms * 1e3 / trace.len() as f64),
+                format!("{full_ms:.1}"),
+                format!("{:.1}x", full_ms / dyn_ms.max(1e-9)),
+            ]);
+        }
+    }
+    table.push_note("seed-pinned workloads (seed 42): universe 400, target 260 live, 800 events, cached gain matrix for both strategies");
+    table.push_note("the final dynamic state is validated against the naive evaluator before timing is reported");
+    table.push_note("expectation: incremental maintenance beats the full-reschedule baseline on total wall time at similar color counts");
+    table
+}
+
 /// Validates a schedule against an instance/power pair — used by the harness
 /// to double-check each experiment's artefacts before reporting.
 pub fn check_schedule<M: MetricSpace>(
@@ -532,8 +615,9 @@ mod tests {
         assert_eq!(Experiment::parse("e1"), Some(Experiment::E1));
         assert_eq!(Experiment::parse("E8"), Some(Experiment::E8));
         assert_eq!(Experiment::parse("e9"), Some(Experiment::E9));
-        assert_eq!(Experiment::parse("e10"), None);
-        assert_eq!(all_experiments().len(), 9);
+        assert_eq!(Experiment::parse("e10"), Some(Experiment::E10));
+        assert_eq!(Experiment::parse("e11"), None);
+        assert_eq!(all_experiments().len(), 10);
     }
 
     #[test]
@@ -580,6 +664,27 @@ mod tests {
         let engine = first_fit_coloring(&view);
         let naive = oblisched::first_fit_coloring_naive(&view);
         assert_eq!(engine, naive);
+    }
+
+    #[test]
+    fn churn_experiment_shape_on_a_small_workload() {
+        // Keep this test cheap: run the real E10 event loop on a small
+        // seed-pinned workload rather than the full experiment sizes.
+        use crate::churn::{replay_full_reschedule, replay_incremental};
+        use oblisched_instances::churn_uniform;
+        let p = params();
+        let (instance, trace) = churn_uniform(60, 36, 150, 42);
+        let eval = instance.evaluator(p, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let matrix = view.cached();
+        let sched = replay_incremental(&matrix, &trace);
+        sched.validate_against(&view).unwrap();
+        sched.validate().unwrap();
+        assert_eq!(sched.len(), trace.final_live().len());
+        // Both strategies schedule the same live set; their color counts are
+        // in the same ballpark (both are first-fit variants).
+        let full_colors = replay_full_reschedule(&matrix, &trace);
+        assert!(full_colors >= 1);
     }
 
     #[test]

@@ -15,8 +15,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod experiments;
 pub mod table;
 
+pub use churn::{replay_full_reschedule, replay_incremental, replay_incremental_with};
 pub use experiments::{all_experiments, run_experiment, Experiment};
 pub use table::Table;

@@ -117,6 +117,39 @@ fn assert_order_is_permutation(n: usize, order: &[usize]) {
     }
 }
 
+/// First-fit coloring of an arbitrary subset of the system's items, in the
+/// given order, returning the resulting color classes (members in insertion
+/// order). Unlike [`first_fit_with_order`] the items need not cover the
+/// whole system — this is the "full reschedule" baseline the dynamic
+/// scheduler (`oblisched::dynamic`) and the churn experiments compare
+/// against on a live subset.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `items` contains a duplicate — an item cannot
+/// hold two colors. The check is `O(items²)` and skipped in release builds,
+/// where this function sits on the per-event hot path of the churn
+/// experiments.
+pub fn first_fit_subset<S: IncrementalSystem + ?Sized>(
+    system: &S,
+    items: &[usize],
+) -> Vec<Vec<usize>> {
+    let mut classes: Vec<ColorAccumulator<'_, S>> = Vec::new();
+    for &i in items {
+        debug_assert!(
+            !classes.iter().any(|class| class.contains(i)),
+            "item {i} appears twice in the subset"
+        );
+        let placed = classes.iter_mut().any(|class| class.try_insert(i));
+        if !placed {
+            let mut class = ColorAccumulator::new(system);
+            class.insert_unchecked(i);
+            classes.push(class);
+        }
+    }
+    classes.iter().map(|class| class.members().to_vec()).collect()
+}
+
 /// Greedily builds one large feasible set ("one shot") from `candidates`,
 /// considering them in the given order and keeping an item whenever the set
 /// stays feasible.
@@ -220,6 +253,28 @@ mod tests {
         let params = SinrParams::default();
         let eval = inst.evaluator(params, &ObliviousPower::Uniform);
         let _ = first_fit_with_order(&eval.view(Variant::Directed), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn first_fit_subset_matches_full_first_fit_on_the_whole_set() {
+        let inst = nested_chain(10, 2.0);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let all: Vec<usize> = (0..10).collect();
+        let classes = first_fit_subset(&view, &all);
+        let full = first_fit_coloring(&view);
+        assert_eq!(classes.len(), full.num_colors());
+        for class in &classes {
+            assert!(class.len() == 1 || view.is_feasible(class));
+        }
+        // A strict subset is colored too, covering exactly the given items.
+        let subset = [7usize, 2, 5];
+        let classes = first_fit_subset(&view, &subset);
+        let mut covered: Vec<usize> = classes.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        assert_eq!(covered, vec![2, 5, 7]);
+        assert!(first_fit_subset(&view, &[]).is_empty());
     }
 
     #[test]

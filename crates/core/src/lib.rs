@@ -35,6 +35,7 @@
 //! | [`power_control`] | baseline | non-oblivious per-set power optimisation (the "optimal schedule" side of Theorem 1) |
 //! | [`optimal`] | baseline | exact maximum one-shot sets and exact minimum colorings for small instances |
 //! | [`sqrt_coloring`](mod@sqrt_coloring) | §5 | the randomized LP-rounding coloring algorithm for the square-root assignment |
+//! | [`dynamic`] | — | online scheduling under churn: a [`DynamicScheduler`] maintaining a valid coloring across insert/remove events |
 //! | [`star_analysis`] | §4 | Lemma 5 machinery: decay classes, large/small-loss split, square-root-feasible subsets on stars |
 //! | [`decomposition`] | §3 | metric → tree → star reduction (Lemmas 6–9) and the constructive Theorem 2 pipeline |
 //! | [`convert`] | §6 | simulating bidirectional schedules by directed ones |
@@ -64,6 +65,7 @@
 
 pub mod convert;
 pub mod decomposition;
+pub mod dynamic;
 pub mod greedy;
 pub mod optimal;
 pub mod power_control;
@@ -73,8 +75,9 @@ pub mod star_analysis;
 
 pub use convert::directed_simulation;
 pub use decomposition::{sqrt_feasible_nodes, sqrt_schedule_via_decomposition, DecompositionConfig};
+pub use dynamic::{DynamicConfig, DynamicError, DynamicScheduler, RequestId};
 pub use greedy::{
-    first_fit_coloring, first_fit_coloring_naive, first_fit_with_order,
+    first_fit_coloring, first_fit_coloring_naive, first_fit_subset, first_fit_with_order,
     first_fit_with_order_naive, greedy_augment, greedy_one_shot,
 };
 pub use optimal::{exact_chromatic_number, exact_max_one_shot};

@@ -131,6 +131,11 @@ fn branch_coloring<S: InterferenceSystem>(
 /// the exact maximum one-shot size (computed exactly, so only valid for small
 /// systems).
 ///
+/// When the system is non-empty but not even a singleton is feasible (heavy
+/// ambient noise), no finite schedule exists and the sentinel
+/// [`oblisched_sinr::measure::UNSCHEDULABLE`] is propagated; callers must
+/// not compare it against finite schedule lengths.
+///
 /// # Panics
 ///
 /// Panics if the system exceeds [`DEFAULT_EXACT_LIMIT`] items.
@@ -233,6 +238,19 @@ mod tests {
             let (k, _) = exact_chromatic_number(&view);
             assert!(bound <= k, "pigeonhole bound {bound} exceeds the optimum {k}");
         }
+    }
+
+    #[test]
+    fn pigeonhole_bound_signals_unschedulable_under_heavy_noise() {
+        // Noise so strong that no singleton is feasible: the exact one-shot
+        // size is 0 and the bound must be the sentinel, not n.
+        let inst = evenly_spaced_line(4, 1.0, 50.0);
+        let noisy = SinrParams::with_noise(3.0, 1.0, 100.0).unwrap();
+        let eval = inst.evaluator(noisy, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Directed);
+        let all: Vec<usize> = (0..4).collect();
+        assert!(exact_max_one_shot(&view, &all).is_empty());
+        assert_eq!(exact_pigeonhole_bound(&view), oblisched_sinr::measure::UNSCHEDULABLE);
     }
 
     #[test]

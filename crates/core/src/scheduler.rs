@@ -120,8 +120,11 @@ impl Scheduler {
     ) -> ScheduleResult {
         let evaluator = instance.evaluator(self.params, &scheme);
         let view = evaluator.view(self.variant);
-        let schedule = if GainMatrix::bytes_for(instance.len(), view.num_ports())
-            <= self.matrix_budget
+        // Overflow of the byte estimate must count as over-budget (an
+        // unchecked product would wrap and could wrongly enable the matrix
+        // for huge n), hence the checked variant.
+        let schedule = if GainMatrix::checked_bytes_for(instance.len(), view.num_ports())
+            .is_some_and(|bytes| bytes <= self.matrix_budget)
         {
             first_fit_coloring(&view.cached())
         } else {

@@ -114,12 +114,11 @@ pub fn star_sqrt_subset(
     let mut order: Vec<usize> = Vec::with_capacity(instance.len());
     for class in classes {
         let mut sorted = class;
-        sorted.sort_by(|&a, &b| {
-            instance
-                .loss(a)
-                .partial_cmp(&instance.loss(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // `total_cmp`, not `partial_cmp`: a NaN loss (or any non-total
+        // comparator) would make the sort panic or produce an unstable
+        // order; total ordering keeps equal-loss nodes in stable index
+        // order and never panics.
+        sorted.sort_by(|&a, &b| instance.loss(a).total_cmp(&instance.loss(b)));
         order.extend(sorted);
     }
 
@@ -240,6 +239,21 @@ mod tests {
             assert!(eval.is_feasible_with_gain(&subset, 1.0));
             assert!(!subset.is_empty());
         }
+    }
+
+    #[test]
+    fn equal_losses_sort_stably_and_deterministically() {
+        // Regression for the `partial_cmp` comparator: equal-loss nodes used
+        // to rely on `unwrap_or(Equal)`; `total_cmp` keeps the stable index
+        // order, so the selection is deterministic run to run.
+        let star = StarMetric::new(vec![1.0, 1.0, 1.0, 1.0]);
+        let inst = NodeLossInstance::new(star, vec![5.0, 5.0, 5.0, 5.0]).unwrap();
+        let p = params();
+        let a = star_sqrt_subset(&inst, &p, 0.5);
+        let b = star_sqrt_subset(&inst, &p, 0.5);
+        assert_eq!(a, b);
+        let eval = inst.sqrt_evaluator(p);
+        assert!(eval.is_feasible_with_gain(&a, 0.5));
     }
 
     #[test]

@@ -1,0 +1,248 @@
+//! Churn workloads: seed-pinned arrival/departure traces over the scaling
+//! deployments.
+//!
+//! A churn workload is a fixed *universe* instance (one of the
+//! density-normalised [`scale`](crate::scale) families) plus a deterministic
+//! event trace toggling which universe requests are live. The trace is the
+//! input of the dynamic scheduler (`oblisched::dynamic`): arrivals insert a
+//! universe request, departures remove a live one, and the live count hovers
+//! around a configurable target after a pure-arrival ramp-up.
+//!
+//! Determinism is load-bearing, exactly as for the scaling families: the
+//! same `(n, target_live, num_events, seed)` always produces the same
+//! universe *and* the same trace, which is what lets the `churn` bench and
+//! experiment E10 compare incremental maintenance against full reschedules
+//! on identical event sequences.
+
+use crate::scale::{scaling_clustered, scaling_uniform};
+use oblisched_metric::EuclideanSpace;
+use oblisched_sinr::Instance;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One churn event over a universe instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChurnEvent {
+    /// The universe request with this index becomes live.
+    Arrive(usize),
+    /// The universe request with this index departs (it is always live at
+    /// this point of the trace).
+    Depart(usize),
+}
+
+/// A deterministic arrival/departure trace over a universe of `universe`
+/// requests. Every `Arrive(i)` targets a currently-dead request and every
+/// `Depart(i)` a currently-live one, so the trace can be replayed without
+/// bookkeeping errors by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnTrace {
+    /// Number of requests in the universe instance.
+    pub universe: usize,
+    /// The events, in order.
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnTrace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The largest number of simultaneously live requests over the replay
+    /// (and, as a by-product, a consistency check of the trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is inconsistent (arrival of a live request or
+    /// departure of a dead one) — impossible for generator-produced traces.
+    pub fn max_live(&self) -> usize {
+        let mut live = vec![false; self.universe];
+        let mut count = 0usize;
+        let mut max = 0usize;
+        for event in &self.events {
+            match *event {
+                ChurnEvent::Arrive(i) => {
+                    assert!(!live[i], "arrival of already-live request {i}");
+                    live[i] = true;
+                    count += 1;
+                    max = max.max(count);
+                }
+                ChurnEvent::Depart(i) => {
+                    assert!(live[i], "departure of dead request {i}");
+                    live[i] = false;
+                    count -= 1;
+                }
+            }
+        }
+        max
+    }
+
+    /// The requests live after the full replay, in increasing index order.
+    pub fn final_live(&self) -> Vec<usize> {
+        let mut live = vec![false; self.universe];
+        for event in &self.events {
+            match *event {
+                ChurnEvent::Arrive(i) => live[i] = true,
+                ChurnEvent::Depart(i) => live[i] = false,
+            }
+        }
+        (0..self.universe).filter(|&i| live[i]).collect()
+    }
+}
+
+/// Generates a churn trace over a universe of `universe` requests: a pure
+/// arrival ramp-up to `target_live`, then a mixed phase whose
+/// arrival/departure mix nudges the live count back toward the target
+/// (probability 0.7 of arriving below target, 0.3 above).
+fn churn_trace(
+    universe: usize,
+    target_live: usize,
+    num_events: usize,
+    rng: &mut ChaCha8Rng,
+) -> ChurnTrace {
+    assert!(universe > 0, "the universe must contain at least one request");
+    assert!(
+        target_live <= universe,
+        "target live count {target_live} exceeds the universe size {universe}"
+    );
+    // Swap-remove index pools keep both draws O(1).
+    let mut dead: Vec<usize> = (0..universe).collect();
+    let mut live: Vec<usize> = Vec::with_capacity(target_live.max(1));
+    let mut events = Vec::with_capacity(num_events);
+    while events.len() < num_events {
+        let ramping = live.len() < target_live && events.len() < target_live;
+        let arrive = if live.is_empty() || ramping {
+            true
+        } else if dead.is_empty() {
+            false
+        } else {
+            let p_arrive = if live.len() < target_live { 0.7 } else { 0.3 };
+            rng.gen_range(0.0f64..1.0) < p_arrive
+        };
+        if arrive {
+            let pick = rng.gen_range(0..dead.len());
+            let item = dead.swap_remove(pick);
+            live.push(item);
+            events.push(ChurnEvent::Arrive(item));
+        } else {
+            let pick = rng.gen_range(0..live.len());
+            let item = live.swap_remove(pick);
+            dead.push(item);
+            events.push(ChurnEvent::Depart(item));
+        }
+    }
+    ChurnTrace { universe, events }
+}
+
+/// A seed-pinned churn workload over the uniform scaling deployment
+/// [`scaling_uniform`]: the universe instance plus an arrival/departure
+/// trace of `num_events` events hovering around `target_live` live requests
+/// after the ramp-up.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `target_live > n`.
+///
+/// # Example
+///
+/// ```
+/// use oblisched_instances::churn_uniform;
+///
+/// let (instance, trace) = churn_uniform(200, 120, 400, 7);
+/// assert_eq!(instance.len(), 200);
+/// assert_eq!(trace.len(), 400);
+/// assert!(trace.max_live() >= 120);
+/// // Seed-pinned: the same arguments reproduce the same workload.
+/// let (again, trace_again) = churn_uniform(200, 120, 400, 7);
+/// assert_eq!(instance, again);
+/// assert_eq!(trace, trace_again);
+/// ```
+pub fn churn_uniform(
+    n: usize,
+    target_live: usize,
+    num_events: usize,
+    seed: u64,
+) -> (Instance<EuclideanSpace<2>>, ChurnTrace) {
+    let instance = scaling_uniform(n, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0A1_E5CE);
+    let trace = churn_trace(n, target_live, num_events, &mut rng);
+    (instance, trace)
+}
+
+/// A seed-pinned churn workload over the clustered scaling deployment
+/// [`scaling_clustered`], with the same trace conventions as
+/// [`churn_uniform`]. The locally dense hot spots are where the square-root
+/// assignment separates from uniform and linear under churn.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `target_live > n`.
+pub fn churn_clustered(
+    n: usize,
+    target_live: usize,
+    num_events: usize,
+    seed: u64,
+) -> (Instance<EuclideanSpace<2>>, ChurnTrace) {
+    let instance = scaling_clustered(n, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1B5_7E2D);
+    let trace = churn_trace(n, target_live, num_events, &mut rng);
+    (instance, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_seed_pinned() {
+        let (a_inst, a_trace) = churn_uniform(50, 30, 200, 3);
+        let (b_inst, b_trace) = churn_uniform(50, 30, 200, 3);
+        assert_eq!(a_inst, b_inst);
+        assert_eq!(a_trace, b_trace);
+        let (_, c_trace) = churn_uniform(50, 30, 200, 4);
+        assert_ne!(a_trace, c_trace);
+        let (d_inst, d_trace) = churn_clustered(50, 30, 200, 3);
+        assert_eq!(d_trace, churn_clustered(50, 30, 200, 3).1);
+        assert_eq!(d_inst.len(), 50);
+    }
+
+    #[test]
+    fn traces_are_replayable_and_hover_near_the_target() {
+        let (_, trace) = churn_uniform(100, 60, 500, 9);
+        assert_eq!(trace.len(), 500);
+        // max_live also validates arrive-dead / depart-live consistency.
+        let max = trace.max_live();
+        assert!(max >= 60, "ramp-up must reach the target, got {max}");
+        assert!(max <= 100);
+        // The ramp-up is pure arrivals.
+        assert!(trace.events[..60]
+            .iter()
+            .all(|e| matches!(e, ChurnEvent::Arrive(_))));
+        // The mixed phase contains genuine departures.
+        assert!(trace.events.iter().any(|e| matches!(e, ChurnEvent::Depart(_))));
+        let live = trace.final_live();
+        assert!(!live.is_empty());
+        assert!(live.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn full_universe_target_drains_the_dead_pool() {
+        // target == universe: once everything is live only departures remain
+        // possible, and the generator must not get stuck.
+        let (_, trace) = churn_uniform(20, 20, 100, 1);
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace.max_live(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the universe")]
+    fn oversized_target_is_rejected() {
+        let _ = churn_uniform(10, 11, 50, 1);
+    }
+}

@@ -17,6 +17,9 @@
 //! * **Scaling families** ([`scale`]) — seed-pinned, density-normalised
 //!   large-`n` variants of the above (`n = 10⁴–10⁵`), the workloads the
 //!   incremental interference engine of `oblisched_sinr` makes tractable.
+//! * **Churn workloads** ([`churn`]) — seed-pinned arrival/departure traces
+//!   over the scaling deployments, the input of the dynamic scheduler
+//!   (`oblisched::dynamic`).
 //!
 //! All generators are deterministic given a seeded RNG, and every instance
 //! they produce is a valid [`oblisched_sinr::Instance`].
@@ -25,12 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod churn;
 pub mod line;
 pub mod nested;
 pub mod random;
 pub mod scale;
 
 pub use adversarial::{adversarial_for, max_supported_n, AdversarialInstance};
+pub use churn::{churn_clustered, churn_uniform, ChurnEvent, ChurnTrace};
 pub use line::{evenly_spaced_line, exponential_line};
 pub use nested::nested_chain;
 pub use random::{clustered_deployment, random_matching, uniform_deployment, DeploymentConfig};

@@ -109,9 +109,9 @@ fn alter_until_feasible(lp: &PackingLp, selected: &mut Vec<usize>) {
                 let contribution = |j: usize| -> f64 {
                     violated.iter().map(|&i| lp.rows()[i][j]).sum()
                 };
-                contribution(a)
-                    .partial_cmp(&contribution(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                // Total ordering: NaN contributions must not collapse the
+                // comparison to Equal and leave the choice order-dependent.
+                contribution(a).total_cmp(&contribution(b))
             })
             .expect("selection is non-empty");
         selected.retain(|&j| j != worst);

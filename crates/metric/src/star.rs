@@ -85,9 +85,9 @@ impl StarMetric {
     /// the permutation that realises that ordering.
     pub fn leaves_by_radius(&self) -> Vec<NodeId> {
         let mut order: Vec<NodeId> = (0..self.radii.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.radii[a].partial_cmp(&self.radii[b]).expect("radii are finite").then(a.cmp(&b))
-        });
+        // Total ordering instead of `partial_cmp(..).expect(..)`: a NaN
+        // radius must not panic the sort mid-comparison.
+        order.sort_by(|&a, &b| self.radii[a].total_cmp(&self.radii[b]).then(a.cmp(&b)));
         order
     }
 }

@@ -116,6 +116,10 @@ fn sinr_from_ports(signal: f64, ports: &[f64], noise: f64) -> f64 {
     }
 }
 
+/// Default number of removals after which [`ColorAccumulator`] rebuilds its
+/// running sums exactly (see [`ColorAccumulator::remove`]).
+pub const DEFAULT_REBUILD_INTERVAL: usize = 64;
+
 /// Incrementally maintained interference state of one color class.
 ///
 /// The accumulator stores, for every member, the running interference sum at
@@ -124,13 +128,49 @@ fn sinr_from_ports(signal: f64, ports: &[f64], noise: f64) -> f64 {
 /// accumulated in insertion order — the same left-to-right fold the naive
 /// evaluator performs over the class vector — so verdicts are exactly those
 /// of the naive path.
-#[derive(Debug, Clone)]
+///
+/// # Removal and the drift guard
+///
+/// [`remove`](ColorAccumulator::remove) subtracts the departing member's
+/// contributions from the remaining running sums in `O(members)`. Unlike
+/// insert-only sequences, a removal breaks the bit-for-bit fold equivalence:
+/// floating-point subtraction leaves rounding residue, so sums (and with
+/// them borderline verdicts) are only guaranteed to stay *within tolerance*
+/// of an accumulator rebuilt from scratch on the surviving members. A drift
+/// guard bounds the residue: after
+/// [`rebuild_interval`](ColorAccumulator::with_rebuild_interval) removals
+/// (default [`DEFAULT_REBUILD_INTERVAL`]) — or immediately, when an infinite
+/// contribution makes subtraction ill-defined — the sums are recomputed
+/// exactly by [`rebuild`](ColorAccumulator::rebuild), which also reports the
+/// maximum relative drift it erased. The removal property tests in
+/// `tests/properties.rs` pin the within-tolerance guarantee across all
+/// oblivious assignments and both variants.
+#[derive(Debug)]
 pub struct ColorAccumulator<'s, S: ?Sized> {
     system: &'s S,
     ports: usize,
     members: Vec<usize>,
     /// Flat row-major per-member sums: entry `pos * ports + port`.
     sums: Vec<f64>,
+    /// Removals since the last exact rebuild (drift guard state).
+    removals: usize,
+    /// Drift guard threshold: rebuild exactly after this many removals.
+    rebuild_interval: usize,
+}
+
+// Manual impl: the derive would demand `S: Clone`, but the accumulator only
+// holds a shared reference to the system.
+impl<S: ?Sized> Clone for ColorAccumulator<'_, S> {
+    fn clone(&self) -> Self {
+        Self {
+            system: self.system,
+            ports: self.ports,
+            members: self.members.clone(),
+            sums: self.sums.clone(),
+            removals: self.removals,
+            rebuild_interval: self.rebuild_interval,
+        }
+    }
 }
 
 impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
@@ -141,7 +181,28 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
             (1..=MAX_PORTS).contains(&ports),
             "systems must expose between 1 and {MAX_PORTS} ports, got {ports}"
         );
-        Self { system, ports, members: Vec::new(), sums: Vec::new() }
+        Self {
+            system,
+            ports,
+            members: Vec::new(),
+            sums: Vec::new(),
+            removals: 0,
+            rebuild_interval: DEFAULT_REBUILD_INTERVAL,
+        }
+    }
+
+    /// Sets the drift-guard threshold: the number of removals after which the
+    /// running sums are rebuilt exactly. `1` rebuilds after every removal
+    /// (sums always bit-for-bit equal to a fresh accumulator, removal cost
+    /// `O(members²)`); larger values amortise the rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_rebuild_interval(mut self, interval: usize) -> Self {
+        assert!(interval >= 1, "the rebuild interval must be at least 1");
+        self.rebuild_interval = interval;
+        self
     }
 
     /// Creates an accumulator pre-filled with `members`, inserted unchecked
@@ -173,6 +234,13 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
     pub fn clear(&mut self) {
         self.members.clear();
         self.sums.clear();
+        self.removals = 0;
+    }
+
+    /// Removals applied since the last exact rebuild (drift-guard state,
+    /// exposed for tests and diagnostics).
+    pub fn removals_since_rebuild(&self) -> usize {
+        self.removals
     }
 
     /// Returns `true` if item `i` is already a member (`O(members)` scan).
@@ -260,6 +328,84 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
         self.commit(i, cand);
     }
 
+    /// Removes member `i` from the class, subtracting its contributions from
+    /// the remaining running sums in `O(members)`. Returns `true` when `i`
+    /// was a member and was removed, `false` otherwise.
+    ///
+    /// Triggers the drift guard: after
+    /// [`with_rebuild_interval`](ColorAccumulator::with_rebuild_interval)
+    /// removals the sums are recomputed exactly, and an infinite contribution
+    /// (whose subtraction would poison the sums with NaN) forces an immediate
+    /// exact rebuild.
+    pub fn remove(&mut self, i: usize) -> bool {
+        match self.members.iter().position(|&m| m == i) {
+            Some(pos) => {
+                self.remove_at(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes the member at position `pos` (insertion order), returning its
+    /// item index. Same cost and drift-guard behaviour as
+    /// [`remove`](ColorAccumulator::remove).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn remove_at(&mut self, pos: usize) -> usize {
+        assert!(pos < self.members.len(), "position {pos} out of range");
+        let i = self.members.remove(pos);
+        let start = pos * self.ports;
+        self.sums.drain(start..start + self.ports);
+        let mut needs_exact = false;
+        for (p, &j) in self.members.iter().enumerate() {
+            for port in 0..self.ports {
+                let c = self.system.contribution(j, port, i);
+                if c.is_finite() {
+                    self.sums[p * self.ports + port] -= c;
+                } else {
+                    // Subtracting ±∞ (or NaN) from a running sum is
+                    // ill-defined; fall back to an exact rebuild below.
+                    needs_exact = true;
+                }
+            }
+        }
+        self.removals += 1;
+        if needs_exact || self.removals >= self.rebuild_interval {
+            self.rebuild();
+        }
+        i
+    }
+
+    /// Recomputes every running sum exactly — the same left-to-right fold a
+    /// fresh [`with_members`](ColorAccumulator::with_members) accumulator
+    /// performs — and resets the drift guard.
+    ///
+    /// Returns the maximum relative drift that was erased:
+    /// `max |old − new| / max(|old|, |new|, 1)` over all per-port sums
+    /// (`f64::INFINITY` if a sum had been poisoned to a non-finite value that
+    /// the rebuild repaired, `0.0` for an untouched accumulator).
+    pub fn rebuild(&mut self) -> f64 {
+        let members = std::mem::take(&mut self.members);
+        let old = std::mem::take(&mut self.sums);
+        self.removals = 0;
+        for &i in &members {
+            let cand = self.candidate_ports(i);
+            self.commit(i, cand);
+        }
+        let mut drift = 0.0f64;
+        for (&o, &n) in old.iter().zip(&self.sums) {
+            if o.is_finite() && n.is_finite() {
+                drift = drift.max((o - n).abs() / o.abs().max(n.abs()).max(1.0));
+            } else if o.to_bits() != n.to_bits() {
+                drift = f64::INFINITY;
+            }
+        }
+        drift
+    }
+
     /// Adds `i` as a member with pre-computed candidate sums, updating every
     /// existing member's running sums.
     fn commit(&mut self, i: usize, cand: [f64; MAX_PORTS]) {
@@ -318,10 +464,20 @@ impl GainMatrix {
     }
 
     /// The memory footprint (in bytes) of the contribution table of a matrix
-    /// for `n` items with `ports` ports, saturating on overflow. Callers use
-    /// this to decide between the cached and the on-the-fly path.
+    /// for `n` items with `ports` ports: `n · n · ports · 8`, or `None` when
+    /// the product overflows `usize`. Budget checks must treat overflow as
+    /// over-budget — an overflowed (wrapped) product could wrongly enable the
+    /// matrix for huge `n` — which `None` makes impossible to get wrong:
+    /// `checked_bytes_for(n, ports).is_some_and(|b| b <= budget)`.
+    pub fn checked_bytes_for(n: usize, ports: usize) -> Option<usize> {
+        n.checked_mul(n)?.checked_mul(ports)?.checked_mul(std::mem::size_of::<f64>())
+    }
+
+    /// [`checked_bytes_for`](GainMatrix::checked_bytes_for), saturating to
+    /// `usize::MAX` on overflow. Convenient for display; budget comparisons
+    /// should prefer the checked variant.
     pub fn bytes_for(n: usize, ports: usize) -> usize {
-        n.saturating_mul(n).saturating_mul(ports).saturating_mul(std::mem::size_of::<f64>())
+        Self::checked_bytes_for(n, ports).unwrap_or(usize::MAX)
     }
 
     /// Number of ports per item.
@@ -646,8 +802,129 @@ mod tests {
         assert_eq!(matrix.row(1, 0)[1], 0.0, "diagonal must be zero");
         assert_eq!(GainMatrix::bytes_for(4, 2), 4 * 4 * 2 * 8);
         assert_eq!(GainMatrix::bytes_for(usize::MAX, 2), usize::MAX);
+        assert_eq!(GainMatrix::checked_bytes_for(4, 2), Some(4 * 4 * 2 * 8));
         let directed = eval.view(Variant::Directed).cached();
         assert_eq!(directed.ports(), 1);
+    }
+
+    #[test]
+    fn checked_bytes_for_treats_overflow_as_over_budget() {
+        // At the overflow boundary the checked product must vanish instead of
+        // wrapping: a wrapped product could slip under any finite budget and
+        // wrongly enable the matrix for huge n.
+        let boundary = (usize::MAX / 8 / 2).isqrt();
+        assert!(GainMatrix::checked_bytes_for(boundary, 2).is_some());
+        let overflowing = 1usize << (usize::BITS / 2);
+        assert_eq!(GainMatrix::checked_bytes_for(overflowing, 2), None);
+        assert_eq!(GainMatrix::bytes_for(overflowing, 2), usize::MAX);
+        assert_eq!(GainMatrix::checked_bytes_for(usize::MAX, 1), None);
+        // The budget predicate the Scheduler facade uses: overflow is
+        // over-budget against any budget.
+        let in_budget =
+            GainMatrix::checked_bytes_for(overflowing, 2).is_some_and(|b| b <= 1 << 60);
+        assert!(!in_budget);
+    }
+
+    #[test]
+    fn removal_inverts_insertion() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = inst.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let mut acc = ColorAccumulator::with_members(&view, &[0, 1, 2, 3]);
+                assert!(acc.remove(2));
+                assert!(!acc.remove(2), "double removal must report false");
+                assert_eq!(acc.members(), &[0, 1, 3]);
+                let fresh = ColorAccumulator::with_members(&view, &[0, 1, 3]);
+                for pos in 0..acc.len() {
+                    let drifted = acc.interference_of(pos);
+                    let exact = fresh.interference_of(pos);
+                    let scale = drifted.abs().max(exact.abs()).max(1.0);
+                    assert!(
+                        (drifted - exact).abs() <= 1e-12 * scale,
+                        "sums drifted beyond tolerance after removal under {variant}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drift_guard_rebuilds_after_configured_interval() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let mut acc =
+            ColorAccumulator::with_members(&view, &[0, 1, 2, 3]).with_rebuild_interval(2);
+        acc.remove(0);
+        assert_eq!(acc.removals_since_rebuild(), 1);
+        acc.remove(3);
+        // Second removal hits the interval: the guard rebuilt and reset.
+        assert_eq!(acc.removals_since_rebuild(), 0);
+        // After a rebuild the sums are bit-for-bit those of a fresh fold.
+        let fresh = ColorAccumulator::with_members(&view, &[1, 2]);
+        for pos in 0..acc.len() {
+            assert_eq!(acc.interference_of(pos), fresh.interference_of(pos));
+        }
+        // An interval of 1 keeps the accumulator exactly fresh.
+        let mut exact =
+            ColorAccumulator::with_members(&view, &[0, 1, 2, 3]).with_rebuild_interval(1);
+        exact.remove(1);
+        let fresh = ColorAccumulator::with_members(&view, &[0, 2, 3]);
+        for pos in 0..exact.len() {
+            assert_eq!(exact.interference_of(pos), fresh.interference_of(pos));
+            assert_eq!(exact.sinr_of(pos), fresh.sinr_of(pos));
+        }
+    }
+
+    #[test]
+    fn removal_of_infinite_contribution_triggers_exact_rebuild() {
+        // Request 1's sender coincides with request 0's receiver, producing an
+        // infinite contribution; removing that member must not leave NaN sums.
+        let metric = LineMetric::new(vec![0.0, 1.0, 1.0, 5.0, 40.0, 41.0]);
+        let inst = Instance::new(
+            metric,
+            vec![Request::new(0, 1), Request::new(2, 3), Request::new(4, 5)],
+        )
+        .unwrap();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Directed);
+        let mut acc = ColorAccumulator::with_members(&view, &[0, 1, 2]);
+        assert!(acc.remove(1));
+        assert_eq!(acc.removals_since_rebuild(), 0, "infinite removal must force a rebuild");
+        let fresh = ColorAccumulator::with_members(&view, &[0, 2]);
+        for pos in 0..acc.len() {
+            assert_eq!(acc.interference_of(pos), fresh.interference_of(pos));
+            assert!(!acc.interference_of(pos).is_nan());
+        }
+    }
+
+    #[test]
+    fn clear_resets_drift_guard_state() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Directed);
+        let mut acc = ColorAccumulator::with_members(&view, &[0, 1, 2]);
+        acc.remove(0);
+        assert_eq!(acc.removals_since_rebuild(), 1);
+        acc.clear();
+        assert_eq!(acc.removals_since_rebuild(), 0);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_rebuild_interval_is_rejected() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Directed);
+        let _ = ColorAccumulator::new(&view).with_rebuild_interval(0);
     }
 
     #[test]

@@ -30,7 +30,9 @@ fn by_decreasing_margin<S: InterferenceSystem>(system: &S, set: &[usize]) -> Vec
     let mut order: Vec<usize> = set.to_vec();
     let mut margin: Vec<(usize, f64)> =
         order.iter().map(|&i| (i, system.sinr(i, set))).collect();
-    margin.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // Total ordering so NaN margins cannot panic the comparator or leave the
+    // order unstable; ties keep stable index order (the sort is stable).
+    margin.sort_by(|a, b| b.1.total_cmp(&a.1));
     order.clear();
     order.extend(margin.into_iter().map(|(i, _)| i));
     order

@@ -51,13 +51,27 @@ pub fn in_interference<M: MetricSpace>(instance: &Instance<M>, params: &SinrPara
         .fold(0.0, f64::max)
 }
 
+/// Sentinel returned by [`pigeonhole_lower_bound`] when no finite schedule
+/// exists (`usize::MAX`).
+pub const UNSCHEDULABLE: usize = usize::MAX;
+
 /// A lower bound on the number of colors of any schedule: `⌈n / s⌉` where `s`
 /// is an upper bound on the size of a simultaneously feasible set.
+///
+/// # Contract
+///
+/// * `n == 0`: an empty request set needs `0` colors.
+/// * `max_simultaneous == 0` with `n > 0`: not even singletons are feasible
+///   (e.g. overwhelming ambient noise), so **no finite schedule exists** —
+///   the function returns the sentinel [`UNSCHEDULABLE`] rather than
+///   silently claiming a bound of `n` (which would wrongly suggest the
+///   sequential schedule is valid). Callers comparing the bound against a
+///   real schedule length must handle the sentinel explicitly.
 pub fn pigeonhole_lower_bound(n: usize, max_simultaneous: usize) -> usize {
     if n == 0 {
         0
     } else if max_simultaneous == 0 {
-        n
+        UNSCHEDULABLE
     } else {
         n.div_ceil(max_simultaneous)
     }
@@ -166,7 +180,10 @@ mod tests {
         assert_eq!(pigeonhole_lower_bound(10, 3), 4);
         assert_eq!(pigeonhole_lower_bound(9, 3), 3);
         assert_eq!(pigeonhole_lower_bound(0, 3), 0);
-        assert_eq!(pigeonhole_lower_bound(5, 0), 5);
+        // Not even singletons feasible: the sentinel, not a bogus bound of n.
+        assert_eq!(pigeonhole_lower_bound(5, 0), UNSCHEDULABLE);
+        // The degenerate empty case wins over the sentinel.
+        assert_eq!(pigeonhole_lower_bound(0, 0), 0);
     }
 
     #[test]

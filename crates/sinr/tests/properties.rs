@@ -306,6 +306,87 @@ proptest! {
     }
 
     #[test]
+    fn accumulator_removal_matches_scratch_rebuild(
+        instance in arb_instance(10, 80.0, 6.0),
+        params in arb_params(),
+        ops in prop::collection::vec((any::<bool>(), any::<usize>()), 1..40),
+    ) {
+        // After ANY interleaving of inserts and removes the accumulator's
+        // interference sums must stay within tolerance of an accumulator
+        // rebuilt from scratch on the surviving members, and feasibility
+        // verdicts must agree — for all three oblivious assignments and both
+        // variants. Two drift-guard extremes are exercised side by side: an
+        // interval-1 accumulator (rebuilds after every removal, bit-for-bit
+        // fresh) and a never-rebuilding one (worst-case accumulated drift).
+        let n = instance.len();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let mut drifted =
+                    ColorAccumulator::new(&view).with_rebuild_interval(usize::MAX);
+                let mut exact = ColorAccumulator::new(&view).with_rebuild_interval(1);
+                let mut shadow: Vec<usize> = Vec::new();
+                for &(is_insert, sel) in &ops {
+                    if is_insert {
+                        let i = sel % n;
+                        if !shadow.contains(&i) {
+                            // Unchecked insertion also covers infeasible sets.
+                            drifted.insert_unchecked(i);
+                            exact.insert_unchecked(i);
+                            shadow.push(i);
+                        }
+                    } else if !shadow.is_empty() {
+                        let i = shadow.remove(sel % shadow.len());
+                        prop_assert!(drifted.remove(i));
+                        prop_assert!(exact.remove(i));
+                    }
+                    prop_assert_eq!(drifted.members(), shadow.as_slice());
+                    prop_assert_eq!(exact.members(), shadow.as_slice());
+                    let fresh = ColorAccumulator::with_members(&view, &shadow);
+                    for pos in 0..shadow.len() {
+                        // Interval 1: every removal rebuilds, so the sums are
+                        // bit-for-bit the fresh left-to-right fold.
+                        prop_assert_eq!(
+                            exact.interference_of(pos).to_bits(),
+                            fresh.interference_of(pos).to_bits()
+                        );
+                        // Never rebuilding: within tolerance of fresh.
+                        let d = drifted.interference_of(pos);
+                        let f = fresh.interference_of(pos);
+                        if d.is_finite() && f.is_finite() {
+                            let scale = d.abs().max(f.abs()).max(1.0);
+                            prop_assert!(
+                                (d - f).abs() <= 1e-6 * scale,
+                                "sums drifted beyond tolerance: {} vs fresh {}", d, f
+                            );
+                        } else {
+                            prop_assert!(
+                                d.to_bits() == f.to_bits(),
+                                "non-finite sums diverged: {} vs fresh {}", d, f
+                            );
+                        }
+                    }
+                }
+                // Feasibility verdicts on further arrivals agree with an
+                // accumulator rebuilt from scratch on the survivors.
+                for i in 0..n {
+                    if shadow.contains(&i) {
+                        continue;
+                    }
+                    let mut fresh = ColorAccumulator::with_members(&view, &shadow);
+                    let mut replay = drifted.clone();
+                    prop_assert!(
+                        replay.try_insert(i) == fresh.try_insert(i),
+                        "post-churn verdict for {} diverged under {} / {}",
+                        i, power.name(), variant
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn oblivious_power_is_monotone_in_loss(
         tau in 0.0f64..2.0,
         l1 in 0.001f64..1.0e6,

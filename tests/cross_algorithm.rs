@@ -47,6 +47,11 @@ fn greedy_exact_and_lp_respect_the_optimality_chain() {
 
         let all: Vec<usize> = (0..instance.len()).collect();
         let one_shot = exact_max_one_shot(&view, &all).len();
+        // `pigeonhole_lower_bound(_, 0)` is the UNSCHEDULABLE sentinel, which
+        // must never be compared against a finite optimum; these noise-free
+        // instances always admit singletons, so the guard documents (and
+        // checks) that we are on the finite side of the contract.
+        assert!(one_shot > 0, "noise-free instances always have feasible singletons");
         assert!(pigeonhole_lower_bound(instance.len(), one_shot) <= optimum);
         assert!(greedy_one_shot(&view, &all).len() <= one_shot);
     }
