@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -36,11 +39,24 @@ echo "==> churn bench (smoke mode)"
 # reschedule comparison end to end on small traces.
 CHURN_SMOKE=1 cargo bench -p oblisched_bench --bench churn
 
+echo "==> sparse bench (smoke mode)"
+# Exercises the tiered-backend paths (dense vs sparse vs parallel-sparse) on
+# small sizes: the conservativeness and thread-count-determinism asserts run
+# in smoke mode too, so a regression fails the pipeline without the
+# full-size measurements.
+SPARSE_SMOKE=1 cargo bench -p oblisched_bench --bench sparse
+
 echo "==> experiment E10 (churn: incremental vs full reschedule)"
 # E10 validates the final dynamic state against the naive evaluator and
 # reports the wall-time comparison; running it here keeps the experiment
 # harness (and the speedup claim it documents) green.
 cargo run -q -p oblisched_bench --bin experiments --release -- --exp e10
+
+echo "==> experiment E11 (backend tiers: dense vs sparse vs parallel-sparse)"
+# E11 asserts zero non-conservative sparse verdicts against the naive
+# evaluator and thread-count determinism of the parallel scheduler, and
+# reports the tier wall times side by side.
+cargo run -q -p oblisched_bench --bin experiments --release -- --exp e11
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

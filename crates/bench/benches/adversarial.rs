@@ -37,9 +37,11 @@ fn bench_power_control(c: &mut Criterion) {
             b.iter(|| black_box(scheduler.schedule_with_power_control(inst)))
         });
         let adv = adversarial_for(&ObliviousPower::Linear, &params, n.min(32));
-        group.bench_with_input(BenchmarkId::new("linear_adversarial", n), adv.instance(), |b, inst| {
-            b.iter(|| black_box(scheduler.schedule_with_power_control(inst)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("linear_adversarial", n),
+            adv.instance(),
+            |b, inst| b.iter(|| black_box(scheduler.schedule_with_power_control(inst))),
+        );
     }
     group.finish();
 }

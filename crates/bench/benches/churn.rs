@@ -38,8 +38,13 @@ fn workloads(
     n: usize,
     target: usize,
     events: usize,
-) -> [(&'static str, (oblisched_sinr::Instance<oblisched_metric::EuclideanSpace<2>>, ChurnTrace)); 2]
-{
+) -> [(
+    &'static str,
+    (
+        oblisched_sinr::Instance<oblisched_metric::EuclideanSpace<2>>,
+        ChurnTrace,
+    ),
+); 2] {
     [
         ("uniform", churn_uniform(n, target, events, SEED)),
         ("clustered", churn_clustered(n, target, events, SEED)),
@@ -48,7 +53,11 @@ fn workloads(
 
 fn bench_incremental(c: &mut Criterion) {
     let p = params();
-    let (n, target, events) = if smoke() { (120, 70, 240) } else { (1000, 650, 2000) };
+    let (n, target, events) = if smoke() {
+        (120, 70, 240)
+    } else {
+        (1000, 650, 2000)
+    };
     let mut group = c.benchmark_group("churn_incremental");
     group.sample_size(5);
     for (family, (inst, trace)) in workloads(n, target, events) {
@@ -65,7 +74,11 @@ fn bench_incremental(c: &mut Criterion) {
 fn bench_full_reschedule(c: &mut Criterion) {
     let p = params();
     // The baseline is the slow side; keep its trace shorter.
-    let (n, target, events) = if smoke() { (120, 70, 120) } else { (600, 400, 600) };
+    let (n, target, events) = if smoke() {
+        (120, 70, 120)
+    } else {
+        (600, 400, 600)
+    };
     let mut group = c.benchmark_group("churn_full_reschedule");
     group.sample_size(2);
     for (family, (inst, trace)) in workloads(n, target, events) {
@@ -84,7 +97,11 @@ fn bench_full_reschedule(c: &mut Criterion) {
 /// incremental path must win on total wall time.
 fn churn_check(_c: &mut Criterion) {
     let p = params();
-    let (n, target, events) = if smoke() { (150, 90, 300) } else { (1500, 1000, 2000) };
+    let (n, target, events) = if smoke() {
+        (150, 90, 300)
+    } else {
+        (1500, 1000, 2000)
+    };
     let (inst, trace) = churn_uniform(n, target, events, SEED);
     let eval = inst.evaluator(p, &ObliviousPower::SquareRoot);
     let view = eval.view(Variant::Bidirectional);
@@ -96,7 +113,9 @@ fn churn_check(_c: &mut Criterion) {
     sched
         .validate_against(&view)
         .expect("the final churn state must certify against the naive evaluator");
-    sched.validate().expect("accumulated sums must stay within drift tolerance");
+    sched
+        .validate()
+        .expect("accumulated sums must stay within drift tolerance");
 
     let start = Instant::now();
     let full_colors = replay_full_reschedule(&matrix, &trace);
@@ -116,5 +135,10 @@ fn churn_check(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_incremental, bench_full_reschedule, churn_check);
+criterion_group!(
+    benches,
+    bench_incremental,
+    bench_full_reschedule,
+    churn_check
+);
 criterion_main!(benches);

@@ -53,19 +53,33 @@ fn bench_sqrt_lp(c: &mut Criterion) {
             },
             &mut rng,
         );
-        group.bench_with_input(BenchmarkId::new("uniform_deployment", n), &instance, |b, inst| {
-            b.iter(|| {
-                let mut rng = ChaCha8Rng::seed_from_u64(1);
-                black_box(sqrt_coloring(inst, &params, &SqrtColoringConfig::default(), &mut rng))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("uniform_deployment", n),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(1);
+                    black_box(sqrt_coloring(
+                        inst,
+                        &params,
+                        &SqrtColoringConfig::default(),
+                        &mut rng,
+                    ))
+                })
+            },
+        );
     }
     for &n in &[16usize, 32] {
         let instance = nested_chain(n, 2.0);
         group.bench_with_input(BenchmarkId::new("nested_chain", n), &instance, |b, inst| {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(1);
-                black_box(sqrt_coloring(inst, &params, &SqrtColoringConfig::default(), &mut rng))
+                black_box(sqrt_coloring(
+                    inst,
+                    &params,
+                    &SqrtColoringConfig::default(),
+                    &mut rng,
+                ))
             })
         });
     }

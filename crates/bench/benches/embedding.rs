@@ -2,7 +2,9 @@
 //! (Lemma 6 substrate, experiment E7).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use oblisched_metric::{DominatingTreeFamily, EmbeddingConfig, EuclideanSpace, Point2, TreeEmbedding};
+use oblisched_metric::{
+    DominatingTreeFamily, EmbeddingConfig, EuclideanSpace, Point2, TreeEmbedding,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -11,7 +13,9 @@ use std::hint::black_box;
 fn random_space(n: usize, seed: u64) -> EuclideanSpace<2> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     EuclideanSpace::from_points(
-        (0..n).map(|_| Point2::xy(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0))).collect(),
+        (0..n)
+            .map(|_| Point2::xy(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+            .collect(),
     )
 }
 
@@ -38,7 +42,11 @@ fn bench_family(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &space, |b, s| {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(11);
-                black_box(DominatingTreeFamily::build(s, EmbeddingConfig::default(), &mut rng))
+                black_box(DominatingTreeFamily::build(
+                    s,
+                    EmbeddingConfig::default(),
+                    &mut rng,
+                ))
             })
         });
     }

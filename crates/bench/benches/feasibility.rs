@@ -26,11 +26,9 @@ fn bench_feasibility(c: &mut Criterion) {
         let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
         let all: Vec<usize> = (0..n).collect();
         for variant in [Variant::Directed, Variant::Bidirectional] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{variant}"), n),
-                &all,
-                |b, set| b.iter(|| black_box(eval.is_feasible(variant, black_box(set)))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{variant}"), n), &all, |b, set| {
+                b.iter(|| black_box(eval.is_feasible(variant, black_box(set))))
+            });
         }
     }
     group.finish();

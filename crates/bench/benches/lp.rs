@@ -44,12 +44,16 @@ fn bench_rounding(c: &mut Criterion) {
     for &n in &[32usize, 64] {
         let lp = interference_lp(n, 100 + n as u64);
         let solution = lp.solve().unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(lp, solution), |b, (lp, s)| {
-            b.iter(|| {
-                let mut rng = ChaCha8Rng::seed_from_u64(5);
-                black_box(round_packing(lp, s, RoundingConfig::default(), &mut rng).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(lp, solution),
+            |b, (lp, s)| {
+                b.iter(|| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(5);
+                    black_box(round_packing(lp, s, RoundingConfig::default(), &mut rng).unwrap())
+                })
+            },
+        );
     }
     group.finish();
 }

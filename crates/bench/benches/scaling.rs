@@ -37,7 +37,11 @@ fn params() -> SinrParams {
 
 fn bench_incremental(c: &mut Criterion) {
     let p = params();
-    let sizes: &[usize] = if smoke() { &[100, 200] } else { &[500, 1000, 2000, 5000] };
+    let sizes: &[usize] = if smoke() {
+        &[100, 200]
+    } else {
+        &[500, 1000, 2000, 5000]
+    };
     let mut group = c.benchmark_group("first_fit_incremental");
     group.sample_size(5);
     for &n in sizes {
@@ -62,7 +66,11 @@ fn bench_incremental(c: &mut Criterion) {
 fn bench_matrix(c: &mut Criterion) {
     let p = params();
     // The matrix is O(n²) memory, so it only covers the moderate sizes.
-    let sizes: &[usize] = if smoke() { &[100, 200] } else { &[500, 1000, 2000] };
+    let sizes: &[usize] = if smoke() {
+        &[100, 200]
+    } else {
+        &[500, 1000, 2000]
+    };
     let mut group = c.benchmark_group("first_fit_matrix");
     group.sample_size(5);
     for &n in sizes {
@@ -127,5 +135,11 @@ fn speedup_check(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_incremental, bench_matrix, bench_naive, speedup_check);
+criterion_group!(
+    benches,
+    bench_incremental,
+    bench_matrix,
+    bench_naive,
+    speedup_check
+);
 criterion_main!(benches);

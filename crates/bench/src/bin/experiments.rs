@@ -24,7 +24,7 @@ fn main() {
                 match Experiment::parse(id) {
                     Some(e) => selected.push(e),
                     None => {
-                        eprintln!("unknown experiment id '{id}' (expected e1..e10)");
+                        eprintln!("unknown experiment id '{id}' (expected e1..e11)");
                         std::process::exit(2);
                     }
                 }
@@ -34,7 +34,7 @@ fn main() {
                 json_path = args.get(i).cloned();
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--exp e1..e10]... [--json FILE]");
+                println!("usage: experiments [--exp e1..e11]... [--json FILE]");
                 return;
             }
             other => {

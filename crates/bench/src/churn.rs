@@ -6,7 +6,7 @@
 use oblisched::dynamic::DynamicScheduler;
 use oblisched::first_fit_subset;
 use oblisched_instances::{ChurnEvent, ChurnTrace};
-use oblisched_sinr::IncrementalSystem;
+use oblisched_sinr::GainBackend;
 
 /// Replays a trace through the dynamic scheduler (one `insert`/`remove` per
 /// event), returning the final scheduler so callers can validate it and read
@@ -17,7 +17,7 @@ use oblisched_sinr::IncrementalSystem;
 /// Panics if the trace is inconsistent with the system (arrivals of live
 /// requests, departures of dead ones, items out of range) — impossible for
 /// generator-produced traces over their own universe.
-pub fn replay_incremental<'s, S: IncrementalSystem + ?Sized>(
+pub fn replay_incremental<'s, S: GainBackend + ?Sized>(
     system: &'s S,
     trace: &ChurnTrace,
 ) -> DynamicScheduler<'s, S> {
@@ -38,7 +38,7 @@ pub fn replay_incremental_with<'s, S, F>(
     mut on_event: F,
 ) -> DynamicScheduler<'s, S>
 where
-    S: IncrementalSystem + ?Sized,
+    S: GainBackend + ?Sized,
     F: FnMut(&DynamicScheduler<'s, S>, usize),
 {
     let mut sched = DynamicScheduler::new(system);
@@ -65,17 +65,17 @@ where
 /// # Panics
 ///
 /// Panics if the trace is inconsistent (departure of a dead request).
-pub fn replay_full_reschedule<S: IncrementalSystem + ?Sized>(
-    system: &S,
-    trace: &ChurnTrace,
-) -> usize {
+pub fn replay_full_reschedule<S: GainBackend + ?Sized>(system: &S, trace: &ChurnTrace) -> usize {
     let mut live: Vec<usize> = Vec::new();
     let mut colors = 0usize;
     for event in &trace.events {
         match *event {
             ChurnEvent::Arrive(i) => live.push(i),
             ChurnEvent::Depart(i) => {
-                let pos = live.iter().position(|&x| x == i).expect("departures target live");
+                let pos = live
+                    .iter()
+                    .position(|&x| x == i)
+                    .expect("departures target live");
                 live.remove(pos);
             }
         }

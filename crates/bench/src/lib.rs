@@ -18,7 +18,11 @@
 pub mod churn;
 pub mod experiments;
 pub mod table;
+pub mod tiers;
 
 pub use churn::{replay_full_reschedule, replay_incremental, replay_incremental_with};
 pub use experiments::{all_experiments, run_experiment, Experiment};
 pub use table::Table;
+pub use tiers::{
+    non_conservative_classes, parallel_tier_config, parallel_tier_sparse_config, TIER_SEED,
+};

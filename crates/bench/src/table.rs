@@ -36,7 +36,11 @@ impl Table {
     ///
     /// Panics if the row length differs from the header length.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row must match the header width");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row must match the header width"
+        );
         self.rows.push(row);
     }
 
@@ -70,7 +74,15 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

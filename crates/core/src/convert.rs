@@ -65,11 +65,8 @@ pub fn verify_directed_simulation<M: MetricSpace + Clone>(
     schedule: &Schedule,
 ) -> Result<usize, SinrError> {
     let (directed, directed_schedule) = directed_simulation(instance, schedule)?;
-    let eval = oblisched_sinr::Evaluator::with_powers(
-        &directed,
-        *params,
-        duplicate_powers(powers),
-    )?;
+    let eval =
+        oblisched_sinr::Evaluator::with_powers(&directed, *params, duplicate_powers(powers))?;
     directed_schedule.validate(&eval, oblisched_sinr::Variant::Directed)?;
     Ok(directed_schedule.num_colors())
 }
@@ -119,10 +116,12 @@ mod tests {
         let schedule = first_fit_coloring(&eval.view(Variant::Bidirectional));
         assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
         let powers = ObliviousPower::SquareRoot.powers(&inst, &p);
-        let directed_colors =
-            verify_directed_simulation(&inst, &p, &powers, &schedule).unwrap();
+        let directed_colors = verify_directed_simulation(&inst, &p, &powers, &schedule).unwrap();
         assert_eq!(directed_colors, 2 * schedule.num_colors());
-        assert_eq!(directed_to_bidirectional_bound(directed_colors), directed_colors);
+        assert_eq!(
+            directed_to_bidirectional_bound(directed_colors),
+            directed_colors
+        );
     }
 
     #[test]

@@ -31,9 +31,7 @@ use oblisched_metric::{
     DominatingTreeFamily, EmbeddingConfig, MetricSpace, NodeId, StarMetric, WeightedTree,
 };
 use oblisched_sinr::nodeloss::split_pairs;
-use oblisched_sinr::{
-    extract_feasible_subset, Instance, NodeLossInstance, Schedule, SinrParams,
-};
+use oblisched_sinr::{extract_feasible_subset, Instance, NodeLossInstance, Schedule, SinrParams};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
 
@@ -54,7 +52,11 @@ pub struct DecompositionConfig {
 
 impl Default for DecompositionConfig {
     fn default() -> Self {
-        Self { embedding: EmbeddingConfig::default(), star_gain_fraction: 0.5, max_rounds: 100_000 }
+        Self {
+            embedding: EmbeddingConfig::default(),
+            star_gain_fraction: 0.5,
+            max_rounds: 100_000,
+        }
     }
 }
 
@@ -79,8 +81,9 @@ pub fn sqrt_feasible_nodes<M: MetricSpace, R: Rng + ?Sized>(
     // metric, restricted to the core of the best tree.
     let family = DominatingTreeFamily::build(instance.metric(), config.embedding, rng);
     let all: Vec<usize> = (0..n).collect();
-    let (tree_index, core_nodes) =
-        family.best_tree_for(&all).expect("family contains at least one tree");
+    let (tree_index, core_nodes) = family
+        .best_tree_for(&all)
+        .expect("family contains at least one tree");
     let embedding = family.tree(tree_index);
 
     // Lemma 9: recursive centroid decomposition of the host tree; the
@@ -98,7 +101,15 @@ pub fn sqrt_feasible_nodes<M: MetricSpace, R: Rng + ?Sized>(
     let component: Vec<NodeId> = (0..host.len()).collect();
     let star_gain = (params.beta() * config.star_gain_fraction).max(f64::MIN_POSITIVE);
     let mut survivors: HashSet<usize> = HashSet::new();
-    recurse_on_tree(host, &component, &hosted, instance, params, star_gain, &mut survivors);
+    recurse_on_tree(
+        host,
+        &component,
+        &hosted,
+        instance,
+        params,
+        star_gain,
+        &mut survivors,
+    );
 
     // Lemma 8 + Propositions 3/4: certify the survivors in the original
     // metric under the square-root assignment at the model gain.
@@ -162,7 +173,10 @@ fn recurse_on_tree<M: MetricSpace>(
             leaf_to_node.push(node);
         }
     }
-    let losses: Vec<f64> = leaf_to_node.iter().map(|&node| instance.loss(node)).collect();
+    let losses: Vec<f64> = leaf_to_node
+        .iter()
+        .map(|&node| instance.loss(node))
+        .collect();
     let star_instance = NodeLossInstance::new(StarMetric::new(radii), losses)
         .expect("losses are positive by construction");
     let kept_leaves = star_sqrt_subset(&star_instance, params, star_gain);
@@ -196,10 +210,7 @@ pub fn sqrt_schedule_via_decomposition<M: MetricSpace, R: Rng + ?Sized>(
     let mut colors = vec![usize::MAX; n];
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut color = 0;
-    let evaluator = instance.evaluator(
-        *params,
-        &oblisched_sinr::ObliviousPower::SquareRoot,
-    );
+    let evaluator = instance.evaluator(*params, &oblisched_sinr::ObliviousPower::SquareRoot);
     let view = evaluator.view(oblisched_sinr::Variant::Bidirectional);
 
     while !remaining.is_empty() && color < config.max_rounds {
@@ -251,14 +262,22 @@ mod tests {
     fn node_selection_is_feasible_under_sqrt() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let inst = uniform_deployment(
-            DeploymentConfig { num_requests: 12, side: 400.0, min_link: 1.0, max_link: 10.0 },
+            DeploymentConfig {
+                num_requests: 12,
+                side: 400.0,
+                min_link: 1.0,
+                max_link: 10.0,
+            },
             &mut rng,
         );
         let p = params();
         let (node_loss, _) = split_pairs(&inst, &p);
         let nodes = sqrt_feasible_nodes(&node_loss, &p, &DecompositionConfig::default(), &mut rng);
         let eval = node_loss.sqrt_evaluator(p);
-        assert!(eval.is_feasible(&nodes), "selected node set must be feasible at gain beta");
+        assert!(
+            eval.is_feasible(&nodes),
+            "selected node set must be feasible at gain beta"
+        );
         assert!(!nodes.is_empty());
     }
 
@@ -267,19 +286,28 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let metric = oblisched_metric::LineMetric::new(vec![0.0, 5.0]);
         let inst = NodeLossInstance::new(metric, vec![1.0, 2.0]).unwrap();
-        let nodes = sqrt_feasible_nodes(&inst, &params(), &DecompositionConfig::default(), &mut rng);
+        let nodes =
+            sqrt_feasible_nodes(&inst, &params(), &DecompositionConfig::default(), &mut rng);
         assert!(!nodes.is_empty());
 
-        let empty = NodeLossInstance::new(oblisched_metric::LineMetric::new(vec![]), vec![]).unwrap();
-        assert!(sqrt_feasible_nodes(&empty, &params(), &DecompositionConfig::default(), &mut rng)
-            .is_empty());
+        let empty =
+            NodeLossInstance::new(oblisched_metric::LineMetric::new(vec![]), vec![]).unwrap();
+        assert!(
+            sqrt_feasible_nodes(&empty, &params(), &DecompositionConfig::default(), &mut rng)
+                .is_empty()
+        );
     }
 
     #[test]
     fn decomposition_schedule_is_feasible_on_random_instances() {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let inst = uniform_deployment(
-            DeploymentConfig { num_requests: 14, side: 300.0, min_link: 1.0, max_link: 8.0 },
+            DeploymentConfig {
+                num_requests: 14,
+                side: 300.0,
+                min_link: 1.0,
+                max_link: 8.0,
+            },
             &mut rng,
         );
         let p = params();
@@ -301,14 +329,23 @@ mod tests {
         assert!(schedule.validate(&eval, Variant::Bidirectional).is_ok());
         // The sqrt assignment needs only a handful of colors on the nested
         // chain (uniform would need all 8).
-        assert!(schedule.num_colors() <= 6, "used {} colors", schedule.num_colors());
+        assert!(
+            schedule.num_colors() <= 6,
+            "used {} colors",
+            schedule.num_colors()
+        );
     }
 
     #[test]
     fn decomposition_covers_every_request_exactly_once() {
         let mut rng = ChaCha8Rng::seed_from_u64(41);
         let inst = uniform_deployment(
-            DeploymentConfig { num_requests: 10, side: 200.0, min_link: 1.0, max_link: 5.0 },
+            DeploymentConfig {
+                num_requests: 10,
+                side: 200.0,
+                min_link: 1.0,
+                max_link: 5.0,
+            },
             &mut rng,
         );
         let p = params();

@@ -29,7 +29,8 @@
 //!
 //! External [`RequestId`]s are stable (monotonically assigned, never reused)
 //! and map to the dense item indices of the underlying
-//! [`IncrementalSystem`]; the same engine item may be live at most once.
+//! [`IncrementalSystem`](oblisched_sinr::IncrementalSystem); the same
+//! engine item may be live at most once.
 //!
 //! # Example
 //!
@@ -65,7 +66,7 @@
 
 use oblisched_sinr::engine::DEFAULT_REBUILD_INTERVAL;
 use oblisched_sinr::feasibility::REL_TOL;
-use oblisched_sinr::{ColorAccumulator, IncrementalSystem, InterferenceSystem};
+use oblisched_sinr::{ColorAccumulator, GainBackend, InterferenceSystem};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -193,11 +194,11 @@ struct Entry {
 }
 
 /// An online first-fit scheduler maintaining a valid coloring of a changing
-/// subset of an [`IncrementalSystem`]'s items under
+/// subset of a [`GainBackend`]'s items under
 /// [`insert`](DynamicScheduler::insert) / [`remove`](DynamicScheduler::remove)
 /// events. See the [module docs](self) for the event-handling strategy.
 #[derive(Debug)]
-pub struct DynamicScheduler<'s, S: IncrementalSystem + ?Sized> {
+pub struct DynamicScheduler<'s, S: GainBackend + ?Sized> {
     system: &'s S,
     config: DynamicConfig,
     /// One accumulator per color. Trailing empties are popped eagerly;
@@ -217,7 +218,7 @@ pub struct DynamicScheduler<'s, S: IncrementalSystem + ?Sized> {
 
 // Manual impl: the derive would demand `S: Clone`, but the scheduler only
 // holds a shared reference to the system.
-impl<S: IncrementalSystem + ?Sized> Clone for DynamicScheduler<'_, S> {
+impl<S: GainBackend + ?Sized> Clone for DynamicScheduler<'_, S> {
     fn clone(&self) -> Self {
         Self {
             system: self.system,
@@ -231,7 +232,7 @@ impl<S: IncrementalSystem + ?Sized> Clone for DynamicScheduler<'_, S> {
     }
 }
 
-impl<'s, S: IncrementalSystem + ?Sized> DynamicScheduler<'s, S> {
+impl<'s, S: GainBackend + ?Sized> DynamicScheduler<'s, S> {
     /// Creates an empty scheduler over `system` with the default
     /// [`DynamicConfig`].
     pub fn new(system: &'s S) -> Self {
@@ -245,7 +246,10 @@ impl<'s, S: IncrementalSystem + ?Sized> DynamicScheduler<'s, S> {
     /// Panics if `config.rebuild_interval` is zero or
     /// `config.drift_tolerance` is not positive.
     pub fn with_config(system: &'s S, config: DynamicConfig) -> Self {
-        assert!(config.rebuild_interval >= 1, "the rebuild interval must be at least 1");
+        assert!(
+            config.rebuild_interval >= 1,
+            "the rebuild interval must be at least 1"
+        );
         assert!(
             config.drift_tolerance > 0.0,
             "the drift tolerance must be positive"
@@ -279,7 +283,10 @@ impl<'s, S: IncrementalSystem + ?Sized> DynamicScheduler<'s, S> {
     /// Number of colors in use (non-empty classes; interior holes left by
     /// lazy compaction do not count).
     pub fn num_colors(&self) -> usize {
-        self.classes.iter().filter(|class| !class.is_empty()).count()
+        self.classes
+            .iter()
+            .filter(|class| !class.is_empty())
+            .count()
     }
 
     /// The color of a live request, `None` when the id is not live.
@@ -300,12 +307,18 @@ impl<'s, S: IncrementalSystem + ?Sized> DynamicScheduler<'s, S> {
     /// The live items grouped by color, indexed by color (members in
     /// insertion order; interior classes may be empty).
     pub fn color_classes(&self) -> Vec<Vec<usize>> {
-        self.classes.iter().map(|class| class.members().to_vec()).collect()
+        self.classes
+            .iter()
+            .map(|class| class.members().to_vec())
+            .collect()
     }
 
     /// All live items, in color-then-insertion order.
     pub fn live_items(&self) -> Vec<usize> {
-        self.classes.iter().flat_map(|class| class.members().iter().copied()).collect()
+        self.classes
+            .iter()
+            .flat_map(|class| class.members().iter().copied())
+            .collect()
     }
 
     /// Handles an arrival: places `item` into the first color class that
@@ -321,12 +334,22 @@ impl<'s, S: IncrementalSystem + ?Sized> DynamicScheduler<'s, S> {
     /// * [`DynamicError::AlreadyLive`] if `item` is already live.
     pub fn insert(&mut self, item: usize) -> Result<RequestId, DynamicError> {
         if item >= self.system.len() {
-            return Err(DynamicError::ItemOutOfRange { item, len: self.system.len() });
+            return Err(DynamicError::ItemOutOfRange {
+                item,
+                len: self.system.len(),
+            });
         }
         if let Some(id) = self.owner[item] {
-            return Err(DynamicError::AlreadyLive { item, id: RequestId(id) });
+            return Err(DynamicError::AlreadyLive {
+                item,
+                id: RequestId(id),
+            });
         }
-        let color = match self.classes.iter_mut().position(|class| class.try_insert(item)) {
+        let color = match self
+            .classes
+            .iter_mut()
+            .position(|class| class.try_insert(item))
+        {
             Some(color) => color,
             None => {
                 let mut class = ColorAccumulator::new(self.system)
@@ -352,7 +375,10 @@ impl<'s, S: IncrementalSystem + ?Sized> DynamicScheduler<'s, S> {
     ///
     /// [`DynamicError::UnknownId`] if `id` is not live.
     pub fn remove(&mut self, id: RequestId) -> Result<usize, DynamicError> {
-        let entry = self.entries.remove(&id.0).ok_or(DynamicError::UnknownId(id))?;
+        let entry = self
+            .entries
+            .remove(&id.0)
+            .ok_or(DynamicError::UnknownId(id))?;
         self.owner[entry.item] = None;
         let removed = self.classes[entry.color].remove(entry.item);
         debug_assert!(removed, "live entry must be a member of its class");
@@ -471,8 +497,10 @@ impl<'s, S: IncrementalSystem + ?Sized> DynamicScheduler<'s, S> {
                         detail: format!("member {item} of color {color} has no owner id"),
                     }
                 })?;
-                let entry =
-                    self.entries.get(&id).ok_or_else(|| DynamicError::Inconsistent {
+                let entry = self
+                    .entries
+                    .get(&id)
+                    .ok_or_else(|| DynamicError::Inconsistent {
                         detail: format!("owner id {id} of item {item} has no live entry"),
                     })?;
                 if entry.item != item || entry.color != color {
@@ -486,8 +514,7 @@ impl<'s, S: IncrementalSystem + ?Sized> DynamicScheduler<'s, S> {
                 }
                 seen += 1;
             }
-            if class.len() >= 2
-                && !truth.is_feasible_with_gain(class.members(), certification_gain)
+            if class.len() >= 2 && !truth.is_feasible_with_gain(class.members(), certification_gain)
             {
                 let threshold = certification_gain * (1.0 - REL_TOL);
                 let item = class
@@ -579,7 +606,10 @@ mod tests {
             sched.insert(99),
             Err(DynamicError::ItemOutOfRange { item: 99, len: 3 })
         );
-        assert_eq!(sched.remove(RequestId(777)), Err(DynamicError::UnknownId(RequestId(777))));
+        assert_eq!(
+            sched.remove(RequestId(777)),
+            Err(DynamicError::UnknownId(RequestId(777)))
+        );
         // Errors render a readable description.
         assert!(DynamicError::UnknownId(id).to_string().contains("req#"));
     }
@@ -659,7 +689,10 @@ mod tests {
         use oblisched_sinr::InterferenceSystem;
         assert!(!view.is_feasible(&[0, 1]) && !view.is_feasible(&[2, 3]));
         assert!(view.is_feasible(&[0, 3]));
-        let config = DynamicConfig { recolor_budget: 1, ..DynamicConfig::default() };
+        let config = DynamicConfig {
+            recolor_budget: 1,
+            ..DynamicConfig::default()
+        };
         let mut sched = DynamicScheduler::with_config(&view, config);
         for item in [0, 2, 4, 1, 3] {
             sched.insert(item).unwrap();
@@ -691,8 +724,9 @@ mod tests {
         for event in 0..200 {
             let arrive = live.is_empty() || (event % 3 != 0 && live.len() < 60);
             if arrive {
-                let free: Vec<usize> =
-                    (0..inst.len()).filter(|&i| sched.id_of_item(i).is_none()).collect();
+                let free: Vec<usize> = (0..inst.len())
+                    .filter(|&i| sched.id_of_item(i).is_none())
+                    .collect();
                 let item = free[rng.gen_range(0..free.len())];
                 live.push(sched.insert(item).unwrap());
             } else {
@@ -746,7 +780,11 @@ mod tests {
         let inst = nested_chain(2, 2.0);
         let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
         let view = eval.view(Variant::Bidirectional);
-        let config = DynamicConfig { recolor_budget: 0, rebuild_interval: 7, drift_tolerance: 1e-9 };
+        let config = DynamicConfig {
+            recolor_budget: 0,
+            rebuild_interval: 7,
+            drift_tolerance: 1e-9,
+        };
         let sched = DynamicScheduler::with_config(&view, config);
         assert_eq!(sched.config(), config);
         assert!(sched.is_empty());
@@ -760,7 +798,10 @@ mod tests {
         let inst = nested_chain(2, 2.0);
         let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
         let view = eval.view(Variant::Bidirectional);
-        let config = DynamicConfig { drift_tolerance: 0.0, ..DynamicConfig::default() };
+        let config = DynamicConfig {
+            drift_tolerance: 0.0,
+            ..DynamicConfig::default()
+        };
         let _ = DynamicScheduler::with_config(&view, config);
     }
 }

@@ -15,7 +15,7 @@
 //! are kept as [`first_fit_coloring_naive`] / [`first_fit_with_order_naive`]
 //! for baseline benchmarking and equivalence testing.
 
-use oblisched_sinr::{ColorAccumulator, IncrementalSystem, InterferenceSystem, Schedule};
+use oblisched_sinr::{ColorAccumulator, GainBackend, InterferenceSystem, Schedule};
 
 /// First-fit coloring in index order, on the incremental engine.
 ///
@@ -23,7 +23,7 @@ use oblisched_sinr::{ColorAccumulator, IncrementalSystem, InterferenceSystem, Sc
 /// feasible (at the system's gain) after adding it; if no class accepts the
 /// item, a new color is opened. Singletons without noise are always feasible,
 /// so the result covers every item.
-pub fn first_fit_coloring<S: IncrementalSystem>(system: &S) -> Schedule {
+pub fn first_fit_coloring<S: GainBackend>(system: &S) -> Schedule {
     let order: Vec<usize> = (0..system.len()).collect();
     first_fit_with_order(system, &order)
 }
@@ -37,7 +37,7 @@ pub fn first_fit_coloring<S: IncrementalSystem>(system: &S) -> Schedule {
 /// # Panics
 ///
 /// Panics if `order` is not a permutation of `0..system.len()`.
-pub fn first_fit_with_order<S: IncrementalSystem>(system: &S, order: &[usize]) -> Schedule {
+pub fn first_fit_with_order<S: GainBackend>(system: &S, order: &[usize]) -> Schedule {
     let n = system.len();
     assert_order_is_permutation(n, order);
 
@@ -75,10 +75,7 @@ pub fn first_fit_coloring_naive<S: InterferenceSystem>(system: &S) -> Schedule {
 /// # Panics
 ///
 /// Panics if `order` is not a permutation of `0..system.len()`.
-pub fn first_fit_with_order_naive<S: InterferenceSystem>(
-    system: &S,
-    order: &[usize],
-) -> Schedule {
+pub fn first_fit_with_order_naive<S: InterferenceSystem>(system: &S, order: &[usize]) -> Schedule {
     let n = system.len();
     assert_order_is_permutation(n, order);
 
@@ -130,9 +127,27 @@ fn assert_order_is_permutation(n: usize, order: &[usize]) {
 /// hold two colors. The check is `O(items²)` and skipped in release builds,
 /// where this function sits on the per-event hot path of the churn
 /// experiments.
-pub fn first_fit_subset<S: IncrementalSystem + ?Sized>(
+pub fn first_fit_subset<S: GainBackend + ?Sized>(system: &S, items: &[usize]) -> Vec<Vec<usize>> {
+    first_fit_subset_with_gain(system, items, system.beta())
+}
+
+/// [`first_fit_subset`] at an explicit gain instead of the system's `β`.
+///
+/// A stricter gain (`gain > β`) leaves every class with slack — each member
+/// tolerates `gain/β` times its feasibility threshold of interference — at
+/// the price of more classes. The parallel scheduler colors its spatial
+/// shards this way so that shard-local classes survive being merged with
+/// far-away classes of other shards (see `crate::parallel`), mirroring how
+/// the paper's §5 algorithm admits candidates at the relaxed gain `β/2` and
+/// certifies rounds at `β`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `items` contains a duplicate.
+pub fn first_fit_subset_with_gain<S: GainBackend + ?Sized>(
     system: &S,
     items: &[usize],
+    gain: f64,
 ) -> Vec<Vec<usize>> {
     let mut classes: Vec<ColorAccumulator<'_, S>> = Vec::new();
     for &i in items {
@@ -140,14 +155,19 @@ pub fn first_fit_subset<S: IncrementalSystem + ?Sized>(
             !classes.iter().any(|class| class.contains(i)),
             "item {i} appears twice in the subset"
         );
-        let placed = classes.iter_mut().any(|class| class.try_insert(i));
+        let placed = classes
+            .iter_mut()
+            .any(|class| class.try_insert_with_gain(i, gain));
         if !placed {
             let mut class = ColorAccumulator::new(system);
             class.insert_unchecked(i);
             classes.push(class);
         }
     }
-    classes.iter().map(|class| class.members().to_vec()).collect()
+    classes
+        .iter()
+        .map(|class| class.members().to_vec())
+        .collect()
 }
 
 /// Greedily builds one large feasible set ("one shot") from `candidates`,
@@ -157,7 +177,7 @@ pub fn first_fit_subset<S: IncrementalSystem + ?Sized>(
 /// The returned set is always feasible at the system's gain; its size is the
 /// greedy counterpart of the quantity `σ` (the maximum number of requests
 /// schedulable with one color) that §5 approximates.
-pub fn greedy_one_shot<S: IncrementalSystem>(system: &S, candidates: &[usize]) -> Vec<usize> {
+pub fn greedy_one_shot<S: GainBackend>(system: &S, candidates: &[usize]) -> Vec<usize> {
     let mut kept = ColorAccumulator::new(system);
     for &i in candidates {
         let _ = kept.try_insert(i);
@@ -171,7 +191,7 @@ pub fn greedy_one_shot<S: IncrementalSystem>(system: &S, candidates: &[usize]) -
 /// Used by the LP-based and decomposition-based schedulers to make every
 /// color class maximal, which never hurts and often saves colors on small
 /// instances.
-pub fn greedy_augment<S: IncrementalSystem>(
+pub fn greedy_augment<S: GainBackend>(
     system: &S,
     base: Vec<usize>,
     candidates: &[usize],
@@ -227,10 +247,16 @@ mod tests {
         let uniform = colors_for(ObliviousPower::Uniform);
         let linear = colors_for(ObliviousPower::Linear);
         let sqrt = colors_for(ObliviousPower::SquareRoot);
-        assert!(sqrt < uniform, "sqrt ({sqrt}) must beat uniform ({uniform})");
+        assert!(
+            sqrt < uniform,
+            "sqrt ({sqrt}) must beat uniform ({uniform})"
+        );
         assert!(sqrt < linear, "sqrt ({sqrt}) must beat linear ({linear})");
         assert!(sqrt <= 6, "sqrt should need O(1) colors, used {sqrt}");
-        assert!(uniform >= 10, "uniform should need ~n colors, used {uniform}");
+        assert!(
+            uniform >= 10,
+            "uniform should need ~n colors, used {uniform}"
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! | [`power_control`] | baseline | non-oblivious per-set power optimisation (the "optimal schedule" side of Theorem 1) |
 //! | [`optimal`] | baseline | exact maximum one-shot sets and exact minimum colorings for small instances |
 //! | [`sqrt_coloring`](mod@sqrt_coloring) | §5 | the randomized LP-rounding coloring algorithm for the square-root assignment |
+//! | [`parallel`] | — | tile-sharded parallel batch scheduling with a deterministic conflict-repair merge |
 //! | [`dynamic`] | — | online scheduling under churn: a [`DynamicScheduler`] maintaining a valid coloring across insert/remove events |
 //! | [`star_analysis`] | §4 | Lemma 5 machinery: decay classes, large/small-loss split, square-root-feasible subsets on stars |
 //! | [`decomposition`] | §3 | metric → tree → star reduction (Lemmas 6–9) and the constructive Theorem 2 pipeline |
@@ -68,21 +69,25 @@ pub mod decomposition;
 pub mod dynamic;
 pub mod greedy;
 pub mod optimal;
+pub mod parallel;
 pub mod power_control;
 pub mod scheduler;
 pub mod sqrt_coloring;
 pub mod star_analysis;
 
 pub use convert::directed_simulation;
-pub use decomposition::{sqrt_feasible_nodes, sqrt_schedule_via_decomposition, DecompositionConfig};
+pub use decomposition::{
+    sqrt_feasible_nodes, sqrt_schedule_via_decomposition, DecompositionConfig,
+};
 pub use dynamic::{DynamicConfig, DynamicError, DynamicScheduler, RequestId};
 pub use greedy::{
-    first_fit_coloring, first_fit_coloring_naive, first_fit_subset, first_fit_with_order,
-    first_fit_with_order_naive, greedy_augment, greedy_one_shot,
+    first_fit_coloring, first_fit_coloring_naive, first_fit_subset, first_fit_subset_with_gain,
+    first_fit_with_order, first_fit_with_order_naive, greedy_augment, greedy_one_shot,
 };
 pub use optimal::{exact_chromatic_number, exact_max_one_shot};
+pub use parallel::{parallel_first_fit, tile_shards, ParallelConfig, DEFAULT_TARGET_SHARDS};
 pub use power_control::{feasible_powers, greedy_with_power_control, PowerControlConfig};
-pub use scheduler::{ScheduleResult, Scheduler};
+pub use scheduler::{EngineBackend, EngineStats, ScheduleResult, Scheduler};
 pub use sqrt_coloring::{sqrt_coloring, SqrtColoringConfig};
 pub use star_analysis::{decay_classes, star_sqrt_subset, StarNodeKind};
 

@@ -88,7 +88,14 @@ pub fn exact_chromatic_number<S: InterferenceSystem>(system: &S) -> (usize, Sche
 
     let mut classes: Vec<Vec<usize>> = Vec::new();
     let mut assignment = vec![usize::MAX; n];
-    branch_coloring(system, 0, &mut classes, &mut assignment, &mut best_colors, &mut best);
+    branch_coloring(
+        system,
+        0,
+        &mut classes,
+        &mut assignment,
+        &mut best_colors,
+        &mut best,
+    );
     (best_colors, best)
 }
 
@@ -236,7 +243,10 @@ mod tests {
             let view = eval.view(Variant::Bidirectional);
             let bound = exact_pigeonhole_bound(&view);
             let (k, _) = exact_chromatic_number(&view);
-            assert!(bound <= k, "pigeonhole bound {bound} exceeds the optimum {k}");
+            assert!(
+                bound <= k,
+                "pigeonhole bound {bound} exceeds the optimum {k}"
+            );
         }
     }
 
@@ -250,7 +260,10 @@ mod tests {
         let view = eval.view(Variant::Directed);
         let all: Vec<usize> = (0..4).collect();
         assert!(exact_max_one_shot(&view, &all).is_empty());
-        assert_eq!(exact_pigeonhole_bound(&view), oblisched_sinr::measure::UNSCHEDULABLE);
+        assert_eq!(
+            exact_pigeonhole_bound(&view),
+            oblisched_sinr::measure::UNSCHEDULABLE
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct PowerControlConfig {
 
 impl Default for PowerControlConfig {
     fn default() -> Self {
-        Self { max_iterations: 200, slack: 1.05, power_ceiling: 1e200 }
+        Self {
+            max_iterations: 200,
+            slack: 1.05,
+            power_ceiling: 1e200,
+        }
     }
 }
 
@@ -233,8 +237,14 @@ mod tests {
         )
         .unwrap();
         let p = params();
-        assert!(feasible_powers(&inst, &p, Variant::Bidirectional, &[0, 1], Default::default())
-            .is_none());
+        assert!(feasible_powers(
+            &inst,
+            &p,
+            Variant::Bidirectional,
+            &[0, 1],
+            Default::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -271,7 +281,10 @@ mod tests {
         let eval = Evaluator::with_powers(inst, p, powers).unwrap();
         assert!(schedule.validate(&eval, Variant::Directed).is_ok());
 
-        assert_eq!(oblivious_colors, 8, "every pair conflicts under the target assignment");
+        assert_eq!(
+            oblivious_colors, 8,
+            "every pair conflicts under the target assignment"
+        );
         assert!(
             schedule.num_colors() <= 4,
             "power control should need O(1) colors, used {}",

@@ -7,14 +7,90 @@
 
 use crate::decomposition::{sqrt_schedule_via_decomposition, DecompositionConfig};
 use crate::greedy::first_fit_coloring;
+use crate::parallel::{parallel_first_fit, tile_shards, ParallelConfig, DEFAULT_TARGET_SHARDS};
 use crate::power_control::{greedy_with_power_control, PowerControlConfig};
 use crate::sqrt_coloring::{sqrt_coloring, SqrtColoringConfig};
-use oblisched_metric::MetricSpace;
+use oblisched_metric::{MetricSpace, PlanarMetric};
 use oblisched_sinr::{
-    Evaluator, GainMatrix, IncrementalSystem, Instance, ObliviousPower, PowerScheme, Schedule,
-    SinrParams, Variant,
+    Evaluator, GainMatrix, IncrementalSystem, Instance, InterferenceSystem, ObliviousPower,
+    PowerScheme, Schedule, SinrParams, SparseConfig, SparseGainMatrix, Variant,
 };
 use rand::Rng;
+use std::fmt;
+
+/// Which interference backend a scheduling run ended up using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineBackend {
+    /// The dense cached [`GainMatrix`] (`8 · ports · n²` bytes, exact).
+    Dense,
+    /// The spatially-pruned [`SparseGainMatrix`] (conservative verdicts,
+    /// `O(n)` memory at fixed density).
+    Sparse,
+    /// No cache: contributions computed on the fly by the incremental
+    /// engine (exact, `O(n)` memory, slower repeated queries).
+    OnTheFly,
+}
+
+impl fmt::Display for EngineBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineBackend::Dense => write!(f, "dense"),
+            EngineBackend::Sparse => write!(f, "sparse"),
+            EngineBackend::OnTheFly => write!(f, "on-the-fly"),
+        }
+    }
+}
+
+/// How the facade answered the backend question for one run: which tier it
+/// chose, what it would have cost to go dense, and against which budget the
+/// decision was made. Surfaced in every [`ScheduleResult`] so the choice is
+/// never silent (the experiments binary logs it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// The backend the run used.
+    pub backend: EngineBackend,
+    /// Number of requests.
+    pub n: usize,
+    /// Interference ports per request (1 directed, 2 bidirectional).
+    pub ports: usize,
+    /// Actual heap footprint of the chosen backend in bytes (0 for
+    /// [`EngineBackend::OnTheFly`]).
+    pub bytes: usize,
+    /// What the dense matrix would need ([`usize::MAX`] when the product
+    /// overflows).
+    pub dense_bytes: usize,
+    /// The memory budget the decision was made against.
+    pub budget: usize,
+}
+
+impl EngineStats {
+    fn on_the_fly(n: usize, ports: usize, budget: usize) -> Self {
+        Self {
+            backend: EngineBackend::OnTheFly,
+            n,
+            ports,
+            bytes: 0,
+            dense_bytes: GainMatrix::bytes_for(n, ports),
+            budget,
+        }
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mib = |b: usize| b as f64 / (1024.0 * 1024.0);
+        write!(
+            f,
+            "backend={} n={} ports={} bytes={:.1}MiB dense={:.1}MiB budget={:.1}MiB",
+            self.backend,
+            self.n,
+            self.ports,
+            mib(self.bytes),
+            mib(self.dense_bytes),
+            mib(self.budget)
+        )
+    }
+}
 
 /// The outcome of a scheduling run: the coloring, the powers it was validated
 /// with, and a label describing the algorithm/assignment used.
@@ -27,6 +103,9 @@ pub struct ScheduleResult {
     /// Human-readable description of assignment and algorithm (used in
     /// experiment tables).
     pub label: String,
+    /// Which interference backend served the run, and why (see
+    /// [`EngineStats`]).
+    pub engine: EngineStats,
 }
 
 impl ScheduleResult {
@@ -63,6 +142,8 @@ pub struct Scheduler {
     params: SinrParams,
     variant: Variant,
     matrix_budget: usize,
+    sparse_config: SparseConfig,
+    parallel_config: ParallelConfig,
 }
 
 /// Default memory budget for the cached [`GainMatrix`]: below this size the
@@ -75,7 +156,13 @@ impl Scheduler {
     /// Creates a scheduler for the bidirectional variant (the paper's main
     /// setting) with the given parameters.
     pub fn new(params: SinrParams) -> Self {
-        Self { params, variant: Variant::Bidirectional, matrix_budget: DEFAULT_MATRIX_BUDGET }
+        Self {
+            params,
+            variant: Variant::Bidirectional,
+            matrix_budget: DEFAULT_MATRIX_BUDGET,
+            sparse_config: SparseConfig::default(),
+            parallel_config: ParallelConfig::default(),
+        }
     }
 
     /// Selects the problem variant.
@@ -89,6 +176,21 @@ impl Scheduler {
     /// Both paths produce identical schedules; `0` disables the cache.
     pub fn matrix_budget(mut self, bytes: usize) -> Self {
         self.matrix_budget = bytes;
+        self
+    }
+
+    /// Sets the [`SparseConfig`] used whenever the facade falls back to the
+    /// spatially-pruned backend
+    /// (see [`schedule_with_assignment_auto`](Scheduler::schedule_with_assignment_auto)).
+    pub fn sparse_config(mut self, config: SparseConfig) -> Self {
+        self.sparse_config = config;
+        self
+    }
+
+    /// Sets the [`ParallelConfig`] (gain slack, default thread count) used
+    /// by [`schedule_parallel`](Scheduler::schedule_parallel).
+    pub fn parallel_config(mut self, config: ParallelConfig) -> Self {
+        self.parallel_config = config;
         self
     }
 
@@ -120,19 +222,169 @@ impl Scheduler {
     ) -> ScheduleResult {
         let evaluator = instance.evaluator(self.params, &scheme);
         let view = evaluator.view(self.variant);
+        let ports = view.num_ports();
         // Overflow of the byte estimate must count as over-budget (an
         // unchecked product would wrap and could wrongly enable the matrix
         // for huge n), hence the checked variant.
-        let schedule = if GainMatrix::checked_bytes_for(instance.len(), view.num_ports())
-            .is_some_and(|bytes| bytes <= self.matrix_budget)
-        {
-            first_fit_coloring(&view.cached())
+        let (schedule, engine) = if self.dense_fits(instance.len(), ports) {
+            let stats = self.dense_stats(instance.len(), ports);
+            (first_fit_coloring(&view.cached()), stats)
         } else {
-            first_fit_coloring(&view)
+            (
+                first_fit_coloring(&view),
+                EngineStats::on_the_fly(instance.len(), ports, self.matrix_budget),
+            )
         };
-        if let Err(e) = schedule.validate(&evaluator, self.variant) {
-            // Only inherently infeasible singletons (heavy noise) are
-            // acceptable; any other violation is a greedy bug.
+        self.check_first_fit_schedule(&schedule, &evaluator);
+        ScheduleResult {
+            schedule,
+            powers: evaluator.powers().to_vec(),
+            label: format!("first-fit/{}", scheme.name()),
+            engine,
+        }
+    }
+
+    /// Schedules with greedy first-fit under a fixed power scheme,
+    /// auto-selecting the interference backend by memory budget: the dense
+    /// [`GainMatrix`] when it fits, the spatially-pruned
+    /// [`SparseGainMatrix`] otherwise — the tier that keeps `n ≥ 10⁴`
+    /// planar instances cached where the dense matrix would need gigabytes.
+    /// The chosen backend (and both footprints) is reported in the result's
+    /// [`EngineStats`].
+    ///
+    /// Requires a planar metric (the sparse tier prunes by position);
+    /// non-planar metrics use
+    /// [`schedule_with_assignment`](Scheduler::schedule_with_assignment),
+    /// which falls back to uncached exact contributions instead.
+    ///
+    /// Sparse verdicts are conservative, so the returned schedule validates
+    /// against the exact evaluator just like the dense one (it may spend
+    /// a few more colors; `strict` in [`SparseConfig`] buys them back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a multi-request color class fails validation (a bug, not
+    /// an input condition).
+    pub fn schedule_with_assignment_auto<M, P>(
+        &self,
+        instance: &Instance<M>,
+        scheme: P,
+    ) -> ScheduleResult
+    where
+        M: MetricSpace + PlanarMetric,
+        P: PowerScheme,
+    {
+        let evaluator = instance.evaluator(self.params, &scheme);
+        let view = evaluator.view(self.variant);
+        let ports = view.num_ports();
+        let (schedule, engine) = if self.dense_fits(instance.len(), ports) {
+            let stats = self.dense_stats(instance.len(), ports);
+            (first_fit_coloring(&view.cached()), stats)
+        } else {
+            let sparse = SparseGainMatrix::build(&view, &self.sparse_config);
+            let stats = self.sparse_stats(&sparse, ports);
+            (first_fit_coloring(&sparse), stats)
+        };
+        self.check_first_fit_schedule(&schedule, &evaluator);
+        ScheduleResult {
+            schedule,
+            powers: evaluator.powers().to_vec(),
+            label: format!("first-fit-auto/{}", scheme.name()),
+            engine,
+        }
+    }
+
+    /// Parallel batch scheduling: partitions the requests by spatial grid
+    /// tile ([`tile_shards`]), colors the shards on `num_threads` worker
+    /// threads (`0` = one per core) and merges the shard colorings with a
+    /// deterministic conflict-repair pass — the schedule is identical for
+    /// every thread count. The backend is auto-selected exactly as in
+    /// [`schedule_with_assignment_auto`](Scheduler::schedule_with_assignment_auto).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a multi-request color class fails validation (a bug, not
+    /// an input condition).
+    pub fn schedule_parallel<M, P>(
+        &self,
+        instance: &Instance<M>,
+        scheme: P,
+        num_threads: usize,
+    ) -> ScheduleResult
+    where
+        M: MetricSpace + PlanarMetric + Sync,
+        P: PowerScheme,
+    {
+        let evaluator = instance.evaluator(self.params, &scheme);
+        let view = evaluator.view(self.variant);
+        let ports = view.num_ports();
+        let shards = tile_shards(instance, DEFAULT_TARGET_SHARDS);
+        let config = ParallelConfig {
+            num_threads,
+            ..self.parallel_config
+        };
+        let (schedule, engine) = if self.dense_fits(instance.len(), ports) {
+            let stats = self.dense_stats(instance.len(), ports);
+            (parallel_first_fit(&view.cached(), &shards, &config), stats)
+        } else {
+            let mut sparse_cfg = self.sparse_config;
+            if sparse_cfg.build_threads == 1 && num_threads != 1 {
+                // The caller asked for parallelism: extend it to the build.
+                sparse_cfg.build_threads = num_threads;
+            }
+            let sparse = SparseGainMatrix::build(&view, &sparse_cfg);
+            let stats = self.sparse_stats(&sparse, ports);
+            (parallel_first_fit(&sparse, &shards, &config), stats)
+        };
+        self.check_first_fit_schedule(&schedule, &evaluator);
+        ScheduleResult {
+            schedule,
+            powers: evaluator.powers().to_vec(),
+            label: format!("parallel-first-fit/{}", scheme.name()),
+            engine,
+        }
+    }
+
+    /// Whether the dense matrix fits the configured budget.
+    fn dense_fits(&self, n: usize, ports: usize) -> bool {
+        GainMatrix::checked_bytes_for(n, ports).is_some_and(|bytes| bytes <= self.matrix_budget)
+    }
+
+    fn dense_stats(&self, n: usize, ports: usize) -> EngineStats {
+        let bytes = GainMatrix::bytes_for(n, ports);
+        EngineStats {
+            backend: EngineBackend::Dense,
+            n,
+            ports,
+            bytes,
+            dense_bytes: bytes,
+            budget: self.matrix_budget,
+        }
+    }
+
+    /// `true_ports` is the variant's port count — the folded sparse backend
+    /// reports a single port, but the dense-footprint comparison must use
+    /// what the dense matrix would actually allocate.
+    fn sparse_stats(&self, sparse: &SparseGainMatrix, true_ports: usize) -> EngineStats {
+        EngineStats {
+            backend: EngineBackend::Sparse,
+            n: sparse.len(),
+            ports: sparse.ports(),
+            bytes: sparse.bytes(),
+            dense_bytes: GainMatrix::bytes_for(sparse.len(), true_ports),
+            budget: self.matrix_budget,
+        }
+    }
+
+    /// Shared validation of first-fit-style schedules: feasible, except
+    /// that inherently infeasible singletons (heavy noise) are acceptable —
+    /// any other violation is a scheduling bug.
+    fn check_first_fit_schedule<M: MetricSpace>(
+        &self,
+        schedule: &Schedule,
+        evaluator: &Evaluator<'_, M>,
+    ) {
+        if let Err(e) = schedule.validate(evaluator, self.variant) {
             let only_doomed_singletons = schedule
                 .classes()
                 .iter()
@@ -141,11 +393,6 @@ impl Scheduler {
                 only_doomed_singletons,
                 "greedy schedules are feasible by construction (modulo noise-doomed singletons): {e}"
             );
-        }
-        ScheduleResult {
-            schedule,
-            powers: evaluator.powers().to_vec(),
-            label: format!("first-fit/{}", scheme.name()),
         }
     }
 
@@ -166,7 +413,17 @@ impl Scheduler {
         schedule
             .validate(&evaluator, self.variant)
             .expect("power-controlled schedules are feasible by construction");
-        ScheduleResult { schedule, powers, label: "first-fit/power-control".to_string() }
+        let engine = EngineStats::on_the_fly(
+            instance.len(),
+            evaluator.view(self.variant).num_ports(),
+            self.matrix_budget,
+        );
+        ScheduleResult {
+            schedule,
+            powers,
+            label: "first-fit/power-control".to_string(),
+            engine,
+        }
     }
 
     /// Schedules with the §5 randomized LP-rounding algorithm for the
@@ -192,10 +449,16 @@ impl Scheduler {
         schedule
             .validate(&evaluator, self.variant)
             .expect("the sqrt coloring certifies every color class");
+        let engine = EngineStats::on_the_fly(
+            instance.len(),
+            evaluator.view(self.variant).num_ports(),
+            self.matrix_budget,
+        );
         ScheduleResult {
             schedule,
             powers: evaluator.powers().to_vec(),
             label: "lp-rounding/sqrt".to_string(),
+            engine,
         }
     }
 
@@ -226,10 +489,16 @@ impl Scheduler {
         schedule
             .validate(&evaluator, self.variant)
             .expect("the decomposition pipeline certifies every color class");
+        let engine = EngineStats::on_the_fly(
+            instance.len(),
+            evaluator.view(self.variant).num_ports(),
+            self.matrix_budget,
+        );
         ScheduleResult {
             schedule,
             powers: evaluator.powers().to_vec(),
             label: "decomposition/sqrt".to_string(),
+            engine,
         }
     }
 }
@@ -275,7 +544,12 @@ mod tests {
     fn lp_and_decomposition_schedulers_produce_valid_schedules() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let inst = uniform_deployment(
-            DeploymentConfig { num_requests: 12, side: 300.0, min_link: 1.0, max_link: 10.0 },
+            DeploymentConfig {
+                num_requests: 12,
+                side: 300.0,
+                min_link: 1.0,
+                max_link: 10.0,
+            },
             &mut rng,
         );
         let s = scheduler();
@@ -291,7 +565,9 @@ mod tests {
     fn power_control_scheduling_works_in_both_variants() {
         let inst = nested_chain(6, 2.0);
         for variant in Variant::all() {
-            let result = scheduler().variant(variant).schedule_with_power_control(&inst);
+            let result = scheduler()
+                .variant(variant)
+                .schedule_with_power_control(&inst);
             assert_eq!(result.schedule.len(), 6);
             assert!(result.powers.iter().all(|&p| p > 0.0));
         }
@@ -317,6 +593,8 @@ mod tests {
     fn lp_scheduler_rejects_directed_variant() {
         let inst = nested_chain(4, 2.0);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let _ = scheduler().variant(Variant::Directed).schedule_sqrt_lp(&inst, &mut rng);
+        let _ = scheduler()
+            .variant(Variant::Directed)
+            .schedule_sqrt_lp(&inst, &mut rng);
     }
 }

@@ -231,7 +231,9 @@ fn select_from_class<M: MetricSpace, R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::greedy::first_fit_coloring;
-    use oblisched_instances::{evenly_spaced_line, nested_chain, uniform_deployment, DeploymentConfig};
+    use oblisched_instances::{
+        evenly_spaced_line, nested_chain, uniform_deployment, DeploymentConfig,
+    };
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -241,7 +243,9 @@ mod tests {
 
     fn validate_sqrt(instance: &Instance<impl MetricSpace>, schedule: &Schedule, p: &SinrParams) {
         let eval = instance.evaluator(*p, &ObliviousPower::SquareRoot);
-        schedule.validate(&eval, Variant::Bidirectional).expect("schedule must be feasible");
+        schedule
+            .validate(&eval, Variant::Bidirectional)
+            .expect("schedule must be feasible");
     }
 
     #[test]
@@ -277,7 +281,12 @@ mod tests {
     fn random_deployments_are_scheduled_feasibly() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let inst = uniform_deployment(
-            DeploymentConfig { num_requests: 24, side: 500.0, min_link: 1.0, max_link: 20.0 },
+            DeploymentConfig {
+                num_requests: 24,
+                side: 500.0,
+                min_link: 1.0,
+                max_link: 20.0,
+            },
             &mut rng,
         );
         let p = params();
@@ -293,7 +302,12 @@ mod tests {
         // greedy on moderate random instances.
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let inst = uniform_deployment(
-            DeploymentConfig { num_requests: 30, side: 300.0, min_link: 1.0, max_link: 15.0 },
+            DeploymentConfig {
+                num_requests: 30,
+                side: 300.0,
+                min_link: 1.0,
+                max_link: 15.0,
+            },
             &mut rng,
         );
         let p = params();
@@ -334,7 +348,10 @@ mod tests {
     fn degenerate_config_is_rejected() {
         let inst = nested_chain(3, 2.0);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let config = SqrtColoringConfig { class_base: 1.0, ..Default::default() };
+        let config = SqrtColoringConfig {
+            class_base: 1.0,
+            ..Default::default()
+        };
         let _ = sqrt_coloring(&inst, &params(), &config, &mut rng);
     }
 }

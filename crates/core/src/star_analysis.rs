@@ -39,14 +39,21 @@ pub fn node_kinds(
     params: &SinrParams,
     gamma_prime: f64,
 ) -> Vec<StarNodeKind> {
-    assert!(gamma_prime > 0.0 && gamma_prime.is_finite(), "gamma_prime must be positive");
+    assert!(
+        gamma_prime > 0.0 && gamma_prime.is_finite(),
+        "gamma_prime must be positive"
+    );
     let threshold = 2f64.powf(params.alpha() + 1.0) / gamma_prime;
     (0..instance.len())
         .map(|i| {
             let decay = instance.metric().decay(i, params.alpha());
             // Nodes at the centre (decay 0) behave like large-loss nodes: all
             // of their loss comes from the loss parameter.
-            let a = if decay == 0.0 { f64::INFINITY } else { instance.loss(i) / decay };
+            let a = if decay == 0.0 {
+                f64::INFINITY
+            } else {
+                instance.loss(i) / decay
+            };
             if a > threshold {
                 StarNodeKind::LargeLoss
             } else {
@@ -67,13 +74,17 @@ pub fn decay_classes(star: &StarMetric, alpha: f64) -> Vec<Vec<usize>> {
         return Vec::new();
     }
     let decays: Vec<f64> = (0..n).map(|i| star.decay(i, alpha)).collect();
-    let min_positive =
-        decays.iter().copied().filter(|d| *d > 0.0).fold(f64::INFINITY, f64::min);
+    let min_positive = decays
+        .iter()
+        .copied()
+        .filter(|d| *d > 0.0)
+        .fold(f64::INFINITY, f64::min);
     if !min_positive.is_finite() {
         // All nodes coincide with the centre.
         return vec![(0..n).collect()];
     }
-    let mut classes: std::collections::BTreeMap<i64, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut classes: std::collections::BTreeMap<i64, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, &d) in decays.iter().enumerate() {
         let class = if d <= 0.0 {
             0
@@ -169,7 +180,10 @@ mod tests {
         let inst = NodeLossInstance::new(star, vec![1000.0, 8.0]).unwrap();
         let kinds = node_kinds(&inst, &params(), 1.0);
         // Threshold is 2^(α+1)/γ' = 16. Node 0 has a = 1000, node 1 has a = 1.
-        assert_eq!(kinds, vec![StarNodeKind::LargeLoss, StarNodeKind::SmallLoss]);
+        assert_eq!(
+            kinds,
+            vec![StarNodeKind::LargeLoss, StarNodeKind::SmallLoss]
+        );
     }
 
     #[test]

@@ -15,7 +15,12 @@ use rand_chacha::ChaCha8Rng;
 fn instance_from_seed(seed: u64, n: usize) -> Instance<EuclideanSpace<2>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     uniform_deployment(
-        DeploymentConfig { num_requests: n, side: 400.0, min_link: 1.0, max_link: 25.0 },
+        DeploymentConfig {
+            num_requests: n,
+            side: 400.0,
+            min_link: 1.0,
+            max_link: 25.0,
+        },
         &mut rng,
     )
 }

@@ -189,7 +189,12 @@ pub fn adversarial_for(
     }
     let instance = Instance::new(LineMetric::new(coords), requests)
         .expect("construction produces positive link lengths");
-    AdversarialInstance { instance, lengths, gaps, target: *power }
+    AdversarialInstance {
+        instance,
+        lengths,
+        gaps,
+        target: *power,
+    }
 }
 
 #[cfg(test)]
@@ -210,7 +215,10 @@ mod tests {
         for i in 1..6 {
             let y = adv.gaps()[i];
             let x = adv.lengths()[i];
-            assert!(x >= y * 0.999, "length {x} must satisfy the growth condition (gap {y})");
+            assert!(
+                x >= y * 0.999,
+                "length {x} must satisfy the growth condition (gap {y})"
+            );
             // Gap recursion y_i = 2 (x_{i-1} + y_{i-1}-ish) implies doubling.
             assert!(y >= 2.0 * adv.lengths()[i - 1]);
         }
@@ -273,8 +281,7 @@ mod tests {
         let powers: Vec<f64> = (0..inst.len())
             .map(|i| inst.link_loss(i, &p) * 200.0f64.powi(-((i / 2) as i32)))
             .collect();
-        let eval =
-            oblisched_sinr::Evaluator::with_powers(inst, p, powers).unwrap();
+        let eval = oblisched_sinr::Evaluator::with_powers(inst, p, powers).unwrap();
         let evens: Vec<usize> = (0..inst.len()).step_by(2).collect();
         let odds: Vec<usize> = (0..inst.len()).skip(1).step_by(2).collect();
         assert!(eval.is_feasible(Variant::Directed, &evens));
@@ -287,9 +294,18 @@ mod tests {
         let sqrt_n = max_supported_n(&ObliviousPower::SquareRoot, &p);
         let linear_n = max_supported_n(&ObliviousPower::Linear, &p);
         let uniform_n = max_supported_n(&ObliviousPower::Uniform, &p);
-        assert!(sqrt_n >= 3, "sqrt construction must support at least a few pairs, got {sqrt_n}");
-        assert!(linear_n >= 30, "linear construction should support many pairs, got {linear_n}");
-        assert!(uniform_n >= 30, "uniform construction should support many pairs, got {uniform_n}");
+        assert!(
+            sqrt_n >= 3,
+            "sqrt construction must support at least a few pairs, got {sqrt_n}"
+        );
+        assert!(
+            linear_n >= 30,
+            "linear construction should support many pairs, got {linear_n}"
+        );
+        assert!(
+            uniform_n >= 30,
+            "uniform construction should support many pairs, got {uniform_n}"
+        );
         assert!(sqrt_n < linear_n);
         // The reported n is actually buildable.
         let _ = adversarial_for(&ObliviousPower::SquareRoot, &p, sqrt_n);

@@ -106,7 +106,10 @@ fn churn_trace(
     num_events: usize,
     rng: &mut ChaCha8Rng,
 ) -> ChurnTrace {
-    assert!(universe > 0, "the universe must contain at least one request");
+    assert!(
+        universe > 0,
+        "the universe must contain at least one request"
+    );
     assert!(
         target_live <= universe,
         "target live count {target_live} exceeds the universe size {universe}"
@@ -225,7 +228,10 @@ mod tests {
             .iter()
             .all(|e| matches!(e, ChurnEvent::Arrive(_))));
         // The mixed phase contains genuine departures.
-        assert!(trace.events.iter().any(|e| matches!(e, ChurnEvent::Depart(_))));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, ChurnEvent::Depart(_))));
         let live = trace.final_live();
         assert!(!live.is_empty());
         assert!(live.windows(2).all(|w| w[0] < w[1]));

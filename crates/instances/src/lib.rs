@@ -39,4 +39,8 @@ pub use churn::{churn_clustered, churn_uniform, ChurnEvent, ChurnTrace};
 pub use line::{evenly_spaced_line, exponential_line};
 pub use nested::nested_chain;
 pub use random::{clustered_deployment, random_matching, uniform_deployment, DeploymentConfig};
-pub use scale::{scaling_clustered, scaling_config, scaling_line, scaling_uniform};
+pub use scale::{
+    scaling_clustered, scaling_clustered_10k, scaling_clustered_50k, scaling_config, scaling_line,
+    scaling_line_10k, scaling_line_50k, scaling_uniform, scaling_uniform_10k, scaling_uniform_50k,
+    LARGE_SCALE_SIZES,
+};

@@ -26,8 +26,14 @@ use oblisched_sinr::{Instance, Request};
 /// ```
 pub fn evenly_spaced_line(n: usize, link_len: f64, gap: f64) -> Instance<LineMetric> {
     assert!(n > 0, "need at least one request");
-    assert!(link_len > 0.0 && link_len.is_finite(), "link length must be positive and finite");
-    assert!(gap > 0.0 && gap.is_finite(), "gap must be positive and finite");
+    assert!(
+        link_len > 0.0 && link_len.is_finite(),
+        "link length must be positive and finite"
+    );
+    assert!(
+        gap > 0.0 && gap.is_finite(),
+        "gap must be positive and finite"
+    );
     let mut coords = Vec::with_capacity(2 * n);
     let mut requests = Vec::with_capacity(n);
     let mut cursor = 0.0;
@@ -54,7 +60,10 @@ pub fn evenly_spaced_line(n: usize, link_len: f64, gap: f64) -> Instance<LineMet
 /// Panics if `n == 0`, `growth <= 1`, or the largest length overflows `f64`.
 pub fn exponential_line(n: usize, growth: f64) -> Instance<LineMetric> {
     assert!(n > 0, "need at least one request");
-    assert!(growth > 1.0 && growth.is_finite(), "growth factor must exceed 1");
+    assert!(
+        growth > 1.0 && growth.is_finite(),
+        "growth factor must exceed 1"
+    );
     let largest = growth.powi(n as i32 - 1);
     assert!(largest.is_finite(), "growth^(n-1) overflows f64");
     let mut coords = Vec::with_capacity(2 * n);

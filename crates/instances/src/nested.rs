@@ -32,7 +32,10 @@ use oblisched_sinr::{Instance, Request};
 /// ```
 pub fn nested_chain(n: usize, base: f64) -> Instance<LineMetric> {
     assert!(n > 0, "the nested chain needs at least one request");
-    assert!(base > 1.0 && base.is_finite(), "base must be a finite number greater than 1");
+    assert!(
+        base > 1.0 && base.is_finite(),
+        "base must be a finite number greater than 1"
+    );
     let largest = base.powi(n as i32);
     assert!(largest.is_finite(), "base^n overflows f64");
 

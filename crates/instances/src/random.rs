@@ -20,7 +20,12 @@ pub struct DeploymentConfig {
 
 impl Default for DeploymentConfig {
     fn default() -> Self {
-        Self { num_requests: 32, side: 1000.0, min_link: 1.0, max_link: 50.0 }
+        Self {
+            num_requests: 32,
+            side: 1000.0,
+            min_link: 1.0,
+            max_link: 50.0,
+        }
     }
 }
 
@@ -31,7 +36,10 @@ impl DeploymentConfig {
     ///
     /// Panics if the side or link lengths are not positive and ordered.
     fn validate(&self) {
-        assert!(self.side > 0.0 && self.side.is_finite(), "side must be positive");
+        assert!(
+            self.side > 0.0 && self.side.is_finite(),
+            "side must be positive"
+        );
         assert!(
             self.min_link > 0.0 && self.max_link >= self.min_link && self.max_link.is_finite(),
             "link length range must satisfy 0 < min <= max"
@@ -53,10 +61,16 @@ pub fn uniform_deployment<R: Rng + ?Sized>(
     let mut points = Vec::with_capacity(2 * config.num_requests);
     let mut requests = Vec::with_capacity(config.num_requests);
     for _ in 0..config.num_requests {
-        let sender = Point2::xy(rng.gen_range(0.0..config.side), rng.gen_range(0.0..config.side));
+        let sender = Point2::xy(
+            rng.gen_range(0.0..config.side),
+            rng.gen_range(0.0..config.side),
+        );
         let length = rng.gen_range(config.min_link..=config.max_link);
         let angle = rng.gen_range(0.0..std::f64::consts::TAU);
-        let receiver = Point2::xy(sender.x() + length * angle.cos(), sender.y() + length * angle.sin());
+        let receiver = Point2::xy(
+            sender.x() + length * angle.cos(),
+            sender.y() + length * angle.sin(),
+        );
         let id = points.len();
         points.push(sender);
         points.push(receiver);
@@ -85,9 +99,17 @@ pub fn clustered_deployment<R: Rng + ?Sized>(
 ) -> Instance<EuclideanSpace<2>> {
     config.validate();
     assert!(num_clusters > 0, "at least one cluster is required");
-    assert!(cluster_radius > 0.0 && cluster_radius.is_finite(), "cluster radius must be positive");
+    assert!(
+        cluster_radius > 0.0 && cluster_radius.is_finite(),
+        "cluster radius must be positive"
+    );
     let centres: Vec<Point2> = (0..num_clusters)
-        .map(|_| Point2::xy(rng.gen_range(0.0..config.side), rng.gen_range(0.0..config.side)))
+        .map(|_| {
+            Point2::xy(
+                rng.gen_range(0.0..config.side),
+                rng.gen_range(0.0..config.side),
+            )
+        })
         .collect();
     let mut points = Vec::with_capacity(2 * config.num_requests);
     let mut requests = Vec::with_capacity(config.num_requests);
@@ -98,7 +120,10 @@ pub fn clustered_deployment<R: Rng + ?Sized>(
         let sender = Point2::xy(centre.x() + r * phi.cos(), centre.y() + r * phi.sin());
         let length = rng.gen_range(config.min_link..=config.max_link);
         let angle = rng.gen_range(0.0..std::f64::consts::TAU);
-        let receiver = Point2::xy(sender.x() + length * angle.cos(), sender.y() + length * angle.sin());
+        let receiver = Point2::xy(
+            sender.x() + length * angle.cos(),
+            sender.y() + length * angle.sin(),
+        );
         let id = points.len();
         points.push(sender);
         points.push(receiver);
@@ -157,13 +182,20 @@ mod tests {
     #[test]
     fn uniform_deployment_respects_config() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let config =
-            DeploymentConfig { num_requests: 20, side: 500.0, min_link: 2.0, max_link: 10.0 };
+        let config = DeploymentConfig {
+            num_requests: 20,
+            side: 500.0,
+            min_link: 2.0,
+            max_link: 10.0,
+        };
         let inst = uniform_deployment(config, &mut rng);
         assert_eq!(inst.len(), 20);
         for i in 0..inst.len() {
             let d = inst.link_distance(i);
-            assert!((2.0 - 1e-9..=10.0 + 1e-9).contains(&d), "link length {d} out of range");
+            assert!(
+                (2.0 - 1e-9..=10.0 + 1e-9).contains(&d),
+                "link length {d} out of range"
+            );
         }
     }
 
@@ -181,15 +213,23 @@ mod tests {
     #[should_panic(expected = "link length range")]
     fn invalid_link_range_panics() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let config = DeploymentConfig { min_link: 5.0, max_link: 1.0, ..Default::default() };
+        let config = DeploymentConfig {
+            min_link: 5.0,
+            max_link: 1.0,
+            ..Default::default()
+        };
         let _ = uniform_deployment(config, &mut rng);
     }
 
     #[test]
     fn clustered_deployment_produces_valid_instances() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let config =
-            DeploymentConfig { num_requests: 30, side: 1000.0, min_link: 1.0, max_link: 5.0 };
+        let config = DeploymentConfig {
+            num_requests: 30,
+            side: 1000.0,
+            min_link: 1.0,
+            max_link: 5.0,
+        };
         let inst = clustered_deployment(config, 4, 20.0, &mut rng);
         assert_eq!(inst.len(), 30);
         assert_eq!(inst.metric().len(), 60);

@@ -85,6 +85,47 @@ pub fn scaling_line(n: usize) -> Instance<LineMetric> {
     evenly_spaced_line(n, 1.0, 6.0)
 }
 
+/// The sizes of the *large* scaling tier: deployments the dense `GainMatrix`
+/// cannot hold. At `n = 10⁴` the bidirectional matrix would need
+/// `8 · 2 · n² = 1.6 GB` — 25× the scheduler facade's default 64 MiB budget
+/// — and at `n = 5·10⁴` it would need 40 GB; only the spatially-pruned
+/// sparse backend (and the uncached path) can schedule these.
+pub const LARGE_SCALE_SIZES: [usize; 2] = [10_000, 50_000];
+
+/// Seed-pinned uniform deployment at the large tier: `n = 10⁴` at constant
+/// density. Generation is `O(n)`; scheduling requires the sparse backend
+/// (see [`LARGE_SCALE_SIZES`]).
+pub fn scaling_uniform_10k(seed: u64) -> Instance<EuclideanSpace<2>> {
+    scaling_uniform(LARGE_SCALE_SIZES[0], seed)
+}
+
+/// Seed-pinned uniform deployment at the extreme tier: `n = 5·10⁴`.
+pub fn scaling_uniform_50k(seed: u64) -> Instance<EuclideanSpace<2>> {
+    scaling_uniform(LARGE_SCALE_SIZES[1], seed)
+}
+
+/// Seed-pinned clustered deployment at the large tier: `n = 10⁴` with
+/// `n/256` hot spots.
+pub fn scaling_clustered_10k(seed: u64) -> Instance<EuclideanSpace<2>> {
+    scaling_clustered(LARGE_SCALE_SIZES[0], seed)
+}
+
+/// Seed-pinned clustered deployment at the extreme tier: `n = 5·10⁴`.
+pub fn scaling_clustered_50k(seed: u64) -> Instance<EuclideanSpace<2>> {
+    scaling_clustered(LARGE_SCALE_SIZES[1], seed)
+}
+
+/// The deterministic line family at the large tier: `n = 10⁴` unit links.
+pub fn scaling_line_10k() -> Instance<LineMetric> {
+    scaling_line(LARGE_SCALE_SIZES[0])
+}
+
+/// The deterministic line family at the extreme tier: `n = 5·10⁴` unit
+/// links.
+pub fn scaling_line_50k() -> Instance<LineMetric> {
+    scaling_line(LARGE_SCALE_SIZES[1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,12 +153,39 @@ mod tests {
     fn large_n_generation_is_tractable() {
         // 10⁴-sized instances must come out instantly; this exercises the
         // constructors in the regime the engine targets without scheduling.
-        let inst = scaling_uniform(10_000, 1);
+        let inst = scaling_uniform_10k(1);
         assert_eq!(inst.len(), 10_000);
         assert_eq!(inst.metric().len(), 20_000);
-        let line = scaling_line(10_000);
+        let line = scaling_line_10k();
         assert_eq!(line.len(), 10_000);
-        let clustered = scaling_clustered(10_000, 1);
+        let clustered = scaling_clustered_10k(1);
         assert_eq!(clustered.len(), 10_000);
+    }
+
+    #[test]
+    fn large_tier_exceeds_the_dense_matrix_budget() {
+        // The point of the large tier: these sizes cannot be held densely.
+        // 64 MiB is the scheduler facade's default budget.
+        const DEFAULT_BUDGET: usize = 64 * 1024 * 1024;
+        for n in LARGE_SCALE_SIZES {
+            for ports in [1usize, 2] {
+                let dense = oblisched_sinr::GainMatrix::checked_bytes_for(n, ports)
+                    .expect("these sizes do not overflow");
+                assert!(
+                    dense > DEFAULT_BUDGET,
+                    "n={n} ports={ports} would fit the dense budget — not a large-tier size"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_tier_generation_is_tractable() {
+        // Generation stays O(n) even at 5·10⁴; seed-pinning holds.
+        let a = scaling_uniform_50k(3);
+        assert_eq!(a.len(), 50_000);
+        assert_eq!(a, scaling_uniform_50k(3));
+        assert_eq!(scaling_line_50k().len(), 50_000);
+        assert_eq!(scaling_clustered_50k(1).len(), 50_000);
     }
 }

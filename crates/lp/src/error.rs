@@ -56,12 +56,25 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(LpError::DimensionMismatch { reason: "c vs A".into() }
+        assert!(LpError::DimensionMismatch {
+            reason: "c vs A".into()
+        }
+        .to_string()
+        .contains("c vs A"));
+        assert!(LpError::InvalidValue {
+            reason: "NaN".into()
+        }
+        .to_string()
+        .contains("NaN"));
+        assert!(LpError::NegativeCapacity {
+            row: 2,
+            value: -1.0
+        }
+        .to_string()
+        .contains("-1"));
+        assert!(LpError::IterationLimit { limit: 10 }
             .to_string()
-            .contains("c vs A"));
-        assert!(LpError::InvalidValue { reason: "NaN".into() }.to_string().contains("NaN"));
-        assert!(LpError::NegativeCapacity { row: 2, value: -1.0 }.to_string().contains("-1"));
-        assert!(LpError::IterationLimit { limit: 10 }.to_string().contains("10"));
+            .contains("10"));
     }
 
     #[test]

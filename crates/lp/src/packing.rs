@@ -38,7 +38,9 @@ impl PackingSolution {
 
     /// The items with strictly positive fractional value.
     pub fn support(&self) -> Vec<usize> {
-        (0..self.values.len()).filter(|&j| self.values[j] > 1e-12).collect()
+        (0..self.values.len())
+            .filter(|&j| self.values[j] > 1e-12)
+            .collect()
     }
 }
 
@@ -111,7 +113,12 @@ impl PackingLp {
                 return Err(LpError::NegativeCapacity { row, value: b });
             }
         }
-        Ok(Self { weights, rows, capacities, unit_bounds })
+        Ok(Self {
+            weights,
+            rows,
+            capacities,
+            unit_bounds,
+        })
     }
 
     /// Number of items (variables).
@@ -147,10 +154,13 @@ impl PackingLp {
     /// Checks whether an integral selection of items respects every capacity
     /// constraint (unit bounds are automatic for selections).
     pub fn selection_is_feasible(&self, selection: &[usize]) -> bool {
-        self.rows.iter().zip(self.capacities.iter()).all(|(row, &b)| {
-            let load: f64 = selection.iter().map(|&j| row[j]).sum();
-            load <= b + 1e-9 * (1.0 + b.abs())
-        })
+        self.rows
+            .iter()
+            .zip(self.capacities.iter())
+            .all(|(row, &b)| {
+                let load: f64 = selection.iter().map(|&j| row[j]).sum();
+                load <= b + 1e-9 * (1.0 + b.abs())
+            })
     }
 
     /// Solves the fractional relaxation with the simplex solver.
@@ -217,12 +227,7 @@ mod tests {
     fn fractional_solutions_appear_when_capacity_is_tight() {
         // Three identical items, capacity 1.5: optimum 1.5, necessarily
         // fractional.
-        let lp = PackingLp::new(
-            vec![1.0, 1.0, 1.0],
-            vec![vec![1.0, 1.0, 1.0]],
-            vec![1.5],
-        )
-        .unwrap();
+        let lp = PackingLp::new(vec![1.0, 1.0, 1.0], vec![vec![1.0, 1.0, 1.0]], vec![1.5]).unwrap();
         let s = lp.solve().unwrap();
         assert!((s.objective() - 1.5).abs() < 1e-9);
         let total: f64 = s.values().iter().sum();

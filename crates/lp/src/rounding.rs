@@ -32,7 +32,10 @@ pub struct RoundingConfig {
 
 impl Default for RoundingConfig {
     fn default() -> Self {
-        Self { scale: 0.5, attempts: 8 }
+        Self {
+            scale: 0.5,
+            attempts: 8,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ pub fn round_packing<R: Rng + ?Sized>(
         config.scale > 0.0 && config.scale <= 1.0,
         "rounding scale must lie in (0, 1]"
     );
-    assert!(config.attempts > 0, "at least one rounding attempt is required");
+    assert!(
+        config.attempts > 0,
+        "at least one rounding attempt is required"
+    );
     if solution.values().len() != lp.num_items() {
         return Err(LpError::DimensionMismatch {
             reason: format!(
@@ -106,9 +112,8 @@ fn alter_until_feasible(lp: &PackingLp, selected: &mut Vec<usize>) {
             .iter()
             .copied()
             .max_by(|&a, &b| {
-                let contribution = |j: usize| -> f64 {
-                    violated.iter().map(|&i| lp.rows()[i][j]).sum()
-                };
+                let contribution =
+                    |j: usize| -> f64 { violated.iter().map(|&i| lp.rows()[i][j]).sum() };
                 // Total ordering: NaN contributions must not collapse the
                 // comparison to Equal and leave the choice order-dependent.
                 contribution(a).total_cmp(&contribution(b))
@@ -165,7 +170,10 @@ mod tests {
         let selection = round_packing(
             &lp,
             &solution,
-            RoundingConfig { scale: 0.5, attempts: 16 },
+            RoundingConfig {
+                scale: 0.5,
+                attempts: 16,
+            },
             &mut rng,
         )
         .unwrap();
@@ -182,8 +190,7 @@ mod tests {
         let lp = PackingLp::new(vec![], vec![], vec![]).unwrap();
         let solution = lp.solve().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let selection =
-            round_packing(&lp, &solution, RoundingConfig::default(), &mut rng).unwrap();
+        let selection = round_packing(&lp, &solution, RoundingConfig::default(), &mut rng).unwrap();
         assert!(selection.is_empty());
     }
 
@@ -193,8 +200,7 @@ mod tests {
         let lp = PackingLp::new(vec![1.0, 1.0], vec![vec![1.0, 1.0]], vec![0.0]).unwrap();
         let solution = lp.solve().unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let selection =
-            round_packing(&lp, &solution, RoundingConfig::default(), &mut rng).unwrap();
+        let selection = round_packing(&lp, &solution, RoundingConfig::default(), &mut rng).unwrap();
         assert!(selection.is_empty());
     }
 
@@ -219,7 +225,10 @@ mod tests {
         let _ = round_packing(
             &lp,
             &solution,
-            RoundingConfig { scale: 1.5, attempts: 1 },
+            RoundingConfig {
+                scale: 1.5,
+                attempts: 1,
+            },
             &mut rng,
         );
     }

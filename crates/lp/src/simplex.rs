@@ -57,15 +57,15 @@ impl LinearProgram {
     ///   have inconsistent lengths.
     /// * [`LpError::InvalidValue`] for NaN or infinite coefficients.
     /// * [`LpError::NegativeCapacity`] if an entry of `b` is negative.
-    pub fn new(
-        objective: Vec<f64>,
-        rows: Vec<Vec<f64>>,
-        rhs: Vec<f64>,
-    ) -> Result<Self, LpError> {
+    pub fn new(objective: Vec<f64>, rows: Vec<Vec<f64>>, rhs: Vec<f64>) -> Result<Self, LpError> {
         let n = objective.len();
         if rows.len() != rhs.len() {
             return Err(LpError::DimensionMismatch {
-                reason: format!("{} constraint rows but {} right-hand sides", rows.len(), rhs.len()),
+                reason: format!(
+                    "{} constraint rows but {} right-hand sides",
+                    rows.len(),
+                    rhs.len()
+                ),
             });
         }
         for (i, row) in rows.iter().enumerate() {
@@ -75,10 +75,15 @@ impl LinearProgram {
                 });
             }
         }
-        let all_values = objective.iter().chain(rows.iter().flatten()).chain(rhs.iter());
+        let all_values = objective
+            .iter()
+            .chain(rows.iter().flatten())
+            .chain(rhs.iter());
         for &v in all_values {
             if !v.is_finite() {
-                return Err(LpError::InvalidValue { reason: format!("non-finite coefficient {v}") });
+                return Err(LpError::InvalidValue {
+                    reason: format!("non-finite coefficient {v}"),
+                });
             }
         }
         for (row, &value) in rhs.iter().enumerate() {
@@ -86,7 +91,11 @@ impl LinearProgram {
                 return Err(LpError::NegativeCapacity { row, value });
             }
         }
-        Ok(Self { objective, rows, rhs })
+        Ok(Self {
+            objective,
+            rows,
+            rhs,
+        })
     }
 
     /// Number of structural variables.
@@ -115,7 +124,11 @@ impl LinearProgram {
 
     /// Evaluates the objective at `x`.
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+        self.objective
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum()
     }
 
     /// Solves the program with the primal simplex method.
@@ -129,7 +142,10 @@ impl LinearProgram {
         let m = self.num_constraints();
 
         if n == 0 {
-            return Ok(LpOutcome::Optimal(LpSolution { values: Vec::new(), objective: 0.0 }));
+            return Ok(LpOutcome::Optimal(LpSolution {
+                values: Vec::new(),
+                objective: 0.0,
+            }));
         }
 
         // Tableau: m constraint rows over n structural + m slack columns,
@@ -301,12 +317,7 @@ mod tests {
 
     #[test]
     fn negative_objective_coefficients_stay_at_zero() {
-        let lp = LinearProgram::new(
-            vec![-1.0, 2.0],
-            vec![vec![1.0, 1.0]],
-            vec![3.0],
-        )
-        .unwrap();
+        let lp = LinearProgram::new(vec![-1.0, 2.0], vec![vec![1.0, 1.0]], vec![3.0]).unwrap();
         let s = optimal(&lp);
         assert!((s.objective() - 6.0).abs() < 1e-9);
         assert!((s.values()[0]).abs() < 1e-9);
@@ -335,12 +346,7 @@ mod tests {
 
     #[test]
     fn feasibility_and_objective_helpers() {
-        let lp = LinearProgram::new(
-            vec![1.0, 2.0],
-            vec![vec![1.0, 1.0]],
-            vec![2.0],
-        )
-        .unwrap();
+        let lp = LinearProgram::new(vec![1.0, 2.0], vec![vec![1.0, 1.0]], vec![2.0]).unwrap();
         assert!(lp.is_feasible(&[1.0, 1.0], 1e-9));
         assert!(!lp.is_feasible(&[3.0, 0.0], 1e-9));
         assert!(!lp.is_feasible(&[-0.5, 0.0], 1e-9));
@@ -357,7 +363,9 @@ mod tests {
         let n = 6;
         let m = 8;
         let coeff = |i: usize, j: usize| ((i * 7 + j * 13) % 10) as f64 / 3.0 + 0.1;
-        let rows: Vec<Vec<f64>> = (0..m).map(|i| (0..n).map(|j| coeff(i, j)).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|i| (0..n).map(|j| coeff(i, j)).collect())
+            .collect();
         let rhs: Vec<f64> = (0..m).map(|i| 5.0 + (i % 3) as f64).collect();
         let lp = LinearProgram::new(vec![1.0; n], rows, rhs).unwrap();
         let s = optimal(&lp);

@@ -103,7 +103,9 @@ impl TreeEmbedding {
         cluster_levels.push(vec![(0..n).collect()]);
         for level in (0..levels).rev() {
             let radius = beta * 2.0_f64.powi(level as i32 - 1);
-            let parents = cluster_levels.last().expect("at least the root level exists");
+            let parents = cluster_levels
+                .last()
+                .expect("at least the root level exists");
             let mut children: Vec<Vec<NodeId>> = Vec::new();
             for parent in parents {
                 // Assign every node of the parent cluster to the lowest-rank
@@ -113,7 +115,7 @@ impl TreeEmbedding {
                     let center = (0..n)
                         .filter(|&c| metric.distance(u, c) / scale <= radius)
                         .min_by_key(|&c| rank[c])
-                        .expect("u itself is always within the radius");
+                        .expect("infallible: distance(u, u) = 0 <= radius, so the filter keeps u");
                     match groups.iter_mut().find(|(c, _)| *c == rank[center]) {
                         Some((_, members)) => members.push(u),
                         None => groups.push((rank[center], vec![u])),
@@ -152,9 +154,16 @@ impl TreeEmbedding {
                 let parent_index = cluster_levels[depth - 1]
                     .iter()
                     .position(|p| p.contains(&representative))
-                    .expect("every cluster has a parent");
-                tree.add_edge(vertex_ids[depth][ci], vertex_ids[depth - 1][parent_index], weight)
-                    .expect("edge endpoints are valid and weights positive");
+                    .expect(
+                        "infallible: each level refines the previous one, so the \
+                         representative's parent cluster exists",
+                    );
+                tree.add_edge(
+                    vertex_ids[depth][ci],
+                    vertex_ids[depth - 1][parent_index],
+                    weight,
+                )
+                .expect("edge endpoints are valid and weights positive");
             }
         }
 
@@ -168,7 +177,11 @@ impl TreeEmbedding {
         }
 
         let embedded = embedded_distances(&tree, &leaf_of);
-        Self { tree, leaf_of, embedded }
+        Self {
+            tree,
+            leaf_of,
+            embedded,
+        }
     }
 
     /// The underlying host tree (over auxiliary vertices).
@@ -233,7 +246,11 @@ fn embedded_distances(tree: &WeightedTree, leaf_of: &[NodeId]) -> DistanceMatrix
     for u in 0..n {
         let from_u = tree.distances_from(leaf_of[u]);
         for v in 0..n {
-            rows[u][v] = if leaf_of[u] == leaf_of[v] { 0.0 } else { from_u[leaf_of[v]] };
+            rows[u][v] = if leaf_of[u] == leaf_of[v] {
+                0.0
+            } else {
+                from_u[leaf_of[v]]
+            };
         }
     }
     DistanceMatrix::from_rows_unchecked(rows)
@@ -255,7 +272,11 @@ pub struct EmbeddingConfig {
 
 impl Default for EmbeddingConfig {
     fn default() -> Self {
-        Self { num_trees: None, stretch_multiplier: 4.0, core_fraction: 0.9 }
+        Self {
+            num_trees: None,
+            stretch_multiplier: 4.0,
+            core_fraction: 0.9,
+        }
     }
 }
 
@@ -298,14 +319,20 @@ impl DominatingTreeFamily {
             .map(|t| (0..n).map(|v| t.max_stretch_at(metric, v)).collect())
             .collect();
         loop {
-            let cores: Vec<Vec<bool>> =
-                stretches.iter().map(|s| s.iter().map(|&x| x <= threshold).collect()).collect();
+            let cores: Vec<Vec<bool>> = stretches
+                .iter()
+                .map(|s| s.iter().map(|&x| x <= threshold).collect())
+                .collect();
             let ok = (0..n).all(|v| {
                 let hits = cores.iter().filter(|c| c[v]).count();
                 (hits as f64) >= config.core_fraction * (r as f64) - 1e-9
             });
             if ok || n == 0 {
-                return Self { trees, cores, stretch_threshold: threshold };
+                return Self {
+                    trees,
+                    cores,
+                    stretch_threshold: threshold,
+                };
             }
             threshold *= 2.0;
         }
@@ -361,8 +388,11 @@ impl DominatingTreeFamily {
     pub fn best_tree_for(&self, subset: &[NodeId]) -> Option<(usize, Vec<NodeId>)> {
         (0..self.trees.len())
             .map(|i| {
-                let covered: Vec<NodeId> =
-                    subset.iter().copied().filter(|&v| self.cores[i][v]).collect();
+                let covered: Vec<NodeId> = subset
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.cores[i][v])
+                    .collect();
                 (i, covered)
             })
             .max_by_key(|(_, covered)| covered.len())
@@ -379,8 +409,9 @@ mod tests {
 
     fn sample_plane(n: usize, seed: u64) -> EuclideanSpace<2> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let points: Vec<Point2> =
-            (0..n).map(|_| Point2::xy(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))).collect();
+        let points: Vec<Point2> = (0..n)
+            .map(|_| Point2::xy(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
         EuclideanSpace::from_points(points)
     }
 
@@ -484,7 +515,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(32);
         let family = DominatingTreeFamily::build(
             &metric,
-            EmbeddingConfig { num_trees: Some(4), ..EmbeddingConfig::default() },
+            EmbeddingConfig {
+                num_trees: Some(4),
+                ..EmbeddingConfig::default()
+            },
             &mut rng,
         );
         assert_eq!(family.num_trees(), 4);

@@ -72,7 +72,10 @@ impl fmt::Display for MetricError {
                 write!(f, "triangle inequality violated for nodes ({u}, {v}, {w})")
             }
             MetricError::NodeOutOfRange { node, len } => {
-                write!(f, "node index {node} out of range for metric with {len} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for metric with {len} nodes"
+                )
             }
             MetricError::ShapeMismatch { expected, actual } => {
                 write!(f, "expected {expected} entries, got {actual}")
@@ -90,7 +93,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MetricError::InvalidDistance { u: 1, v: 2, value: f64::NAN };
+        let e = MetricError::InvalidDistance {
+            u: 1,
+            v: 2,
+            value: f64::NAN,
+        };
         assert!(e.to_string().contains("invalid distance"));
         let e = MetricError::Asymmetric { u: 0, v: 3 };
         assert!(e.to_string().contains("asymmetric"));
@@ -100,9 +107,14 @@ mod tests {
         assert!(e.to_string().contains("triangle"));
         let e = MetricError::NodeOutOfRange { node: 9, len: 3 };
         assert!(e.to_string().contains("out of range"));
-        let e = MetricError::ShapeMismatch { expected: 9, actual: 8 };
+        let e = MetricError::ShapeMismatch {
+            expected: 9,
+            actual: 8,
+        };
         assert!(e.to_string().contains("expected 9"));
-        let e = MetricError::NotATree { reason: "cycle".into() };
+        let e = MetricError::NotATree {
+            reason: "cycle".into(),
+        };
         assert!(e.to_string().contains("cycle"));
     }
 

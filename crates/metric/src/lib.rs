@@ -38,6 +38,7 @@ pub mod aspect;
 pub mod embedding;
 pub mod error;
 pub mod matrix;
+pub mod planar;
 pub mod point;
 pub mod space;
 pub mod star;
@@ -47,6 +48,7 @@ pub use aspect::{aspect_ratio, diameter, min_positive_distance};
 pub use embedding::{DominatingTreeFamily, EmbeddingConfig, TreeEmbedding};
 pub use error::MetricError;
 pub use matrix::DistanceMatrix;
+pub use planar::PlanarMetric;
 pub use point::{Point, Point1, Point2, Point3};
 pub use space::{EuclideanSpace, LineMetric, MetricSpace, ScaledMetric, SubMetric};
 pub use star::StarMetric;

@@ -43,7 +43,10 @@ impl DistanceMatrix {
     ///
     /// Returns [`MetricError::InvalidDistance`] if `f` produces a negative,
     /// NaN or infinite value.
-    pub fn from_fn<F: FnMut(NodeId, NodeId) -> f64>(n: usize, mut f: F) -> Result<Self, MetricError> {
+    pub fn from_fn<F: FnMut(NodeId, NodeId) -> f64>(
+        n: usize,
+        mut f: F,
+    ) -> Result<Self, MetricError> {
         let mut entries = vec![0.0; n * n];
         for u in 0..n {
             for v in (u + 1)..n {
@@ -72,7 +75,10 @@ impl DistanceMatrix {
         let n = rows.len();
         for row in &rows {
             if row.len() != n {
-                return Err(MetricError::ShapeMismatch { expected: n, actual: row.len() });
+                return Err(MetricError::ShapeMismatch {
+                    expected: n,
+                    actual: row.len(),
+                });
             }
         }
         let mut entries = vec![0.0; n * n];
@@ -138,7 +144,10 @@ impl DistanceMatrix {
     /// Panics if `u` or `v` is out of range or `d` is negative/not finite.
     pub fn set_distance(&mut self, u: NodeId, v: NodeId, d: f64) {
         assert!(u < self.n && v < self.n, "node out of range");
-        assert!(d.is_finite() && d >= 0.0, "distance must be finite and non-negative");
+        assert!(
+            d.is_finite() && d >= 0.0,
+            "distance must be finite and non-negative"
+        );
         self.entries[u * self.n + v] = d;
         self.entries[v * self.n + u] = d;
     }
@@ -150,9 +159,8 @@ impl DistanceMatrix {
 
     /// Iterator over all unordered pairs `(u, v, d)` with `u < v`.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        (0..self.n).flat_map(move |u| {
-            ((u + 1)..self.n).map(move |v| (u, v, self.entries[u * self.n + v]))
-        })
+        (0..self.n)
+            .flat_map(move |u| ((u + 1)..self.n).map(move |v| (u, v, self.entries[u * self.n + v])))
     }
 }
 

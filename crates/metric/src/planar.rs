@@ -1,0 +1,85 @@
+//! Metrics whose nodes carry explicit planar coordinates.
+//!
+//! The spatially-pruned interference backend
+//! (`oblisched_sinr::engine::sparse`) and the tile-sharded parallel
+//! schedulers need more than distances: they bucket nodes into a uniform
+//! grid, which requires actual positions. [`PlanarMetric`] exposes them for
+//! the metrics that have any — Euclidean plane deployments and line metrics
+//! (embedded on the x-axis). Tree, star and matrix metrics do not implement
+//! it; algorithms that need positions simply are not available for them.
+
+use crate::space::{EuclideanSpace, LineMetric};
+use crate::{MetricSpace, NodeId};
+
+/// A [`MetricSpace`] whose nodes have explicit coordinates in the plane,
+/// consistent with the metric: `distance(u, v)` equals the Euclidean
+/// distance between `position(u)` and `position(v)` (up to floating-point
+/// rounding — [`LineMetric`] computes `|x_u − x_v|` directly while the
+/// planar formula takes `√((x_u − x_v)²)`, which may differ in the last
+/// ulp).
+///
+/// # Example
+///
+/// ```
+/// use oblisched_metric::{LineMetric, PlanarMetric};
+///
+/// let line = LineMetric::new(vec![0.0, 3.0]);
+/// assert_eq!(line.position(1), [3.0, 0.0]);
+/// ```
+pub trait PlanarMetric: MetricSpace {
+    /// The planar coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `node` is out of range.
+    fn position(&self, node: NodeId) -> [f64; 2];
+}
+
+impl PlanarMetric for EuclideanSpace<2> {
+    fn position(&self, node: NodeId) -> [f64; 2] {
+        *self.point(node).coords()
+    }
+}
+
+impl PlanarMetric for LineMetric {
+    fn position(&self, node: NodeId) -> [f64; 2] {
+        [self.coord(node), 0.0]
+    }
+}
+
+impl<M: PlanarMetric + ?Sized> PlanarMetric for &M {
+    fn position(&self, node: NodeId) -> [f64; 2] {
+        (**self).position(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point2;
+
+    #[test]
+    fn euclidean_positions_round_trip() {
+        let space = EuclideanSpace::from_points(vec![Point2::xy(1.0, 2.0), Point2::xy(-3.5, 4.0)]);
+        assert_eq!(space.position(0), [1.0, 2.0]);
+        assert_eq!(space.position(1), [-3.5, 4.0]);
+    }
+
+    #[test]
+    fn line_positions_sit_on_the_x_axis() {
+        let line = LineMetric::new(vec![-2.0, 7.5]);
+        assert_eq!(line.position(0), [-2.0, 0.0]);
+        assert_eq!(line.position(1), [7.5, 0.0]);
+        // Positions are consistent with the metric.
+        let [ax, _] = line.position(0);
+        let [bx, _] = line.position(1);
+        assert!((line.distance(0, 1) - (ax - bx).abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn references_forward_positions() {
+        let line = LineMetric::new(vec![0.0, 1.0]);
+        let by_ref: &LineMetric = &line;
+        assert_eq!(by_ref.position(1), [1.0, 0.0]);
+    }
+}

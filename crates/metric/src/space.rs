@@ -168,7 +168,9 @@ impl<const D: usize> MetricSpace for EuclideanSpace<D> {
 
 impl<const D: usize> FromIterator<Point<D>> for EuclideanSpace<D> {
     fn from_iter<I: IntoIterator<Item = Point<D>>>(iter: I) -> Self {
-        Self { points: iter.into_iter().collect() }
+        Self {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -221,7 +223,9 @@ impl MetricSpace for LineMetric {
 
 impl FromIterator<f64> for LineMetric {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        Self { coords: iter.into_iter().collect() }
+        Self {
+            coords: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -242,7 +246,10 @@ impl<M: MetricSpace> ScaledMetric<M> {
     ///
     /// Panics if `factor` is not a finite positive number.
     pub fn new(inner: M, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive and finite");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive and finite"
+        );
         Self { inner, factor }
     }
 
@@ -359,7 +366,9 @@ mod tests {
 
     #[test]
     fn euclidean_from_iterator() {
-        let s: EuclideanSpace<2> = vec![Point2::xy(0.0, 0.0), Point2::xy(2.0, 0.0)].into_iter().collect();
+        let s: EuclideanSpace<2> = vec![Point2::xy(0.0, 0.0), Point2::xy(2.0, 0.0)]
+            .into_iter()
+            .collect();
         assert_eq!(s.distance(0, 1), 2.0);
     }
 
@@ -455,7 +464,10 @@ mod tests {
             vec![1.0, 0.0, 1.0],
             vec![10.0, 1.0, 0.0],
         ]);
-        assert!(matches!(m.validate(), Err(MetricError::TriangleViolation { .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(MetricError::TriangleViolation { .. })
+        ));
     }
 
     #[test]

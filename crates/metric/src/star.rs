@@ -74,7 +74,10 @@ impl StarMetric {
     ///
     /// Panics if the radius is negative, NaN or infinite.
     pub fn push(&mut self, radius: f64) -> NodeId {
-        assert!(radius.is_finite() && radius >= 0.0, "star radii must be finite and non-negative");
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "star radii must be finite and non-negative"
+        );
         self.radii.push(radius);
         self.radii.len() - 1
     }

@@ -36,7 +36,10 @@ pub struct WeightedTree {
 impl WeightedTree {
     /// Creates an edgeless graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], edge_count: 0 }
+        Self {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Number of nodes.
@@ -80,7 +83,9 @@ impl WeightedTree {
             return Err(MetricError::NodeOutOfRange { node: v, len: n });
         }
         if u == v {
-            return Err(MetricError::NotATree { reason: format!("self-loop at node {u}") });
+            return Err(MetricError::NotATree {
+                reason: format!("self-loop at node {u}"),
+            });
         }
         if !w.is_finite() || w <= 0.0 {
             return Err(MetricError::InvalidDistance { u, v, value: w });
@@ -116,7 +121,12 @@ impl WeightedTree {
         }
         if self.edge_count != n - 1 {
             return Err(MetricError::NotATree {
-                reason: format!("{} edges for {} nodes (expected {})", self.edge_count, n, n - 1),
+                reason: format!(
+                    "{} edges for {} nodes (expected {})",
+                    self.edge_count,
+                    n,
+                    n - 1
+                ),
             });
         }
         let reachable = self.dfs_order(0, None).len();
@@ -203,7 +213,10 @@ impl WeightedTree {
         let n = self.len();
         let rows: Vec<Vec<f64>> = (0..n).map(|u| self.distances_from(u)).collect();
         for row in &rows {
-            assert!(row.iter().all(|d| d.is_finite()), "graph must be connected for all_pairs");
+            assert!(
+                row.iter().all(|d| d.is_finite()),
+                "graph must be connected for all_pairs"
+            );
         }
         DistanceMatrix::from_rows_unchecked(rows)
     }
@@ -246,7 +259,11 @@ impl WeightedTree {
             active[v] = true;
         }
         let reach = self.dfs_order(component[0], Some(&active));
-        assert_eq!(reach.len(), component.len(), "component nodes must be connected");
+        assert_eq!(
+            reach.len(),
+            component.len(),
+            "component nodes must be connected"
+        );
 
         let size = component.len();
         let mut best: Option<(NodeId, usize)> = None;
@@ -266,7 +283,10 @@ impl WeightedTree {
             }
         }
         let (c, largest) = best.expect("non-empty component has a centroid");
-        debug_assert!(largest <= size / 2 + 1, "centroid piece too large: {largest} of {size}");
+        debug_assert!(
+            largest <= size / 2 + 1,
+            "centroid piece too large: {largest} of {size}"
+        );
         Some(c)
     }
 
@@ -366,11 +386,26 @@ mod tests {
     #[test]
     fn add_edge_validates_inputs() {
         let mut t = WeightedTree::new(3);
-        assert!(matches!(t.add_edge(0, 9, 1.0), Err(MetricError::NodeOutOfRange { .. })));
-        assert!(matches!(t.add_edge(9, 0, 1.0), Err(MetricError::NodeOutOfRange { .. })));
-        assert!(matches!(t.add_edge(0, 0, 1.0), Err(MetricError::NotATree { .. })));
-        assert!(matches!(t.add_edge(0, 1, 0.0), Err(MetricError::InvalidDistance { .. })));
-        assert!(matches!(t.add_edge(0, 1, f64::NAN), Err(MetricError::InvalidDistance { .. })));
+        assert!(matches!(
+            t.add_edge(0, 9, 1.0),
+            Err(MetricError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.add_edge(9, 0, 1.0),
+            Err(MetricError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.add_edge(0, 0, 1.0),
+            Err(MetricError::NotATree { .. })
+        ));
+        assert!(matches!(
+            t.add_edge(0, 1, 0.0),
+            Err(MetricError::InvalidDistance { .. })
+        ));
+        assert!(matches!(
+            t.add_edge(0, 1, f64::NAN),
+            Err(MetricError::InvalidDistance { .. })
+        ));
         assert!(t.add_edge(0, 1, 2.0).is_ok());
         assert_eq!(t.edge_count(), 1);
     }
@@ -393,7 +428,10 @@ mod tests {
         let mut not_enough = WeightedTree::new(3);
         not_enough.add_edge(0, 1, 1.0).unwrap();
         assert!(!not_enough.is_tree());
-        assert!(matches!(not_enough.validate(), Err(MetricError::NotATree { .. })));
+        assert!(matches!(
+            not_enough.validate(),
+            Err(MetricError::NotATree { .. })
+        ));
 
         // A cycle: 3 nodes, 3 edges.
         let mut cycle = WeightedTree::new(3);

@@ -11,6 +11,10 @@
 //!   interference is a *sum of pairwise contributions per port* (one port for
 //!   directed / node-loss items, the two endpoints for bidirectional pairs),
 //!   and an item's interference is the maximum over its ports.
+//! * [`GainBackend`] — the backend contract: how the engine obtains
+//!   contributions. Exact backends represent every pair; pruned backends
+//!   (the [`sparse`] module) drop far-field pairs and report conservative
+//!   bounds on what they dropped.
 //! * [`ColorAccumulator`] — maintains the per-port running interference sums
 //!   of one color class, so a join query costs `O(|C|)` contributions instead
 //!   of `O(|C|²)`, and a commit is a further `O(|C|)` update.
@@ -18,6 +22,12 @@
 //!   contributions, computed once per (instance, power assignment, variant),
 //!   turning every contribution into an array lookup. It is itself a
 //!   self-contained [`InterferenceSystem`] + [`IncrementalSystem`].
+//! * [`sparse`] — the spatially-pruned tier:
+//!   [`SparseGainMatrix`](sparse::SparseGainMatrix) stores per row only the
+//!   contributions above a cutoff (located through a uniform spatial grid
+//!   over request positions) and tracks the total dropped mass per row, so
+//!   feasibility verdicts stay conservative at a fraction of the dense
+//!   footprint.
 //!
 //! # Exact-equivalence guarantee
 //!
@@ -68,6 +78,8 @@ use crate::feasibility::{Evaluator, InterferenceSystem, Variant, VariantView, RE
 use crate::nodeloss::NodeLossEvaluator;
 use oblisched_metric::MetricSpace;
 
+pub mod sparse;
+
 /// Upper bound on [`IncrementalSystem::num_ports`]: directed and node-loss
 /// systems have one interference port per item, bidirectional pairs have two
 /// (their endpoints).
@@ -100,6 +112,106 @@ pub trait IncrementalSystem: InterferenceSystem {
 
     /// The ambient noise added to every interference sum.
     fn noise(&self) -> f64;
+}
+
+/// One stored (non-pruned) contribution of a sparse backend row: the
+/// interferer index and the contribution value it adds at the row's port.
+///
+/// Rows are sorted by interferer index, so membership queries are binary
+/// searches and row/class intersections are linear merges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseEntry {
+    /// The interfering item (`u32` to halve the index footprint of large
+    /// sparse matrices; systems are far below `u32::MAX` items).
+    pub j: u32,
+    /// The stored contribution value.
+    pub v: f64,
+}
+
+/// The backend contract of the interference engine: an [`IncrementalSystem`]
+/// that may additionally *prune* small contributions, as long as it accounts
+/// for everything it dropped.
+///
+/// Two kinds of backends implement this trait:
+///
+/// * **exact backends** ([`GainMatrix`], [`VariantView`],
+///   [`NodeLossEvaluator`]) represent every contribution exactly — all
+///   methods keep their defaults and the engine behaves bit-for-bit like the
+///   naive evaluator fold;
+/// * **pruned backends** ([`sparse::SparseGainMatrix`]) store only the
+///   contributions above a per-row cutoff and report, per row, an upper
+///   bound on what they dropped ([`pruned_cap`](GainBackend::pruned_cap) /
+///   [`pruned_mass`](GainBackend::pruned_mass)). The [`ColorAccumulator`]
+///   adds that bound back into its running sums, so every feasibility
+///   verdict is **conservative**: a set accepted through a pruned backend is
+///   always feasible for the exact system (the reverse may not hold — a
+///   pruned backend can reject borderline sets the exact system accepts,
+///   costing colors, never correctness).
+///
+/// # Contract
+///
+/// * [`stored_contribution`](GainBackend::stored_contribution) returns
+///   `Some(v)` exactly when the pair is represented; `v` must be an upper
+///   bound on (for exact backends: equal to) the true contribution.
+/// * Every unrepresented pair's true contribution must be at most
+///   [`pruned_cap`](GainBackend::pruned_cap) of its row, and the sum of all
+///   unrepresented contributions of a row at most
+///   [`pruned_mass`](GainBackend::pruned_mass).
+/// * [`exact_contribution`](GainBackend::exact_contribution) recomputes a
+///   contribution without pruning and must not underestimate the true value
+///   (exact backends return it verbatim).
+pub trait GainBackend: IncrementalSystem {
+    /// The stored contribution of pair `(i, port, j)`, or `None` when the
+    /// backend pruned it. Exact backends store everything.
+    fn stored_contribution(&self, i: usize, port: usize, j: usize) -> Option<f64> {
+        Some(self.contribution(i, port, j))
+    }
+
+    /// The stored row of `(i, port)` as a sorted slice, when the backend
+    /// materialises rows (pruned backends do; exact backends return `None`
+    /// and the engine falls back to per-member
+    /// [`contribution`](IncrementalSystem::contribution) queries).
+    fn stored_row(&self, i: usize, port: usize) -> Option<&[SparseEntry]> {
+        let _ = (i, port);
+        None
+    }
+
+    /// Upper bound on any single pruned contribution into `(i, port)`.
+    /// `0.0` for exact backends.
+    fn pruned_cap(&self, i: usize, port: usize) -> f64 {
+        let _ = (i, port);
+        0.0
+    }
+
+    /// Upper bound on the *total* pruned mass of row `(i, port)` — the sum
+    /// of every contribution the backend dropped from this row. `0.0` for
+    /// exact backends.
+    fn pruned_mass(&self, i: usize, port: usize) -> f64 {
+        let _ = (i, port);
+        0.0
+    }
+
+    /// `true` when every contribution is represented exactly and the engine
+    /// may skip all pruning bookkeeping (the default).
+    fn is_exact(&self) -> bool {
+        true
+    }
+
+    /// `true` when borderline verdicts (rejected with the pruning bound,
+    /// accepted without it) should be re-checked through
+    /// [`exact_contribution`](GainBackend::exact_contribution) — the
+    /// `strict()` mode of pruned backends. Irrelevant for exact backends.
+    fn strict_recheck(&self) -> bool {
+        false
+    }
+
+    /// Recomputes the contribution of `(i, port, j)` without pruning. Must
+    /// not underestimate the true contribution; pruned backends may inflate
+    /// by a relative epsilon to stay conservative under floating-point
+    /// divergence from the naive path.
+    fn exact_contribution(&self, i: usize, port: usize, j: usize) -> f64 {
+        self.contribution(i, port, j)
+    }
 }
 
 /// Combines per-port interference sums into an SINR the way the naive
@@ -152,6 +264,17 @@ pub struct ColorAccumulator<'s, S: ?Sized> {
     members: Vec<usize>,
     /// Flat row-major per-member sums: entry `pos * ports + port`.
     sums: Vec<f64>,
+    /// Per-member count of class members whose contribution the backend
+    /// pruned away (same layout as `sums`). Always zero for exact backends;
+    /// for pruned backends the feasibility checks add
+    /// `min(pruned_mass, drops · pruned_cap)` of the member's row back onto
+    /// the sum, which keeps every verdict conservative.
+    drops: Vec<u32>,
+    /// Membership bitset over the system's items, maintained only for pruned
+    /// backends (where candidate probes iterate the stored row and need an
+    /// `O(1)` "is this interferer in the class" test). `None` keeps exact
+    /// backends at `O(members)` memory.
+    in_class: Option<Vec<u64>>,
     /// Removals since the last exact rebuild (drift guard state).
     removals: usize,
     /// Drift guard threshold: rebuild exactly after this many removals.
@@ -167,13 +290,15 @@ impl<S: ?Sized> Clone for ColorAccumulator<'_, S> {
             ports: self.ports,
             members: self.members.clone(),
             sums: self.sums.clone(),
+            drops: self.drops.clone(),
+            in_class: self.in_class.clone(),
             removals: self.removals,
             rebuild_interval: self.rebuild_interval,
         }
     }
 }
 
-impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
+impl<'s, S: GainBackend + ?Sized> ColorAccumulator<'s, S> {
     /// Creates an empty accumulator for one color class.
     pub fn new(system: &'s S) -> Self {
         let ports = system.num_ports();
@@ -181,11 +306,14 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
             (1..=MAX_PORTS).contains(&ports),
             "systems must expose between 1 and {MAX_PORTS} ports, got {ports}"
         );
+        let in_class = (!system.is_exact()).then(|| vec![0u64; system.len().div_ceil(64)]);
         Self {
             system,
             ports,
             members: Vec::new(),
             sums: Vec::new(),
+            drops: Vec::new(),
+            in_class,
             removals: 0,
             rebuild_interval: DEFAULT_REBUILD_INTERVAL,
         }
@@ -234,6 +362,10 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
     pub fn clear(&mut self) {
         self.members.clear();
         self.sums.clear();
+        self.drops.clear();
+        if let Some(bits) = &mut self.in_class {
+            bits.fill(0);
+        }
         self.removals = 0;
     }
 
@@ -243,75 +375,233 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
         self.removals
     }
 
-    /// Returns `true` if item `i` is already a member (`O(members)` scan).
+    /// Returns `true` if item `i` is already a member (`O(1)` via the
+    /// membership bitset for pruned backends, `O(members)` scan otherwise).
     pub fn contains(&self, i: usize) -> bool {
-        self.members.contains(&i)
+        match &self.in_class {
+            Some(bits) => i < self.system.len() && bits[i / 64] >> (i % 64) & 1 == 1,
+            None => self.members.contains(&i),
+        }
+    }
+
+    /// The pruning pad of row `(item, port)` given `drops` pruned class
+    /// members: the tightest available upper bound on the interference mass
+    /// the backend dropped from this row's class sum. Exactly `0.0` when
+    /// nothing was dropped, so exact backends stay bit-for-bit unpadded.
+    fn pad(&self, item: usize, port: usize, drops: u32) -> f64 {
+        if drops == 0 {
+            return 0.0;
+        }
+        let per_member = drops as f64 * self.system.pruned_cap(item, port);
+        per_member.min(self.system.pruned_mass(item, port))
     }
 
     /// The current interference experienced by the member at position `pos`
-    /// (max over its ports, before noise).
+    /// (max over its ports, before noise), including the conservative
+    /// pruning pad of its row (zero for exact backends).
     ///
     /// # Panics
     ///
     /// Panics if `pos` is out of range.
     pub fn interference_of(&self, pos: usize) -> f64 {
-        let row = &self.sums[pos * self.ports..(pos + 1) * self.ports];
-        row.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        assert!(pos < self.members.len(), "position {pos} out of range");
+        let item = self.members[pos];
+        (0..self.ports)
+            .map(|port| {
+                let slot = pos * self.ports + port;
+                self.sums[slot] + self.pad(item, port, self.drops[slot])
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The current SINR of the member at position `pos` against the rest of
-    /// the class.
+    /// the class (padded conservatively for pruned backends).
     ///
     /// # Panics
     ///
     /// Panics if `pos` is out of range.
     pub fn sinr_of(&self, pos: usize) -> f64 {
-        let row = &self.sums[pos * self.ports..(pos + 1) * self.ports];
-        sinr_from_ports(self.system.signal(self.members[pos]), row, self.system.noise())
+        assert!(pos < self.members.len(), "position {pos} out of range");
+        let item = self.members[pos];
+        let mut ports = [0.0f64; MAX_PORTS];
+        for (port, slot) in ports.iter_mut().enumerate().take(self.ports) {
+            let idx = pos * self.ports + port;
+            *slot = self.sums[idx] + self.pad(item, port, self.drops[idx]);
+        }
+        sinr_from_ports(
+            self.system.signal(item),
+            &ports[..self.ports],
+            self.system.noise(),
+        )
     }
 
-    /// The per-port interference candidate `i` would experience from the
-    /// current members (`O(members)`).
-    fn candidate_ports(&self, i: usize) -> [f64; MAX_PORTS] {
+    /// The per-port stored interference candidate `i` would experience from
+    /// the current members, plus the per-port count of members whose
+    /// contribution the backend pruned.
+    ///
+    /// Exact backends take the per-member path (`O(members)` contributions,
+    /// summed in member order — the naive fold). Pruned backends with
+    /// materialised rows take the row path when the class is large: iterate
+    /// the stored row and filter by class membership, which costs `O(row)`
+    /// instead of `O(members · log row)` lookups.
+    ///
+    /// Returns `None` when the stored sums alone already exceed
+    /// `limit_hi` at some port — since stored sums never overestimate the
+    /// padded (or exact) interference, the caller's feasibility check is
+    /// guaranteed to fail, and the scan can stop early. Callers that need
+    /// the full sums pass `f64::INFINITY`.
+    fn candidate_probe(
+        &self,
+        i: usize,
+        limit_hi: f64,
+    ) -> Option<([f64; MAX_PORTS], [u32; MAX_PORTS])> {
         let mut acc = [0.0f64; MAX_PORTS];
-        for &j in &self.members {
-            for (port, slot) in acc.iter_mut().enumerate().take(self.ports) {
-                *slot += self.system.contribution(i, port, j);
+        let mut dropped = [0u32; MAX_PORTS];
+        if let Some(bits) = &self.in_class {
+            // Row iteration beats per-member binary searches once the class
+            // outgrows a fraction of the row; below that the member path is
+            // cheaper. Both orders are deterministic.
+            let use_rows = (0..self.ports).all(|port| {
+                self.system
+                    .stored_row(i, port)
+                    .is_some_and(|row| row.len() < self.members.len().saturating_mul(12))
+            });
+            if use_rows {
+                for (port, slot) in acc.iter_mut().enumerate().take(self.ports) {
+                    let row = self
+                        .system
+                        .stored_row(i, port)
+                        .expect("stored_row availability was just checked");
+                    let mut hits = 0u32;
+                    for e in row {
+                        let j = e.j as usize;
+                        if bits[j / 64] >> (j % 64) & 1 == 1 && j != i {
+                            *slot += e.v;
+                            hits += 1;
+                            if *slot > limit_hi {
+                                return None;
+                            }
+                        }
+                    }
+                    dropped[port] = self.members.len() as u32 - hits;
+                }
+                return Some((acc, dropped));
             }
         }
-        acc
+        for &j in &self.members {
+            for (port, slot) in acc.iter_mut().enumerate().take(self.ports) {
+                match self.system.stored_contribution(i, port, j) {
+                    Some(v) => *slot += v,
+                    None => dropped[port] += 1,
+                }
+                if *slot > limit_hi {
+                    return None;
+                }
+            }
+        }
+        Some((acc, dropped))
     }
 
     /// Checks whether the class stays feasible at `gain` if `i` joins, and
     /// commits the insertion when it does. Returns `true` on success; on
     /// failure the accumulator is left untouched.
     ///
-    /// Verdicts match `is_feasible_with_gain(class ∪ {i}, gain)` of the naive
-    /// path exactly.
+    /// For exact backends, verdicts match
+    /// `is_feasible_with_gain(class ∪ {i}, gain)` of the naive path exactly.
+    /// For pruned backends the verdict is *conservative*: the pruning pad is
+    /// added to every sum before comparing, so an accept implies the exact
+    /// system accepts too, while a borderline reject (rejected with the pad,
+    /// accepted without it) may cost a color — unless the backend requests
+    /// [`strict_recheck`](GainBackend::strict_recheck), in which case
+    /// borderline verdicts are settled by recomputing the class exactly
+    /// (`O(members²)` un-pruned contributions).
     pub fn try_insert_with_gain(&mut self, i: usize, gain: f64) -> bool {
         let threshold = gain * (1.0 - REL_TOL);
         let noise = self.system.noise();
-        let cand = self.candidate_ports(i);
+        let strict = self.system.strict_recheck() && !self.system.is_exact();
+        let mut borderline = false;
+        let signal_i = self.system.signal(i);
+        // Early-reject limit on the candidate's *stored* interference sum:
+        // `sinr < threshold ⇔ sum > signal/threshold − noise` in real
+        // arithmetic; the `1e-9` headroom makes the float comparison safely
+        // one-sided, so an early reject is always a true reject (stored
+        // sums never overestimate) and the full-evaluation verdicts are
+        // unchanged. NaN limits disable the shortcut (comparisons are
+        // false).
+        let limit = signal_i / threshold - noise;
+        let limit_hi = limit + limit.abs() * 1e-9;
+        let Some((cand, cand_drops)) = self.candidate_probe(i, limit_hi) else {
+            return false;
+        };
+        let mut padded = [0.0f64; MAX_PORTS];
+        for (port, slot) in padded.iter_mut().enumerate().take(self.ports) {
+            *slot = cand[port] + self.pad(i, port, cand_drops[port]);
+        }
         // `sinr >= threshold` (not a negated `<`) so that a NaN SINR counts
         // as infeasible, exactly as in the naive `is_feasible_with_gain`.
-        let cand_ok =
-            sinr_from_ports(self.system.signal(i), &cand[..self.ports], noise) >= threshold;
+        let cand_ok = sinr_from_ports(signal_i, &padded[..self.ports], noise) >= threshold;
         if !cand_ok {
-            return false;
-        }
-        for (pos, &j) in self.members.iter().enumerate() {
-            let mut ports = [0.0f64; MAX_PORTS];
-            for (port, slot) in ports.iter_mut().enumerate().take(self.ports) {
-                *slot = self.sums[pos * self.ports + port] + self.system.contribution(j, port, i);
-            }
-            let member_ok =
-                sinr_from_ports(self.system.signal(j), &ports[..self.ports], noise) >= threshold;
-            if !member_ok {
+            // Borderline only if the un-padded (stored-sum) verdict accepts;
+            // when even the underestimate rejects, the exact system rejects.
+            let optimistic_ok = sinr_from_ports(signal_i, &cand[..self.ports], noise) >= threshold;
+            if !strict || !optimistic_ok {
                 return false;
             }
+            borderline = true;
         }
-        self.commit(i, cand);
+        for (pos, &j) in self.members.iter().enumerate() {
+            let mut raw = [0.0f64; MAX_PORTS];
+            let mut member_padded = [0.0f64; MAX_PORTS];
+            for port in 0..self.ports {
+                let slot = pos * self.ports + port;
+                let (add, extra) = match self.system.stored_contribution(j, port, i) {
+                    Some(v) => (v, 0),
+                    None => (0.0, 1),
+                };
+                raw[port] = self.sums[slot] + add;
+                member_padded[port] = raw[port] + self.pad(j, port, self.drops[slot] + extra);
+            }
+            let signal_j = self.system.signal(j);
+            let member_ok =
+                sinr_from_ports(signal_j, &member_padded[..self.ports], noise) >= threshold;
+            if !member_ok {
+                let optimistic_ok =
+                    sinr_from_ports(signal_j, &raw[..self.ports], noise) >= threshold;
+                if !strict || !optimistic_ok {
+                    return false;
+                }
+                borderline = true;
+            }
+        }
+        if borderline && !self.exact_recheck(i, threshold) {
+            return false;
+        }
+        self.commit(i, cand, cand_drops);
         true
+    }
+
+    /// Settles a borderline verdict by refolding the would-be class
+    /// `members ∪ {i}` through the backend's un-pruned
+    /// [`exact_contribution`](GainBackend::exact_contribution) — the
+    /// `strict()` escape hatch of pruned backends. `O(members²)`
+    /// contributions.
+    fn exact_recheck(&self, i: usize, threshold: f64) -> bool {
+        let noise = self.system.noise();
+        let feasible_for = |item: usize| -> bool {
+            let mut ports = [0.0f64; MAX_PORTS];
+            for (port, slot) in ports.iter_mut().enumerate().take(self.ports) {
+                for &j in self.members.iter().chain(std::iter::once(&i)) {
+                    if j != item {
+                        *slot += self.system.exact_contribution(item, port, j);
+                    }
+                }
+            }
+            sinr_from_ports(self.system.signal(item), &ports[..self.ports], noise) >= threshold
+        };
+        if !feasible_for(i) {
+            return false;
+        }
+        self.members.iter().all(|&j| feasible_for(j))
     }
 
     /// [`try_insert_with_gain`](ColorAccumulator::try_insert_with_gain) at
@@ -324,8 +614,10 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
     /// for an item no existing class accepts, mirroring first-fit, and to
     /// rebuild state from an existing — possibly infeasible — set).
     pub fn insert_unchecked(&mut self, i: usize) {
-        let cand = self.candidate_ports(i);
-        self.commit(i, cand);
+        let (cand, cand_drops) = self
+            .candidate_probe(i, f64::INFINITY)
+            .expect("an infinite limit never rejects early");
+        self.commit(i, cand, cand_drops);
     }
 
     /// Removes member `i` from the class, subtracting its contributions from
@@ -359,16 +651,21 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
         let i = self.members.remove(pos);
         let start = pos * self.ports;
         self.sums.drain(start..start + self.ports);
+        self.drops.drain(start..start + self.ports);
+        if let Some(bits) = &mut self.in_class {
+            bits[i / 64] &= !(1u64 << (i % 64));
+        }
         let mut needs_exact = false;
         for (p, &j) in self.members.iter().enumerate() {
             for port in 0..self.ports {
-                let c = self.system.contribution(j, port, i);
-                if c.is_finite() {
-                    self.sums[p * self.ports + port] -= c;
-                } else {
-                    // Subtracting ±∞ (or NaN) from a running sum is
-                    // ill-defined; fall back to an exact rebuild below.
-                    needs_exact = true;
+                match self.system.stored_contribution(j, port, i) {
+                    Some(c) if c.is_finite() => self.sums[p * self.ports + port] -= c,
+                    Some(_) => {
+                        // Subtracting ±∞ (or NaN) from a running sum is
+                        // ill-defined; fall back to an exact rebuild below.
+                        needs_exact = true;
+                    }
+                    None => self.drops[p * self.ports + port] -= 1,
                 }
             }
         }
@@ -390,10 +687,16 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
     pub fn rebuild(&mut self) -> f64 {
         let members = std::mem::take(&mut self.members);
         let old = std::mem::take(&mut self.sums);
+        self.drops.clear();
+        if let Some(bits) = &mut self.in_class {
+            bits.fill(0);
+        }
         self.removals = 0;
         for &i in &members {
-            let cand = self.candidate_ports(i);
-            self.commit(i, cand);
+            let (cand, cand_drops) = self
+                .candidate_probe(i, f64::INFINITY)
+                .expect("an infinite limit never rejects early");
+            self.commit(i, cand, cand_drops);
         }
         let mut drift = 0.0f64;
         for (&o, &n) in old.iter().zip(&self.sums) {
@@ -406,16 +709,24 @@ impl<'s, S: IncrementalSystem + ?Sized> ColorAccumulator<'s, S> {
         drift
     }
 
-    /// Adds `i` as a member with pre-computed candidate sums, updating every
-    /// existing member's running sums.
-    fn commit(&mut self, i: usize, cand: [f64; MAX_PORTS]) {
+    /// Adds `i` as a member with pre-computed candidate sums and drop
+    /// counts, updating every existing member's running sums (or their drop
+    /// counts, when the backend pruned the new pair).
+    fn commit(&mut self, i: usize, cand: [f64; MAX_PORTS], cand_drops: [u32; MAX_PORTS]) {
         for (pos, &j) in self.members.iter().enumerate() {
             for port in 0..self.ports {
-                self.sums[pos * self.ports + port] += self.system.contribution(j, port, i);
+                match self.system.stored_contribution(j, port, i) {
+                    Some(v) => self.sums[pos * self.ports + port] += v,
+                    None => self.drops[pos * self.ports + port] += 1,
+                }
             }
         }
         self.members.push(i);
         self.sums.extend_from_slice(&cand[..self.ports]);
+        self.drops.extend_from_slice(&cand_drops[..self.ports]);
+        if let Some(bits) = &mut self.in_class {
+            bits[i / 64] |= 1u64 << (i % 64);
+        }
     }
 }
 
@@ -455,12 +766,23 @@ impl GainMatrix {
         for i in 0..n {
             for port in 0..ports {
                 for j in 0..n {
-                    data.push(if j == i { 0.0 } else { system.contribution(i, port, j) });
+                    data.push(if j == i {
+                        0.0
+                    } else {
+                        system.contribution(i, port, j)
+                    });
                 }
             }
         }
         let signals = (0..n).map(|i| system.signal(i)).collect();
-        Self { n, ports, beta: system.beta(), noise: system.noise(), signals, data }
+        Self {
+            n,
+            ports,
+            beta: system.beta(),
+            noise: system.noise(),
+            signals,
+            data,
+        }
     }
 
     /// The memory footprint (in bytes) of the contribution table of a matrix
@@ -470,7 +792,9 @@ impl GainMatrix {
     /// matrix for huge `n` — which `None` makes impossible to get wrong:
     /// `checked_bytes_for(n, ports).is_some_and(|b| b <= budget)`.
     pub fn checked_bytes_for(n: usize, ports: usize) -> Option<usize> {
-        n.checked_mul(n)?.checked_mul(ports)?.checked_mul(std::mem::size_of::<f64>())
+        n.checked_mul(n)?
+            .checked_mul(ports)?
+            .checked_mul(std::mem::size_of::<f64>())
     }
 
     /// [`checked_bytes_for`](GainMatrix::checked_bytes_for), saturating to
@@ -538,6 +862,10 @@ impl IncrementalSystem for GainMatrix {
     }
 }
 
+// The dense matrix stores every contribution: it is the exact reference
+// backend, with all `GainBackend` pruning hooks at their no-op defaults.
+impl GainBackend for GainMatrix {}
+
 impl<'e, 'a, M: MetricSpace> VariantView<'e, 'a, M> {
     /// Builds the cached [`GainMatrix`] of this view (`O(ports · n²)` time
     /// and memory).
@@ -591,7 +919,8 @@ impl<'e, 'a, M: MetricSpace> IncrementalSystem for VariantView<'e, 'a, M> {
             return 0.0;
         }
         let eval: &Evaluator<'a, M> = self.evaluator();
-        eval.params().received_strength(eval.power(j), self.effective_loss(i, port, j))
+        eval.params()
+            .received_strength(eval.power(j), self.effective_loss(i, port, j))
     }
 
     fn signal(&self, i: usize) -> f64 {
@@ -602,6 +931,10 @@ impl<'e, 'a, M: MetricSpace> IncrementalSystem for VariantView<'e, 'a, M> {
         self.evaluator().params().noise()
     }
 }
+
+// On-the-fly contributions are computed exactly from the metric — the
+// un-cached exact backend.
+impl<'e, 'a, M: MetricSpace> GainBackend for VariantView<'e, 'a, M> {}
 
 impl<'a, M: MetricSpace> IncrementalSystem for NodeLossEvaluator<'a, M> {
     fn num_ports(&self) -> usize {
@@ -625,6 +958,10 @@ impl<'a, M: MetricSpace> IncrementalSystem for NodeLossEvaluator<'a, M> {
         self.params().noise()
     }
 }
+
+// Node-loss contributions are computed exactly from the metric — an exact
+// backend.
+impl<'a, M: MetricSpace> GainBackend for NodeLossEvaluator<'a, M> {}
 
 #[cfg(test)]
 mod tests {
@@ -701,7 +1038,11 @@ mod tests {
                     if !naive_ok {
                         naive.pop();
                     }
-                    assert_eq!(acc.try_insert(i), naive_ok, "verdict for {i} under {variant}");
+                    assert_eq!(
+                        acc.try_insert(i),
+                        naive_ok,
+                        "verdict for {i} under {variant}"
+                    );
                     assert_eq!(acc.members(), naive.as_slice());
                 }
                 // The accumulated per-member SINRs equal fresh recomputation.
@@ -754,8 +1095,7 @@ mod tests {
         // Nested links are mutually infeasible under uniform power; the
         // accumulator must still track their sums faithfully.
         let metric = LineMetric::new(vec![0.0, 10.0, 4.0, 5.0]);
-        let inst =
-            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let inst = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
         let params = SinrParams::new(3.0, 1.0).unwrap();
         let eval = inst.evaluator(params, &ObliviousPower::Uniform);
         let view = eval.view(Variant::Bidirectional);
@@ -820,8 +1160,7 @@ mod tests {
         assert_eq!(GainMatrix::checked_bytes_for(usize::MAX, 1), None);
         // The budget predicate the Scheduler facade uses: overflow is
         // over-budget against any budget.
-        let in_budget =
-            GainMatrix::checked_bytes_for(overflowing, 2).is_some_and(|b| b <= 1 << 60);
+        let in_budget = GainMatrix::checked_bytes_for(overflowing, 2).is_some_and(|b| b <= 1 << 60);
         assert!(!in_budget);
     }
 
@@ -857,8 +1196,7 @@ mod tests {
         let params = SinrParams::new(3.0, 1.0).unwrap();
         let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
         let view = eval.view(Variant::Bidirectional);
-        let mut acc =
-            ColorAccumulator::with_members(&view, &[0, 1, 2, 3]).with_rebuild_interval(2);
+        let mut acc = ColorAccumulator::with_members(&view, &[0, 1, 2, 3]).with_rebuild_interval(2);
         acc.remove(0);
         assert_eq!(acc.removals_since_rebuild(), 1);
         acc.remove(3);
@@ -895,7 +1233,11 @@ mod tests {
         let view = eval.view(Variant::Directed);
         let mut acc = ColorAccumulator::with_members(&view, &[0, 1, 2]);
         assert!(acc.remove(1));
-        assert_eq!(acc.removals_since_rebuild(), 0, "infinite removal must force a rebuild");
+        assert_eq!(
+            acc.removals_since_rebuild(),
+            0,
+            "infinite removal must force a rebuild"
+        );
         let fresh = ColorAccumulator::with_members(&view, &[0, 2]);
         for pos in 0..acc.len() {
             assert_eq!(acc.interference_of(pos), fresh.interference_of(pos));
@@ -933,8 +1275,7 @@ mod tests {
         // must mirror the naive first-fit behaviour of rejecting them while
         // unchecked insertion still works.
         let metric = LineMetric::new(vec![0.0, 1.0, 50.0, 51.0]);
-        let inst =
-            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let inst = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
         let params = SinrParams::with_noise(2.0, 1.0, 10.0).unwrap();
         let eval = inst.evaluator(params, &ObliviousPower::Uniform);
         let view = eval.view(Variant::Directed);

@@ -71,6 +71,16 @@ pub enum SinrError {
         /// Number of losses provided.
         actual: usize,
     },
+    /// A node selection (e.g. a restriction of a node-loss instance)
+    /// references a node outside the metric.
+    SelectionOutOfRange {
+        /// Position of the offending entry in the selection.
+        index: usize,
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the metric.
+        len: usize,
+    },
 }
 
 impl fmt::Display for SinrError {
@@ -82,26 +92,43 @@ impl fmt::Display for SinrError {
                 "request {request} references node {node} but the metric has only {len} nodes"
             ),
             SinrError::DegenerateRequest { request } => {
-                write!(f, "request {request} is degenerate (zero distance between endpoints)")
+                write!(
+                    f,
+                    "request {request} is degenerate (zero distance between endpoints)"
+                )
             }
             SinrError::PowerLengthMismatch { expected, actual } => {
                 write!(f, "expected {expected} power values, got {actual}")
             }
             SinrError::InvalidPower { index, value } => {
-                write!(f, "power value {value} at index {index} is not positive and finite")
+                write!(
+                    f,
+                    "power value {value} at index {index} is not positive and finite"
+                )
             }
             SinrError::InvalidLoss { index, value } => {
-                write!(f, "loss parameter {value} at index {index} is not positive and finite")
+                write!(
+                    f,
+                    "loss parameter {value} at index {index} is not positive and finite"
+                )
             }
             SinrError::ColoringLengthMismatch { expected, actual } => {
                 write!(f, "expected {expected} colors, got {actual}")
             }
             SinrError::InfeasibleColorClass { color, request } => {
-                write!(f, "color class {color} violates the SINR constraint of request {request}")
+                write!(
+                    f,
+                    "color class {color} violates the SINR constraint of request {request}"
+                )
             }
             SinrError::LossLengthMismatch { expected, actual } => {
                 write!(f, "expected {expected} loss parameters, got {actual}")
             }
+            SinrError::SelectionOutOfRange { index, node, len } => write!(
+                f,
+                "selection entry {index} references node {node} but the metric has only {len} \
+                 nodes"
+            ),
         }
     }
 }
@@ -114,24 +141,54 @@ mod tests {
 
     #[test]
     fn display_mentions_key_facts() {
-        let e = SinrError::InvalidParams { reason: "alpha < 1".into() };
+        let e = SinrError::InvalidParams {
+            reason: "alpha < 1".into(),
+        };
         assert!(e.to_string().contains("alpha < 1"));
-        let e = SinrError::NodeOutOfRange { request: 3, node: 10, len: 4 };
+        let e = SinrError::NodeOutOfRange {
+            request: 3,
+            node: 10,
+            len: 4,
+        };
         assert!(e.to_string().contains("request 3"));
         let e = SinrError::DegenerateRequest { request: 1 };
         assert!(e.to_string().contains("degenerate"));
-        let e = SinrError::PowerLengthMismatch { expected: 5, actual: 4 };
+        let e = SinrError::PowerLengthMismatch {
+            expected: 5,
+            actual: 4,
+        };
         assert!(e.to_string().contains("5"));
-        let e = SinrError::InvalidPower { index: 2, value: -1.0 };
+        let e = SinrError::InvalidPower {
+            index: 2,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("-1"));
-        let e = SinrError::InvalidLoss { index: 2, value: f64::NAN };
+        let e = SinrError::InvalidLoss {
+            index: 2,
+            value: f64::NAN,
+        };
         assert!(e.to_string().contains("index 2"));
-        let e = SinrError::ColoringLengthMismatch { expected: 3, actual: 2 };
+        let e = SinrError::ColoringLengthMismatch {
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains("colors"));
-        let e = SinrError::InfeasibleColorClass { color: 0, request: 7 };
+        let e = SinrError::InfeasibleColorClass {
+            color: 0,
+            request: 7,
+        };
         assert!(e.to_string().contains("request 7"));
-        let e = SinrError::LossLengthMismatch { expected: 3, actual: 1 };
+        let e = SinrError::LossLengthMismatch {
+            expected: 3,
+            actual: 1,
+        };
         assert!(e.to_string().contains("loss"));
+        let e = SinrError::SelectionOutOfRange {
+            index: 1,
+            node: 9,
+            len: 4,
+        };
+        assert!(e.to_string().contains("node 9"));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! Experiment E5 measures the extracted fraction and group counts against the
 //! `γ/8γ'` and `O(γ'/γ log n)` bounds.
 
-use crate::engine::{ColorAccumulator, IncrementalSystem};
+use crate::engine::{ColorAccumulator, GainBackend};
 use crate::feasibility::InterferenceSystem;
 use crate::schedule::Schedule;
 
@@ -28,8 +28,7 @@ use crate::schedule::Schedule;
 /// procedures consider the least-interfered items first.
 fn by_decreasing_margin<S: InterferenceSystem>(system: &S, set: &[usize]) -> Vec<usize> {
     let mut order: Vec<usize> = set.to_vec();
-    let mut margin: Vec<(usize, f64)> =
-        order.iter().map(|&i| (i, system.sinr(i, set))).collect();
+    let mut margin: Vec<(usize, f64)> = order.iter().map(|&i| (i, system.sinr(i, set))).collect();
     // Total ordering so NaN margins cannot panic the comparator or leave the
     // order unstable; ties keep stable index order (the sort is stable).
     margin.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -52,7 +51,7 @@ fn by_decreasing_margin<S: InterferenceSystem>(system: &S, set: &[usize]) -> Vec
 /// Runs on the incremental engine, so each admission test costs `O(kept)`
 /// contributions; verdicts are exactly those of the naive path. An empty
 /// `set` yields an empty subset.
-pub fn extract_feasible_subset<S: IncrementalSystem>(
+pub fn extract_feasible_subset<S: GainBackend>(
     system: &S,
     set: &[usize],
     gamma_prime: f64,
@@ -73,7 +72,7 @@ pub fn extract_feasible_subset<S: IncrementalSystem>(
 /// the noise is dominated by the item's own signal. (With heavy noise a
 /// singleton can be infeasible at `gamma_prime`; such items still get their
 /// own group, mirroring the paper's noise-free analysis.)
-pub fn partition_by_gain<S: IncrementalSystem>(
+pub fn partition_by_gain<S: GainBackend>(
     system: &S,
     set: &[usize],
     gamma_prime: f64,
@@ -108,12 +107,16 @@ pub fn partition_by_gain<S: IncrementalSystem>(
 /// # Panics
 ///
 /// Panics if the schedule length differs from the system size.
-pub fn rescale_coloring<S: IncrementalSystem>(
+pub fn rescale_coloring<S: GainBackend>(
     system: &S,
     schedule: &Schedule,
     gamma_prime: f64,
 ) -> Schedule {
-    assert_eq!(schedule.len(), system.len(), "schedule must cover the whole system");
+    assert_eq!(
+        schedule.len(),
+        system.len(),
+        "schedule must cover the whole system"
+    );
     let mut colors = vec![0usize; system.len()];
     let mut next_color = 0usize;
     for class in schedule.classes() {

@@ -13,13 +13,15 @@
 //!   paper studies,
 //! * [`feasibility`] — SINR feasibility of a set of simultaneously scheduled
 //!   requests, in both the **directed** and the **bidirectional** variant,
-//! * [`engine`] — the **incremental interference engine**: a cached
-//!   [`GainMatrix`] of pairwise contributions plus a [`ColorAccumulator`]
-//!   that maintains per-color running interference sums, turning the
-//!   "can request *i* join color *c*" query from `O(|c|²)` into `O(|c|)`
-//!   while agreeing **exactly** (bit-for-bit) with the naive
-//!   [`Evaluator`] path; the naive path remains the source of truth for
-//!   schedule validation,
+//! * [`engine`] — the **incremental interference engine**: the
+//!   [`GainBackend`] contract over tiered backends — a cached
+//!   [`GainMatrix`] of pairwise contributions (exact, bit-for-bit the naive
+//!   [`Evaluator`] verdicts) and the spatially-pruned
+//!   [`SparseGainMatrix`] (conservative verdicts at `O(n)` memory) — plus a
+//!   [`ColorAccumulator`] that maintains per-color running interference
+//!   sums, turning the "can request *i* join color *c*" query from
+//!   `O(|c|²)` into `O(|c|)`; the naive path remains the source of truth
+//!   for schedule validation,
 //! * [`nodeloss`] — the node-loss scheduling problem of §3.2 (splitting
 //!   pairs) used by the analysis of the square-root assignment,
 //! * [`gain`] — constructive counterparts of Propositions 3 and 4 (trading
@@ -56,7 +58,8 @@ pub mod power;
 pub mod request;
 pub mod schedule;
 
-pub use engine::{ColorAccumulator, GainMatrix, IncrementalSystem};
+pub use engine::sparse::{SparseConfig, SparseGainMatrix};
+pub use engine::{ColorAccumulator, GainBackend, GainMatrix, IncrementalSystem};
 pub use error::SinrError;
 pub use feasibility::{Evaluator, InterferenceSystem, Variant};
 pub use gain::{extract_feasible_subset, partition_by_gain, rescale_coloring};

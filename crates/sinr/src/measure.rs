@@ -82,7 +82,9 @@ pub fn pigeonhole_lower_bound(n: usize, max_simultaneous: usize) -> usize {
 /// when `{i, j}` is feasible. The count is an optimistic upper bound used by
 /// the harness to sanity-check greedy results.
 pub fn pairwise_compatible<S: InterferenceSystem>(system: &S, i: usize, set: &[usize]) -> usize {
-    set.iter().filter(|&&j| j != i && system.is_feasible(&[i, j])).count()
+    set.iter()
+        .filter(|&&j| j != i && system.is_feasible(&[i, j]))
+        .count()
 }
 
 /// Summary statistics of an instance reported by the experiment harness.
@@ -101,15 +103,24 @@ pub struct InstanceStats {
 }
 
 /// Computes [`InstanceStats`] for an instance.
-pub fn instance_stats<M: MetricSpace>(instance: &Instance<M>, params: &SinrParams) -> InstanceStats {
-    let lengths: Vec<f64> = (0..instance.len()).map(|i| instance.link_distance(i)).collect();
+pub fn instance_stats<M: MetricSpace>(
+    instance: &Instance<M>,
+    params: &SinrParams,
+) -> InstanceStats {
+    let lengths: Vec<f64> = (0..instance.len())
+        .map(|i| instance.link_distance(i))
+        .collect();
     let min_link = lengths.iter().copied().fold(f64::INFINITY, f64::min);
     let max_link = lengths.iter().copied().fold(0.0, f64::max);
     InstanceStats {
         num_requests: instance.len(),
         min_link: if instance.is_empty() { 0.0 } else { min_link },
         max_link,
-        link_aspect_ratio: if instance.is_empty() || min_link == 0.0 { 1.0 } else { max_link / min_link },
+        link_aspect_ratio: if instance.is_empty() || min_link == 0.0 {
+            1.0
+        } else {
+            max_link / min_link
+        },
         in_interference: in_interference(instance, params),
     }
 }
@@ -160,7 +171,9 @@ mod tests {
     fn in_interference_is_max_over_requests() {
         let inst = instance();
         let params = SinrParams::new(2.0, 1.0).unwrap();
-        let per: Vec<f64> = (0..3).map(|i| in_interference_of(&inst, &params, i)).collect();
+        let per: Vec<f64> = (0..3)
+            .map(|i| in_interference_of(&inst, &params, i))
+            .collect();
         let max = per.iter().copied().fold(0.0, f64::max);
         assert_eq!(in_interference(&inst, &params), max);
     }

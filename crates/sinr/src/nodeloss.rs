@@ -113,14 +113,29 @@ impl<M: MetricSpace> NodeLossInstance<M> {
     /// Restricts the instance to a subset of its nodes. Node `i` of the
     /// result corresponds to `selection[i]` of this instance.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a selected node is out of range.
-    pub fn restrict(&self, selection: &[usize]) -> NodeLossInstance<SubMetric<&M>> {
+    /// Returns [`SinrError::SelectionOutOfRange`] if a selected node does
+    /// not exist in the metric.
+    pub fn restrict(
+        &self,
+        selection: &[usize],
+    ) -> Result<NodeLossInstance<SubMetric<&M>>, SinrError> {
+        if let Some((index, &node)) = selection
+            .iter()
+            .enumerate()
+            .find(|&(_, &v)| v >= self.losses.len())
+        {
+            return Err(SinrError::SelectionOutOfRange {
+                index,
+                node,
+                len: self.losses.len(),
+            });
+        }
         let losses = selection.iter().map(|&v| self.losses[v]).collect();
         let metric = SubMetric::new(&self.metric, selection.to_vec())
-            .expect("selection validated by caller");
-        NodeLossInstance { metric, losses }
+            .expect("every selected node was just bounds-checked against the metric");
+        Ok(NodeLossInstance { metric, losses })
     }
 }
 
@@ -160,7 +175,9 @@ impl PairNodeMap {
                 seen[r][v % 2] = true;
             }
         }
-        (0..self.num_requests).filter(|&r| seen[r][0] && seen[r][1]).collect()
+        (0..self.num_requests)
+            .filter(|&r| seen[r][0] && seen[r][1])
+            .collect()
     }
 }
 
@@ -187,7 +204,12 @@ pub fn split_pairs<'a, M: MetricSpace>(
     let metric = SubMetric::new(instance.metric(), selection)
         .expect("instance nodes are in range by construction");
     let node_loss = NodeLossInstance { metric, losses };
-    (node_loss, PairNodeMap { num_requests: instance.len() })
+    (
+        node_loss,
+        PairNodeMap {
+            num_requests: instance.len(),
+        },
+    )
 }
 
 /// The node-loss gain guaranteed by a pair-level gain (§3.2): a set of pairs
@@ -227,7 +249,11 @@ impl<'a, M: MetricSpace> NodeLossEvaluator<'a, M> {
                 return Err(SinrError::InvalidPower { index, value });
             }
         }
-        Ok(Self { instance, params, powers })
+        Ok(Self {
+            instance,
+            params,
+            powers,
+        })
     }
 
     /// The underlying instance.
@@ -260,7 +286,8 @@ impl<'a, M: MetricSpace> NodeLossEvaluator<'a, M> {
     ///
     /// Panics if `i` is out of range.
     pub fn signal(&self, i: usize) -> f64 {
-        self.params.received_strength(self.powers[i], self.instance.loss(i))
+        self.params
+            .received_strength(self.powers[i], self.instance.loss(i))
     }
 
     /// Interference at node `i` from the nodes in `others` (minus `i`), the
@@ -316,8 +343,9 @@ pub fn pair_set_to_node_set<M: MetricSpace>(
         });
     }
     let (node_loss, map) = split_pairs(instance, params);
-    let node_powers: Vec<f64> =
-        (0..node_loss.len()).map(|v| pair_powers[map.request_of_node(v)]).collect();
+    let node_powers: Vec<f64> = (0..node_loss.len())
+        .map(|v| pair_powers[map.request_of_node(v)])
+        .collect();
     let eval = node_loss.evaluator(*params, node_powers)?;
     let nodes: Vec<usize> = pairs
         .iter()
@@ -440,7 +468,15 @@ mod tests {
     #[test]
     fn restrict_keeps_losses_and_distances() {
         let inst = simple_nodeloss();
-        let sub = inst.restrict(&[0, 2]);
+        let sub = inst.restrict(&[0, 2]).unwrap();
+        assert!(matches!(
+            inst.restrict(&[0, 9]),
+            Err(SinrError::SelectionOutOfRange {
+                index: 1,
+                node: 9,
+                ..
+            })
+        ));
         assert_eq!(sub.len(), 2);
         assert_eq!(sub.losses(), &[1.0, 9.0]);
         assert_eq!(sub.metric().distance(0, 1), 25.0);
@@ -459,8 +495,7 @@ mod tests {
     #[test]
     fn split_pairs_produces_two_nodes_per_request() {
         let metric = LineMetric::new(vec![0.0, 1.0, 10.0, 12.0]);
-        let instance =
-            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let instance = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
         let params = SinrParams::new(2.0, 1.0).unwrap();
         let (node_loss, map) = split_pairs(&instance, &params);
         assert_eq!(node_loss.len(), 4);
@@ -495,14 +530,15 @@ mod tests {
         // Two well-separated unit links: feasible as pairs, and the §3.2
         // conversion must certify the node set at the reduced gain.
         let metric = LineMetric::new(vec![0.0, 1.0, 200.0, 201.0]);
-        let instance =
-            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let instance = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
         let params = SinrParams::new(3.0, 1.0).unwrap();
         let powers = ObliviousPower::SquareRoot.powers(&instance, &params);
-        let (nodes, feasible) =
-            pair_set_to_node_set(&instance, &params, &powers, &[0, 1]).unwrap();
+        let (nodes, feasible) = pair_set_to_node_set(&instance, &params, &powers, &[0, 1]).unwrap();
         assert_eq!(nodes, vec![0, 1, 2, 3]);
-        assert!(feasible, "endpoints of a feasible pair set must be node-feasible at gain γ/(2+γ)");
+        assert!(
+            feasible,
+            "endpoints of a feasible pair set must be node-feasible at gain γ/(2+γ)"
+        );
 
         let maybe_nodes = feasible_pairs_to_nodes(&instance, &params, &powers, &[0, 1]).unwrap();
         assert_eq!(maybe_nodes, Some(vec![0, 1, 2, 3]));
@@ -513,8 +549,7 @@ mod tests {
         // Two overlapping links with uniform powers are not simultaneously
         // feasible, so the conversion reports None.
         let metric = LineMetric::new(vec![0.0, 10.0, 1.0, 11.0]);
-        let instance =
-            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let instance = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
         let params = SinrParams::new(3.0, 1.0).unwrap();
         let powers = vec![1.0, 1.0];
         let maybe_nodes = feasible_pairs_to_nodes(&instance, &params, &powers, &[0, 1]).unwrap();

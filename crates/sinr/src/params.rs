@@ -121,7 +121,11 @@ impl Default for SinrParams {
     /// `α = 3`, `β = 1`, `ν = 0` — the mid-range values used by the
     /// experiment harness.
     fn default() -> Self {
-        Self { alpha: 3.0, beta: 1.0, noise: 0.0 }
+        Self {
+            alpha: 3.0,
+            beta: 1.0,
+            noise: 0.0,
+        }
     }
 }
 

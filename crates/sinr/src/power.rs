@@ -39,7 +39,9 @@ pub trait PowerScheme {
     where
         Self: Sized,
     {
-        (0..instance.len()).map(|i| self.power_for(i, instance.link_loss(i, params))).collect()
+        (0..instance.len())
+            .map(|i| self.power_for(i, instance.link_loss(i, params)))
+            .collect()
     }
 }
 
@@ -86,7 +88,11 @@ impl ObliviousPower {
 
     /// The three named assignments compared throughout the experiments.
     pub fn standard_assignments() -> [ObliviousPower; 3] {
-        [ObliviousPower::Uniform, ObliviousPower::Linear, ObliviousPower::SquareRoot]
+        [
+            ObliviousPower::Uniform,
+            ObliviousPower::Linear,
+            ObliviousPower::SquareRoot,
+        ]
     }
 }
 
@@ -117,7 +123,10 @@ pub struct CustomOblivious<F> {
 impl<F: Fn(f64) -> f64> CustomOblivious<F> {
     /// Wraps a power function with a label for experiment tables.
     pub fn new(label: impl Into<String>, f: F) -> Self {
-        Self { f, label: label.into() }
+        Self {
+            f,
+            label: label.into(),
+        }
     }
 }
 
@@ -229,8 +238,10 @@ mod tests {
 
     #[test]
     fn standard_assignments_cover_the_three_classics() {
-        let names: Vec<String> =
-            ObliviousPower::standard_assignments().iter().map(|p| p.name()).collect();
+        let names: Vec<String> = ObliviousPower::standard_assignments()
+            .iter()
+            .map(|p| p.name())
+            .collect();
         assert_eq!(names, vec!["uniform", "linear", "sqrt"]);
     }
 
@@ -268,8 +279,7 @@ mod tests {
     #[test]
     fn powers_evaluates_whole_instance() {
         let metric = LineMetric::new(vec![0.0, 2.0, 10.0, 14.0]);
-        let instance =
-            Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+        let instance = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
         let params = SinrParams::new(2.0, 1.0).unwrap();
         // Losses are 4 and 16; the square-root assignment yields 2 and 4.
         let powers = ObliviousPower::SquareRoot.powers(&instance, &params);

@@ -33,7 +33,10 @@ impl Request {
 
     /// The request with sender and receiver swapped.
     pub fn reversed(&self) -> Self {
-        Self { sender: self.receiver, receiver: self.sender }
+        Self {
+            sender: self.receiver,
+            receiver: self.sender,
+        }
     }
 }
 
@@ -75,7 +78,11 @@ impl<M: MetricSpace> Instance<M> {
         for (i, r) in requests.iter().enumerate() {
             for node in r.endpoints() {
                 if node >= n {
-                    return Err(SinrError::NodeOutOfRange { request: i, node, len: n });
+                    return Err(SinrError::NodeOutOfRange {
+                        request: i,
+                        node,
+                        len: n,
+                    });
                 }
             }
             if r.sender == r.receiver || metric.distance(r.sender, r.receiver) == 0.0 {
@@ -160,7 +167,10 @@ impl<M: MetricSpace> Instance<M> {
         M: Sized,
     {
         let requests: Vec<Request> = indices.iter().map(|&i| self.requests[i]).collect();
-        let instance = Instance { metric: &self.metric, requests };
+        let instance = Instance {
+            metric: &self.metric,
+            requests,
+        };
         (instance, indices.to_vec())
     }
 
@@ -212,7 +222,14 @@ mod tests {
     fn rejects_out_of_range_nodes() {
         let metric = LineMetric::new(vec![0.0, 1.0]);
         let err = Instance::new(metric, vec![Request::new(0, 7)]).unwrap_err();
-        assert!(matches!(err, SinrError::NodeOutOfRange { request: 0, node: 7, .. }));
+        assert!(matches!(
+            err,
+            SinrError::NodeOutOfRange {
+                request: 0,
+                node: 7,
+                ..
+            }
+        ));
     }
 
     #[test]

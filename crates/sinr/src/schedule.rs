@@ -35,7 +35,10 @@ impl Schedule {
         let mut used: Vec<usize> = colors.clone();
         used.sort_unstable();
         used.dedup();
-        let remap = |c: usize| used.binary_search(&c).expect("color present by construction");
+        let remap = |c: usize| {
+            used.binary_search(&c)
+                .expect("color present by construction")
+        };
         let colors: Vec<usize> = colors.iter().map(|&c| remap(c)).collect();
         let num_colors = used.len();
         Self { colors, num_colors }
@@ -44,7 +47,10 @@ impl Schedule {
     /// The schedule that gives every one of `n` requests its own color — the
     /// trivial `O(n)` upper bound mentioned in the abstract.
     pub fn sequential(n: usize) -> Self {
-        Self { colors: (0..n).collect(), num_colors: n }
+        Self {
+            colors: (0..n).collect(),
+            num_colors: n,
+        }
     }
 
     /// Number of requests covered by the schedule.
@@ -78,7 +84,9 @@ impl Schedule {
 
     /// The requests assigned to color `c`.
     pub fn class(&self, c: usize) -> Vec<usize> {
-        (0..self.colors.len()).filter(|&i| self.colors[i] == c).collect()
+        (0..self.colors.len())
+            .filter(|&i| self.colors[i] == c)
+            .collect()
     }
 
     /// All color classes, indexed by color.
@@ -141,7 +149,10 @@ impl Schedule {
     pub fn concat(&self, other: &Schedule) -> Schedule {
         let mut colors = self.colors.clone();
         colors.extend(other.colors.iter().map(|c| c + self.num_colors));
-        Schedule { colors, num_colors: self.num_colors + other.num_colors }
+        Schedule {
+            colors,
+            num_colors: self.num_colors + other.num_colors,
+        }
     }
 }
 
@@ -241,7 +252,10 @@ mod tests {
         // power violates the SINR constraint of the long link.
         let s = Schedule::new(vec![0, 0, 1]);
         let err = s.validate(&eval, Variant::Directed).unwrap_err();
-        assert!(matches!(err, SinrError::InfeasibleColorClass { color: 0, .. }));
+        assert!(matches!(
+            err,
+            SinrError::InfeasibleColorClass { color: 0, .. }
+        ));
     }
 
     #[test]
@@ -260,7 +274,10 @@ mod tests {
         let s = Schedule::new(vec![0, 1]);
         assert!(matches!(
             s.validate(&eval, Variant::Directed),
-            Err(SinrError::ColoringLengthMismatch { expected: 3, actual: 2 })
+            Err(SinrError::ColoringLengthMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 }

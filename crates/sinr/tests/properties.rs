@@ -5,7 +5,8 @@ use oblisched_sinr::nodeloss::split_pairs;
 use oblisched_sinr::power::PowerScheme;
 use oblisched_sinr::{
     extract_feasible_subset, partition_by_gain, rescale_coloring, ColorAccumulator, GainMatrix,
-    Instance, InterferenceSystem, ObliviousPower, Request, Schedule, SinrParams, Variant,
+    Instance, InterferenceSystem, ObliviousPower, Request, Schedule, SinrParams, SparseConfig,
+    SparseGainMatrix, Variant,
 };
 use proptest::prelude::*;
 
@@ -17,7 +18,12 @@ fn arb_instance(
     max_len: f64,
 ) -> impl Strategy<Value = Instance<EuclideanSpace<2>>> {
     prop::collection::vec(
-        (0.0..side, 0.0..side, 0.5..max_len, 0.0..std::f64::consts::TAU),
+        (
+            0.0..side,
+            0.0..side,
+            0.5..max_len,
+            0.0..std::f64::consts::TAU,
+        ),
         1..max_requests,
     )
     .prop_map(|links| {
@@ -395,5 +401,95 @@ proptest! {
         let scheme = ObliviousPower::Exponent(tau);
         let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
         prop_assert!(scheme.power(lo) <= scheme.power(hi) + 1e-12);
+    }
+
+    /// The sparse tier's load-bearing guarantee: whatever the pruned
+    /// backend accepts — one-shot feasibility verdicts as well as whole
+    /// first-fit color classes built through the accumulator — the naive
+    /// evaluator accepts too, for every standard assignment, both variants,
+    /// folded and per-port rows, across random cutoffs.
+    #[test]
+    fn sparse_verdicts_are_conservative_wrt_naive(
+        instance in arb_instance(10, 60.0, 5.0),
+        params in arb_params(),
+        cutoff in 0.0f64..0.3,
+        fold in any::<bool>(),
+    ) {
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let config = SparseConfig {
+                    cutoff_fraction: cutoff,
+                    fold_ports: fold,
+                    ..SparseConfig::default()
+                };
+                let sparse = SparseGainMatrix::build(&view, &config);
+                // First-fit through the accumulator: every emitted
+                // multi-member class must be feasible for the naive path.
+                let mut classes: Vec<ColorAccumulator<'_, SparseGainMatrix>> = Vec::new();
+                for i in 0..instance.len() {
+                    let placed = classes.iter_mut().any(|class| class.try_insert(i));
+                    if !placed {
+                        let mut class = ColorAccumulator::new(&sparse);
+                        class.insert_unchecked(i);
+                        classes.push(class);
+                    }
+                }
+                for class in &classes {
+                    if class.len() >= 2 {
+                        prop_assert!(
+                            view.is_feasible(class.members()),
+                            "sparse-accepted class {:?} rejected by naive ({} / {variant}, \
+                             cutoff {cutoff}, fold {fold})",
+                            class.members(), power.name()
+                        );
+                    }
+                }
+                // One-shot verdicts on prefix sets.
+                let all: Vec<usize> = (0..instance.len()).collect();
+                for k in 1..=all.len() {
+                    if sparse.is_feasible(&all[..k]) {
+                        prop_assert!(
+                            view.is_feasible(&all[..k]),
+                            "sparse accepted {:?} but naive rejects ({} / {variant})",
+                            &all[..k], power.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Strict mode settles borderline verdicts through un-pruned
+    /// contributions; the result must remain conservative.
+    #[test]
+    fn strict_sparse_remains_conservative(
+        instance in arb_instance(8, 40.0, 4.0),
+        params in arb_params(),
+        cutoff in 0.05f64..0.5,
+    ) {
+        for power in ObliviousPower::standard_assignments() {
+            let eval = instance.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let config = SparseConfig {
+                    cutoff_fraction: cutoff,
+                    strict: true,
+                    ..SparseConfig::default()
+                };
+                let sparse = SparseGainMatrix::build(&view, &config);
+                let mut class = ColorAccumulator::new(&sparse);
+                for i in 0..instance.len() {
+                    if class.try_insert(i) && class.len() >= 2 {
+                        prop_assert!(
+                            view.is_feasible(class.members()),
+                            "strict-accepted class {:?} rejected by naive ({} / {variant})",
+                            class.members(), power.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 }

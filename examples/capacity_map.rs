@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("one-shot capacity as a function of the power exponent τ (p = loss^τ)\n");
 
     let nested = nested_chain(14, 2.0);
-    println!("nested chain, n = {} (exact for the first 14 requests):", nested.len());
+    println!(
+        "nested chain, n = {} (exact for the first 14 requests):",
+        nested.len()
+    );
     println!("{:>6} {:>10}", "τ", "capacity");
     for &tau in &taus {
         println!("{:>6.2} {:>10}", tau, capacity(&nested, &params, tau, true));
@@ -46,13 +49,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     let random = uniform_deployment(
-        DeploymentConfig { num_requests: 60, side: 300.0, min_link: 1.0, max_link: 20.0 },
+        DeploymentConfig {
+            num_requests: 60,
+            side: 300.0,
+            min_link: 1.0,
+            max_link: 20.0,
+        },
         &mut rng,
     );
     println!("\nrandom deployment, n = {} (greedy):", random.len());
     println!("{:>6} {:>10}", "τ", "capacity");
     for &tau in &taus {
-        println!("{:>6.2} {:>10}", tau, capacity(&random, &params, tau, false));
+        println!(
+            "{:>6.2} {:>10}",
+            tau,
+            capacity(&random, &params, tau, false)
+        );
     }
 
     println!(

@@ -15,7 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // introduction.
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let instance = uniform_deployment(
-        DeploymentConfig { num_requests: 20, side: 500.0, min_link: 1.0, max_link: 30.0 },
+        DeploymentConfig {
+            num_requests: 20,
+            side: 500.0,
+            min_link: 1.0,
+            max_link: 30.0,
+        },
         &mut rng,
     );
 
@@ -23,21 +28,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = SinrParams::new(3.0, 1.0)?;
     let scheduler = Scheduler::new(params).variant(Variant::Bidirectional);
 
-    println!("scheduling {} bidirectional requests (α = 3, β = 1)\n", instance.len());
-    println!("{:<28} {:>8} {:>14}", "power assignment", "colors", "total energy");
+    println!(
+        "scheduling {} bidirectional requests (α = 3, β = 1)\n",
+        instance.len()
+    );
+    println!(
+        "{:<28} {:>8} {:>14}",
+        "power assignment", "colors", "total energy"
+    );
     for power in ObliviousPower::standard_assignments() {
         let result = scheduler.schedule_with_assignment(&instance, power);
-        println!("{:<28} {:>8} {:>14.2}", result.label, result.num_colors(), result.total_energy());
+        println!(
+            "{:<28} {:>8} {:>14.2}",
+            result.label,
+            result.num_colors(),
+            result.total_energy()
+        );
     }
 
     // The paper's algorithm: LP-rounding coloring for the square-root
     // assignment (Theorem 15).
     let lp = scheduler.schedule_sqrt_lp(&instance, &mut rng);
-    println!("{:<28} {:>8} {:>14.2}", lp.label, lp.num_colors(), lp.total_energy());
+    println!(
+        "{:<28} {:>8} {:>14.2}",
+        lp.label,
+        lp.num_colors(),
+        lp.total_energy()
+    );
 
     // Non-oblivious baseline: greedy with per-class power control.
     let pc = scheduler.schedule_with_power_control(&instance);
-    println!("{:<28} {:>8} {:>14.2}", pc.label, pc.num_colors(), pc.total_energy());
+    println!(
+        "{:<28} {:>8} {:>14.2}",
+        pc.label,
+        pc.num_colors(),
+        pc.total_energy()
+    );
 
     // Show one schedule in detail.
     let result = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);

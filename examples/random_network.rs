@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     // Devices grouped in 5 clusters (office floors / access-point cells).
     let instance = clustered_deployment(
-        DeploymentConfig { num_requests: 40, side: 2000.0, min_link: 1.0, max_link: 40.0 },
+        DeploymentConfig {
+            num_requests: 40,
+            side: 2000.0,
+            min_link: 1.0,
+            max_link: 40.0,
+        },
         5,
         60.0,
         &mut rng,
@@ -32,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.link_aspect_ratio,
         aspect_ratio(instance.metric()).unwrap_or(1.0),
     );
-    println!("static in-interference I_in = {:.2}\n", stats.in_interference);
+    println!(
+        "static in-interference I_in = {:.2}\n",
+        stats.in_interference
+    );
 
     let scheduler = Scheduler::new(params).variant(Variant::Bidirectional);
     println!("{:<28} {:>8} {:>14}", "scheduler", "colors", "total energy");
@@ -44,11 +52,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ObliviousPower::Exponent(0.75),
     ] {
         let result = scheduler.schedule_with_assignment(&instance, power);
-        println!("{:<28} {:>8} {:>14.2}", result.label, result.num_colors(), result.total_energy());
+        println!(
+            "{:<28} {:>8} {:>14.2}",
+            result.label,
+            result.num_colors(),
+            result.total_energy()
+        );
     }
 
     let lp = scheduler.schedule_sqrt_lp(&instance, &mut rng);
-    println!("{:<28} {:>8} {:>14.2}", lp.label, lp.num_colors(), lp.total_energy());
+    println!(
+        "{:<28} {:>8} {:>14.2}",
+        lp.label,
+        lp.num_colors(),
+        lp.total_energy()
+    );
 
     let decomposition = scheduler.schedule_sqrt_decomposition(&instance, &mut rng);
     println!(
@@ -59,7 +77,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let pc = scheduler.schedule_with_power_control(&instance);
-    println!("{:<28} {:>8} {:>14.2}", pc.label, pc.num_colors(), pc.total_energy());
+    println!(
+        "{:<28} {:>8} {:>14.2}",
+        pc.label,
+        pc.num_colors(),
+        pc.total_energy()
+    );
 
     println!(
         "\nthe square-root assignment trades a little extra energy (compared to linear) for a\n\

@@ -25,7 +25,11 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 20 }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
     }
 
     /// Runs a single stand-alone benchmark.
@@ -79,13 +83,20 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
-    let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO, cap: sample_size };
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        cap: sample_size,
+    };
     f(&mut bencher);
     if bencher.iters == 0 {
         println!("bench {label:<50} (no iterations)");
     } else {
         let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
-        println!("bench {label:<50} {:>12.1} ns/iter ({} iters)", per_iter, bencher.iters);
+        println!(
+            "bench {label:<50} {:>12.1} ns/iter ({} iters)",
+            per_iter, bencher.iters
+        );
     }
 }
 
@@ -98,12 +109,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter value.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        Self { repr: format!("{}/{}", function_name.into(), parameter) }
+        Self {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id made of a parameter value only.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { repr: parameter.to_string() }
+        Self {
+            repr: parameter.to_string(),
+        }
     }
 }
 

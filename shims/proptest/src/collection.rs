@@ -13,27 +13,39 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(exact: usize) -> Self {
-        Self { low: exact, high: exact + 1 }
+        Self {
+            low: exact,
+            high: exact + 1,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(range: Range<usize>) -> Self {
         assert!(range.start < range.end, "empty collection size range");
-        Self { low: range.start, high: range.end }
+        Self {
+            low: range.start,
+            high: range.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(range: RangeInclusive<usize>) -> Self {
         assert!(range.start() <= range.end(), "empty collection size range");
-        Self { low: *range.start(), high: *range.end() + 1 }
+        Self {
+            low: *range.start(),
+            high: *range.end() + 1,
+        }
     }
 }
 
 /// A strategy for `Vec<T>` with lengths drawn from `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// Strategy returned by [`vec()`].

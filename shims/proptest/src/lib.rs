@@ -179,10 +179,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "ranges_fail")]
     fn failures_panic_with_test_name() {
-        crate::test_runner::run_cases(
-            &ProptestConfig::with_cases(4),
-            "ranges_fail",
-            |_| Err(TestCaseError::fail("boom")),
-        );
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(4), "ranges_fail", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
     }
 }

@@ -70,10 +70,18 @@ impl SeedableRng for ChaCha8Rng {
         state[2] = 0x7962_2d32;
         state[3] = 0x6b20_6574;
         for i in 0..8 {
-            state[4 + i] =
-                u32::from_le_bytes([seed[4 * i], seed[4 * i + 1], seed[4 * i + 2], seed[4 * i + 3]]);
+            state[4 + i] = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
         }
-        Self { state, buf: [0; 16], idx: 16 }
+        Self {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
     }
 }
 
@@ -124,7 +132,10 @@ mod tests {
             counts[rng.gen_range(0usize..10)] += 1;
         }
         for &c in &counts {
-            assert!((700..1300).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (700..1300).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 }

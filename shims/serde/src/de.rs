@@ -10,7 +10,10 @@ pub trait Error: Sized + std::error::Error {
 
     /// A sequence had the wrong number of elements.
     fn invalid_length(len: usize, expected: &dyn Expected) -> Self {
-        Self::custom(format_args!("invalid length {len}, expected {}", ExpectedDisplay(expected)))
+        Self::custom(format_args!(
+            "invalid length {len}, expected {}",
+            ExpectedDisplay(expected)
+        ))
     }
 
     /// A struct was missing an expected field.
@@ -25,7 +28,9 @@ pub trait Error: Sized + std::error::Error {
 
     /// An enum carried an unknown variant name.
     fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
-        Self::custom(format_args!("unknown variant `{variant}`, expected one of {expected:?}"))
+        Self::custom(format_args!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
     }
 }
 
@@ -139,7 +144,10 @@ pub trait Deserializer<'de>: Sized {
 }
 
 fn unexpected<'de, V: Visitor<'de>, E: Error>(visitor: &V, got: &str) -> E {
-    E::custom(format_args!("invalid type: {got}, expected {}", ExpectedDisplay(visitor)))
+    E::custom(format_args!(
+        "invalid type: {got}, expected {}",
+        ExpectedDisplay(visitor)
+    ))
 }
 
 /// Drives construction of a value from whatever the format contains.

@@ -15,8 +15,16 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, generics: Vec<Param>, fields: Vec<String> },
-    Enum { name: String, generics: Vec<Param>, variants: Vec<(String, bool)> },
+    Struct {
+        name: String,
+        generics: Vec<Param>,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        generics: Vec<Param>,
+        variants: Vec<(String, bool)>,
+    },
 }
 
 /// One generic parameter of the deriving type.
@@ -79,7 +87,10 @@ struct Parser {
 
 impl Parser {
     fn new(input: TokenStream) -> Self {
-        Self { tokens: input.into_iter().collect(), pos: 0 }
+        Self {
+            tokens: input.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -143,7 +154,9 @@ impl Parser {
         let mut depth = 1usize;
         let mut raw: Vec<TokenTree> = Vec::new();
         loop {
-            let t = self.next().expect("serde_derive shim: unterminated generics");
+            let t = self
+                .next()
+                .expect("serde_derive shim: unterminated generics");
             if let TokenTree::Punct(p) = &t {
                 match p.as_char() {
                     '<' => depth += 1,
@@ -171,8 +184,11 @@ impl Parser {
                         other => panic!("serde_derive shim: bad const parameter: {other:?}"),
                     };
                     // group[2] is the `:`; the rest is the const's type.
-                    let ty: String =
-                        group[3..].iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+                    let ty: String = group[3..]
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ");
                     params.push(Param::Const(name, ty));
                 }
                 TokenTree::Ident(id) => {
@@ -206,8 +222,16 @@ impl Parser {
             ),
         };
         match kind.as_str() {
-            "struct" => Item::Struct { name, generics, fields: parse_fields(body) },
-            "enum" => Item::Enum { name, generics, variants: parse_variants(body) },
+            "struct" => Item::Struct {
+                name,
+                generics,
+                fields: parse_fields(body),
+            },
+            "enum" => Item::Enum {
+                name,
+                generics,
+                variants: parse_variants(body),
+            },
             other => panic!("serde_derive shim: cannot derive for `{other}` items"),
         }
     }
@@ -375,7 +399,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
          fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
          -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
     );
-    output.parse().expect("serde_derive shim: generated invalid Serialize impl")
+    output
+        .parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
 }
 
 /// Derives the workspace `serde::Deserialize` for structs with named fields
@@ -410,7 +436,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let mut arms = String::new();
             let mut build = String::new();
             for (index, field) in fields.iter().enumerate() {
-                decls.push_str(&format!("let mut __field{index} = ::std::option::Option::None;\n"));
+                decls.push_str(&format!(
+                    "let mut __field{index} = ::std::option::Option::None;\n"
+                ));
                 arms.push_str(&format!(
                     "\"{field}\" => {{ __field{index} = \
                      ::std::option::Option::Some(__map.next_value()?); }}\n"
@@ -498,5 +526,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             Item::Enum { .. } => "enum",
         },
     );
-    output.parse().expect("serde_derive shim: generated invalid Deserialize impl")
+    output
+        .parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
 }

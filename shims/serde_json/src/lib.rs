@@ -115,7 +115,13 @@ mod tests {
 
     #[test]
     fn float_precision_round_trips() {
-        for &x in &[0.1f64, 1.0 / 3.0, 1e-300, 123_456_789.123_456_79, f64::MIN_POSITIVE] {
+        for &x in &[
+            0.1f64,
+            1.0 / 3.0,
+            1e-300,
+            123_456_789.123_456_79,
+            f64::MIN_POSITIVE,
+        ] {
             let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
             assert_eq!(back, x);
         }

@@ -4,7 +4,10 @@ use crate::{Error, Value};
 
 /// Parses a complete JSON document; trailing non-whitespace is an error.
 pub fn parse(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_whitespace();
     let value = p.parse_value(0)?;
     p.skip_whitespace();
@@ -113,7 +116,9 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -148,9 +153,7 @@ impl Parser<'_> {
                             );
                         }
                         other => {
-                            return Err(
-                                self.error(format!("invalid escape `\\{}`", other as char))
-                            );
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)));
                         }
                     }
                 }

@@ -63,7 +63,9 @@ impl Serializer for ValueSerializer {
         if v.is_finite() {
             Ok(Value::Number(v))
         } else {
-            Err(Error::new(format!("cannot serialize non-finite float {v} as JSON")))
+            Err(Error::new(format!(
+                "cannot serialize non-finite float {v} as JSON"
+            )))
         }
     }
 
@@ -84,11 +86,15 @@ impl Serializer for ValueSerializer {
     }
 
     fn serialize_seq(self, len: Option<usize>) -> Result<SeqSerializer, Error> {
-        Ok(SeqSerializer { items: Vec::with_capacity(len.unwrap_or(0)) })
+        Ok(SeqSerializer {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
     }
 
     fn serialize_struct(self, _name: &'static str, len: usize) -> Result<StructSerializer, Error> {
-        Ok(StructSerializer { entries: Vec::with_capacity(len) })
+        Ok(StructSerializer {
+            entries: Vec::with_capacity(len),
+        })
     }
 
     fn serialize_unit_variant(
@@ -135,7 +141,8 @@ impl ser::SerializeStruct for StructSerializer {
         key: &'static str,
         value: &T,
     ) -> Result<(), Error> {
-        self.entries.push((key.to_owned(), value.serialize(ValueSerializer)?));
+        self.entries
+            .push((key.to_owned(), value.serialize(ValueSerializer)?));
         Ok(())
     }
 
@@ -164,10 +171,13 @@ impl<'de> de::Deserializer<'de> for ValueDeserializer {
                 }
             }
             Value::String(s) => visitor.visit_string(s),
-            Value::Array(items) => visitor.visit_seq(SeqAccess { iter: items.into_iter() }),
-            Value::Object(entries) => {
-                visitor.visit_map(MapAccess { iter: entries.into_iter(), value: None })
-            }
+            Value::Array(items) => visitor.visit_seq(SeqAccess {
+                iter: items.into_iter(),
+            }),
+            Value::Object(entries) => visitor.visit_map(MapAccess {
+                iter: entries.into_iter(),
+                value: None,
+            }),
         }
     }
 
@@ -192,7 +202,10 @@ impl<'de> de::Deserializer<'de> for ValueDeserializer {
         visitor: V,
     ) -> Result<V::Value, Error> {
         match self.0 {
-            Value::String(variant) => visitor.visit_enum(EnumAccess { variant, payload: None }),
+            Value::String(variant) => visitor.visit_enum(EnumAccess {
+                variant,
+                payload: None,
+            }),
             Value::Object(mut entries) => {
                 if entries.len() != 1 {
                     return Err(Error::new(format!(
@@ -201,7 +214,10 @@ impl<'de> de::Deserializer<'de> for ValueDeserializer {
                     )));
                 }
                 let (variant, payload) = entries.pop().expect("len checked above");
-                visitor.visit_enum(EnumAccess { variant, payload: Some(payload) })
+                visitor.visit_enum(EnumAccess {
+                    variant,
+                    payload: Some(payload),
+                })
             }
             other => Err(Error::new(format!(
                 "expected string or object for enum {name}, found {other:?}"
@@ -252,7 +268,10 @@ impl<'de> de::MapAccess<'de> for MapAccess {
     }
 
     fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Error> {
-        let value = self.value.take().ok_or_else(|| Error::new("next_value before next_key"))?;
+        let value = self
+            .value
+            .take()
+            .ok_or_else(|| Error::new("next_value before next_key"))?;
         V::deserialize(ValueDeserializer(value))
     }
 }
@@ -267,7 +286,12 @@ impl<'de> de::EnumAccess<'de> for EnumAccess {
     type Variant = VariantAccess;
 
     fn variant(self) -> Result<(String, VariantAccess), Error> {
-        Ok((self.variant, VariantAccess { payload: self.payload }))
+        Ok((
+            self.variant,
+            VariantAccess {
+                payload: self.payload,
+            },
+        ))
     }
 }
 
@@ -281,9 +305,9 @@ impl<'de> de::VariantAccess<'de> for VariantAccess {
     fn unit_variant(self) -> Result<(), Error> {
         match self.payload {
             None | Some(Value::Null) => Ok(()),
-            Some(other) => {
-                Err(Error::new(format!("unexpected payload {other:?} for unit variant")))
-            }
+            Some(other) => Err(Error::new(format!(
+                "unexpected payload {other:?} for unit variant"
+            ))),
         }
     }
 

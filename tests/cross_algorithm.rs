@@ -2,8 +2,8 @@
 //! invariants they share (feasibility, optimality relations, determinism).
 
 use oblisched::{
-    exact_chromatic_number, exact_max_one_shot, first_fit_coloring, greedy_one_shot,
-    sqrt_coloring, SqrtColoringConfig,
+    exact_chromatic_number, exact_max_one_shot, first_fit_coloring, greedy_one_shot, sqrt_coloring,
+    SqrtColoringConfig,
 };
 use oblisched_instances::{nested_chain, random_matching, uniform_deployment, DeploymentConfig};
 use oblisched_metric::MetricSpace;
@@ -22,7 +22,12 @@ fn params() -> SinrParams {
 fn small_instance(seed: u64, n: usize) -> Instance<oblisched_metric::EuclideanSpace<2>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     uniform_deployment(
-        DeploymentConfig { num_requests: n, side: 250.0, min_link: 1.0, max_link: 15.0 },
+        DeploymentConfig {
+            num_requests: n,
+            side: 250.0,
+            min_link: 1.0,
+            max_link: 15.0,
+        },
         &mut rng,
     )
 }
@@ -43,7 +48,9 @@ fn greedy_exact_and_lp_respect_the_optimality_chain() {
 
         assert!(optimum <= greedy.num_colors());
         assert!(optimum <= lp.num_colors());
-        assert!(optimal_schedule.validate(&eval, Variant::Bidirectional).is_ok());
+        assert!(optimal_schedule
+            .validate(&eval, Variant::Bidirectional)
+            .is_ok());
 
         let all: Vec<usize> = (0..instance.len()).collect();
         let one_shot = exact_max_one_shot(&view, &all).len();
@@ -51,7 +58,10 @@ fn greedy_exact_and_lp_respect_the_optimality_chain() {
         // must never be compared against a finite optimum; these noise-free
         // instances always admit singletons, so the guard documents (and
         // checks) that we are on the finite side of the contract.
-        assert!(one_shot > 0, "noise-free instances always have feasible singletons");
+        assert!(
+            one_shot > 0,
+            "noise-free instances always have feasible singletons"
+        );
         assert!(pigeonhole_lower_bound(instance.len(), one_shot) <= optimum);
         assert!(greedy_one_shot(&view, &all).len() <= one_shot);
     }
@@ -73,7 +83,10 @@ fn node_loss_feasibility_transfers_to_pairs() {
     let powers = eval.powers().to_vec();
     let (nodes, node_feasible) =
         oblisched_sinr::nodeloss::pair_set_to_node_set(&instance, &p, &powers, &pair_set).unwrap();
-    assert!(node_feasible, "a feasible pair set must yield a node set feasible at gain γ/(2+γ)");
+    assert!(
+        node_feasible,
+        "a feasible pair set must yield a node set feasible at gain γ/(2+γ)"
+    );
     assert_eq!(nodes.len(), 2 * pair_set.len());
 
     // Reverse direction: start from a feasible node set under sqrt powers.

@@ -19,7 +19,12 @@ fn params() -> SinrParams {
 fn every_scheduler_produces_valid_schedules_on_a_random_deployment() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let instance = uniform_deployment(
-        DeploymentConfig { num_requests: 25, side: 600.0, min_link: 1.0, max_link: 25.0 },
+        DeploymentConfig {
+            num_requests: 25,
+            side: 600.0,
+            min_link: 1.0,
+            max_link: 25.0,
+        },
         &mut rng,
     );
     let scheduler = Scheduler::new(params()).variant(Variant::Bidirectional);
@@ -85,7 +90,12 @@ fn the_paper_headline_results_hold_end_to_end() {
 fn lp_coloring_matches_greedy_quality_on_clustered_instances() {
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let instance = clustered_deployment(
-        DeploymentConfig { num_requests: 30, side: 1500.0, min_link: 1.0, max_link: 20.0 },
+        DeploymentConfig {
+            num_requests: 30,
+            side: 1500.0,
+            min_link: 1.0,
+            max_link: 20.0,
+        },
         4,
         50.0,
         &mut rng,
@@ -104,7 +114,12 @@ fn lp_coloring_matches_greedy_quality_on_clustered_instances() {
 fn schedules_survive_extreme_model_parameters() {
     let mut rng = ChaCha8Rng::seed_from_u64(9);
     let instance = uniform_deployment(
-        DeploymentConfig { num_requests: 12, side: 300.0, min_link: 0.5, max_link: 10.0 },
+        DeploymentConfig {
+            num_requests: 12,
+            side: 300.0,
+            min_link: 0.5,
+            max_link: 10.0,
+        },
         &mut rng,
     );
     for (alpha, beta) in [(1.0, 0.1), (2.0, 1.0), (5.0, 3.0)] {
@@ -121,7 +136,12 @@ fn schedules_survive_extreme_model_parameters() {
 fn noise_only_increases_the_number_of_colors() {
     let mut rng = ChaCha8Rng::seed_from_u64(13);
     let instance = uniform_deployment(
-        DeploymentConfig { num_requests: 15, side: 400.0, min_link: 1.0, max_link: 10.0 },
+        DeploymentConfig {
+            num_requests: 15,
+            side: 400.0,
+            min_link: 1.0,
+            max_link: 10.0,
+        },
         &mut rng,
     );
     let quiet = SinrParams::new(3.0, 1.0).unwrap();

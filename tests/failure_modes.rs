@@ -15,7 +15,10 @@ fn non_metric_matrices_are_detected() {
         vec![1.0, 0.0, 1.0],
         vec![50.0, 1.0, 0.0],
     ]);
-    assert!(matches!(m.validate(), Err(MetricError::TriangleViolation { .. })));
+    assert!(matches!(
+        m.validate(),
+        Err(MetricError::TriangleViolation { .. })
+    ));
     // Asymmetry is caught by the checked constructor.
     assert!(matches!(
         DistanceMatrix::from_rows(vec![vec![0.0, 2.0], vec![1.0, 0.0]]),
@@ -72,8 +75,7 @@ fn invalid_model_parameters_are_rejected() {
 #[test]
 fn power_vectors_are_validated_end_to_end() {
     let metric = oblisched_metric::LineMetric::new(vec![0.0, 1.0, 10.0, 11.0]);
-    let instance =
-        Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+    let instance = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
     let params = SinrParams::default();
     assert!(matches!(
         PowerVec::new(vec![1.0, -1.0]),
@@ -92,8 +94,7 @@ fn power_vectors_are_validated_end_to_end() {
 #[test]
 fn schedule_validation_catches_bad_colorings() {
     let metric = oblisched_metric::LineMetric::new(vec![0.0, 10.0, 1.0, 11.0]);
-    let instance =
-        Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
+    let instance = Instance::new(metric, vec![Request::new(0, 1), Request::new(2, 3)]).unwrap();
     let params = SinrParams::new(3.0, 1.0).unwrap();
     let eval = instance.evaluator(params, &ObliviousPower::Uniform);
     // Both overlapping links in one slot: infeasible.
@@ -153,9 +154,8 @@ fn lp_substrate_rejects_malformed_programs() {
 fn extreme_geometry_is_handled_without_panicking() {
     // Very long links, very close together, with a huge path-loss exponent:
     // the schedule degenerates to one color per request but must stay valid.
-    let metric = oblisched_metric::LineMetric::new(vec![
-        0.0, 1.0e6, 0.5, 1.0e6 + 0.5, 1.0, 1.0e6 + 1.0,
-    ]);
+    let metric =
+        oblisched_metric::LineMetric::new(vec![0.0, 1.0e6, 0.5, 1.0e6 + 0.5, 1.0, 1.0e6 + 1.0]);
     let instance = Instance::new(
         metric,
         vec![Request::new(0, 1), Request::new(2, 3), Request::new(4, 5)],

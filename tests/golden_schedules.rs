@@ -39,7 +39,10 @@ fn generate() -> Vec<String> {
             let eval = instance.evaluator(p, &power);
             for variant in Variant::all() {
                 let colors = first_fit_coloring(&eval.view(variant)).num_colors();
-                lines.push(format!("{name} first-fit/{}/{variant} colors={colors}", power.name()));
+                lines.push(format!(
+                    "{name} first-fit/{}/{variant} colors={colors}",
+                    power.name()
+                ));
             }
         }
     }
@@ -52,7 +55,11 @@ fn generate() -> Vec<String> {
         let scheduler = Scheduler::new(p);
         for power in ObliviousPower::standard_assignments() {
             let result = scheduler.schedule_with_assignment(&instance, power);
-            lines.push(format!("{name} {} colors={}", result.label, result.num_colors()));
+            lines.push(format!(
+                "{name} {} colors={}",
+                result.label,
+                result.num_colors()
+            ));
         }
         let pc = scheduler.schedule_with_power_control(&instance);
         lines.push(format!("{name} {} colors={}", pc.label, pc.num_colors()));
@@ -105,11 +112,11 @@ fn schedules_match_the_committed_golden_snapshot() {
     // Compare line-wise (tolerating CRLF checkouts and a missing trailing
     // newline) so a mismatch always points at a concrete line.
     let actual_lines: Vec<&str> = actual.lines().collect();
-    let expected_lines: Vec<&str> =
-        expected.lines().map(|l| l.trim_end_matches('\r')).collect();
+    let expected_lines: Vec<&str> = expected.lines().map(|l| l.trim_end_matches('\r')).collect();
     for (i, (a, e)) in actual_lines.iter().zip(expected_lines.iter()).enumerate() {
         assert_eq!(
-            a, e,
+            a,
+            e,
             "golden mismatch at line {} (set GOLDEN_UPDATE=1 only for intentional changes)",
             i + 1
         );

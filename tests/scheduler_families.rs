@@ -10,9 +10,7 @@ use oblisched_instances::{
     uniform_deployment, DeploymentConfig,
 };
 use oblisched_metric::MetricSpace;
-use oblisched_sinr::{
-    Evaluator, Instance, ObliviousPower, PowerScheme, SinrParams, Variant,
-};
+use oblisched_sinr::{Evaluator, Instance, ObliviousPower, PowerScheme, SinrParams, Variant};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -28,12 +26,21 @@ fn drive_scheduler<M: MetricSpace>(family: &str, instance: &Instance<M>, variant
 
     for power in ObliviousPower::standard_assignments() {
         let result = scheduler.schedule_with_assignment(instance, power);
-        assert_eq!(result.schedule.len(), n, "{family}: first-fit must cover every request");
+        assert_eq!(
+            result.schedule.len(),
+            n,
+            "{family}: first-fit must cover every request"
+        );
         let eval = instance.evaluator(params(), &power);
         result
             .schedule
             .validate(&eval, variant)
-            .unwrap_or_else(|e| panic!("{family}/{}/{variant}: first-fit schedule invalid: {e}", power.name()));
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{family}/{}/{variant}: first-fit schedule invalid: {e}",
+                    power.name()
+                )
+            });
         assert!(result.label.contains(&power.name()));
     }
 
@@ -63,7 +70,11 @@ fn drive_scheduler<M: MetricSpace>(family: &str, instance: &Instance<M>, variant
 #[test]
 fn scheduler_handles_every_line_family() {
     for variant in Variant::all() {
-        drive_scheduler("evenly_spaced_line", &evenly_spaced_line(10, 1.0, 8.0), variant);
+        drive_scheduler(
+            "evenly_spaced_line",
+            &evenly_spaced_line(10, 1.0, 8.0),
+            variant,
+        );
         drive_scheduler("exponential_line", &exponential_line(8, 2.0), variant);
         drive_scheduler("scaling_line", &scaling_line(12), variant);
     }
@@ -80,11 +91,21 @@ fn scheduler_handles_the_nested_chain() {
 fn scheduler_handles_random_deployments() {
     let mut rng = ChaCha8Rng::seed_from_u64(2027);
     let uniform = uniform_deployment(
-        DeploymentConfig { num_requests: 14, side: 300.0, min_link: 1.0, max_link: 10.0 },
+        DeploymentConfig {
+            num_requests: 14,
+            side: 300.0,
+            min_link: 1.0,
+            max_link: 10.0,
+        },
         &mut rng,
     );
     let clustered = clustered_deployment(
-        DeploymentConfig { num_requests: 12, side: 400.0, min_link: 1.0, max_link: 8.0 },
+        DeploymentConfig {
+            num_requests: 12,
+            side: 400.0,
+            min_link: 1.0,
+            max_link: 8.0,
+        },
         3,
         25.0,
         &mut rng,
@@ -128,5 +149,8 @@ fn large_scaling_instance_is_scheduled_and_exactly_checked() {
     let result = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
     assert_eq!(result.schedule.len(), 600);
     let eval = instance.evaluator(params(), &ObliviousPower::SquareRoot);
-    assert!(result.schedule.validate(&eval, Variant::Bidirectional).is_ok());
+    assert!(result
+        .schedule
+        .validate(&eval, Variant::Bidirectional)
+        .is_ok());
 }
