@@ -28,6 +28,22 @@ echo "==> dynamic churn acceptance (release)"
 # variant of the same test.
 cargo test -q --release -p oblisched-suite --test dynamic_churn
 
+echo "==> jobs runner smoke (JSONL golden)"
+# The typed job API end to end: run the committed smoke job file (every
+# solve strategy as data) through the `jobs` binary and diff the
+# deterministic (--no-timing) report against the golden file. Run with
+# GOLDEN_UPDATE=1 to regenerate after an *intentional* behaviour change,
+# matching the schedule-golden convention.
+jobs_out="$(mktemp)"
+cargo run -q -p oblisched_bench --bin jobs --release -- --no-timing examples/jobs/smoke.jsonl > "$jobs_out"
+if [ "${GOLDEN_UPDATE:-}" = "1" ]; then
+  cp "$jobs_out" examples/jobs/smoke.golden.jsonl
+  echo "jobs golden rewritten at examples/jobs/smoke.golden.jsonl"
+else
+  diff -u examples/jobs/smoke.golden.jsonl "$jobs_out"
+fi
+rm -f "$jobs_out"
+
 echo "==> scaling bench (smoke mode)"
 # Runs the engine-vs-naive speedup check end to end on small sizes so a
 # regression in the hot path (or a divergence between the engine and the

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oblisched::scheduler::Scheduler;
+use oblisched::solve::SolveRequest;
 use oblisched_instances::{adversarial_for, max_supported_n, nested_chain};
 use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
 use std::hint::black_box;
@@ -28,19 +29,20 @@ fn bench_construction(c: &mut Criterion) {
 
 fn bench_power_control(c: &mut Criterion) {
     let params = SinrParams::new(3.0, 1.0).unwrap();
-    let scheduler = Scheduler::new(params).variant(Variant::Directed);
+    let scheduler = Scheduler::new(params);
+    let request = SolveRequest::power_control().with_variant(Variant::Directed);
     let mut group = c.benchmark_group("power_control_scheduling");
     group.sample_size(10);
     for &n in &[8usize, 16, 32] {
         let chain = nested_chain(n, 2.0);
         group.bench_with_input(BenchmarkId::new("nested_chain", n), &chain, |b, inst| {
-            b.iter(|| black_box(scheduler.schedule_with_power_control(inst)))
+            b.iter(|| black_box(scheduler.solve(inst, &request).unwrap()))
         });
         let adv = adversarial_for(&ObliviousPower::Linear, &params, n.min(32));
         group.bench_with_input(
             BenchmarkId::new("linear_adversarial", n),
             adv.instance(),
-            |b, inst| b.iter(|| black_box(scheduler.schedule_with_power_control(inst))),
+            |b, inst| b.iter(|| black_box(scheduler.solve(inst, &request).unwrap())),
         );
     }
     group.finish();

@@ -1,0 +1,87 @@
+//! JSONL job runner: every scenario as data.
+//!
+//! Reads job specs (one JSON object per line, `#` comments and blank lines
+//! skipped) from a file or stdin, runs each through `Scheduler::solve`, and
+//! writes one JSON report per line to stdout or `--out`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p oblisched_bench --bin jobs --release -- examples/jobs/smoke.jsonl
+//! cargo run -p oblisched_bench --bin jobs --release -- --no-timing smoke.jsonl
+//! cat specs.jsonl | cargo run -p oblisched_bench --bin jobs --release
+//! ```
+//!
+//! `--no-timing` zeroes the `wall_ms` field, making the output byte-for-byte
+//! deterministic — what the golden diff in `ci.sh` relies on.
+
+use oblisched_bench::jobs::run_jobs_document;
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut redact_timing = false;
+    let mut input_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-timing" => redact_timing = true,
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned();
+                if out_path.is_none() {
+                    eprintln!("--out needs a file argument");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: jobs [--no-timing] [--out FILE] [JOBFILE|-]");
+                println!("reads JSONL job specs, writes JSONL reports");
+                return;
+            }
+            other if input_path.is_none() => input_path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let input = match input_path.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("failed to read stdin: {e}");
+                std::process::exit(1);
+            }
+            buf
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    let reports = match run_jobs_document(&input, redact_timing) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("job run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &reports) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => print!("{reports}"),
+    }
+}

@@ -4,7 +4,8 @@
 //! comparison (dense vs sparse vs parallel-sparse).
 
 use crate::table::Table;
-use oblisched::scheduler::Scheduler;
+use oblisched::scheduler::{ScheduleResult, Scheduler};
+use oblisched::solve::{BackendPolicy, SolveRequest};
 use oblisched::{
     decay_classes, exact_chromatic_number, first_fit_coloring, sqrt_coloring, star_sqrt_subset,
     SqrtColoringConfig,
@@ -14,7 +15,8 @@ use oblisched_instances::{
     DeploymentConfig,
 };
 use oblisched_metric::{
-    DominatingTreeFamily, EmbeddingConfig, EuclideanSpace, MetricSpace, Point2, StarMetric,
+    DominatingTreeFamily, EmbeddingConfig, EuclideanSpace, MetricSpace, PlanarMetric, Point2,
+    StarMetric,
 };
 use oblisched_sinr::{
     extract_feasible_subset, rescale_coloring, Instance, NodeLossInstance, ObliviousPower,
@@ -118,6 +120,18 @@ fn params() -> SinrParams {
     SinrParams::new(3.0, 1.0).expect("valid parameters")
 }
 
+/// Runs one typed request through the facade — the experiments treat every
+/// job as well-formed, so the typed error becomes a panic with context.
+fn solve<M: MetricSpace + PlanarMetric + Sync>(
+    scheduler: &Scheduler,
+    instance: &Instance<M>,
+    request: &SolveRequest,
+) -> ScheduleResult {
+    scheduler
+        .solve(instance, request)
+        .unwrap_or_else(|e| panic!("experiment solve failed: {e}"))
+}
+
 fn random_instance(seed: u64, n: usize) -> Instance<EuclideanSpace<2>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     uniform_deployment(
@@ -144,7 +158,7 @@ pub fn e1_adversarial_directed() -> Table {
             "colors (power control)",
         ],
     );
-    let scheduler = Scheduler::new(p).variant(Variant::Directed);
+    let scheduler = Scheduler::new(p);
     for power in ObliviousPower::standard_assignments() {
         let cap = max_supported_n(&power, &p);
         for &n in &[4usize, 8, 16, 32, 64] {
@@ -152,8 +166,18 @@ pub fn e1_adversarial_directed() -> Table {
                 continue;
             }
             let adv = adversarial_for(&power, &p, n);
-            let oblivious = scheduler.schedule_with_assignment(adv.instance(), power);
-            let optimal = scheduler.schedule_with_power_control(adv.instance());
+            let oblivious = solve(
+                &scheduler,
+                adv.instance(),
+                &SolveRequest::first_fit(power.into())
+                    .with_backend(BackendPolicy::Exact)
+                    .with_variant(Variant::Directed),
+            );
+            let optimal = solve(
+                &scheduler,
+                adv.instance(),
+                &SolveRequest::power_control().with_variant(Variant::Directed),
+            );
             table.push_row(vec![
                 power.name(),
                 n.to_string(),
@@ -278,12 +302,13 @@ pub fn e4_sqrt_vs_known_optimum() -> Table {
         ],
     );
     let scheduler = Scheduler::new(p);
+    let first_fit_sqrt = SolveRequest::first_fit(ObliviousPower::SquareRoot.into())
+        .with_backend(BackendPolicy::Exact);
     for &n in &[8usize, 16, 32, 64] {
         let chain = nested_chain(n, 2.0);
-        let greedy = scheduler.schedule_with_assignment(&chain, ObliviousPower::SquareRoot);
-        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
-        let lp = scheduler.schedule_sqrt_lp(&chain, &mut rng);
-        let pc = scheduler.schedule_with_power_control(&chain);
+        let greedy = solve(&scheduler, &chain, &first_fit_sqrt);
+        let lp = solve(&scheduler, &chain, &SolveRequest::sqrt_coloring(n as u64));
+        let pc = solve(&scheduler, &chain, &SolveRequest::power_control());
         table.push_row(vec![
             "nested chain".to_string(),
             n.to_string(),
@@ -299,10 +324,13 @@ pub fn e4_sqrt_vs_known_optimum() -> Table {
         }
         let adv = adversarial_for(&ObliviousPower::Uniform, &p, n);
         let instance = adv.instance();
-        let greedy = scheduler.schedule_with_assignment(instance, ObliviousPower::SquareRoot);
-        let mut rng = ChaCha8Rng::seed_from_u64(n as u64 ^ 0xff);
-        let lp = scheduler.schedule_sqrt_lp(instance, &mut rng);
-        let pc = scheduler.schedule_with_power_control(instance);
+        let greedy = solve(&scheduler, instance, &first_fit_sqrt);
+        let lp = solve(
+            &scheduler,
+            instance,
+            &SolveRequest::sqrt_coloring(n as u64 ^ 0xff),
+        );
+        let pc = solve(&scheduler, instance, &SolveRequest::power_control());
         table.push_row(vec![
             "uniform-adversarial".to_string(),
             n.to_string(),
@@ -482,8 +510,15 @@ pub fn e8_directed_simulation_and_energy() -> Table {
             &mut rng,
         );
         let scheduler = Scheduler::new(p);
-        let sqrt = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
-        let linear = scheduler.schedule_with_assignment(&instance, ObliviousPower::Linear);
+        let exact = |power: ObliviousPower| {
+            solve(
+                &scheduler,
+                &instance,
+                &SolveRequest::first_fit(power.into()).with_backend(BackendPolicy::Exact),
+            )
+        };
+        let sqrt = exact(ObliviousPower::SquareRoot);
+        let linear = exact(ObliviousPower::Linear);
         let doubled = oblisched::convert::verify_directed_simulation(
             &instance,
             &p,
@@ -803,7 +838,11 @@ pub fn e11_backend_tiers() -> Table {
     // The facade makes the same tier choice automatically; log it (the
     // EngineStats satellite) without timing it.
     let scheduler = Scheduler::new(p);
-    let auto2k = scheduler.schedule_with_assignment_auto(&inst2k, ObliviousPower::SquareRoot);
+    let auto2k = solve(
+        &scheduler,
+        &inst2k,
+        &SolveRequest::first_fit(ObliviousPower::SquareRoot.into()),
+    );
     table.push_note(format!("facade auto n=2000: {}", auto2k.engine));
     table.push_note(format!(
         "facade auto n=10000 would pick sparse: dense needs {} vs budget {} bytes",

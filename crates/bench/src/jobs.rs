@@ -1,0 +1,320 @@
+//! The serializable job runner: a [`JobSpec`] names a generator family and a
+//! [`SolveRequest`], [`run_job`] executes it through the one
+//! [`Scheduler::solve`] entry point, and the result comes back as a
+//! [`JobReport`] — colors, energy, wall time and the backend decision.
+//!
+//! The `jobs` binary (`cargo run -p oblisched_bench --bin jobs`) streams
+//! JSONL: one spec per input line, one report per output line. This turns
+//! every scenario in the repository into data — a committed job file plus a
+//! golden report diff in `ci.sh` replaces a hand-written harness per
+//! scenario.
+//!
+//! # Example
+//!
+//! ```
+//! use oblisched::solve::{PowerAssignment, SolveRequest};
+//! use oblisched_bench::jobs::{run_job, JobSpec};
+//! use oblisched_instances::Family;
+//!
+//! let spec = JobSpec {
+//!     family: Family::Nested,
+//!     n: 8,
+//!     seed: 0,
+//!     request: SolveRequest::first_fit(PowerAssignment::SquareRoot),
+//!     params: None,
+//! };
+//! let report = run_job(&spec)?;
+//! assert_eq!(report.n, 8);
+//! assert!(report.colors >= 1);
+//!
+//! // Specs and reports are JSONL-ready.
+//! let line = serde_json::to_string(&spec).unwrap();
+//! let back: JobSpec = serde_json::from_str(&line).unwrap();
+//! assert_eq!(back, spec);
+//! # Ok::<(), oblisched_bench::jobs::JobError>(())
+//! ```
+
+use oblisched::dynamic::DynamicError;
+use oblisched::scheduler::{EngineStats, Scheduler};
+use oblisched::solve::{Algorithm, Assignment, ScheduleError, SolveRequest};
+use oblisched_instances::{build_family, Family, FamilyError, FamilyInstance};
+use oblisched_sinr::{SinrParams, Variant};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// One line of a JSONL job file: which family instance to build and which
+/// [`SolveRequest`] to run on it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The generator family.
+    pub family: Family,
+    /// Number of requests to generate.
+    pub n: usize,
+    /// Seed of the family's RNG (ignored by the deterministic families).
+    pub seed: u64,
+    /// The scheduling run to execute.
+    pub request: SolveRequest,
+    /// SINR model parameters; `None` (or an absent JSON field) uses the
+    /// harness defaults `α = 3`, `β = 1`, `ν = 0`.
+    pub params: Option<SinrParams>,
+}
+
+/// One line of a JSONL report file: the outcome of a [`JobSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// The family the job ran on (echoed from the spec).
+    pub family: Family,
+    /// Number of requests (echoed from the spec).
+    pub n: usize,
+    /// Family seed (echoed from the spec).
+    pub seed: u64,
+    /// The algorithm that produced the schedule.
+    pub algorithm: Algorithm,
+    /// The power assignment the schedule was validated under.
+    pub assignment: Assignment,
+    /// The problem variant that was solved.
+    pub variant: Variant,
+    /// Number of colors of the schedule.
+    pub colors: usize,
+    /// Total transmission energy `Σ p_i`.
+    pub energy: f64,
+    /// Wall time of the solve call in milliseconds (`0` when the runner is
+    /// asked for timing-free deterministic output, e.g. for golden diffs).
+    pub wall_ms: f64,
+    /// The backend decision of the run.
+    pub engine: EngineStats,
+}
+
+/// Everything that can go wrong between reading a job line and writing its
+/// report — one error type so runner code composes with `?` uniformly.
+#[derive(Debug)]
+pub enum JobError {
+    /// The family triple cannot be built.
+    Family(FamilyError),
+    /// The solve call failed.
+    Schedule(ScheduleError),
+    /// A dynamic-scheduling step failed (churn-replaying runners).
+    Dynamic(DynamicError),
+    /// A JSONL line failed to parse or serialize.
+    Json(serde_json::Error),
+    /// Reading the job file or writing the report failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Family(e) => write!(f, "cannot build instance: {e}"),
+            JobError::Schedule(e) => write!(f, "solve failed: {e}"),
+            JobError::Dynamic(e) => write!(f, "dynamic scheduling failed: {e}"),
+            JobError::Json(e) => write!(f, "bad JSONL: {e}"),
+            JobError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Family(e) => Some(e),
+            JobError::Schedule(e) => Some(e),
+            JobError::Dynamic(e) => Some(e),
+            JobError::Json(e) => Some(e),
+            JobError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<FamilyError> for JobError {
+    fn from(e: FamilyError) -> JobError {
+        JobError::Family(e)
+    }
+}
+
+impl From<ScheduleError> for JobError {
+    fn from(e: ScheduleError) -> JobError {
+        JobError::Schedule(e)
+    }
+}
+
+impl From<DynamicError> for JobError {
+    fn from(e: DynamicError) -> JobError {
+        JobError::Dynamic(e)
+    }
+}
+
+impl From<serde_json::Error> for JobError {
+    fn from(e: serde_json::Error) -> JobError {
+        JobError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for JobError {
+    fn from(e: std::io::Error) -> JobError {
+        JobError::Io(e)
+    }
+}
+
+/// Builds the spec's instance and solves its request, timing the solve call.
+///
+/// # Errors
+///
+/// [`JobError::Family`] when the instance cannot be built and
+/// [`JobError::Schedule`] when the solve call fails.
+pub fn run_job(spec: &JobSpec) -> Result<JobReport, JobError> {
+    let params = spec.params.unwrap_or_default();
+    let scheduler = Scheduler::new(params);
+    let instance = build_family(spec.family, spec.n, spec.seed)?;
+    let start = Instant::now();
+    let result = match &instance {
+        FamilyInstance::Planar(inst) => scheduler.solve(inst, &spec.request)?,
+        FamilyInstance::Line(inst) => scheduler.solve(inst, &spec.request)?,
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok(JobReport {
+        family: spec.family,
+        n: spec.n,
+        seed: spec.seed,
+        algorithm: result.label.algorithm,
+        assignment: result.label.assignment.clone(),
+        variant: spec.request.variant,
+        colors: result.num_colors(),
+        energy: result.total_energy(),
+        wall_ms,
+        engine: result.engine,
+    })
+}
+
+/// Runs every spec in a JSONL document (one spec per line; blank lines and
+/// `#` comments are skipped) and renders one report per line. With
+/// `redact_timing` the reports' `wall_ms` is zeroed, making the output
+/// deterministic for golden diffs.
+///
+/// # Errors
+///
+/// The first failing line aborts the run, with the 1-based line number in
+/// the error message.
+pub fn run_jobs_document(input: &str, redact_timing: bool) -> Result<String, JobError> {
+    let mut out = String::new();
+    for (index, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let spec: JobSpec = serde_json::from_str(line).map_err(|e| {
+            JobError::Json(<serde_json::Error as serde::de::Error>::custom(format!(
+                "line {}: {e}",
+                index + 1
+            )))
+        })?;
+        let mut report = run_job(&spec)?;
+        if redact_timing {
+            report.wall_ms = 0.0;
+        }
+        out.push_str(&serde_json::to_string(&report)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched::solve::{BackendPolicy, PowerAssignment, SolveStrategy};
+
+    fn spec(family: Family, n: usize, request: SolveRequest) -> JobSpec {
+        JobSpec {
+            family,
+            n,
+            seed: 42,
+            request,
+            params: None,
+        }
+    }
+
+    #[test]
+    fn run_job_reports_consistent_numbers() {
+        let report = run_job(&spec(
+            Family::Scaling,
+            30,
+            SolveRequest::first_fit(PowerAssignment::SquareRoot),
+        ))
+        .unwrap();
+        assert_eq!(report.family, Family::Scaling);
+        assert_eq!(report.n, 30);
+        assert!(report.colors >= 1 && report.colors <= 30);
+        assert!(report.energy > 0.0);
+        assert_eq!(report.algorithm, Algorithm::FirstFitAuto);
+        assert_eq!(report.assignment, Assignment::SquareRoot);
+    }
+
+    #[test]
+    fn every_strategy_runs_through_the_job_api() {
+        let requests = [
+            SolveRequest::first_fit(PowerAssignment::Uniform).with_backend(BackendPolicy::Exact),
+            SolveRequest::parallel(PowerAssignment::SquareRoot, 2),
+            SolveRequest::power_control(),
+            SolveRequest::sqrt_coloring(7),
+            SolveRequest::sqrt_decomposition(7),
+        ];
+        for request in requests {
+            let report = run_job(&spec(Family::Uniform, 14, request)).unwrap();
+            assert!(report.colors >= 1, "{:?}", request.strategy);
+        }
+    }
+
+    #[test]
+    fn job_errors_carry_their_causes() {
+        let err = run_job(&spec(
+            Family::Adversarial,
+            4096,
+            SolveRequest::first_fit(PowerAssignment::Uniform),
+        ))
+        .unwrap_err();
+        assert!(matches!(err, JobError::Family(_)));
+        assert!(std::error::Error::source(&err).is_some());
+
+        let err = run_job(&spec(
+            Family::Nested,
+            6,
+            SolveRequest::sqrt_coloring(1).with_variant(Variant::Directed),
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            JobError::Schedule(ScheduleError::UnsupportedVariant {
+                strategy: SolveStrategy::SqrtColoring,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn documents_skip_comments_and_report_line_numbers() {
+        let doc = "# smoke\n\n{\"family\":\"nested\",\"n\":6,\"seed\":0,\"request\":{\"strategy\":\"FirstFit\",\"assignment\":\"SquareRoot\",\"variant\":\"Bidirectional\",\"seed\":0,\"backend\":\"Auto\",\"matrix_budget\":null,\"sparse\":null}}\n";
+        let out = run_jobs_document(doc, true).unwrap();
+        let report: JobReport = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(report.family, Family::Nested);
+        assert_eq!(report.wall_ms, 0.0);
+
+        let err = run_jobs_document("{broken", true).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn optional_spec_fields_may_be_absent_from_the_json() {
+        // `matrix_budget`, `sparse` and `params` are optional: a hand-written
+        // job line only needs the request core.
+        let line = "{\"family\":\"line\",\"n\":10,\"seed\":0,\"request\":{\"strategy\":{\"Parallel\":{\"num_threads\":2}},\"assignment\":\"SquareRoot\",\"variant\":\"Bidirectional\",\"seed\":0,\"backend\":\"Auto\"}}";
+        let spec: JobSpec = serde_json::from_str(line).unwrap();
+        assert_eq!(spec.params, None);
+        assert_eq!(spec.request.matrix_budget, None);
+        assert_eq!(
+            spec.request.strategy,
+            SolveStrategy::Parallel { num_threads: 2 }
+        );
+        let report = run_job(&spec).unwrap();
+        assert_eq!(report.algorithm, Algorithm::ParallelFirstFit);
+    }
+}

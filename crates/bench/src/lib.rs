@@ -17,11 +17,13 @@
 
 pub mod churn;
 pub mod experiments;
+pub mod jobs;
 pub mod table;
 pub mod tiers;
 
 pub use churn::{replay_full_reschedule, replay_incremental, replay_incremental_with};
 pub use experiments::{all_experiments, run_experiment, Experiment};
+pub use jobs::{run_job, run_jobs_document, JobError, JobReport, JobSpec};
 pub use table::Table;
 pub use tiers::{
     non_conservative_classes, parallel_tier_config, parallel_tier_sparse_config, TIER_SEED,

@@ -46,8 +46,9 @@
 //!
 //! ```
 //! use oblisched::scheduler::Scheduler;
+//! use oblisched::solve::{PowerAssignment, SolveRequest};
 //! use oblisched_metric::LineMetric;
-//! use oblisched_sinr::{Instance, ObliviousPower, Request, SinrParams, Variant};
+//! use oblisched_sinr::{Instance, Request, SinrParams};
 //!
 //! // Three bidirectional requests on a line.
 //! let metric = LineMetric::new(vec![0.0, 1.0, 10.0, 12.0, 300.0, 304.0]);
@@ -55,10 +56,10 @@
 //!     metric,
 //!     vec![Request::new(0, 1), Request::new(2, 3), Request::new(4, 5)],
 //! )?;
-//! let scheduler = Scheduler::new(SinrParams::new(3.0, 1.0)?).variant(Variant::Bidirectional);
-//! let result = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
+//! let scheduler = Scheduler::new(SinrParams::new(3.0, 1.0)?);
+//! let result = scheduler.solve(&instance, &SolveRequest::first_fit(PowerAssignment::SquareRoot))?;
 //! assert!(result.schedule.num_colors() <= 3);
-//! # Ok::<(), oblisched_sinr::SinrError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -72,6 +73,7 @@ pub mod optimal;
 pub mod parallel;
 pub mod power_control;
 pub mod scheduler;
+pub mod solve;
 pub mod sqrt_coloring;
 pub mod star_analysis;
 
@@ -88,6 +90,10 @@ pub use optimal::{exact_chromatic_number, exact_max_one_shot};
 pub use parallel::{parallel_first_fit, tile_shards, ParallelConfig, DEFAULT_TARGET_SHARDS};
 pub use power_control::{feasible_powers, greedy_with_power_control, PowerControlConfig};
 pub use scheduler::{EngineBackend, EngineStats, ScheduleResult, Scheduler};
+pub use solve::{
+    Algorithm, Assignment, BackendPolicy, PowerAssignment, ScheduleError, SolveLabel, SolveRequest,
+    SolveStrategy,
+};
 pub use sqrt_coloring::{sqrt_coloring, SqrtColoringConfig};
 pub use star_analysis::{decay_classes, star_sqrt_subset, StarNodeKind};
 

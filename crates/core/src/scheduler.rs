@@ -2,24 +2,34 @@
 //!
 //! Most users only want "give me a schedule for this instance"; the
 //! [`Scheduler`] builder wraps the individual algorithms of this crate behind
-//! one entry point and always returns a [`ScheduleResult`] whose schedule has
-//! been validated against the exact SINR checker.
+//! one entry point — [`Scheduler::solve`], which consumes a typed,
+//! serializable [`SolveRequest`] and returns a [`ScheduleResult`] whose
+//! schedule has been validated against the exact SINR checker, or a typed
+//! [`ScheduleError`]. The older per-algorithm `schedule_*` methods remain as
+//! `#[deprecated]` thin wrappers for one release.
 
 use crate::decomposition::{sqrt_schedule_via_decomposition, DecompositionConfig};
 use crate::greedy::first_fit_coloring;
 use crate::parallel::{parallel_first_fit, tile_shards, ParallelConfig, DEFAULT_TARGET_SHARDS};
 use crate::power_control::{greedy_with_power_control, PowerControlConfig};
+use crate::solve::{
+    Algorithm, Assignment, BackendPolicy, ScheduleError, SolveLabel, SolveRequest, SolveStrategy,
+};
 use crate::sqrt_coloring::{sqrt_coloring, SqrtColoringConfig};
 use oblisched_metric::{MetricSpace, PlanarMetric};
+use oblisched_sinr::feasibility::VariantView;
 use oblisched_sinr::{
     Evaluator, GainMatrix, IncrementalSystem, Instance, InterferenceSystem, ObliviousPower,
-    PowerScheme, Schedule, SinrParams, SparseConfig, SparseGainMatrix, Variant,
+    PowerScheme, Schedule, SinrError, SinrParams, SparseConfig, SparseGainMatrix, Variant,
 };
 use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which interference backend a scheduling run ended up using.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EngineBackend {
     /// The dense cached [`GainMatrix`] (`8 · ports · n²` bytes, exact).
     Dense,
@@ -44,8 +54,8 @@ impl fmt::Display for EngineBackend {
 /// How the facade answered the backend question for one run: which tier it
 /// chose, what it would have cost to go dense, and against which budget the
 /// decision was made. Surfaced in every [`ScheduleResult`] so the choice is
-/// never silent (the experiments binary logs it).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// never silent (the experiments binary and the `jobs` runner log it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// The backend the run used.
     pub backend: EngineBackend,
@@ -93,16 +103,16 @@ impl fmt::Display for EngineStats {
 }
 
 /// The outcome of a scheduling run: the coloring, the powers it was validated
-/// with, and a label describing the algorithm/assignment used.
+/// with, and a structured label describing the algorithm/assignment used.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleResult {
     /// The validated schedule.
     pub schedule: Schedule,
     /// The per-request powers under which the schedule is feasible.
     pub powers: Vec<f64>,
-    /// Human-readable description of assignment and algorithm (used in
-    /// experiment tables).
-    pub label: String,
+    /// Structured algorithm/assignment label; its `Display` renders the
+    /// `first-fit/sqrt`-style strings used in experiment tables.
+    pub label: SolveLabel,
     /// Which interference backend served the run, and why (see
     /// [`EngineStats`]).
     pub engine: EngineStats,
@@ -120,22 +130,32 @@ impl ScheduleResult {
     }
 }
 
-/// Scheduler facade: fix the SINR parameters and problem variant once, then
-/// schedule instances with different algorithms.
+/// The backend chosen for a first-fit-style run.
+enum SelectedBackend<'v, 'e, 'a, M> {
+    Dense(GainMatrix),
+    Sparse(SparseGainMatrix),
+    /// No cache: schedule straight off the view ([`BackendPolicy::Exact`]
+    /// above the budget).
+    Fly(&'v VariantView<'e, 'a, M>),
+}
+
+/// Scheduler facade: fix the SINR parameters once, then solve typed
+/// [`SolveRequest`]s against instances.
 ///
 /// # Example
 ///
 /// ```
 /// use oblisched::scheduler::Scheduler;
+/// use oblisched::solve::{PowerAssignment, SolveRequest};
 /// use oblisched_instances::nested_chain;
-/// use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+/// use oblisched_sinr::SinrParams;
 ///
-/// let scheduler = Scheduler::new(SinrParams::new(3.0, 1.0)?).variant(Variant::Bidirectional);
+/// let scheduler = Scheduler::new(SinrParams::new(3.0, 1.0)?);
 /// let instance = nested_chain(8, 2.0);
-/// let sqrt = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
-/// let uniform = scheduler.schedule_with_assignment(&instance, ObliviousPower::Uniform);
+/// let sqrt = scheduler.solve(&instance, &SolveRequest::first_fit(PowerAssignment::SquareRoot))?;
+/// let uniform = scheduler.solve(&instance, &SolveRequest::first_fit(PowerAssignment::Uniform))?;
 /// assert!(sqrt.num_colors() < uniform.num_colors());
-/// # Ok::<(), oblisched_sinr::SinrError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scheduler {
@@ -165,7 +185,9 @@ impl Scheduler {
         }
     }
 
-    /// Selects the problem variant.
+    /// Selects the default problem variant used by the deprecated
+    /// `schedule_*` wrappers ([`Scheduler::solve`] takes the variant from
+    /// its [`SolveRequest`] instead).
     pub fn variant(mut self, variant: Variant) -> Self {
         self.variant = variant;
         self
@@ -180,15 +202,14 @@ impl Scheduler {
     }
 
     /// Sets the [`SparseConfig`] used whenever the facade falls back to the
-    /// spatially-pruned backend
-    /// (see [`schedule_with_assignment_auto`](Scheduler::schedule_with_assignment_auto)).
+    /// spatially-pruned backend ([`BackendPolicy::Auto`]).
     pub fn sparse_config(mut self, config: SparseConfig) -> Self {
         self.sparse_config = config;
         self
     }
 
     /// Sets the [`ParallelConfig`] (gain slack, default thread count) used
-    /// by [`schedule_parallel`](Scheduler::schedule_parallel).
+    /// by the [`SolveStrategy::Parallel`] strategy.
     pub fn parallel_config(mut self, config: ParallelConfig) -> Self {
         self.parallel_config = config;
         self
@@ -199,9 +220,71 @@ impl Scheduler {
         self.params
     }
 
-    /// The problem variant.
+    /// The default problem variant.
     pub fn problem_variant(&self) -> Variant {
         self.variant
+    }
+
+    /// Solves one typed scheduling request — the single entry point every
+    /// strategy, example, experiment and the `jobs` JSONL runner share.
+    ///
+    /// The request's options override the scheduler's configured defaults
+    /// for this run (variant always comes from the request; budget and
+    /// sparse knobs only when set). Validation failures and infeasible
+    /// configurations are reported as [`ScheduleError`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::UnsupportedVariant`] — a `Sqrt*` strategy was
+    ///   requested for the directed variant,
+    /// * [`ScheduleError::ValidationFailed`] — a produced multi-request
+    ///   color class failed the exact checker (an algorithm bug),
+    /// * [`ScheduleError::Sinr`] — the SINR substrate rejected derived
+    ///   inputs.
+    pub fn solve<M>(
+        &self,
+        instance: &Instance<M>,
+        request: &SolveRequest,
+    ) -> Result<ScheduleResult, ScheduleError>
+    where
+        M: MetricSpace + PlanarMetric + Sync,
+    {
+        let mut eff = *self;
+        eff.variant = request.variant;
+        if let Some(budget) = request.matrix_budget {
+            eff.matrix_budget = budget;
+        }
+        if let Some(sparse) = request.sparse {
+            eff.sparse_config = sparse;
+        }
+        let assignment = Assignment::from(request.assignment);
+        match request.strategy {
+            SolveStrategy::FirstFit => match request.backend {
+                BackendPolicy::Exact => {
+                    eff.first_fit_exact(instance, request.assignment.scheme(), assignment)
+                }
+                BackendPolicy::Auto => {
+                    eff.first_fit_auto(instance, request.assignment.scheme(), assignment)
+                }
+            },
+            SolveStrategy::Parallel { num_threads } => eff.parallel_impl(
+                instance,
+                request.assignment.scheme(),
+                assignment,
+                num_threads,
+                request.backend,
+            ),
+            SolveStrategy::PowerControl => eff.power_control_impl(instance),
+            SolveStrategy::SqrtColoring => {
+                let mut rng = ChaCha8Rng::seed_from_u64(request.seed);
+                eff.sqrt_lp_impl(instance, &mut rng)
+            }
+            SolveStrategy::SqrtDecomposition => {
+                let mut rng = ChaCha8Rng::seed_from_u64(request.seed);
+                eff.sqrt_decomposition_impl(instance, &mut rng)
+            }
+        }
     }
 
     /// Schedules with greedy first-fit under a fixed power scheme.
@@ -210,61 +293,28 @@ impl Scheduler {
     /// own (`signal / noise < β`); first-fit still gives such a request its
     /// own color — the best any schedule can do — and the result is returned
     /// rather than rejected.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a *multi-request* color class fails validation (a bug in
-    /// the greedy algorithm, not an input condition).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Scheduler::solve with SolveRequest::first_fit(..).with_backend(BackendPolicy::Exact)"
+    )]
     pub fn schedule_with_assignment<M: MetricSpace, P: PowerScheme>(
         &self,
         instance: &Instance<M>,
         scheme: P,
     ) -> ScheduleResult {
-        let evaluator = instance.evaluator(self.params, &scheme);
-        let view = evaluator.view(self.variant);
-        let ports = view.num_ports();
-        // Overflow of the byte estimate must count as over-budget (an
-        // unchecked product would wrap and could wrongly enable the matrix
-        // for huge n), hence the checked variant.
-        let (schedule, engine) = if self.dense_fits(instance.len(), ports) {
-            let stats = self.dense_stats(instance.len(), ports);
-            (first_fit_coloring(&view.cached()), stats)
-        } else {
-            (
-                first_fit_coloring(&view),
-                EngineStats::on_the_fly(instance.len(), ports, self.matrix_budget),
-            )
-        };
-        self.check_first_fit_schedule(&schedule, &evaluator);
-        ScheduleResult {
-            schedule,
-            powers: evaluator.powers().to_vec(),
-            label: format!("first-fit/{}", scheme.name()),
-            engine,
-        }
+        let assignment = Assignment::from_scheme_name(&scheme.name());
+        self.first_fit_exact(instance, scheme, assignment)
+            .expect("first-fit schedules every valid instance")
     }
 
     /// Schedules with greedy first-fit under a fixed power scheme,
     /// auto-selecting the interference backend by memory budget: the dense
     /// [`GainMatrix`] when it fits, the spatially-pruned
-    /// [`SparseGainMatrix`] otherwise — the tier that keeps `n ≥ 10⁴`
-    /// planar instances cached where the dense matrix would need gigabytes.
-    /// The chosen backend (and both footprints) is reported in the result's
-    /// [`EngineStats`].
-    ///
-    /// Requires a planar metric (the sparse tier prunes by position);
-    /// non-planar metrics use
-    /// [`schedule_with_assignment`](Scheduler::schedule_with_assignment),
-    /// which falls back to uncached exact contributions instead.
-    ///
-    /// Sparse verdicts are conservative, so the returned schedule validates
-    /// against the exact evaluator just like the dense one (it may spend
-    /// a few more colors; `strict` in [`SparseConfig`] buys them back).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a multi-request color class fails validation (a bug, not
-    /// an input condition).
+    /// [`SparseGainMatrix`] otherwise.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Scheduler::solve with SolveRequest::first_fit(..) (BackendPolicy::Auto is the default)"
+    )]
     pub fn schedule_with_assignment_auto<M, P>(
         &self,
         instance: &Instance<M>,
@@ -274,37 +324,19 @@ impl Scheduler {
         M: MetricSpace + PlanarMetric,
         P: PowerScheme,
     {
-        let evaluator = instance.evaluator(self.params, &scheme);
-        let view = evaluator.view(self.variant);
-        let ports = view.num_ports();
-        let (schedule, engine) = if self.dense_fits(instance.len(), ports) {
-            let stats = self.dense_stats(instance.len(), ports);
-            (first_fit_coloring(&view.cached()), stats)
-        } else {
-            let sparse = SparseGainMatrix::build(&view, &self.sparse_config);
-            let stats = self.sparse_stats(&sparse, ports);
-            (first_fit_coloring(&sparse), stats)
-        };
-        self.check_first_fit_schedule(&schedule, &evaluator);
-        ScheduleResult {
-            schedule,
-            powers: evaluator.powers().to_vec(),
-            label: format!("first-fit-auto/{}", scheme.name()),
-            engine,
-        }
+        let assignment = Assignment::from_scheme_name(&scheme.name());
+        self.first_fit_auto(instance, scheme, assignment)
+            .expect("first-fit schedules every valid instance")
     }
 
     /// Parallel batch scheduling: partitions the requests by spatial grid
-    /// tile ([`tile_shards`]), colors the shards on `num_threads` worker
-    /// threads (`0` = one per core) and merges the shard colorings with a
-    /// deterministic conflict-repair pass — the schedule is identical for
-    /// every thread count. The backend is auto-selected exactly as in
-    /// [`schedule_with_assignment_auto`](Scheduler::schedule_with_assignment_auto).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a multi-request color class fails validation (a bug, not
-    /// an input condition).
+    /// tile, colors the shards on `num_threads` worker threads (`0` = one
+    /// per core) and merges the shard colorings with a deterministic
+    /// conflict-repair pass.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Scheduler::solve with SolveRequest::parallel(assignment, num_threads)"
+    )]
     pub fn schedule_parallel<M, P>(
         &self,
         instance: &Instance<M>,
@@ -315,39 +347,303 @@ impl Scheduler {
         M: MetricSpace + PlanarMetric + Sync,
         P: PowerScheme,
     {
+        let assignment = Assignment::from_scheme_name(&scheme.name());
+        self.parallel_impl(
+            instance,
+            scheme,
+            assignment,
+            num_threads,
+            BackendPolicy::Auto,
+        )
+        .expect("parallel first-fit schedules every valid instance")
+    }
+
+    /// Schedules with greedy first-fit where each color class gets its own
+    /// optimised (non-oblivious) power assignment.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Scheduler::solve with SolveRequest::power_control()"
+    )]
+    pub fn schedule_with_power_control<M: MetricSpace>(
+        &self,
+        instance: &Instance<M>,
+    ) -> ScheduleResult {
+        self.power_control_impl(instance)
+            .expect("power-controlled schedules are feasible by construction")
+    }
+
+    /// Schedules with the §5 randomized LP-rounding algorithm for the
+    /// square-root assignment (bidirectional variant only).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Scheduler::solve with SolveRequest::sqrt_coloring(seed)"
+    )]
+    pub fn schedule_sqrt_lp<M: MetricSpace, R: Rng + ?Sized>(
+        &self,
+        instance: &Instance<M>,
+        rng: &mut R,
+    ) -> ScheduleResult {
+        self.sqrt_lp_impl(instance, rng)
+            .expect("the square-root LP coloring applies to the bidirectional variant")
+    }
+
+    /// Schedules with the Theorem 2 decomposition pipeline (tree embeddings +
+    /// star analysis) for the square-root assignment (bidirectional variant
+    /// only).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Scheduler::solve with SolveRequest::sqrt_decomposition(seed)"
+    )]
+    pub fn schedule_sqrt_decomposition<M: MetricSpace, R: Rng + ?Sized>(
+        &self,
+        instance: &Instance<M>,
+        rng: &mut R,
+    ) -> ScheduleResult {
+        self.sqrt_decomposition_impl(instance, rng)
+            .expect("the decomposition pipeline applies to the bidirectional variant")
+    }
+
+    /// The exact-tier first-fit path: dense matrix under the budget,
+    /// uncached on-the-fly contributions above it (exact verdicts for any
+    /// metric space, no planarity required).
+    fn first_fit_exact<M: MetricSpace, P: PowerScheme>(
+        &self,
+        instance: &Instance<M>,
+        scheme: P,
+        assignment: Assignment,
+    ) -> Result<ScheduleResult, ScheduleError> {
         let evaluator = instance.evaluator(self.params, &scheme);
         let view = evaluator.view(self.variant);
         let ports = view.num_ports();
+        let (schedule, engine) = if self.dense_fits(instance.len(), ports) {
+            let stats = self.dense_stats(instance.len(), ports);
+            (first_fit_coloring(&view.cached()), stats)
+        } else {
+            (
+                first_fit_coloring(&view),
+                EngineStats::on_the_fly(instance.len(), ports, self.matrix_budget),
+            )
+        };
+        let label = SolveLabel::new(Algorithm::FirstFit, assignment);
+        self.check_first_fit(&schedule, &evaluator, &label)?;
+        Ok(ScheduleResult {
+            schedule,
+            powers: evaluator.powers().to_vec(),
+            label,
+            engine,
+        })
+    }
+
+    /// The auto-tier first-fit path: dense matrix under the budget, the
+    /// spatially-pruned sparse backend above it — the tier that keeps
+    /// `n ≥ 10⁴` planar instances cached where the dense matrix would need
+    /// gigabytes. Sparse verdicts are conservative, so the returned
+    /// schedule validates against the exact evaluator just like the dense
+    /// one (it may spend a few more colors; `strict` in [`SparseConfig`]
+    /// buys them back).
+    fn first_fit_auto<M, P>(
+        &self,
+        instance: &Instance<M>,
+        scheme: P,
+        assignment: Assignment,
+    ) -> Result<ScheduleResult, ScheduleError>
+    where
+        M: MetricSpace + PlanarMetric,
+        P: PowerScheme,
+    {
+        let evaluator = instance.evaluator(self.params, &scheme);
+        let view = evaluator.view(self.variant);
+        let (backend, engine) = self.select_backend(&view, instance.len(), 1, BackendPolicy::Auto);
+        let schedule = match &backend {
+            SelectedBackend::Dense(matrix) => first_fit_coloring(matrix),
+            SelectedBackend::Sparse(sparse) => first_fit_coloring(sparse),
+            SelectedBackend::Fly(view) => first_fit_coloring(*view),
+        };
+        let label = SolveLabel::new(Algorithm::FirstFitAuto, assignment);
+        self.check_first_fit(&schedule, &evaluator, &label)?;
+        Ok(ScheduleResult {
+            schedule,
+            powers: evaluator.powers().to_vec(),
+            label,
+            engine,
+        })
+    }
+
+    /// The parallel batch path: tile shards, shard coloring on worker
+    /// threads, deterministic conflict-repair merge — the schedule is
+    /// identical for every thread count. The backend follows the request's
+    /// [`BackendPolicy`] (sparse fallback under `Auto`, uncached exact
+    /// contributions under `Exact`).
+    fn parallel_impl<M, P>(
+        &self,
+        instance: &Instance<M>,
+        scheme: P,
+        assignment: Assignment,
+        num_threads: usize,
+        policy: BackendPolicy,
+    ) -> Result<ScheduleResult, ScheduleError>
+    where
+        M: MetricSpace + PlanarMetric + Sync,
+        P: PowerScheme,
+    {
+        let evaluator = instance.evaluator(self.params, &scheme);
+        let view = evaluator.view(self.variant);
         let shards = tile_shards(instance, DEFAULT_TARGET_SHARDS);
         let config = ParallelConfig {
             num_threads,
             ..self.parallel_config
         };
-        let (schedule, engine) = if self.dense_fits(instance.len(), ports) {
-            let stats = self.dense_stats(instance.len(), ports);
-            (parallel_first_fit(&view.cached(), &shards, &config), stats)
-        } else {
-            let mut sparse_cfg = self.sparse_config;
-            if sparse_cfg.build_threads == 1 && num_threads != 1 {
-                // The caller asked for parallelism: extend it to the build.
-                sparse_cfg.build_threads = num_threads;
-            }
-            let sparse = SparseGainMatrix::build(&view, &sparse_cfg);
-            let stats = self.sparse_stats(&sparse, ports);
-            (parallel_first_fit(&sparse, &shards, &config), stats)
+        let (backend, engine) = self.select_backend(&view, instance.len(), num_threads, policy);
+        let schedule = match &backend {
+            SelectedBackend::Dense(matrix) => parallel_first_fit(matrix, &shards, &config),
+            SelectedBackend::Sparse(sparse) => parallel_first_fit(sparse, &shards, &config),
+            SelectedBackend::Fly(view) => parallel_first_fit(*view, &shards, &config),
         };
-        self.check_first_fit_schedule(&schedule, &evaluator);
-        ScheduleResult {
+        let label = SolveLabel::new(Algorithm::ParallelFirstFit, assignment);
+        self.check_first_fit(&schedule, &evaluator, &label)?;
+        Ok(ScheduleResult {
             schedule,
             powers: evaluator.powers().to_vec(),
-            label: format!("parallel-first-fit/{}", scheme.name()),
+            label,
             engine,
+        })
+    }
+
+    fn power_control_impl<M: MetricSpace>(
+        &self,
+        instance: &Instance<M>,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let (schedule, powers) = greedy_with_power_control(
+            instance,
+            &self.params,
+            self.variant,
+            PowerControlConfig::default(),
+        );
+        let label = SolveLabel::new(Algorithm::FirstFit, Assignment::PowerControl);
+        let evaluator = Evaluator::with_powers(instance, self.params, powers.clone())?;
+        self.require_valid(&schedule, &evaluator, &label)?;
+        let engine = EngineStats::on_the_fly(
+            instance.len(),
+            evaluator.view(self.variant).num_ports(),
+            self.matrix_budget,
+        );
+        Ok(ScheduleResult {
+            schedule,
+            powers,
+            label,
+            engine,
+        })
+    }
+
+    fn sqrt_lp_impl<M: MetricSpace, R: Rng + ?Sized>(
+        &self,
+        instance: &Instance<M>,
+        rng: &mut R,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        self.require_bidirectional(SolveStrategy::SqrtColoring)?;
+        let schedule = sqrt_coloring(instance, &self.params, &SqrtColoringConfig::default(), rng);
+        let label = SolveLabel::new(Algorithm::LpRounding, Assignment::SquareRoot);
+        self.certified_sqrt_result(instance, schedule, label)
+    }
+
+    fn sqrt_decomposition_impl<M: MetricSpace, R: Rng + ?Sized>(
+        &self,
+        instance: &Instance<M>,
+        rng: &mut R,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        self.require_bidirectional(SolveStrategy::SqrtDecomposition)?;
+        let schedule = sqrt_schedule_via_decomposition(
+            instance,
+            &self.params,
+            &DecompositionConfig::default(),
+            rng,
+        );
+        let label = SolveLabel::new(Algorithm::Decomposition, Assignment::SquareRoot);
+        self.certified_sqrt_result(instance, schedule, label)
+    }
+
+    fn require_bidirectional(&self, strategy: SolveStrategy) -> Result<(), ScheduleError> {
+        if self.variant == Variant::Bidirectional {
+            Ok(())
+        } else {
+            Err(ScheduleError::UnsupportedVariant {
+                strategy,
+                variant: self.variant,
+            })
         }
     }
 
-    /// Whether the dense matrix fits the configured budget.
+    /// Validates a square-root-certified schedule and assembles its result.
+    fn certified_sqrt_result<M: MetricSpace>(
+        &self,
+        instance: &Instance<M>,
+        schedule: Schedule,
+        label: SolveLabel,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let evaluator = instance.evaluator(self.params, &ObliviousPower::SquareRoot);
+        self.require_valid(&schedule, &evaluator, &label)?;
+        let engine = EngineStats::on_the_fly(
+            instance.len(),
+            evaluator.view(self.variant).num_ports(),
+            self.matrix_budget,
+        );
+        Ok(ScheduleResult {
+            schedule,
+            powers: evaluator.powers().to_vec(),
+            label,
+            engine,
+        })
+    }
+
+    /// Whether the dense matrix fits the configured budget. Overflow of the
+    /// byte estimate counts as over-budget (an unchecked product would wrap
+    /// and could wrongly enable the matrix for huge `n`), hence the checked
+    /// variant.
     fn dense_fits(&self, n: usize, ports: usize) -> bool {
         GainMatrix::checked_bytes_for(n, ports).is_some_and(|bytes| bytes <= self.matrix_budget)
+    }
+
+    /// The one place the backend tier decision is made (it used to be
+    /// copy-pasted across the first-fit entry points): the dense matrix
+    /// when it fits the budget; above it, the spatially-pruned sparse
+    /// backend under [`BackendPolicy::Auto`] or the uncached view under
+    /// [`BackendPolicy::Exact`]. `num_threads` is the caller's scheduling
+    /// parallelism — when the caller asked for parallelism and the sparse
+    /// build is at its serial default, the build is extended to the same
+    /// thread count (the build output is identical for every thread count).
+    fn select_backend<'v, 'e, 'a, M>(
+        &self,
+        view: &'v VariantView<'e, 'a, M>,
+        n: usize,
+        num_threads: usize,
+        policy: BackendPolicy,
+    ) -> (SelectedBackend<'v, 'e, 'a, M>, EngineStats)
+    where
+        M: MetricSpace + PlanarMetric,
+    {
+        let ports = view.num_ports();
+        if self.dense_fits(n, ports) {
+            (
+                SelectedBackend::Dense(view.cached()),
+                self.dense_stats(n, ports),
+            )
+        } else {
+            match policy {
+                BackendPolicy::Auto => {
+                    let mut sparse_cfg = self.sparse_config;
+                    if sparse_cfg.build_threads == 1 && num_threads != 1 {
+                        sparse_cfg.build_threads = num_threads;
+                    }
+                    let sparse = SparseGainMatrix::build(view, &sparse_cfg);
+                    let stats = self.sparse_stats(&sparse, ports);
+                    (SelectedBackend::Sparse(sparse), stats)
+                }
+                BackendPolicy::Exact => (
+                    SelectedBackend::Fly(view),
+                    EngineStats::on_the_fly(n, ports, self.matrix_budget),
+                ),
+            }
+        }
     }
 
     fn dense_stats(&self, n: usize, ports: usize) -> EngineStats {
@@ -378,127 +674,44 @@ impl Scheduler {
 
     /// Shared validation of first-fit-style schedules: feasible, except
     /// that inherently infeasible singletons (heavy noise) are acceptable —
-    /// any other violation is a scheduling bug.
-    fn check_first_fit_schedule<M: MetricSpace>(
+    /// any other violation is reported as
+    /// [`ScheduleError::ValidationFailed`].
+    fn check_first_fit<M: MetricSpace>(
         &self,
         schedule: &Schedule,
         evaluator: &Evaluator<'_, M>,
-    ) {
-        if let Err(e) = schedule.validate(evaluator, self.variant) {
+        label: &SolveLabel,
+    ) -> Result<(), ScheduleError> {
+        if schedule.validate(evaluator, self.variant).is_err() {
             let only_doomed_singletons = schedule
                 .classes()
                 .iter()
                 .all(|class| class.len() == 1 || evaluator.is_feasible(self.variant, class));
-            assert!(
-                only_doomed_singletons,
-                "greedy schedules are feasible by construction (modulo noise-doomed singletons): {e}"
-            );
+            if !only_doomed_singletons {
+                return self.require_valid(schedule, evaluator, label);
+            }
         }
+        Ok(())
     }
 
-    /// Schedules with greedy first-fit where each color class gets its own
-    /// optimised (non-oblivious) power assignment.
-    pub fn schedule_with_power_control<M: MetricSpace>(
+    /// Maps an exact-checker rejection to the typed
+    /// [`ScheduleError::ValidationFailed`].
+    fn require_valid<M: MetricSpace>(
         &self,
-        instance: &Instance<M>,
-    ) -> ScheduleResult {
-        let (schedule, powers) = greedy_with_power_control(
-            instance,
-            &self.params,
-            self.variant,
-            PowerControlConfig::default(),
-        );
-        let evaluator = Evaluator::with_powers(instance, self.params, powers.clone())
-            .expect("power control returns positive finite powers");
-        schedule
-            .validate(&evaluator, self.variant)
-            .expect("power-controlled schedules are feasible by construction");
-        let engine = EngineStats::on_the_fly(
-            instance.len(),
-            evaluator.view(self.variant).num_ports(),
-            self.matrix_budget,
-        );
-        ScheduleResult {
-            schedule,
-            powers,
-            label: "first-fit/power-control".to_string(),
-            engine,
-        }
-    }
-
-    /// Schedules with the §5 randomized LP-rounding algorithm for the
-    /// square-root assignment (bidirectional variant only).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scheduler is configured for the directed variant — the
-    /// paper's algorithm (and its guarantee) only applies to bidirectional
-    /// requests.
-    pub fn schedule_sqrt_lp<M: MetricSpace, R: Rng + ?Sized>(
-        &self,
-        instance: &Instance<M>,
-        rng: &mut R,
-    ) -> ScheduleResult {
-        assert_eq!(
-            self.variant,
-            Variant::Bidirectional,
-            "the square-root LP coloring applies to the bidirectional variant"
-        );
-        let schedule = sqrt_coloring(instance, &self.params, &SqrtColoringConfig::default(), rng);
-        let evaluator = instance.evaluator(self.params, &ObliviousPower::SquareRoot);
-        schedule
-            .validate(&evaluator, self.variant)
-            .expect("the sqrt coloring certifies every color class");
-        let engine = EngineStats::on_the_fly(
-            instance.len(),
-            evaluator.view(self.variant).num_ports(),
-            self.matrix_budget,
-        );
-        ScheduleResult {
-            schedule,
-            powers: evaluator.powers().to_vec(),
-            label: "lp-rounding/sqrt".to_string(),
-            engine,
-        }
-    }
-
-    /// Schedules with the Theorem 2 decomposition pipeline (tree embeddings +
-    /// star analysis) for the square-root assignment (bidirectional variant
-    /// only).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the scheduler is configured for the directed variant.
-    pub fn schedule_sqrt_decomposition<M: MetricSpace, R: Rng + ?Sized>(
-        &self,
-        instance: &Instance<M>,
-        rng: &mut R,
-    ) -> ScheduleResult {
-        assert_eq!(
-            self.variant,
-            Variant::Bidirectional,
-            "the decomposition pipeline applies to the bidirectional variant"
-        );
-        let schedule = sqrt_schedule_via_decomposition(
-            instance,
-            &self.params,
-            &DecompositionConfig::default(),
-            rng,
-        );
-        let evaluator = instance.evaluator(self.params, &ObliviousPower::SquareRoot);
-        schedule
-            .validate(&evaluator, self.variant)
-            .expect("the decomposition pipeline certifies every color class");
-        let engine = EngineStats::on_the_fly(
-            instance.len(),
-            evaluator.view(self.variant).num_ports(),
-            self.matrix_budget,
-        );
-        ScheduleResult {
-            schedule,
-            powers: evaluator.powers().to_vec(),
-            label: "decomposition/sqrt".to_string(),
-            engine,
+        schedule: &Schedule,
+        evaluator: &Evaluator<'_, M>,
+        label: &SolveLabel,
+    ) -> Result<(), ScheduleError> {
+        match schedule.validate(evaluator, self.variant) {
+            Ok(()) => Ok(()),
+            Err(SinrError::InfeasibleColorClass { color, request }) => {
+                Err(ScheduleError::ValidationFailed {
+                    color,
+                    request,
+                    label: label.clone(),
+                })
+            }
+            Err(other) => Err(ScheduleError::Sinr(other)),
         }
     }
 }
@@ -506,8 +719,8 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solve::PowerAssignment;
     use oblisched_instances::{nested_chain, uniform_deployment, DeploymentConfig};
-    use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
     fn scheduler() -> Scheduler {
@@ -522,26 +735,33 @@ mod tests {
     }
 
     #[test]
-    fn assignment_scheduling_reports_energy_and_colors() {
+    fn solve_reports_energy_colors_and_structured_label() {
         let inst = nested_chain(8, 2.0);
-        let result = scheduler().schedule_with_assignment(&inst, ObliviousPower::Linear);
+        let result = scheduler()
+            .solve(&inst, &SolveRequest::first_fit(PowerAssignment::Linear))
+            .unwrap();
         assert_eq!(result.schedule.len(), 8);
         assert!(result.num_colors() >= 1);
         assert!(result.total_energy() > 0.0);
-        assert!(result.label.contains("linear"));
+        assert_eq!(result.label.assignment, Assignment::Linear);
+        assert_eq!(result.label.to_string(), "first-fit-auto/linear");
     }
 
     #[test]
     fn sqrt_beats_uniform_via_the_facade() {
         let inst = nested_chain(10, 2.0);
         let s = scheduler();
-        let sqrt = s.schedule_with_assignment(&inst, ObliviousPower::SquareRoot);
-        let uniform = s.schedule_with_assignment(&inst, ObliviousPower::Uniform);
+        let sqrt = s
+            .solve(&inst, &SolveRequest::first_fit(PowerAssignment::SquareRoot))
+            .unwrap();
+        let uniform = s
+            .solve(&inst, &SolveRequest::first_fit(PowerAssignment::Uniform))
+            .unwrap();
         assert!(sqrt.num_colors() < uniform.num_colors());
     }
 
     #[test]
-    fn lp_and_decomposition_schedulers_produce_valid_schedules() {
+    fn lp_and_decomposition_strategies_produce_valid_schedules() {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let inst = uniform_deployment(
             DeploymentConfig {
@@ -553,35 +773,39 @@ mod tests {
             &mut rng,
         );
         let s = scheduler();
-        let lp = s.schedule_sqrt_lp(&inst, &mut rng);
+        let lp = s.solve(&inst, &SolveRequest::sqrt_coloring(9)).unwrap();
         assert_eq!(lp.schedule.len(), 12);
-        assert!(lp.label.contains("lp"));
-        let dec = s.schedule_sqrt_decomposition(&inst, &mut rng);
+        assert_eq!(lp.label.algorithm, Algorithm::LpRounding);
+        let dec = s
+            .solve(&inst, &SolveRequest::sqrt_decomposition(9))
+            .unwrap();
         assert_eq!(dec.schedule.len(), 12);
-        assert!(dec.label.contains("decomposition"));
+        assert_eq!(dec.label.to_string(), "decomposition/sqrt");
     }
 
     #[test]
-    fn power_control_scheduling_works_in_both_variants() {
+    fn power_control_works_in_both_variants() {
         let inst = nested_chain(6, 2.0);
         for variant in Variant::all() {
             let result = scheduler()
-                .variant(variant)
-                .schedule_with_power_control(&inst);
+                .solve(&inst, &SolveRequest::power_control().with_variant(variant))
+                .unwrap();
             assert_eq!(result.schedule.len(), 6);
             assert!(result.powers.iter().all(|&p| p > 0.0));
+            assert_eq!(result.label.to_string(), "first-fit/power-control");
         }
     }
 
     #[test]
-    fn heavy_noise_instances_are_scheduled_not_panicked() {
+    fn heavy_noise_instances_are_scheduled_not_rejected() {
         // With noise 10 and unit links, a request is infeasible even alone;
         // the facade must return the sequential-style schedule instead of
-        // panicking on validation.
+        // reporting a validation failure.
         let inst = nested_chain(4, 2.0);
         let params = SinrParams::with_noise(3.0, 1.0, 10.0).unwrap();
-        let result =
-            Scheduler::new(params).schedule_with_assignment(&inst, ObliviousPower::Uniform);
+        let result = Scheduler::new(params)
+            .solve(&inst, &SolveRequest::first_fit(PowerAssignment::Uniform))
+            .unwrap();
         assert_eq!(result.schedule.len(), 4);
         // Every class is a singleton: nothing can share a slot under this
         // noise, and doomed requests still get their own color.
@@ -589,12 +813,86 @@ mod tests {
     }
 
     #[test]
+    fn sqrt_strategies_reject_the_directed_variant_with_a_typed_error() {
+        let inst = nested_chain(4, 2.0);
+        for (request, strategy) in [
+            (SolveRequest::sqrt_coloring(1), SolveStrategy::SqrtColoring),
+            (
+                SolveRequest::sqrt_decomposition(1),
+                SolveStrategy::SqrtDecomposition,
+            ),
+        ] {
+            let err = scheduler()
+                .solve(&inst, &request.with_variant(Variant::Directed))
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ScheduleError::UnsupportedVariant {
+                    strategy,
+                    variant: Variant::Directed
+                }
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "bidirectional variant")]
-    fn lp_scheduler_rejects_directed_variant() {
+    #[allow(deprecated)]
+    fn deprecated_lp_wrapper_still_panics_on_the_directed_variant() {
         let inst = nested_chain(4, 2.0);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let _ = scheduler()
             .variant(Variant::Directed)
             .schedule_sqrt_lp(&inst, &mut rng);
+    }
+
+    #[test]
+    fn parallel_honors_the_exact_backend_policy() {
+        let inst = nested_chain(12, 2.0);
+        let s = scheduler();
+        let parallel = SolveRequest::parallel(PowerAssignment::SquareRoot, 2);
+        let dense = s.solve(&inst, &parallel).unwrap();
+        assert_eq!(dense.engine.backend, EngineBackend::Dense);
+        // Over budget, Exact falls back to uncached exact contributions —
+        // bit-for-bit the dense schedule, never the pruned sparse backend.
+        let fly = s
+            .solve(
+                &inst,
+                &parallel
+                    .with_backend(BackendPolicy::Exact)
+                    .with_matrix_budget(0),
+            )
+            .unwrap();
+        assert_eq!(fly.engine.backend, EngineBackend::OnTheFly);
+        assert_eq!(fly.schedule, dense.schedule);
+        let sparse = s.solve(&inst, &parallel.with_matrix_budget(0)).unwrap();
+        assert_eq!(sparse.engine.backend, EngineBackend::Sparse);
+    }
+
+    #[test]
+    fn request_overrides_scheduler_budget_and_backend() {
+        let inst = nested_chain(12, 2.0);
+        let s = scheduler();
+        // Budget 0 disables the dense cache; the exact policy then goes
+        // on-the-fly while auto falls back to the sparse tier.
+        let exact = s
+            .solve(
+                &inst,
+                &SolveRequest::first_fit(PowerAssignment::SquareRoot)
+                    .with_backend(BackendPolicy::Exact)
+                    .with_matrix_budget(0),
+            )
+            .unwrap();
+        assert_eq!(exact.engine.backend, EngineBackend::OnTheFly);
+        let auto = s
+            .solve(
+                &inst,
+                &SolveRequest::first_fit(PowerAssignment::SquareRoot).with_matrix_budget(0),
+            )
+            .unwrap();
+        assert_eq!(auto.engine.backend, EngineBackend::Sparse);
+        // Both tiers schedule the whole instance.
+        assert_eq!(exact.schedule.len(), 12);
+        assert_eq!(auto.schedule.len(), 12);
     }
 }

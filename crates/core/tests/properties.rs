@@ -1,5 +1,6 @@
 //! Property-based tests for the scheduling algorithms.
 
+use oblisched::solve::{PowerAssignment, SolveRequest};
 use oblisched::{
     exact_chromatic_number, exact_max_one_shot, first_fit_coloring, first_fit_coloring_naive,
     first_fit_with_order, first_fit_with_order_naive, greedy_one_shot, sqrt_coloring, Scheduler,
@@ -136,13 +137,15 @@ proptest! {
     ) {
         let instance = instance_from_seed(seed, n);
         let scheduler = Scheduler::new(SinrParams::new(3.0, 1.0).unwrap());
-        let result = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
+        let result = scheduler
+            .solve(&instance, &SolveRequest::first_fit(PowerAssignment::SquareRoot))
+            .unwrap();
         prop_assert_eq!(result.schedule.len(), n);
         prop_assert_eq!(result.powers.len(), n);
         prop_assert!(result.num_colors() >= 1);
         prop_assert!(result.total_energy() > 0.0);
         // Power control never uses more colors than the trivial n.
-        let pc = scheduler.schedule_with_power_control(&instance);
+        let pc = scheduler.solve(&instance, &SolveRequest::power_control()).unwrap();
         prop_assert!(pc.num_colors() <= n);
     }
 }

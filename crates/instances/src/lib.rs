@@ -21,6 +21,10 @@
 //!   over the scaling deployments, the input of the dynamic scheduler
 //!   (`oblisched::dynamic`).
 //!
+//! The [`family`] module names all of these behind one serializable
+//! [`Family`] enum with a `(family, n, seed)` constructor
+//! ([`build_family`]), so job files can select workloads as data.
+//!
 //! All generators are deterministic given a seeded RNG, and every instance
 //! they produce is a valid [`oblisched_sinr::Instance`].
 
@@ -29,6 +33,7 @@
 
 pub mod adversarial;
 pub mod churn;
+pub mod family;
 pub mod line;
 pub mod nested;
 pub mod random;
@@ -36,6 +41,7 @@ pub mod scale;
 
 pub use adversarial::{adversarial_for, max_supported_n, AdversarialInstance};
 pub use churn::{churn_clustered, churn_uniform, ChurnEvent, ChurnTrace};
+pub use family::{build_family, Family, FamilyError, FamilyInstance};
 pub use line::{evenly_spaced_line, exponential_line};
 pub use nested::nested_chain;
 pub use random::{clustered_deployment, random_matching, uniform_deployment, DeploymentConfig};

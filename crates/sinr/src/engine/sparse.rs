@@ -137,7 +137,10 @@ impl FastLoss {
 }
 
 /// Construction knobs of the [`SparseGainMatrix`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable so job files (`SolveRequest` in `oblisched`) can pin a
+/// sparse profile as data.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SparseConfig {
     /// Per-row cutoff as a fraction of the row's interference budget
     /// (`signal / β`): contributions below `cutoff_fraction · signal(i) / β`

@@ -5,12 +5,13 @@
 //! Run with `cargo run --example adversarial_directed`.
 
 use oblisched::scheduler::Scheduler;
+use oblisched::solve::{BackendPolicy, SolveRequest};
 use oblisched_instances::{adversarial_for, max_supported_n};
 use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = SinrParams::new(3.0, 1.0)?;
-    let scheduler = Scheduler::new(params).variant(Variant::Directed);
+    let scheduler = Scheduler::new(params);
 
     println!("Theorem 1: adversarial directed instances (α = 3, β = 1)\n");
     println!(
@@ -25,9 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let instance = adversarial.instance();
 
         // Schedule with the oblivious assignment the instance was built against.
-        let oblivious = scheduler.schedule_with_assignment(instance, power);
+        let oblivious = scheduler.solve(
+            instance,
+            &SolveRequest::first_fit(power.into())
+                .with_backend(BackendPolicy::Exact)
+                .with_variant(Variant::Directed),
+        )?;
         // Schedule with free per-class power control (non-oblivious baseline).
-        let optimal = scheduler.schedule_with_power_control(instance);
+        let optimal = scheduler.solve(
+            instance,
+            &SolveRequest::power_control().with_variant(Variant::Directed),
+        )?;
 
         println!(
             "{:<10} {:>4} {:>18} {:>22}",

@@ -1,11 +1,13 @@
-//! Quickstart: build a small wireless instance, schedule it with the three
-//! classic oblivious power assignments, and print the resulting schedules.
+//! Quickstart: build a small wireless instance and schedule it through the
+//! typed job API — one `SolveRequest` per run, all consumed by the single
+//! `Scheduler::solve` entry point.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use oblisched::scheduler::Scheduler;
+use oblisched::solve::{PowerAssignment, SolveRequest};
 use oblisched_instances::{uniform_deployment, DeploymentConfig};
-use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+use oblisched_sinr::SinrParams;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -26,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Physical model: path-loss exponent α = 3, SINR threshold β = 1.
     let params = SinrParams::new(3.0, 1.0)?;
-    let scheduler = Scheduler::new(params).variant(Variant::Bidirectional);
+    let scheduler = Scheduler::new(params);
 
     println!(
         "scheduling {} bidirectional requests (α = 3, β = 1)\n",
@@ -34,39 +36,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:<28} {:>8} {:>14}",
-        "power assignment", "colors", "total energy"
+        "solve request", "colors", "total energy"
     );
-    for power in ObliviousPower::standard_assignments() {
-        let result = scheduler.schedule_with_assignment(&instance, power);
+
+    // Every run is a data value: the three classic oblivious assignments,
+    // the paper's LP-rounding algorithm (Theorem 15) and the non-oblivious
+    // power-control baseline differ only in the request.
+    let requests = [
+        SolveRequest::first_fit(PowerAssignment::Uniform),
+        SolveRequest::first_fit(PowerAssignment::Linear),
+        SolveRequest::first_fit(PowerAssignment::SquareRoot),
+        SolveRequest::sqrt_coloring(42),
+        SolveRequest::power_control(),
+    ];
+    for request in &requests {
+        let result = scheduler.solve(&instance, request)?;
         println!(
             "{:<28} {:>8} {:>14.2}",
-            result.label,
+            result.label.to_string(),
             result.num_colors(),
             result.total_energy()
         );
     }
 
-    // The paper's algorithm: LP-rounding coloring for the square-root
-    // assignment (Theorem 15).
-    let lp = scheduler.schedule_sqrt_lp(&instance, &mut rng);
-    println!(
-        "{:<28} {:>8} {:>14.2}",
-        lp.label,
-        lp.num_colors(),
-        lp.total_energy()
-    );
-
-    // Non-oblivious baseline: greedy with per-class power control.
-    let pc = scheduler.schedule_with_power_control(&instance);
-    println!(
-        "{:<28} {:>8} {:>14.2}",
-        pc.label,
-        pc.num_colors(),
-        pc.total_energy()
-    );
+    // Requests serialize — the same runs, as a JSONL-ready value. The
+    // `jobs` binary in `oblisched_bench` consumes whole files of these.
+    let as_json = serde_json::to_string(&requests[2])?;
+    println!("\nthe square-root run as a job line:\n  {as_json}");
 
     // Show one schedule in detail.
-    let result = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
+    let result = scheduler.solve(
+        &instance,
+        &SolveRequest::first_fit(PowerAssignment::SquareRoot),
+    )?;
     println!("\nsquare-root schedule ({} colors):", result.num_colors());
     for (color, class) in result.schedule.classes().iter().enumerate() {
         println!("  slot {color}: requests {class:?}");

@@ -5,10 +5,11 @@
 //! decomposition-based schedulers are noticeably faster in release mode).
 
 use oblisched::scheduler::Scheduler;
+use oblisched::solve::{PowerAssignment, SolveRequest};
 use oblisched_instances::{clustered_deployment, DeploymentConfig};
 use oblisched_metric::aspect_ratio;
 use oblisched_sinr::measure::instance_stats;
-use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+use oblisched_sinr::SinrParams;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -42,47 +43,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.in_interference
     );
 
-    let scheduler = Scheduler::new(params).variant(Variant::Bidirectional);
+    let scheduler = Scheduler::new(params);
     println!("{:<28} {:>8} {:>14}", "scheduler", "colors", "total energy");
 
-    for power in [
-        ObliviousPower::Uniform,
-        ObliviousPower::Linear,
-        ObliviousPower::SquareRoot,
-        ObliviousPower::Exponent(0.75),
-    ] {
-        let result = scheduler.schedule_with_assignment(&instance, power);
+    // Every scheduler in the crate, expressed as data: oblivious first-fit
+    // across four assignments, the paper's two sqrt algorithms, and the
+    // non-oblivious power-control baseline.
+    let requests = [
+        SolveRequest::first_fit(PowerAssignment::Uniform),
+        SolveRequest::first_fit(PowerAssignment::Linear),
+        SolveRequest::first_fit(PowerAssignment::SquareRoot),
+        SolveRequest::first_fit(PowerAssignment::Exponent { tau: 0.75 }),
+        SolveRequest::sqrt_coloring(7),
+        SolveRequest::sqrt_decomposition(7),
+        SolveRequest::power_control(),
+    ];
+    for request in &requests {
+        let result = scheduler.solve(&instance, request)?;
         println!(
             "{:<28} {:>8} {:>14.2}",
-            result.label,
+            result.label.to_string(),
             result.num_colors(),
             result.total_energy()
         );
     }
-
-    let lp = scheduler.schedule_sqrt_lp(&instance, &mut rng);
-    println!(
-        "{:<28} {:>8} {:>14.2}",
-        lp.label,
-        lp.num_colors(),
-        lp.total_energy()
-    );
-
-    let decomposition = scheduler.schedule_sqrt_decomposition(&instance, &mut rng);
-    println!(
-        "{:<28} {:>8} {:>14.2}",
-        decomposition.label,
-        decomposition.num_colors(),
-        decomposition.total_energy()
-    );
-
-    let pc = scheduler.schedule_with_power_control(&instance);
-    println!(
-        "{:<28} {:>8} {:>14.2}",
-        pc.label,
-        pc.num_colors(),
-        pc.total_energy()
-    );
 
     println!(
         "\nthe square-root assignment trades a little extra energy (compared to linear) for a\n\

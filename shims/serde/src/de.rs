@@ -275,6 +275,46 @@ pub trait VariantAccess<'de>: Sized {
 
     /// Deserializes a single-value payload.
     fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error>;
+
+    /// Deserializes a named-fields payload, driving `visitor` with map
+    /// access over the variant's fields.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// A deserializer representing a field that was absent from the input: every
+/// shape errors with [`Error::missing_field`], except options, which
+/// deserialize to `None`. This is what lets derived structs treat missing
+/// `Option` fields as `None` instead of rejecting the document.
+pub struct MissingFieldDeserializer<E> {
+    field: &'static str,
+    marker: std::marker::PhantomData<fn() -> E>,
+}
+
+impl<E> MissingFieldDeserializer<E> {
+    /// Creates the deserializer for the named missing field.
+    pub fn new(field: &'static str) -> Self {
+        Self {
+            field,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for MissingFieldDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, E> {
+        let _ = self.marker;
+        Err(E::missing_field(self.field))
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+        visitor.visit_none()
+    }
 }
 
 /// A value that deserializes from anything and stores nothing; used to skip

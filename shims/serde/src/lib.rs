@@ -4,9 +4,12 @@
 //! The build environment has no access to crates.io, so the workspace vendors
 //! a small, API-compatible serialization framework: the [`Serialize`] /
 //! [`Deserialize`] traits with a reduced data model (booleans, integers,
-//! floats, strings, options, sequences, maps, structs, and unit/newtype enum
-//! variants), visitor-based deserialization, and derive macros for structs
-//! with named fields and for enums with unit or newtype variants.
+//! floats, strings, options, sequences, maps, structs, and
+//! unit/newtype/struct enum variants), visitor-based deserialization, and
+//! derive macros for structs with named fields and for enums with unit,
+//! newtype or named-field variants. Missing `Option` fields deserialize to
+//! `None` (other missing fields are errors), matching serde's behaviour
+//! under `#[serde(default)]`-free derives closely enough for this workspace.
 //!
 //! Compared to real serde there is no zero-copy deserialization, no `*_seed`
 //! API, and no `#[serde(...)]` attribute support — none of which the

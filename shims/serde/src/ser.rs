@@ -25,6 +25,8 @@ pub trait Serializer: Sized {
     type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
     /// The sub-serializer for structs.
     type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// The sub-serializer for struct enum variants.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
 
     /// Serializes a boolean.
     fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
@@ -65,6 +67,14 @@ pub trait Serializer: Sized {
         variant: &'static str,
         value: &T,
     ) -> Result<Self::Ok, Self::Error>;
+    /// Begins serializing a struct enum variant with `len` named fields.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
 }
 
 /// Incremental serialization of a sequence.
@@ -77,6 +87,23 @@ pub trait SerializeSeq {
     /// Serializes one element.
     fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
     /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental serialization of a struct enum variant.
+pub trait SerializeStructVariant {
+    /// The output produced on success.
+    type Ok;
+    /// The error type of the format.
+    type Error: Error;
+
+    /// Serializes one named field of the variant.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the variant.
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }
 

@@ -4,7 +4,11 @@
 //! shapes this workspace actually uses:
 //!
 //! * structs with named fields (including type- and const-generic structs),
-//! * enums whose variants are units or carry a single unnamed payload.
+//! * enums whose variants are units, carry a single unnamed payload, or
+//!   carry named fields (struct variants).
+//!
+//! Missing `Option` fields deserialize to `None` (via the `serde` shim's
+//! `MissingFieldDeserializer`); all other missing fields are errors.
 //!
 //! The macro is written against `proc_macro` directly (no `syn`/`quote`,
 //! which are unavailable offline): the item is scanned for its name, generic
@@ -23,8 +27,19 @@ enum Item {
     Enum {
         name: String,
         generics: Vec<Param>,
-        variants: Vec<(String, bool)>,
+        variants: Vec<(String, VariantKind)>,
     },
+}
+
+/// The payload shape of one enum variant.
+#[derive(Debug)]
+enum VariantKind {
+    /// No payload.
+    Unit,
+    /// A single unnamed payload (`Variant(T)`).
+    Newtype,
+    /// Named fields (`Variant { a: T, b: U }`).
+    Struct(Vec<String>),
 }
 
 /// One generic parameter of the deriving type.
@@ -294,8 +309,8 @@ fn parse_fields(body: TokenStream) -> Vec<String> {
     fields
 }
 
-/// Extracts `(name, has_payload)` pairs from the body of an enum.
-fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
+/// Extracts `(name, kind)` pairs from the body of an enum.
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantKind)> {
     let mut p = Parser::new(body);
     let mut variants = Vec::new();
     loop {
@@ -304,7 +319,7 @@ fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
             break;
         }
         let name = p.expect_ident("variant name");
-        let mut has_payload = false;
+        let mut kind = VariantKind::Unit;
         if let Some(TokenTree::Group(g)) = p.peek() {
             match g.delimiter() {
                 Delimiter::Parenthesis => {
@@ -312,21 +327,22 @@ fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
                     let parts = split_top_level_commas(&inner);
                     if parts.len() != 1 {
                         panic!(
-                            "serde_derive shim: variant `{name}` has {} payload fields; only \
-                             newtype variants are supported",
+                            "serde_derive shim: variant `{name}` has {} unnamed payload fields; \
+                             only newtype tuple variants are supported",
                             parts.len()
                         );
                     }
-                    has_payload = true;
+                    kind = VariantKind::Newtype;
                     p.next();
                 }
                 Delimiter::Brace => {
-                    panic!("serde_derive shim: struct variants (`{name}`) are not supported")
+                    kind = VariantKind::Struct(parse_fields(g.stream()));
+                    p.next();
                 }
                 _ => {}
             }
         }
-        variants.push((name, has_payload));
+        variants.push((name, kind));
         // Skip anything up to the separating comma (e.g. discriminants).
         loop {
             match p.next() {
@@ -337,6 +353,43 @@ fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
         }
     }
     variants
+}
+
+/// Generates a `visit_map` method that collects the named `fields` and
+/// builds `value_path { ... }`. Missing fields fall back to the `serde`
+/// shim's `MissingFieldDeserializer`, so absent `Option` fields become
+/// `None` while any other absent field reports `missing field`.
+fn visit_map_method(value_path: &str, fields: &[String]) -> String {
+    let mut decls = String::new();
+    let mut arms = String::new();
+    let mut build = String::new();
+    for (index, field) in fields.iter().enumerate() {
+        decls.push_str(&format!(
+            "let mut __field{index} = ::std::option::Option::None;\n"
+        ));
+        arms.push_str(&format!(
+            "\"{field}\" => {{ __field{index} = \
+             ::std::option::Option::Some(__map.next_value()?); }}\n"
+        ));
+        build.push_str(&format!(
+            "{field}: match __field{index} {{\n\
+             ::std::option::Option::Some(__v) => __v,\n\
+             ::std::option::Option::None => ::serde::Deserialize::deserialize(\
+             ::serde::de::MissingFieldDeserializer::new(\"{field}\"))?,\n}},\n"
+        ));
+    }
+    format!(
+        "fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+         -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+         {decls}\
+         while let ::std::option::Option::Some(__key) = \
+         __map.next_key::<::std::string::String>()? {{\n\
+         match __key.as_str() {{\n\
+         {arms}\
+         _ => {{ let _ = __map.next_value::<::serde::de::IgnoredAny>()?; }}\n\
+         }}\n}}\n\
+         ::std::result::Result::Ok({value_path} {{\n{build}}})\n}}\n"
+    )
 }
 
 fn wrap_impl_generics(inner: &str, extra_first: Option<&str>) -> String {
@@ -375,19 +428,43 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         }
         Item::Enum { variants, .. } => {
             let mut arms = String::new();
-            for (index, (variant, has_payload)) in variants.iter().enumerate() {
-                if *has_payload {
-                    arms.push_str(&format!(
-                        "{name}::{variant}(ref __value) => \
-                         ::serde::Serializer::serialize_newtype_variant(__serializer, \
-                         \"{name}\", {index}u32, \"{variant}\", __value),\n"
-                    ));
-                } else {
-                    arms.push_str(&format!(
-                        "{name}::{variant} => \
-                         ::serde::Serializer::serialize_unit_variant(__serializer, \
-                         \"{name}\", {index}u32, \"{variant}\"),\n"
-                    ));
+            for (index, (variant, kind)) in variants.iter().enumerate() {
+                match kind {
+                    VariantKind::Newtype => {
+                        arms.push_str(&format!(
+                            "{name}::{variant}(ref __value) => \
+                             ::serde::Serializer::serialize_newtype_variant(__serializer, \
+                             \"{name}\", {index}u32, \"{variant}\", __value),\n"
+                        ));
+                    }
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{variant} => \
+                             ::serde::Serializer::serialize_unit_variant(__serializer, \
+                             \"{name}\", {index}u32, \"{variant}\"),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| format!("ref {f}")).collect();
+                        let mut body = format!(
+                            "let mut __state = \
+                             ::serde::Serializer::serialize_struct_variant(__serializer, \
+                             \"{name}\", {index}u32, \"{variant}\", {}usize)?;\n",
+                            fields.len()
+                        );
+                        for field in fields {
+                            body.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __state, \"{field}\", {field})?;\n"
+                            ));
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(__state)\n");
+                        arms.push_str(&format!(
+                            "{name}::{variant} {{ {} }} => {{\n{body}}}\n",
+                            bindings.join(", ")
+                        ));
+                    }
                 }
             }
             format!("match *self {{\n{arms}}}\n")
@@ -430,60 +507,59 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let ty_generics = item.ty_generics();
     let phantom_ty = format!("::std::marker::PhantomData<fn() -> {name}{ty_generics}>");
 
-    let (visit_method, driver) = match &item {
+    let (prelude, visit_method, driver) = match &item {
         Item::Struct { fields, .. } => {
-            let mut decls = String::new();
-            let mut arms = String::new();
-            let mut build = String::new();
-            for (index, field) in fields.iter().enumerate() {
-                decls.push_str(&format!(
-                    "let mut __field{index} = ::std::option::Option::None;\n"
-                ));
-                arms.push_str(&format!(
-                    "\"{field}\" => {{ __field{index} = \
-                     ::std::option::Option::Some(__map.next_value()?); }}\n"
-                ));
-                build.push_str(&format!(
-                    "{field}: match __field{index} {{\n\
-                     ::std::option::Option::Some(__v) => __v,\n\
-                     ::std::option::Option::None => return ::std::result::Result::Err(\
-                     <__A::Error as ::serde::de::Error>::missing_field(\"{field}\")),\n}},\n"
-                ));
-            }
-            let visit = format!(
-                "fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
-                 -> ::std::result::Result<Self::Value, __A::Error> {{\n\
-                 {decls}\
-                 while let ::std::option::Option::Some(__key) = \
-                 __map.next_key::<::std::string::String>()? {{\n\
-                 match __key.as_str() {{\n\
-                 {arms}\
-                 _ => {{ let _ = __map.next_value::<::serde::de::IgnoredAny>()?; }}\n\
-                 }}\n}}\n\
-                 ::std::result::Result::Ok({name} {{\n{build}}})\n}}\n"
-            );
+            let visit = visit_map_method(name, fields);
             let field_list: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
             let driver = format!(
                 "::serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", \
                  &[{}], __Visitor(::std::marker::PhantomData))",
                 field_list.join(", ")
             );
-            (visit, driver)
+            (String::new(), visit, driver)
         }
         Item::Enum { variants, .. } => {
+            // Struct variants get a dedicated map visitor each, declared
+            // alongside the main enum visitor.
+            let mut prelude = String::new();
             let mut arms = String::new();
-            for (variant, has_payload) in variants {
-                if *has_payload {
-                    arms.push_str(&format!(
-                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}(\
-                         ::serde::de::VariantAccess::newtype_variant(__payload)?)),\n"
-                    ));
-                } else {
-                    arms.push_str(&format!(
-                        "\"{variant}\" => {{ \
-                         ::serde::de::VariantAccess::unit_variant(__payload)?; \
-                         ::std::result::Result::Ok({name}::{variant}) }}\n"
-                    ));
+            for (index, (variant, kind)) in variants.iter().enumerate() {
+                match kind {
+                    VariantKind::Newtype => {
+                        arms.push_str(&format!(
+                            "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}(\
+                             ::serde::de::VariantAccess::newtype_variant(__payload)?)),\n"
+                        ));
+                    }
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "\"{variant}\" => {{ \
+                             ::serde::de::VariantAccess::unit_variant(__payload)?; \
+                             ::std::result::Result::Ok({name}::{variant}) }}\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let visit = visit_map_method(&format!("{name}::{variant}"), fields);
+                        prelude.push_str(&format!(
+                            "struct __VariantVisitor{index}{visitor_decl_generics}({phantom_ty});\n\
+                             impl{impl_generics} ::serde::de::Visitor<'de> for \
+                             __VariantVisitor{index}{ty_generics} {{\n\
+                             type Value = {name}{ty_generics};\n\
+                             fn expecting(&self, __formatter: &mut ::std::fmt::Formatter<'_>) \
+                             -> ::std::fmt::Result {{\n\
+                             __formatter.write_str(\"struct variant {name}::{variant}\")\n}}\n\
+                             {visit}\
+                             }}\n"
+                        ));
+                        let field_list: Vec<String> =
+                            fields.iter().map(|f| format!("\"{f}\"")).collect();
+                        arms.push_str(&format!(
+                            "\"{variant}\" => ::serde::de::VariantAccess::struct_variant(\
+                             __payload, &[{}], \
+                             __VariantVisitor{index}(::std::marker::PhantomData)),\n",
+                            field_list.join(", ")
+                        ));
+                    }
                 }
             }
             let variant_list: Vec<String> =
@@ -503,7 +579,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 "::serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", \
                  &[{variant_list}], __Visitor(::std::marker::PhantomData))"
             );
-            (visit, driver)
+            (prelude, visit, driver)
         }
     };
 
@@ -511,6 +587,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         "impl{impl_generics} ::serde::Deserialize<'de> for {name}{ty_generics} {{\n\
          fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
          -> ::std::result::Result<Self, __D::Error> {{\n\
+         {prelude}\
          struct __Visitor{visitor_decl_generics}({phantom_ty});\n\
          impl{impl_generics} ::serde::de::Visitor<'de> for __Visitor{ty_generics} {{\n\
          type Value = {name}{ty_generics};\n\

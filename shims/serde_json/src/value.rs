@@ -41,11 +41,17 @@ pub struct StructSerializer {
     entries: Vec<(String, Value)>,
 }
 
+pub struct StructVariantSerializer {
+    variant: &'static str,
+    entries: Vec<(String, Value)>,
+}
+
 impl Serializer for ValueSerializer {
     type Ok = Value;
     type Error = Error;
     type SerializeSeq = SeqSerializer;
     type SerializeStruct = StructSerializer;
+    type SerializeStructVariant = StructVariantSerializer;
 
     fn serialize_bool(self, v: bool) -> Result<Value, Error> {
         Ok(Value::Bool(v))
@@ -115,6 +121,41 @@ impl Serializer for ValueSerializer {
     ) -> Result<Value, Error> {
         let payload = value.serialize(ValueSerializer)?;
         Ok(Value::Object(vec![(variant.to_owned(), payload)]))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<StructVariantSerializer, Error> {
+        Ok(StructVariantSerializer {
+            variant,
+            entries: Vec::with_capacity(len),
+        })
+    }
+}
+
+impl ser::SerializeStructVariant for StructVariantSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entries
+            .push((key.to_owned(), value.serialize(ValueSerializer)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(vec![(
+            self.variant.to_owned(),
+            Value::Object(self.entries),
+        )]))
     }
 }
 
@@ -315,6 +356,23 @@ impl<'de> de::VariantAccess<'de> for VariantAccess {
         match self.payload {
             Some(v) => T::deserialize(ValueDeserializer(v)),
             None => Err(Error::new("missing payload for newtype variant")),
+        }
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        match self.payload {
+            Some(Value::Object(entries)) => visitor.visit_map(MapAccess {
+                iter: entries.into_iter(),
+                value: None,
+            }),
+            Some(other) => Err(Error::new(format!(
+                "expected object payload for struct variant, found {other:?}"
+            ))),
+            None => Err(Error::new("missing payload for struct variant")),
         }
     }
 }

@@ -3,6 +3,7 @@
 //! validation.
 
 use oblisched::scheduler::Scheduler;
+use oblisched::solve::{BackendPolicy, PowerAssignment, SolveRequest};
 use oblisched::{first_fit_coloring, sqrt_coloring, SqrtColoringConfig};
 use oblisched_instances::{
     adversarial_for, clustered_deployment, nested_chain, uniform_deployment, DeploymentConfig,
@@ -27,16 +28,20 @@ fn every_scheduler_produces_valid_schedules_on_a_random_deployment() {
         },
         &mut rng,
     );
-    let scheduler = Scheduler::new(params()).variant(Variant::Bidirectional);
+    let scheduler = Scheduler::new(params());
 
-    let results = vec![
-        scheduler.schedule_with_assignment(&instance, ObliviousPower::Uniform),
-        scheduler.schedule_with_assignment(&instance, ObliviousPower::Linear),
-        scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot),
-        scheduler.schedule_sqrt_lp(&instance, &mut rng),
-        scheduler.schedule_sqrt_decomposition(&instance, &mut rng),
-        scheduler.schedule_with_power_control(&instance),
+    let requests = [
+        SolveRequest::first_fit(PowerAssignment::Uniform).with_backend(BackendPolicy::Exact),
+        SolveRequest::first_fit(PowerAssignment::Linear).with_backend(BackendPolicy::Exact),
+        SolveRequest::first_fit(PowerAssignment::SquareRoot).with_backend(BackendPolicy::Exact),
+        SolveRequest::sqrt_coloring(1),
+        SolveRequest::sqrt_decomposition(1),
+        SolveRequest::power_control(),
     ];
+    let results: Vec<_> = requests
+        .iter()
+        .map(|request| scheduler.solve(&instance, request).unwrap())
+        .collect();
     for result in &results {
         // Each result is internally validated; independently re-validate here
         // with a fresh evaluator built from the returned powers.
@@ -62,18 +67,36 @@ fn the_paper_headline_results_hold_end_to_end() {
     // Theorem 1 (directed): the adversarial instance forces ~n colors for its
     // target assignment, while power control stays constant.
     let adv = adversarial_for(&ObliviousPower::Linear, &p, 10);
-    let directed = Scheduler::new(p).variant(Variant::Directed);
-    let oblivious = directed.schedule_with_assignment(adv.instance(), ObliviousPower::Linear);
-    let optimal = directed.schedule_with_power_control(adv.instance());
+    let scheduler = Scheduler::new(p);
+    let directed_first_fit = |assignment| {
+        SolveRequest::first_fit(assignment)
+            .with_backend(BackendPolicy::Exact)
+            .with_variant(Variant::Directed)
+    };
+    let oblivious = scheduler
+        .solve(adv.instance(), &directed_first_fit(PowerAssignment::Linear))
+        .unwrap();
+    let optimal = scheduler
+        .solve(
+            adv.instance(),
+            &SolveRequest::power_control().with_variant(Variant::Directed),
+        )
+        .unwrap();
     assert_eq!(oblivious.num_colors(), 10);
     assert!(optimal.num_colors() <= 4);
 
     // §1.2 / Theorem 2 (bidirectional): on the nested chain the square-root
     // assignment needs a constant number of colors, uniform needs n.
     let chain = nested_chain(16, 2.0);
-    let bidirectional = Scheduler::new(p);
-    let uniform = bidirectional.schedule_with_assignment(&chain, ObliviousPower::Uniform);
-    let sqrt = bidirectional.schedule_with_assignment(&chain, ObliviousPower::SquareRoot);
+    let uniform = scheduler
+        .solve(&chain, &SolveRequest::first_fit(PowerAssignment::Uniform))
+        .unwrap();
+    let sqrt = scheduler
+        .solve(
+            &chain,
+            &SolveRequest::first_fit(PowerAssignment::SquareRoot),
+        )
+        .unwrap();
     assert_eq!(uniform.num_colors(), 16);
     assert!(sqrt.num_colors() <= 6);
 
@@ -125,8 +148,10 @@ fn schedules_survive_extreme_model_parameters() {
     for (alpha, beta) in [(1.0, 0.1), (2.0, 1.0), (5.0, 3.0)] {
         let p = SinrParams::new(alpha, beta).unwrap();
         let scheduler = Scheduler::new(p);
-        for power in ObliviousPower::standard_assignments() {
-            let result = scheduler.schedule_with_assignment(&instance, power);
+        for assignment in PowerAssignment::standard() {
+            let result = scheduler
+                .solve(&instance, &SolveRequest::first_fit(assignment))
+                .unwrap();
             assert_eq!(result.schedule.len(), 12);
         }
     }

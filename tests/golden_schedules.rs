@@ -7,14 +7,13 @@
 //! regenerate `tests/golden/schedules.txt` after an *intentional* behaviour
 //! change (and justify the diff in the PR).
 
+use oblisched::solve::{BackendPolicy, SolveRequest};
 use oblisched::{first_fit_coloring, Scheduler};
 use oblisched_instances::{
     adversarial_for, evenly_spaced_line, exponential_line, max_supported_n, nested_chain,
     scaling_clustered, scaling_line, scaling_uniform,
 };
 use oblisched_sinr::{ObliviousPower, PowerScheme, SinrParams, Variant};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::path::PathBuf;
 
 fn params() -> SinrParams {
@@ -47,26 +46,37 @@ fn generate() -> Vec<String> {
         }
     }
 
-    // Random scaling families (Euclidean metric), bidirectional facade runs.
+    // Random scaling families (Euclidean metric), bidirectional facade runs
+    // through the typed job API.
     for (name, instance) in [
         ("scaling_uniform/64:42", scaling_uniform(64, 42)),
         ("scaling_clustered/64:7", scaling_clustered(64, 7)),
     ] {
         let scheduler = Scheduler::new(p);
         for power in ObliviousPower::standard_assignments() {
-            let result = scheduler.schedule_with_assignment(&instance, power);
+            let result = scheduler
+                .solve(
+                    &instance,
+                    &SolveRequest::first_fit(power.into()).with_backend(BackendPolicy::Exact),
+                )
+                .unwrap();
             lines.push(format!(
                 "{name} {} colors={}",
                 result.label,
                 result.num_colors()
             ));
         }
-        let pc = scheduler.schedule_with_power_control(&instance);
+        let pc = scheduler
+            .solve(&instance, &SolveRequest::power_control())
+            .unwrap();
         lines.push(format!("{name} {} colors={}", pc.label, pc.num_colors()));
-        let mut rng = ChaCha8Rng::seed_from_u64(2029);
-        let lp = scheduler.schedule_sqrt_lp(&instance, &mut rng);
+        let lp = scheduler
+            .solve(&instance, &SolveRequest::sqrt_coloring(2029))
+            .unwrap();
         lines.push(format!("{name} {} colors={}", lp.label, lp.num_colors()));
-        let dec = scheduler.schedule_sqrt_decomposition(&instance, &mut rng);
+        let dec = scheduler
+            .solve(&instance, &SolveRequest::sqrt_decomposition(2029))
+            .unwrap();
         lines.push(format!("{name} {} colors={}", dec.label, dec.num_colors()));
     }
 
@@ -75,9 +85,21 @@ fn generate() -> Vec<String> {
     for power in ObliviousPower::standard_assignments() {
         let n = max_supported_n(&power, &p).min(8);
         let adv = adversarial_for(&power, &p, n);
-        let scheduler = Scheduler::new(p).variant(Variant::Directed);
-        let oblivious = scheduler.schedule_with_assignment(adv.instance(), power);
-        let pc = scheduler.schedule_with_power_control(adv.instance());
+        let scheduler = Scheduler::new(p);
+        let oblivious = scheduler
+            .solve(
+                adv.instance(),
+                &SolveRequest::first_fit(power.into())
+                    .with_backend(BackendPolicy::Exact)
+                    .with_variant(Variant::Directed),
+            )
+            .unwrap();
+        let pc = scheduler
+            .solve(
+                adv.instance(),
+                &SolveRequest::power_control().with_variant(Variant::Directed),
+            )
+            .unwrap();
         lines.push(format!(
             "adversarial[{}]/{n} oblivious colors={} power-control colors={}",
             power.name(),

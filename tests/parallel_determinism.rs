@@ -4,6 +4,7 @@
 //! sparse-tier schedule stays conservative against the naive evaluator.
 
 use oblisched::scheduler::{EngineBackend, Scheduler};
+use oblisched::solve::{BackendPolicy, PowerAssignment, SolveRequest};
 use oblisched::{first_fit_coloring, parallel_first_fit, tile_shards, ParallelConfig};
 use oblisched_instances::{scaling_clustered, scaling_uniform};
 use oblisched_sinr::{
@@ -89,14 +90,15 @@ fn facade_auto_selects_backend_by_budget_and_reports_it() {
     let inst = scaling_uniform(300, 3);
     let dense_bytes = GainMatrix::bytes_for(300, 2);
 
-    let roomy = Scheduler::new(p).schedule_with_assignment_auto(&inst, ObliviousPower::SquareRoot);
+    let auto = SolveRequest::first_fit(PowerAssignment::SquareRoot);
+    let roomy = Scheduler::new(p).solve(&inst, &auto).unwrap();
     assert_eq!(roomy.engine.backend, EngineBackend::Dense);
     assert_eq!(roomy.engine.bytes, dense_bytes);
     assert_eq!(roomy.engine.n, 300);
 
     let tight = Scheduler::new(p)
-        .matrix_budget(dense_bytes - 1)
-        .schedule_with_assignment_auto(&inst, ObliviousPower::SquareRoot);
+        .solve(&inst, &auto.with_matrix_budget(dense_bytes - 1))
+        .unwrap();
     assert_eq!(tight.engine.backend, EngineBackend::Sparse);
     assert!(tight.engine.bytes > 0 && tight.engine.bytes < dense_bytes);
     assert_eq!(tight.engine.dense_bytes, dense_bytes);
@@ -108,10 +110,15 @@ fn facade_auto_selects_backend_by_budget_and_reports_it() {
         "stats line: {line}"
     );
 
-    // The non-planar entry point reports its fallback too.
+    // The exact policy reports its on-the-fly fallback too.
     let uncached = Scheduler::new(p)
-        .matrix_budget(0)
-        .schedule_with_assignment(&inst, ObliviousPower::SquareRoot);
+        .solve(
+            &inst,
+            &auto
+                .with_backend(BackendPolicy::Exact)
+                .with_matrix_budget(0),
+        )
+        .unwrap();
     assert_eq!(uncached.engine.backend, EngineBackend::OnTheFly);
 
     // Dense and sparse facade runs agree on instance coverage, and the
@@ -128,10 +135,13 @@ fn facade_parallel_scheduling_is_deterministic_and_validated() {
     let inst = scaling_uniform(350, 5);
     let dense_bytes = GainMatrix::bytes_for(350, 2);
     for budget in [usize::MAX, dense_bytes - 1] {
-        let scheduler = Scheduler::new(p).matrix_budget(budget);
-        let reference = scheduler.schedule_parallel(&inst, ObliviousPower::SquareRoot, 1);
+        let scheduler = Scheduler::new(p);
+        let request = |threads| {
+            SolveRequest::parallel(PowerAssignment::SquareRoot, threads).with_matrix_budget(budget)
+        };
+        let reference = scheduler.solve(&inst, &request(1)).unwrap();
         for threads in [2usize, 8] {
-            let run = scheduler.schedule_parallel(&inst, ObliviousPower::SquareRoot, threads);
+            let run = scheduler.solve(&inst, &request(threads)).unwrap();
             assert_eq!(run.schedule, reference.schedule);
             assert_eq!(run.engine.backend, reference.engine.backend);
         }

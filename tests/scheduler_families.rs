@@ -3,13 +3,14 @@
 //! re-checked against the exact SINR checker (never the engine that produced
 //! it).
 
+use oblisched::solve::{BackendPolicy, SolveRequest};
 use oblisched::Scheduler;
 use oblisched_instances::{
     adversarial_for, clustered_deployment, evenly_spaced_line, exponential_line, max_supported_n,
     nested_chain, random_matching, scaling_clustered, scaling_line, scaling_uniform,
     uniform_deployment, DeploymentConfig,
 };
-use oblisched_metric::MetricSpace;
+use oblisched_metric::{MetricSpace, PlanarMetric};
 use oblisched_sinr::{Evaluator, Instance, ObliviousPower, PowerScheme, SinrParams, Variant};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -18,14 +19,23 @@ fn params() -> SinrParams {
     SinrParams::new(3.0, 1.0).unwrap()
 }
 
-/// Runs every scheduler entry point applicable to `variant` on the instance
-/// and validates each result with the exact checker.
-fn drive_scheduler<M: MetricSpace>(family: &str, instance: &Instance<M>, variant: Variant) {
-    let scheduler = Scheduler::new(params()).variant(variant);
+/// Runs every solve strategy applicable to `variant` on the instance and
+/// validates each result with the exact checker.
+fn drive_scheduler<M: MetricSpace + PlanarMetric + Sync>(
+    family: &str,
+    instance: &Instance<M>,
+    variant: Variant,
+) {
+    let scheduler = Scheduler::new(params());
     let n = instance.len();
 
     for power in ObliviousPower::standard_assignments() {
-        let result = scheduler.schedule_with_assignment(instance, power);
+        let request = SolveRequest::first_fit(power.into())
+            .with_backend(BackendPolicy::Exact)
+            .with_variant(variant);
+        let result = scheduler
+            .solve(instance, &request)
+            .unwrap_or_else(|e| panic!("{family}/{variant}: solve failed: {e}"));
         assert_eq!(
             result.schedule.len(),
             n,
@@ -41,10 +51,15 @@ fn drive_scheduler<M: MetricSpace>(family: &str, instance: &Instance<M>, variant
                     power.name()
                 )
             });
-        assert!(result.label.contains(&power.name()));
+        assert!(result.label.to_string().contains(&power.name()));
     }
 
-    let pc = scheduler.schedule_with_power_control(instance);
+    let pc = scheduler
+        .solve(
+            instance,
+            &SolveRequest::power_control().with_variant(variant),
+        )
+        .unwrap_or_else(|e| panic!("{family}/{variant}: power control failed: {e}"));
     assert_eq!(pc.schedule.len(), n);
     let eval = Evaluator::with_powers(instance, params(), pc.powers.clone())
         .expect("power control returns valid powers");
@@ -53,9 +68,13 @@ fn drive_scheduler<M: MetricSpace>(family: &str, instance: &Instance<M>, variant
         .unwrap_or_else(|e| panic!("{family}/{variant}: power-control schedule invalid: {e}"));
 
     if variant == Variant::Bidirectional {
-        let mut rng = ChaCha8Rng::seed_from_u64(0x5eed ^ n as u64);
-        let lp = scheduler.schedule_sqrt_lp(instance, &mut rng);
-        let dec = scheduler.schedule_sqrt_decomposition(instance, &mut rng);
+        let seed = 0x5eed ^ n as u64;
+        let lp = scheduler
+            .solve(instance, &SolveRequest::sqrt_coloring(seed))
+            .unwrap();
+        let dec = scheduler
+            .solve(instance, &SolveRequest::sqrt_decomposition(seed))
+            .unwrap();
         let eval = instance.evaluator(params(), &ObliviousPower::SquareRoot);
         for (label, result) in [("lp", lp), ("decomposition", dec)] {
             assert_eq!(result.schedule.len(), n);
@@ -146,7 +165,13 @@ fn large_scaling_instance_is_scheduled_and_exactly_checked() {
     // result.
     let instance = scaling_uniform(600, 42);
     let scheduler = Scheduler::new(params());
-    let result = scheduler.schedule_with_assignment(&instance, ObliviousPower::SquareRoot);
+    let result = scheduler
+        .solve(
+            &instance,
+            &SolveRequest::first_fit(ObliviousPower::SquareRoot.into())
+                .with_backend(BackendPolicy::Exact),
+        )
+        .unwrap();
     assert_eq!(result.schedule.len(), 600);
     let eval = instance.evaluator(params(), &ObliviousPower::SquareRoot);
     assert!(result

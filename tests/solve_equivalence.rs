@@ -1,0 +1,167 @@
+//! Acceptance test of the job-API migration: every strategy/assignment pair
+//! reachable through `Scheduler::solve` reproduces bit-for-bit the schedules
+//! of the corresponding deprecated `schedule_*` method on the seed families.
+//!
+//! The deprecated wrappers and `solve` share one implementation, so this
+//! pins the wiring (request → strategy → backend → label), not a numerical
+//! coincidence.
+
+#![allow(deprecated)]
+
+use oblisched::scheduler::{ScheduleResult, Scheduler};
+use oblisched::solve::{BackendPolicy, PowerAssignment, SolveRequest};
+use oblisched_instances::{evenly_spaced_line, nested_chain, scaling_clustered, scaling_uniform};
+use oblisched_metric::{MetricSpace, PlanarMetric};
+use oblisched_sinr::{Instance, ObliviousPower, SinrParams, Variant};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn params() -> SinrParams {
+    SinrParams::new(3.0, 1.0).unwrap()
+}
+
+fn assignments() -> [ObliviousPower; 4] {
+    [
+        ObliviousPower::Uniform,
+        ObliviousPower::Linear,
+        ObliviousPower::SquareRoot,
+        ObliviousPower::Exponent(0.75),
+    ]
+}
+
+/// Bit-for-bit equality of everything except the label structure (the
+/// legacy wrappers label custom schemes by name; the rendered string must
+/// still agree).
+fn assert_same(context: &str, solved: &ScheduleResult, legacy: &ScheduleResult) {
+    assert_eq!(solved.schedule, legacy.schedule, "{context}: schedule");
+    assert_eq!(solved.powers, legacy.powers, "{context}: powers");
+    assert_eq!(solved.engine, legacy.engine, "{context}: engine stats");
+    assert_eq!(
+        solved.label.to_string(),
+        legacy.label.to_string(),
+        "{context}: label string"
+    );
+}
+
+fn drive<M: MetricSpace + PlanarMetric + Sync>(family: &str, instance: &Instance<M>) {
+    for variant in Variant::all() {
+        let scheduler = Scheduler::new(params()).variant(variant);
+
+        // First-fit, exact tier — at the default budget (dense) and with the
+        // cache disabled (on-the-fly).
+        for power in assignments() {
+            for budget in [None, Some(0)] {
+                let scheduler = match budget {
+                    Some(b) => scheduler.matrix_budget(b),
+                    None => scheduler,
+                };
+                let mut request = SolveRequest::first_fit(power.into())
+                    .with_backend(BackendPolicy::Exact)
+                    .with_variant(variant);
+                if let Some(b) = budget {
+                    request = request.with_matrix_budget(b);
+                }
+                let solved = scheduler.solve(instance, &request).unwrap();
+                let legacy = scheduler.schedule_with_assignment(instance, power);
+                assert_same(
+                    &format!("{family}/{variant}/first-fit/{power:?}/budget {budget:?}"),
+                    &solved,
+                    &legacy,
+                );
+            }
+        }
+
+        // First-fit, auto tier — dense and forced-sparse sides of the budget.
+        for budget in [None, Some(0)] {
+            let scheduler = match budget {
+                Some(b) => scheduler.matrix_budget(b),
+                None => scheduler,
+            };
+            let mut request =
+                SolveRequest::first_fit(PowerAssignment::SquareRoot).with_variant(variant);
+            if let Some(b) = budget {
+                request = request.with_matrix_budget(b);
+            }
+            let solved = scheduler.solve(instance, &request).unwrap();
+            let legacy =
+                scheduler.schedule_with_assignment_auto(instance, ObliviousPower::SquareRoot);
+            assert_same(
+                &format!("{family}/{variant}/first-fit-auto/budget {budget:?}"),
+                &solved,
+                &legacy,
+            );
+        }
+
+        // Parallel batch scheduling across thread counts.
+        for threads in [1usize, 2] {
+            let request =
+                SolveRequest::parallel(PowerAssignment::SquareRoot, threads).with_variant(variant);
+            let solved = scheduler.solve(instance, &request).unwrap();
+            let legacy = scheduler.schedule_parallel(instance, ObliviousPower::SquareRoot, threads);
+            assert_same(
+                &format!("{family}/{variant}/parallel/{threads}t"),
+                &solved,
+                &legacy,
+            );
+        }
+
+        // Power control.
+        let solved = scheduler
+            .solve(
+                instance,
+                &SolveRequest::power_control().with_variant(variant),
+            )
+            .unwrap();
+        let legacy = scheduler.schedule_with_power_control(instance);
+        assert_same(
+            &format!("{family}/{variant}/power-control"),
+            &solved,
+            &legacy,
+        );
+
+        // The randomized sqrt strategies (bidirectional only): the request
+        // seed reproduces the wrapper fed with a fresh ChaCha8 rng.
+        if variant == Variant::Bidirectional {
+            let seed = family_seed(family);
+            let solved = scheduler
+                .solve(instance, &SolveRequest::sqrt_coloring(seed))
+                .unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let legacy = scheduler.schedule_sqrt_lp(instance, &mut rng);
+            assert_same(&format!("{family}/lp-rounding"), &solved, &legacy);
+
+            let solved = scheduler
+                .solve(instance, &SolveRequest::sqrt_decomposition(seed))
+                .unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let legacy = scheduler.schedule_sqrt_decomposition(instance, &mut rng);
+            assert_same(&format!("{family}/decomposition"), &solved, &legacy);
+        }
+    }
+}
+
+/// A per-family seed so the randomized strategies are exercised on distinct
+/// streams.
+fn family_seed(family: &str) -> u64 {
+    family.bytes().map(u64::from).sum()
+}
+
+#[test]
+fn solve_matches_the_deprecated_wrappers_on_the_nested_chain() {
+    drive("nested_chain", &nested_chain(10, 2.0));
+}
+
+#[test]
+fn solve_matches_the_deprecated_wrappers_on_the_line_family() {
+    drive("evenly_spaced_line", &evenly_spaced_line(12, 1.0, 8.0));
+}
+
+#[test]
+fn solve_matches_the_deprecated_wrappers_on_scaling_uniform() {
+    drive("scaling_uniform", &scaling_uniform(40, 42));
+}
+
+#[test]
+fn solve_matches_the_deprecated_wrappers_on_scaling_clustered() {
+    drive("scaling_clustered", &scaling_clustered(36, 7));
+}
