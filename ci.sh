@@ -28,6 +28,14 @@ echo "==> dynamic churn acceptance (release)"
 # variant of the same test.
 cargo test -q --release -p oblisched-suite --test dynamic_churn
 
+echo "==> durable recovery acceptance (release)"
+# The crash-point harness at acceptance scale: a >= 500-event on-disk WAL
+# truncated at every record boundary and every torn-line byte offset, with
+# recovery required to be bit-for-bit identical to the pre-crash scheduler
+# and certified through the naive-evaluator validate() path. The debug
+# workspace pass above covers the scaled-down variant.
+cargo test -q --release -p oblisched-suite --test durable_recovery
+
 echo "==> jobs runner smoke (JSONL golden)"
 # The typed job API end to end: run the committed smoke job file (every
 # solve strategy as data) through the `jobs` binary and diff the
@@ -43,6 +51,20 @@ else
   diff -u examples/jobs/smoke.golden.jsonl "$jobs_out"
 fi
 rm -f "$jobs_out"
+
+echo "==> durable session smoke (JSONL golden)"
+# Same convention for the durable-session job lines: each line opens an
+# on-disk WAL-backed session, crashes it mid-trace, recovers, and reports
+# `recovered_identical` — the diff fails if recovery ever stops being exact.
+sessions_out="$(mktemp)"
+cargo run -q -p oblisched_bench --bin jobs --release -- --no-timing examples/jobs/session_smoke.jsonl > "$sessions_out"
+if [ "${GOLDEN_UPDATE:-}" = "1" ]; then
+  cp "$sessions_out" examples/jobs/session_smoke.golden.jsonl
+  echo "session golden rewritten at examples/jobs/session_smoke.golden.jsonl"
+else
+  diff -u examples/jobs/session_smoke.golden.jsonl "$sessions_out"
+fi
+rm -f "$sessions_out"
 
 echo "==> scaling bench (smoke mode)"
 # Runs the engine-vs-naive speedup check end to end on small sizes so a

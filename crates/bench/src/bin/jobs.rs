@@ -2,7 +2,11 @@
 //!
 //! Reads job specs (one JSON object per line, `#` comments and blank lines
 //! skipped) from a file or stdin, runs each through `Scheduler::solve`, and
-//! writes one JSON report per line to stdout or `--out`.
+//! writes one JSON report per line to stdout or `--out`. A line with a
+//! top-level `session` key instead runs a durable-session scenario: open an
+//! on-disk WAL-backed dynamic session, replay a seed-pinned churn trace,
+//! crash at the spec's crash point, recover, and report whether recovery
+//! was bit-for-bit exact.
 //!
 //! Usage:
 //!
@@ -38,6 +42,9 @@ fn main() {
             "--help" | "-h" => {
                 println!("usage: jobs [--no-timing] [--out FILE] [JOBFILE|-]");
                 println!("reads JSONL job specs, writes JSONL reports");
+                println!(
+                    "lines with a top-level \"session\" key run durable crash/recover sessions"
+                );
                 return;
             }
             other if input_path.is_none() => input_path = Some(other.to_string()),

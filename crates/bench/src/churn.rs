@@ -3,7 +3,8 @@
 //! by experiment E10, the `churn` criterion bench, and the harness tests, so
 //! they all measure exactly the same event loop.
 
-use oblisched::dynamic::DynamicScheduler;
+use oblisched::durability::{DurabilityError, DurableScheduler, SessionStore};
+use oblisched::dynamic::{DynamicConfig, DynamicScheduler};
 use oblisched::first_fit_subset;
 use oblisched_instances::{ChurnEvent, ChurnTrace};
 use oblisched_sinr::GainBackend;
@@ -58,6 +59,76 @@ where
     sched
 }
 
+/// Replays a trace through a [`DurableScheduler`] over a fresh session in
+/// `store` — the durable counterpart of [`replay_incremental`], so E10-style
+/// traces can run with every event logged and checkpointed. The session is
+/// created with `config` and the `checkpoint_every` cadence; the final
+/// scheduler is returned still holding its store (use
+/// [`into_store`](DurableScheduler::into_store) to recover from it).
+///
+/// # Errors
+///
+/// [`DurabilityError::SessionExists`] when `store` already holds a session,
+/// plus any logging/checkpointing error.
+///
+/// # Panics
+///
+/// Same trace-consistency contract as [`replay_incremental`], and
+/// `checkpoint_every` must be at least 1.
+pub fn replay_durable<'s, S, St>(
+    system: &'s S,
+    trace: &ChurnTrace,
+    config: DynamicConfig,
+    checkpoint_every: usize,
+    store: St,
+) -> Result<DurableScheduler<'s, S, St>, DurabilityError>
+where
+    S: GainBackend + ?Sized,
+    St: SessionStore,
+{
+    replay_durable_with(system, trace, config, checkpoint_every, store, |_, _| {})
+}
+
+/// [`replay_durable`] with a hook called after every applied event, mirroring
+/// [`replay_incremental_with`].
+///
+/// # Errors
+///
+/// Same contract as [`replay_durable`].
+///
+/// # Panics
+///
+/// Same contract as [`replay_durable`].
+pub fn replay_durable_with<'s, S, St, F>(
+    system: &'s S,
+    trace: &ChurnTrace,
+    config: DynamicConfig,
+    checkpoint_every: usize,
+    store: St,
+    mut on_event: F,
+) -> Result<DurableScheduler<'s, S, St>, DurabilityError>
+where
+    S: GainBackend + ?Sized,
+    St: SessionStore,
+    F: FnMut(&DurableScheduler<'s, S, St>, usize),
+{
+    let mut session = DurableScheduler::create(system, config, checkpoint_every, store)?;
+    let mut ids = vec![None; trace.universe];
+    for (index, event) in trace.events.iter().enumerate() {
+        match *event {
+            ChurnEvent::Arrive(i) => {
+                ids[i] = Some(session.insert(i)?);
+            }
+            ChurnEvent::Depart(i) => {
+                let id = ids[i].take().expect("departures target live requests");
+                session.remove(id)?;
+            }
+        }
+        on_event(&session, index);
+    }
+    Ok(session)
+}
+
 /// Replays a trace with a full first-fit reschedule of the live set after
 /// every event — the baseline the dynamic scheduler is measured against.
 /// Returns the color count after the final event.
@@ -89,6 +160,37 @@ mod tests {
     use super::*;
     use oblisched_instances::churn_uniform;
     use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+
+    #[test]
+    fn durable_replay_matches_the_plain_replay_and_recovers() {
+        use oblisched::durability::{DurableScheduler, MemoryStore};
+        use oblisched::dynamic::DynamicConfig;
+        let (instance, trace) = churn_uniform(40, 24, 100, 5);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let config = DynamicConfig::default();
+        let mut checked = 0usize;
+        let session = replay_durable_with(
+            &view,
+            &trace,
+            config,
+            7,
+            MemoryStore::new(),
+            |session, index| {
+                assert!(session.next_seq() > index as u64);
+                checked += 1;
+            },
+        )
+        .unwrap();
+        assert_eq!(checked, trace.len());
+        let expected = replay_incremental(&view, &trace).export_state();
+        assert_eq!(session.scheduler().export_state(), expected);
+        assert!(session.snapshots_written() > (trace.len() / 7) as u64);
+        let recovered = DurableScheduler::recover(&view, session.into_store()).unwrap();
+        assert_eq!(recovered.scheduler().export_state(), expected);
+        recovered.validate().unwrap();
+    }
 
     #[test]
     fn both_replays_cover_the_same_final_live_set() {

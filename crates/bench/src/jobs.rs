@@ -34,11 +34,13 @@
 //! # Ok::<(), oblisched_bench::jobs::JobError>(())
 //! ```
 
-use oblisched::dynamic::DynamicError;
+use oblisched::durability::{DiskStore, DurabilityError, DurableScheduler};
+use oblisched::dynamic::{DynamicConfig, DynamicError};
 use oblisched::scheduler::{EngineStats, Scheduler};
-use oblisched::solve::{Algorithm, Assignment, ScheduleError, SolveRequest};
-use oblisched_instances::{build_family, Family, FamilyError, FamilyInstance};
-use oblisched_sinr::{SinrParams, Variant};
+use oblisched::solve::{Algorithm, Assignment, PowerAssignment, ScheduleError, SolveRequest};
+use oblisched_instances::{build_family, churn_trace_for, ChurnEvent, ChurnTrace};
+use oblisched_instances::{Family, FamilyError, FamilyInstance};
+use oblisched_sinr::{GainBackend, SinrParams, Variant};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::Instant;
@@ -96,6 +98,11 @@ pub enum JobError {
     Schedule(ScheduleError),
     /// A dynamic-scheduling step failed (churn-replaying runners).
     Dynamic(DynamicError),
+    /// A durable-session step failed (logging, checkpointing, recovery).
+    Durability(DurabilityError),
+    /// The job spec is self-inconsistent (e.g. a session whose target live
+    /// count exceeds its universe).
+    Spec(String),
     /// A JSONL line failed to parse or serialize.
     Json(serde_json::Error),
     /// Reading the job file or writing the report failed.
@@ -108,6 +115,8 @@ impl fmt::Display for JobError {
             JobError::Family(e) => write!(f, "cannot build instance: {e}"),
             JobError::Schedule(e) => write!(f, "solve failed: {e}"),
             JobError::Dynamic(e) => write!(f, "dynamic scheduling failed: {e}"),
+            JobError::Durability(e) => write!(f, "durable session failed: {e}"),
+            JobError::Spec(detail) => write!(f, "inconsistent job spec: {detail}"),
             JobError::Json(e) => write!(f, "bad JSONL: {e}"),
             JobError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -120,9 +129,17 @@ impl std::error::Error for JobError {
             JobError::Family(e) => Some(e),
             JobError::Schedule(e) => Some(e),
             JobError::Dynamic(e) => Some(e),
+            JobError::Durability(e) => Some(e),
+            JobError::Spec(_) => None,
             JobError::Json(e) => Some(e),
             JobError::Io(e) => Some(e),
         }
+    }
+}
+
+impl From<DurabilityError> for JobError {
+    fn from(e: DurabilityError) -> JobError {
+        JobError::Durability(e)
     }
 }
 
@@ -186,8 +203,237 @@ pub fn run_job(spec: &JobSpec) -> Result<JobReport, JobError> {
     })
 }
 
+/// A durable-session job line: `{"session": {...}}`. The top-level `session`
+/// key is what distinguishes a session line from a plain [`JobSpec`] line in
+/// a JSONL job document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionJob {
+    /// The session scenario to run.
+    pub session: SessionSpec,
+}
+
+/// A durable-session scenario: open a named on-disk session over a family
+/// instance, replay a seed-pinned churn trace into it, *crash* after
+/// `crash_after` events (drop the session, keeping only the files), recover,
+/// verify the recovered coloring is bit-for-bit the pre-crash state, and
+/// finish the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Session name (also the on-disk directory name under the temp dir);
+    /// letters, digits, `-` and `_` only.
+    pub name: String,
+    /// The generator family of the universe instance.
+    pub family: Family,
+    /// Number of requests in the universe.
+    pub n: usize,
+    /// Seed of the family *and* of the churn trace.
+    pub seed: u64,
+    /// The oblivious power assignment the session schedules under.
+    pub assignment: PowerAssignment,
+    /// The problem variant.
+    pub variant: Variant,
+    /// Live-count target of the churn trace.
+    pub target_live: usize,
+    /// Number of churn events to replay in total.
+    pub num_events: usize,
+    /// Crash point: events applied before the simulated crash (clamped to
+    /// `num_events`).
+    pub crash_after: usize,
+    /// Snapshot cadence of the session (events per checkpoint).
+    pub checkpoint_every: usize,
+    /// SINR model parameters; `None` uses the harness defaults.
+    pub params: Option<SinrParams>,
+}
+
+/// The outcome of a [`SessionSpec`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Session name (echoed from the spec).
+    pub name: String,
+    /// The family the session ran on.
+    pub family: Family,
+    /// Universe size.
+    pub n: usize,
+    /// Seed of the family and trace.
+    pub seed: u64,
+    /// Always [`Algorithm::DynamicFirstFit`] — sessions run the online
+    /// first-fit of the dynamic scheduler.
+    pub algorithm: Algorithm,
+    /// The power assignment.
+    pub assignment: Assignment,
+    /// The problem variant.
+    pub variant: Variant,
+    /// Events replayed (the full trace, across crash and recovery).
+    pub events: usize,
+    /// The crash point actually used (after clamping).
+    pub crash_after: usize,
+    /// Snapshot cadence.
+    pub checkpoint_every: usize,
+    /// Whether recovery reproduced the pre-crash coloring bit-for-bit.
+    pub recovered_identical: bool,
+    /// WAL records written over the session's lifetime.
+    pub wal_records: u64,
+    /// Snapshots written over the session's lifetime (both phases).
+    pub snapshots: u64,
+    /// Live requests after the final event.
+    pub live: usize,
+    /// Colors in use after the final event.
+    pub colors: usize,
+    /// Wall time of the full scenario in milliseconds (`0` when timing is
+    /// redacted).
+    pub wall_ms: f64,
+}
+
+/// What the generic event loop hands back to [`run_session`].
+struct SessionOutcome {
+    recovered_identical: bool,
+    wal_records: u64,
+    snapshots: u64,
+    live: usize,
+    colors: usize,
+}
+
+/// Applies a slice of churn events to a durable session, resolving departure
+/// items to live ids through the scheduler's own owner map.
+fn apply_session_events<S: GainBackend + ?Sized>(
+    session: &mut DurableScheduler<'_, S, DiskStore>,
+    events: &[ChurnEvent],
+) -> Result<(), JobError> {
+    for event in events {
+        match *event {
+            ChurnEvent::Arrive(i) => {
+                session.insert(i)?;
+            }
+            ChurnEvent::Depart(i) => {
+                let id = session
+                    .scheduler()
+                    .id_of_item(i)
+                    .ok_or_else(|| JobError::Spec(format!("departure of dead request {i}")))?;
+                session.remove(id)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The session event loop, generic over the metric space: create the on-disk
+/// session, replay the prefix, crash (drop the handle), recover from disk,
+/// verify bit-for-bit equality with the pre-crash state, finish the trace.
+fn run_session_events<S: GainBackend + ?Sized>(
+    view: &S,
+    spec: &SessionSpec,
+    trace: &ChurnTrace,
+    crash_after: usize,
+) -> Result<SessionOutcome, JobError> {
+    let config = DynamicConfig::default();
+    let dir = std::env::temp_dir()
+        .join("oblisched-sessions")
+        .join(format!("{}-{}", spec.name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 1: a fresh session, every event logged, crash after the prefix.
+    let store = DiskStore::open(&dir)?;
+    let mut session = DurableScheduler::create(view, config, spec.checkpoint_every, store)?;
+    apply_session_events(&mut session, &trace.events[..crash_after])?;
+    let pre_crash = session.scheduler().export_state();
+    let mut snapshots = session.snapshots_written();
+    drop(session);
+
+    // Phase 2: recover from the files alone and finish the trace.
+    let store = DiskStore::open(&dir)?;
+    let mut session = DurableScheduler::recover(view, store)?;
+    let recovered_identical = session.scheduler().export_state() == pre_crash;
+    session.validate()?;
+    apply_session_events(&mut session, &trace.events[crash_after..])?;
+    session.checkpoint()?;
+    session.validate()?;
+    snapshots += session.snapshots_written();
+    let outcome = SessionOutcome {
+        recovered_identical,
+        wal_records: session.next_seq(),
+        snapshots,
+        live: session.scheduler().len(),
+        colors: session.scheduler().num_colors(),
+    };
+    drop(session);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(outcome)
+}
+
+/// Runs a durable-session scenario: build the family instance, replay the
+/// seed-pinned churn trace through an on-disk [`DurableScheduler`], crash at
+/// the spec's crash point, recover, and report whether recovery was
+/// bit-for-bit exact (plus log/snapshot counts and the final coloring).
+///
+/// # Errors
+///
+/// [`JobError::Spec`] on an inconsistent spec, [`JobError::Family`] when the
+/// instance cannot be built, [`JobError::Durability`] /
+/// [`JobError::Dynamic`] when the session fails.
+pub fn run_session(spec: &SessionSpec) -> Result<SessionReport, JobError> {
+    if spec.name.is_empty()
+        || !spec
+            .name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(JobError::Spec(format!(
+            "session name {:?} must be non-empty and use only letters, digits, '-', '_'",
+            spec.name
+        )));
+    }
+    if spec.target_live > spec.n {
+        return Err(JobError::Spec(format!(
+            "target_live {} exceeds the universe size {}",
+            spec.target_live, spec.n
+        )));
+    }
+    if spec.checkpoint_every == 0 {
+        return Err(JobError::Spec("checkpoint_every must be at least 1".into()));
+    }
+    let params = spec.params.unwrap_or_default();
+    let instance = build_family(spec.family, spec.n, spec.seed)?;
+    let power = spec.assignment.scheme();
+    let trace = churn_trace_for(spec.n, spec.target_live, spec.num_events, spec.seed);
+    let crash_after = spec.crash_after.min(trace.len());
+    let start = Instant::now();
+    let outcome = match &instance {
+        FamilyInstance::Planar(inst) => {
+            let eval = inst.evaluator(params, &power);
+            let view = eval.view(spec.variant);
+            run_session_events(&view, spec, &trace, crash_after)?
+        }
+        FamilyInstance::Line(inst) => {
+            let eval = inst.evaluator(params, &power);
+            let view = eval.view(spec.variant);
+            run_session_events(&view, spec, &trace, crash_after)?
+        }
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok(SessionReport {
+        name: spec.name.clone(),
+        family: spec.family,
+        n: spec.n,
+        seed: spec.seed,
+        algorithm: Algorithm::DynamicFirstFit,
+        assignment: spec.assignment.into(),
+        variant: spec.variant,
+        events: trace.len(),
+        crash_after,
+        checkpoint_every: spec.checkpoint_every,
+        recovered_identical: outcome.recovered_identical,
+        wal_records: outcome.wal_records,
+        snapshots: outcome.snapshots,
+        live: outcome.live,
+        colors: outcome.colors,
+        wall_ms,
+    })
+}
+
 /// Runs every spec in a JSONL document (one spec per line; blank lines and
-/// `#` comments are skipped) and renders one report per line. With
+/// `#` comments are skipped) and renders one report per line. A line with a
+/// top-level `session` key runs as a durable-session scenario
+/// ([`SessionJob`]), any other line as a plain [`JobSpec`]. With
 /// `redact_timing` the reports' `wall_ms` is zeroed, making the output
 /// deterministic for golden diffs.
 ///
@@ -202,17 +448,32 @@ pub fn run_jobs_document(input: &str, redact_timing: bool) -> Result<String, Job
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let spec: JobSpec = serde_json::from_str(line).map_err(|e| {
+        let at_line = |e: serde_json::Error| {
             JobError::Json(<serde_json::Error as serde::de::Error>::custom(format!(
                 "line {}: {e}",
                 index + 1
             )))
-        })?;
-        let mut report = run_job(&spec)?;
-        if redact_timing {
-            report.wall_ms = 0.0;
+        };
+        let value: serde_json::Value = serde_json::from_str(line).map_err(at_line)?;
+        let is_session = matches!(
+            &value,
+            serde_json::Value::Object(entries) if entries.iter().any(|(key, _)| key == "session")
+        );
+        if is_session {
+            let job: SessionJob = serde_json::from_str(line).map_err(at_line)?;
+            let mut report = run_session(&job.session)?;
+            if redact_timing {
+                report.wall_ms = 0.0;
+            }
+            out.push_str(&serde_json::to_string(&report)?);
+        } else {
+            let spec: JobSpec = serde_json::from_str(line).map_err(at_line)?;
+            let mut report = run_job(&spec)?;
+            if redact_timing {
+                report.wall_ms = 0.0;
+            }
+            out.push_str(&serde_json::to_string(&report)?);
         }
-        out.push_str(&serde_json::to_string(&report)?);
         out.push('\n');
     }
     Ok(out)
@@ -300,6 +561,87 @@ mod tests {
 
         let err = run_jobs_document("{broken", true).unwrap_err();
         assert!(err.to_string().contains("line 1"));
+    }
+
+    fn session_spec(name: &str) -> SessionSpec {
+        SessionSpec {
+            name: name.into(),
+            family: Family::Scaling,
+            n: 30,
+            seed: 11,
+            assignment: PowerAssignment::SquareRoot,
+            variant: Variant::Bidirectional,
+            target_live: 18,
+            num_events: 60,
+            crash_after: 37,
+            checkpoint_every: 8,
+            params: None,
+        }
+    }
+
+    #[test]
+    fn sessions_crash_and_recover_bit_for_bit() {
+        let report = run_session(&session_spec("jobs-test-smoke")).unwrap();
+        assert!(report.recovered_identical);
+        assert_eq!(report.events, 60);
+        assert_eq!(report.crash_after, 37);
+        assert_eq!(report.algorithm, Algorithm::DynamicFirstFit);
+        assert!(report.wal_records >= 60);
+        // One snapshot at creation, one per 8 events, one final checkpoint.
+        assert!(report.snapshots > 60 / 8);
+        assert!(report.live >= 1 && report.colors >= 1);
+        // Seed-pinned: the same spec reproduces the same counts.
+        let again = run_session(&session_spec("jobs-test-smoke")).unwrap();
+        assert_eq!(again.wal_records, report.wal_records);
+        assert_eq!(again.live, report.live);
+        assert_eq!(again.colors, report.colors);
+    }
+
+    #[test]
+    fn session_specs_are_validated() {
+        let mut bad = session_spec("has/slash");
+        assert!(matches!(run_session(&bad), Err(JobError::Spec(_))));
+        bad = session_spec("ok");
+        bad.target_live = 99;
+        assert!(matches!(run_session(&bad), Err(JobError::Spec(_))));
+        bad = session_spec("ok");
+        bad.checkpoint_every = 0;
+        assert!(matches!(run_session(&bad), Err(JobError::Spec(_))));
+        // A crash point beyond the trace is clamped, not rejected.
+        let mut clamped = session_spec("jobs-test-clamped");
+        clamped.crash_after = 10_000;
+        let report = run_session(&clamped).unwrap();
+        assert_eq!(report.crash_after, 60);
+        assert!(report.recovered_identical);
+    }
+
+    #[test]
+    fn documents_dispatch_session_lines_on_the_top_level_key() {
+        let doc = concat!(
+            "# mixed document\n",
+            "{\"family\":\"nested\",\"n\":6,\"seed\":0,\"request\":{\"strategy\":\"FirstFit\",",
+            "\"assignment\":\"SquareRoot\",\"variant\":\"Bidirectional\",\"seed\":0,",
+            "\"backend\":\"Auto\"}}\n",
+            "{\"session\":{\"name\":\"jobs-test-doc\",\"family\":\"line\",\"n\":16,\"seed\":3,",
+            "\"assignment\":\"SquareRoot\",\"variant\":\"Bidirectional\",\"target_live\":10,",
+            "\"num_events\":40,\"crash_after\":21,\"checkpoint_every\":5}}\n",
+        );
+        let out = run_jobs_document(doc, true).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let job: JobReport = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(job.family, Family::Nested);
+        let session: SessionReport = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(session.name, "jobs-test-doc");
+        assert!(session.recovered_identical);
+        assert_eq!(session.wall_ms, 0.0);
+        // Session specs round-trip like job specs.
+        let line = serde_json::to_string(&SessionJob {
+            session: session_spec("rt"),
+        })
+        .unwrap();
+        let back: SessionJob = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.session, session_spec("rt"));
     }
 
     #[test]

@@ -21,9 +21,15 @@ pub mod jobs;
 pub mod table;
 pub mod tiers;
 
-pub use churn::{replay_full_reschedule, replay_incremental, replay_incremental_with};
+pub use churn::{
+    replay_durable, replay_durable_with, replay_full_reschedule, replay_incremental,
+    replay_incremental_with,
+};
 pub use experiments::{all_experiments, run_experiment, Experiment};
-pub use jobs::{run_job, run_jobs_document, JobError, JobReport, JobSpec};
+pub use jobs::{
+    run_job, run_jobs_document, run_session, JobError, JobReport, JobSpec, SessionJob,
+    SessionReport, SessionSpec,
+};
 pub use table::Table;
 pub use tiers::{
     non_conservative_classes, parallel_tier_config, parallel_tier_sparse_config, TIER_SEED,

@@ -1,0 +1,916 @@
+//! Durable dynamic sessions: a write-ahead log plus snapshot/restore for the
+//! [`DynamicScheduler`], behind a pluggable [`SessionStore`].
+//!
+//! The dynamic scheduler is fully deterministic: given the same system, the
+//! same [`DynamicConfig`] and the same event order, every placement, id and
+//! recoloring migration comes out identical. Durability therefore only needs
+//! to persist the *events* — a [`DurableScheduler`] appends one
+//! [`WalRecord`] per insert, removal and recoloring migration to an
+//! append-only log, checkpoints a full [`SessionSnapshot`] every
+//! `checkpoint_every` events, and recovery is
+//! [load-snapshot](SessionStore::load_snapshot) +
+//! [replay-tail](SessionStore::read_tail):
+//!
+//! * **[`WalEvent::Insert`]** records carry the item *and* the id the live
+//!   scheduler assigned, so replay cross-checks its own deterministic id
+//!   assignment against the log;
+//! * **[`WalEvent::Remove`]** records only name the departing id — replay
+//!   re-derives the bounded local recoloring deterministically;
+//! * **[`WalEvent::Recolor`]** records log each migration a removal
+//!   triggered; replay verifies the re-derived migrations land every request
+//!   on its logged color instead of applying them, so a log from a different
+//!   system or config surfaces as [`DurabilityError::Corrupt`] rather than a
+//!   silently wrong coloring.
+//!
+//! Two stores are provided: [`MemoryStore`] (tests, in-process handoff) and
+//! [`DiskStore`] (an append-only JSONL `wal.jsonl` plus a `snapshot.json`
+//! written atomically via a temp file + rename). A WAL line is durable only
+//! once its trailing newline is on disk: recovery drops an unterminated
+//! final line (a torn write mid-crash) and rejects any terminated line that
+//! does not parse. The crash-point harness in `tests/durable_recovery.rs`
+//! truncates a real session's WAL at every byte offset and asserts recovery
+//! reproduces the pre-crash coloring bit-for-bit, certified through the
+//! naive-evaluator [`validate`](DynamicScheduler::validate) path.
+//!
+//! # Example
+//!
+//! ```
+//! use oblisched::durability::{DurableScheduler, MemoryStore};
+//! use oblisched::dynamic::DynamicConfig;
+//! use oblisched_metric::LineMetric;
+//! use oblisched_sinr::{Instance, ObliviousPower, Request, SinrParams, Variant};
+//!
+//! let metric = LineMetric::new(vec![0.0, 1.0, 10.0, 12.0, 300.0, 304.0]);
+//! let instance = Instance::new(
+//!     metric,
+//!     vec![Request::new(0, 1), Request::new(2, 3), Request::new(4, 5)],
+//! )?;
+//! let eval = instance.evaluator(SinrParams::new(3.0, 1.0)?, &ObliviousPower::SquareRoot);
+//! let view = eval.view(Variant::Bidirectional);
+//!
+//! // A session over an in-memory store: every event is logged.
+//! let config = DynamicConfig::default();
+//! let mut session = DurableScheduler::create(&view, config, 2, MemoryStore::new())?;
+//! let a = session.insert(0)?;
+//! let _b = session.insert(1)?;
+//! session.remove(a)?;
+//!
+//! // "Crash": drop the session, keep only the store. Recovery replays the
+//! // tail after the last checkpoint and reproduces the state exactly.
+//! let store = session.into_store();
+//! let recovered = DurableScheduler::recover(&view, store)?;
+//! assert_eq!(recovered.scheduler().len(), 1);
+//! recovered.scheduler().validate()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::dynamic::{DynamicConfig, DynamicError, DynamicScheduler, RequestId, SchedulerState};
+use oblisched_sinr::GainBackend;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Default checkpoint cadence of a [`DurableScheduler`]: one snapshot per
+/// this many insert/remove events.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 64;
+
+/// One logged scheduler event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalEvent {
+    /// An arrival: `item` was inserted and assigned the raw id `id`.
+    Insert {
+        /// The inserted engine item.
+        item: usize,
+        /// The raw [`RequestId`] the scheduler assigned.
+        id: u64,
+    },
+    /// A departure of the raw id `id`.
+    Remove {
+        /// The raw [`RequestId`] that departed.
+        id: u64,
+    },
+    /// A recoloring migration triggered by the preceding removal: replay
+    /// verifies the re-derived migration instead of applying it.
+    Recolor {
+        /// The raw [`RequestId`] that migrated.
+        id: u64,
+        /// The color the request left.
+        from: usize,
+        /// The color the request joined.
+        to: usize,
+    },
+}
+
+/// One line of the write-ahead log: a sequence number plus the event.
+/// Sequence numbers start at 0 and are contiguous, so the line index of an
+/// unpruned log *is* the sequence number — what lets recovery skip the
+/// snapshotted prefix without parsing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// The record's position in the log, starting at 0.
+    pub seq: u64,
+    /// The logged event.
+    pub event: WalEvent,
+}
+
+/// A checkpoint of a durable session: the scheduler's logical state plus
+/// everything needed to resume logging (`next_seq`) and checkpointing
+/// (`checkpoint_every`, `config`) exactly where the session left off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The sequence number of the first WAL record *not* covered by this
+    /// snapshot — recovery replays the log from here.
+    pub next_seq: u64,
+    /// The session's checkpoint cadence.
+    pub checkpoint_every: usize,
+    /// The scheduler configuration the session runs under.
+    pub config: DynamicConfig,
+    /// The scheduler's logical state at `next_seq`.
+    pub state: SchedulerState,
+}
+
+/// Everything that can go wrong logging, checkpointing or recovering a
+/// durable session.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// The underlying scheduler rejected an event.
+    Dynamic(DynamicError),
+    /// The store failed to read or write.
+    Io(std::io::Error),
+    /// A record or snapshot failed to serialize or deserialize.
+    Serde(serde_json::Error),
+    /// The log or snapshot is readable but inconsistent: a terminated WAL
+    /// line that does not parse, a sequence-number gap, or replay diverging
+    /// from the logged ids/colors (a log from a different system or config).
+    Corrupt {
+        /// The sequence number of the offending record, when attributable.
+        seq: Option<u64>,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// Recovery was asked for a session that does not exist (no snapshot —
+    /// an empty or absent store).
+    NoSession,
+    /// Creation was asked for a session that already exists.
+    SessionExists,
+    /// An existing session was opened with a different configuration.
+    ConfigMismatch {
+        /// The configuration the stored session runs under.
+        stored: DynamicConfig,
+        /// The configuration the caller requested.
+        requested: DynamicConfig,
+    },
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Dynamic(e) => write!(f, "scheduler rejected the event: {e}"),
+            DurabilityError::Io(e) => write!(f, "session store i/o failed: {e}"),
+            DurabilityError::Serde(e) => write!(f, "session record serialization failed: {e}"),
+            DurabilityError::Corrupt {
+                seq: Some(seq),
+                detail,
+            } => {
+                write!(f, "session log corrupt at record {seq}: {detail}")
+            }
+            DurabilityError::Corrupt { seq: None, detail } => {
+                write!(f, "session log corrupt: {detail}")
+            }
+            DurabilityError::NoSession => write!(f, "no session in the store (no snapshot)"),
+            DurabilityError::SessionExists => write!(f, "a session already exists in the store"),
+            DurabilityError::ConfigMismatch { stored, requested } => write!(
+                f,
+                "session config mismatch: stored {stored:?}, requested {requested:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Dynamic(e) => Some(e),
+            DurabilityError::Io(e) => Some(e),
+            DurabilityError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DynamicError> for DurabilityError {
+    fn from(e: DynamicError) -> Self {
+        DurabilityError::Dynamic(e)
+    }
+}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DurabilityError {
+    fn from(e: serde_json::Error) -> Self {
+        DurabilityError::Serde(e)
+    }
+}
+
+/// Where a durable session keeps its write-ahead log and snapshot. The
+/// contract is append-only: [`append`](SessionStore::append) must make the
+/// record durable before returning, and
+/// [`write_snapshot`](SessionStore::write_snapshot) must replace the
+/// snapshot atomically *after* every record below its `next_seq` is durable
+/// — so a crash at any point leaves either the old or the new snapshot, and
+/// never a snapshot referencing log records that were lost.
+pub trait SessionStore {
+    /// Appends one record to the write-ahead log.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] / [`DurabilityError::Serde`] when the record
+    /// cannot be made durable.
+    fn append(&mut self, record: &WalRecord) -> Result<(), DurabilityError>;
+
+    /// Atomically replaces the session snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] / [`DurabilityError::Serde`] when the
+    /// snapshot cannot be made durable.
+    fn write_snapshot(&mut self, snapshot: &SessionSnapshot) -> Result<(), DurabilityError>;
+
+    /// Loads the current snapshot, `None` when the store holds no session.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] / [`DurabilityError::Serde`] when a present
+    /// snapshot cannot be read back.
+    fn load_snapshot(&self) -> Result<Option<SessionSnapshot>, DurabilityError>;
+
+    /// Reads every durable log record with `seq >= from_seq`, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Corrupt`] when the log is readable but
+    /// inconsistent, [`DurabilityError::Io`] when it cannot be read.
+    fn read_tail(&self, from_seq: u64) -> Result<Vec<WalRecord>, DurabilityError>;
+}
+
+/// An in-memory [`SessionStore`]: the log is a `Vec`, the snapshot an
+/// `Option`. Used by tests and for handing a session between schedulers in
+/// one process.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStore {
+    records: Vec<WalRecord>,
+    snapshot: Option<SessionSnapshot>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store (no session).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The full log, in order.
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
+    }
+
+    /// The current snapshot, if any.
+    pub fn snapshot(&self) -> Option<&SessionSnapshot> {
+        self.snapshot.as_ref()
+    }
+}
+
+impl SessionStore for MemoryStore {
+    fn append(&mut self, record: &WalRecord) -> Result<(), DurabilityError> {
+        self.records.push(*record);
+        Ok(())
+    }
+
+    fn write_snapshot(&mut self, snapshot: &SessionSnapshot) -> Result<(), DurabilityError> {
+        self.snapshot = Some(snapshot.clone());
+        Ok(())
+    }
+
+    fn load_snapshot(&self) -> Result<Option<SessionSnapshot>, DurabilityError> {
+        Ok(self.snapshot.clone())
+    }
+
+    fn read_tail(&self, from_seq: u64) -> Result<Vec<WalRecord>, DurabilityError> {
+        Ok(self
+            .records
+            .iter()
+            .filter(|r| r.seq >= from_seq)
+            .copied()
+            .collect())
+    }
+}
+
+/// An on-disk [`SessionStore`]: an append-only JSONL log `wal.jsonl` plus a
+/// `snapshot.json` in one session directory.
+///
+/// * **Append** writes the record and its trailing newline in one write and
+///   flushes; a line is durable exactly when its newline is on disk, so a
+///   torn final line is dropped on recovery.
+/// * **Snapshot** first syncs the log (the snapshot must never reference
+///   records that were lost), then writes a temp file and renames it over
+///   `snapshot.json` — readers see either the old or the new snapshot.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    wal: fs::File,
+}
+
+impl DiskStore {
+    /// Name of the write-ahead log file inside the session directory.
+    pub const WAL_FILE: &'static str = "wal.jsonl";
+    /// Name of the snapshot file inside the session directory.
+    pub const SNAPSHOT_FILE: &'static str = "snapshot.json";
+
+    /// Opens (creating if needed) the session directory and its log.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::Io`] when the directory or log cannot be opened.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, DurabilityError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let wal = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(Self::WAL_FILE))?;
+        Ok(Self { dir, wal })
+    }
+
+    /// The session directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(Self::SNAPSHOT_FILE)
+    }
+}
+
+impl SessionStore for DiskStore {
+    fn append(&mut self, record: &WalRecord) -> Result<(), DurabilityError> {
+        let mut line = serde_json::to_string(record)?;
+        line.push('\n');
+        self.wal.write_all(line.as_bytes())?;
+        self.wal.flush()?;
+        Ok(())
+    }
+
+    fn write_snapshot(&mut self, snapshot: &SessionSnapshot) -> Result<(), DurabilityError> {
+        // The log must be durable before a snapshot claims to cover it.
+        self.wal.sync_data()?;
+        let tmp = self.dir.join(format!("{}.tmp", Self::SNAPSHOT_FILE));
+        let json = serde_json::to_string(snapshot)?;
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, self.snapshot_path())?;
+        Ok(())
+    }
+
+    fn load_snapshot(&self) -> Result<Option<SessionSnapshot>, DurabilityError> {
+        let text = match fs::read_to_string(self.snapshot_path()) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Some(serde_json::from_str(&text)?))
+    }
+
+    fn read_tail(&self, from_seq: u64) -> Result<Vec<WalRecord>, DurabilityError> {
+        let text = match fs::read_to_string(self.dir.join(Self::WAL_FILE)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut tail = Vec::new();
+        // Only newline-terminated lines are durable; an unterminated final
+        // segment is a torn write and is dropped. The line index of the
+        // unpruned log is the sequence number, so the snapshotted prefix is
+        // skipped without parsing (recovery stays O(tail) in parse work).
+        for (index, line) in text.split_inclusive('\n').enumerate() {
+            let Some(line) = line.strip_suffix('\n') else {
+                break;
+            };
+            let seq = index as u64;
+            if seq < from_seq {
+                continue;
+            }
+            let record: WalRecord =
+                serde_json::from_str(line).map_err(|e| DurabilityError::Corrupt {
+                    seq: Some(seq),
+                    detail: format!("terminated WAL line does not parse: {e}"),
+                })?;
+            if record.seq != seq {
+                return Err(DurabilityError::Corrupt {
+                    seq: Some(seq),
+                    detail: format!("record claims seq {}, log position says {seq}", record.seq),
+                });
+            }
+            tail.push(record);
+        }
+        Ok(tail)
+    }
+}
+
+/// Applies one WAL record to a scheduler during replay: inserts and removals
+/// are re-executed, recoloring records are *verified* against the re-derived
+/// state (replay is deterministic, so a mismatch means the log belongs to a
+/// different system or config).
+fn apply_record<S: GainBackend + ?Sized>(
+    sched: &mut DynamicScheduler<'_, S>,
+    record: &WalRecord,
+) -> Result<(), DurabilityError> {
+    match record.event {
+        WalEvent::Insert { item, id } => {
+            let got = sched.insert(item)?;
+            if got.raw() != id {
+                return Err(DurabilityError::Corrupt {
+                    seq: Some(record.seq),
+                    detail: format!(
+                        "replayed insert of item {item} assigned id {got}, log says {id}"
+                    ),
+                });
+            }
+        }
+        WalEvent::Remove { id } => {
+            sched.remove(RequestId::from_raw(id))?;
+        }
+        WalEvent::Recolor { id, from, to } => {
+            let current = sched.color_of(RequestId::from_raw(id));
+            if current != Some(to) {
+                return Err(DurabilityError::Corrupt {
+                    seq: Some(record.seq),
+                    detail: format!(
+                        "log says id {id} migrated {from} -> {to}, replay has it at {current:?}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replays a full record log (starting from sequence 0 over an empty
+/// scheduler) and returns the resulting scheduler — the reference recovery
+/// path the snapshot+tail fast path is tested against.
+///
+/// # Errors
+///
+/// [`DurabilityError::Corrupt`] on a sequence gap or a replay divergence,
+/// [`DurabilityError::Dynamic`] when a logged event does not apply.
+pub fn replay_records<'s, S: GainBackend + ?Sized>(
+    system: &'s S,
+    config: DynamicConfig,
+    records: &[WalRecord],
+) -> Result<DynamicScheduler<'s, S>, DurabilityError> {
+    let mut sched = DynamicScheduler::with_config(system, config);
+    for (index, record) in records.iter().enumerate() {
+        if record.seq != index as u64 {
+            return Err(DurabilityError::Corrupt {
+                seq: Some(record.seq),
+                detail: format!("expected seq {index}, found {}", record.seq),
+            });
+        }
+        apply_record(&mut sched, record)?;
+    }
+    Ok(sched)
+}
+
+/// A [`DynamicScheduler`] wrapped with durability: every insert/remove (and
+/// each recoloring migration a removal triggers) is appended to the
+/// [`SessionStore`]'s write-ahead log, a [`SessionSnapshot`] is checkpointed
+/// every `checkpoint_every` events, and [`recover`](DurableScheduler::recover)
+/// rebuilds the exact pre-crash state from snapshot + log tail.
+#[derive(Debug)]
+pub struct DurableScheduler<'s, S: GainBackend + ?Sized, St: SessionStore> {
+    inner: DynamicScheduler<'s, S>,
+    store: St,
+    checkpoint_every: usize,
+    events_since_checkpoint: usize,
+    next_seq: u64,
+    snapshots_written: u64,
+}
+
+impl<'s, S: GainBackend + ?Sized, St: SessionStore> DurableScheduler<'s, S, St> {
+    /// Creates a *new* session in `store`: an empty scheduler plus an
+    /// initial snapshot, so that from this point on "the store holds a
+    /// session" and "a snapshot is present" are the same thing.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::SessionExists`] when the store already holds a
+    /// session; store errors are passed through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoint_every` is zero or `config` is invalid (like
+    /// [`DynamicScheduler::with_config`]).
+    pub fn create(
+        system: &'s S,
+        config: DynamicConfig,
+        checkpoint_every: usize,
+        store: St,
+    ) -> Result<Self, DurabilityError> {
+        assert!(
+            checkpoint_every >= 1,
+            "the checkpoint cadence must be at least 1 event"
+        );
+        if store.load_snapshot()?.is_some() {
+            return Err(DurabilityError::SessionExists);
+        }
+        let mut session = Self {
+            inner: DynamicScheduler::with_config(system, config),
+            store,
+            checkpoint_every,
+            events_since_checkpoint: 0,
+            next_seq: 0,
+            snapshots_written: 0,
+        };
+        session.checkpoint()?;
+        Ok(session)
+    }
+
+    /// Recovers the session in `store`: loads the snapshot, restores the
+    /// scheduler via [`DynamicScheduler::from_state`], and replays the log
+    /// tail from the snapshot's `next_seq`, verifying sequence contiguity
+    /// and the logged ids/colors along the way.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::NoSession`] when the store holds no snapshot,
+    /// [`DurabilityError::Corrupt`] on gaps or replay divergence, and
+    /// [`DurabilityError::Dynamic`] when a logged event does not apply to
+    /// the given system.
+    pub fn recover(system: &'s S, store: St) -> Result<Self, DurabilityError> {
+        let snapshot = store.load_snapshot()?.ok_or(DurabilityError::NoSession)?;
+        let mut inner = DynamicScheduler::from_state(system, snapshot.config, &snapshot.state)?;
+        let tail = store.read_tail(snapshot.next_seq)?;
+        let mut events = 0usize;
+        let mut next_seq = snapshot.next_seq;
+        for record in &tail {
+            if record.seq != next_seq {
+                return Err(DurabilityError::Corrupt {
+                    seq: Some(record.seq),
+                    detail: format!("expected seq {next_seq}, found {}", record.seq),
+                });
+            }
+            apply_record(&mut inner, record)?;
+            if !matches!(record.event, WalEvent::Recolor { .. }) {
+                events += 1;
+            }
+            next_seq += 1;
+        }
+        Ok(Self {
+            inner,
+            store,
+            checkpoint_every: snapshot.checkpoint_every,
+            events_since_checkpoint: events,
+            next_seq,
+            snapshots_written: 0,
+        })
+    }
+
+    /// Creates the session when the store is empty, recovers it otherwise —
+    /// rejecting a recovery whose stored configuration differs from the
+    /// requested one.
+    ///
+    /// # Errors
+    ///
+    /// [`DurabilityError::ConfigMismatch`] when an existing session runs
+    /// under a different [`DynamicConfig`]; otherwise the errors of
+    /// [`create`](DurableScheduler::create) /
+    /// [`recover`](DurableScheduler::recover).
+    pub fn open(
+        system: &'s S,
+        config: DynamicConfig,
+        checkpoint_every: usize,
+        store: St,
+    ) -> Result<Self, DurabilityError> {
+        if store.load_snapshot()?.is_none() {
+            return Self::create(system, config, checkpoint_every, store);
+        }
+        let mut session = Self::recover(system, store)?;
+        if session.inner.config() != config {
+            return Err(DurabilityError::ConfigMismatch {
+                stored: session.inner.config(),
+                requested: config,
+            });
+        }
+        session.checkpoint_every = checkpoint_every.max(1);
+        Ok(session)
+    }
+
+    /// Inserts an item, logging the event (with the assigned id) and
+    /// checkpointing when the cadence is due.
+    ///
+    /// # Errors
+    ///
+    /// The scheduler's [`DynamicError`]s (nothing is logged then), or store
+    /// errors from the append/checkpoint.
+    pub fn insert(&mut self, item: usize) -> Result<RequestId, DurabilityError> {
+        let id = self.inner.insert(item)?;
+        let record = WalRecord {
+            seq: self.next_seq,
+            event: WalEvent::Insert { item, id: id.raw() },
+        };
+        self.store.append(&record)?;
+        self.next_seq += 1;
+        self.after_event()?;
+        Ok(id)
+    }
+
+    /// Removes a live request, logging the removal plus one
+    /// [`WalEvent::Recolor`] record per migration it triggered, and
+    /// checkpointing when the cadence is due. Returns the departed item.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::UnknownId`] via [`DurabilityError::Dynamic`] when
+    /// `id` is not live (nothing is logged then), or store errors.
+    pub fn remove(&mut self, id: RequestId) -> Result<usize, DurabilityError> {
+        let removal = self.inner.remove_traced(id)?;
+        let record = WalRecord {
+            seq: self.next_seq,
+            event: WalEvent::Remove { id: id.raw() },
+        };
+        self.store.append(&record)?;
+        self.next_seq += 1;
+        for mv in &removal.moves {
+            let record = WalRecord {
+                seq: self.next_seq,
+                event: WalEvent::Recolor {
+                    id: mv.id.raw(),
+                    from: mv.from,
+                    to: mv.to,
+                },
+            };
+            self.store.append(&record)?;
+            self.next_seq += 1;
+        }
+        self.after_event()?;
+        Ok(removal.item)
+    }
+
+    fn after_event(&mut self) -> Result<(), DurabilityError> {
+        self.events_since_checkpoint += 1;
+        if self.events_since_checkpoint >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a snapshot of the current state now, resetting the cadence
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// Store errors from [`SessionStore::write_snapshot`].
+    pub fn checkpoint(&mut self) -> Result<(), DurabilityError> {
+        let snapshot = SessionSnapshot {
+            next_seq: self.next_seq,
+            checkpoint_every: self.checkpoint_every,
+            config: self.inner.config(),
+            state: self.inner.export_state(),
+        };
+        self.store.write_snapshot(&snapshot)?;
+        self.snapshots_written += 1;
+        self.events_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// The wrapped scheduler (read-only — mutations must go through the
+    /// logging methods).
+    pub fn scheduler(&self) -> &DynamicScheduler<'s, S> {
+        &self.inner
+    }
+
+    /// The session store.
+    pub fn store(&self) -> &St {
+        &self.store
+    }
+
+    /// Consumes the session and returns its store (e.g. to recover from it).
+    pub fn into_store(self) -> St {
+        self.store
+    }
+
+    /// The sequence number the next WAL record will carry (also the number
+    /// of records logged so far for an unpruned session).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of snapshots this session handle has written (the initial
+    /// creation checkpoint counts; recovery starts the counter at zero).
+    pub fn snapshots_written(&self) -> u64 {
+        self.snapshots_written
+    }
+
+    /// The checkpoint cadence in effect.
+    pub fn checkpoint_every(&self) -> usize {
+        self.checkpoint_every
+    }
+
+    /// Delegates to [`DynamicScheduler::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`DynamicError`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), DynamicError> {
+        self.inner.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oblisched_instances::nested_chain;
+    use oblisched_sinr::{ObliviousPower, SinrParams, Variant};
+
+    fn params() -> SinrParams {
+        SinrParams::new(3.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn memory_session_recovers_exactly() {
+        let inst = nested_chain(10, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Bidirectional);
+        let config = DynamicConfig::default();
+        let mut session = DurableScheduler::create(&view, config, 3, MemoryStore::new()).unwrap();
+        let ids: Vec<RequestId> = (0..10).map(|i| session.insert(i).unwrap()).collect();
+        for &id in &ids[..7] {
+            session.remove(id).unwrap();
+        }
+        let expected = session.scheduler().export_state();
+        assert!(session.snapshots_written() >= 2);
+        // Removals under uniform power on the nested chain recolor, so the
+        // log must contain Recolor records beyond the 17 events.
+        assert!(session.next_seq() > 17);
+        let store = session.into_store();
+        let recovered = DurableScheduler::recover(&view, store).unwrap();
+        assert_eq!(recovered.scheduler().export_state(), expected);
+        recovered.validate().unwrap();
+        // Full-log replay agrees with the snapshot+tail fast path.
+        let replayed = replay_records(&view, config, recovered.store().records()).unwrap();
+        assert_eq!(replayed.export_state(), expected);
+    }
+
+    #[test]
+    fn create_rejects_an_existing_session_and_recover_an_absent_one() {
+        let inst = nested_chain(4, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let config = DynamicConfig::default();
+        assert!(matches!(
+            DurableScheduler::recover(&view, MemoryStore::new()),
+            Err(DurabilityError::NoSession)
+        ));
+        let session = DurableScheduler::create(&view, config, 4, MemoryStore::new()).unwrap();
+        let store = session.into_store();
+        assert!(matches!(
+            DurableScheduler::create(&view, config, 4, store),
+            Err(DurabilityError::SessionExists)
+        ));
+    }
+
+    #[test]
+    fn open_creates_then_recovers_and_checks_the_config() {
+        let inst = nested_chain(6, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let config = DynamicConfig::default();
+        let mut session = DurableScheduler::open(&view, config, 2, MemoryStore::new()).unwrap();
+        session.insert(0).unwrap();
+        session.insert(3).unwrap();
+        let expected = session.scheduler().export_state();
+        let store = session.into_store();
+        let other = DynamicConfig {
+            recolor_budget: 1,
+            ..config
+        };
+        match DurableScheduler::open(&view, other, 2, store.clone()) {
+            Err(DurabilityError::ConfigMismatch { stored, requested }) => {
+                assert_eq!(stored, config);
+                assert_eq!(requested, other);
+            }
+            Ok(_) => panic!("expected ConfigMismatch, got a recovered session"),
+            Err(e) => panic!("expected ConfigMismatch, got {e}"),
+        }
+        let reopened = DurableScheduler::open(&view, config, 5, store).unwrap();
+        assert_eq!(reopened.scheduler().export_state(), expected);
+        assert_eq!(reopened.checkpoint_every(), 5);
+    }
+
+    #[test]
+    fn failed_events_log_nothing() {
+        let inst = nested_chain(4, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let mut session =
+            DurableScheduler::create(&view, DynamicConfig::default(), 8, MemoryStore::new())
+                .unwrap();
+        let id = session.insert(1).unwrap();
+        let before = session.next_seq();
+        // Double insert of a live item: typed error, no new record.
+        assert!(matches!(
+            session.insert(1),
+            Err(DurabilityError::Dynamic(DynamicError::AlreadyLive { .. }))
+        ));
+        // Removal of an unknown id: typed error, no new record.
+        assert!(matches!(
+            session.remove(RequestId::from_raw(999)),
+            Err(DurabilityError::Dynamic(DynamicError::UnknownId(_)))
+        ));
+        assert_eq!(session.next_seq(), before);
+        assert_eq!(session.scheduler().len(), 1);
+        session.remove(id).unwrap();
+        assert!(session.scheduler().is_empty());
+    }
+
+    #[test]
+    fn replay_rejects_gaps_and_divergence() {
+        let inst = nested_chain(4, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let config = DynamicConfig::default();
+        // Sequence gap.
+        let gap = [WalRecord {
+            seq: 5,
+            event: WalEvent::Insert { item: 0, id: 0 },
+        }];
+        assert!(matches!(
+            replay_records(&view, config, &gap),
+            Err(DurabilityError::Corrupt { seq: Some(5), .. })
+        ));
+        // Id divergence: the log claims an id replay will not assign.
+        let diverged = [WalRecord {
+            seq: 0,
+            event: WalEvent::Insert { item: 0, id: 7 },
+        }];
+        assert!(matches!(
+            replay_records(&view, config, &diverged),
+            Err(DurabilityError::Corrupt { seq: Some(0), .. })
+        ));
+        // Color divergence on a Recolor record.
+        let recolor = [
+            WalRecord {
+                seq: 0,
+                event: WalEvent::Insert { item: 0, id: 0 },
+            },
+            WalRecord {
+                seq: 1,
+                event: WalEvent::Recolor {
+                    id: 0,
+                    from: 3,
+                    to: 9,
+                },
+            },
+        ];
+        assert!(matches!(
+            replay_records(&view, config, &recolor),
+            Err(DurabilityError::Corrupt { seq: Some(1), .. })
+        ));
+        // Errors render readable descriptions.
+        let err = replay_records(&view, config, &gap).unwrap_err();
+        assert!(err.to_string().contains("corrupt"));
+        assert!(DurabilityError::NoSession
+            .to_string()
+            .contains("no session"));
+    }
+
+    #[test]
+    fn wal_records_round_trip_through_json() {
+        let records = [
+            WalRecord {
+                seq: 0,
+                event: WalEvent::Insert { item: 3, id: 0 },
+            },
+            WalRecord {
+                seq: 1,
+                event: WalEvent::Remove { id: 0 },
+            },
+            WalRecord {
+                seq: 2,
+                event: WalEvent::Recolor {
+                    id: 4,
+                    from: 2,
+                    to: 0,
+                },
+            },
+        ];
+        for record in records {
+            let line = serde_json::to_string(&record).unwrap();
+            let back: WalRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+}

@@ -67,6 +67,7 @@
 use oblisched_sinr::engine::DEFAULT_REBUILD_INTERVAL;
 use oblisched_sinr::feasibility::REL_TOL;
 use oblisched_sinr::{ColorAccumulator, GainBackend, InterferenceSystem};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -81,6 +82,15 @@ impl RequestId {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from its raw value — the inverse of
+    /// [`raw`](RequestId::raw), for callers that persisted ids externally
+    /// (e.g. a write-ahead log). The value is not checked against any
+    /// scheduler; operations on a stale id fail with
+    /// [`DynamicError::UnknownId`] as usual.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
 }
 
 impl fmt::Display for RequestId {
@@ -90,7 +100,7 @@ impl fmt::Display for RequestId {
 }
 
 /// Tuning knobs of the [`DynamicScheduler`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DynamicConfig {
     /// Maximum number of members of the last color class that a departure
     /// event tries to migrate into earlier classes (bounded local
@@ -159,6 +169,13 @@ pub enum DynamicError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// A persisted [`SchedulerState`] cannot be restored: it references
+    /// items or ids inconsistently (duplicate member, item out of range,
+    /// id at or above the recorded `next_id`).
+    InvalidState {
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DynamicError {
@@ -180,6 +197,9 @@ impl fmt::Display for DynamicError {
             DynamicError::Inconsistent { detail } => {
                 write!(f, "internal maps out of sync: {detail}")
             }
+            DynamicError::InvalidState { detail } => {
+                write!(f, "scheduler state cannot be restored: {detail}")
+            }
         }
     }
 }
@@ -191,6 +211,57 @@ impl std::error::Error for DynamicError {}
 struct Entry {
     item: usize,
     color: usize,
+}
+
+/// One migration performed by the bounded local recoloring step of a
+/// departure: the request `id` moved from color `from` to color `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecolorMove {
+    /// The migrated live request.
+    pub id: RequestId,
+    /// The color the request left.
+    pub from: usize,
+    /// The color the request joined.
+    pub to: usize,
+}
+
+/// The full effect of one departure event, as reported by
+/// [`DynamicScheduler::remove_traced`]: the departed engine item plus every
+/// recoloring migration the event triggered, in the order they were applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Removal {
+    /// The engine item that departed.
+    pub item: usize,
+    /// The bounded-recoloring migrations, in application order.
+    pub moves: Vec<RecolorMove>,
+}
+
+/// One live request in a [`SchedulerState`]: its stable id and engine item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateMember {
+    /// The raw [`RequestId`] value.
+    pub id: u64,
+    /// The dense engine item index.
+    pub item: usize,
+}
+
+/// A serializable snapshot of a [`DynamicScheduler`]'s logical state: the
+/// coloring (members per class, in insertion order, including interior empty
+/// classes left by lazy compaction), the id counter and the recoloring
+/// cursor. Together with the underlying system and [`DynamicConfig`] this
+/// determines the scheduler's future behaviour exactly — restoring via
+/// [`DynamicScheduler::from_state`] and replaying the same events yields the
+/// same coloring bit-for-bit, which is what makes write-ahead-log recovery
+/// (`oblisched::durability`) cheap to verify.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerState {
+    /// Members per color class, in insertion order. Trailing classes are
+    /// never empty; interior ones may be.
+    pub classes: Vec<Vec<StateMember>>,
+    /// The next id to assign.
+    pub next_id: u64,
+    /// The rotating start offset of the recoloring probe window.
+    pub recolor_cursor: usize,
 }
 
 /// An online first-fit scheduler maintaining a valid coloring of a changing
@@ -375,6 +446,18 @@ impl<'s, S: GainBackend + ?Sized> DynamicScheduler<'s, S> {
     ///
     /// [`DynamicError::UnknownId`] if `id` is not live.
     pub fn remove(&mut self, id: RequestId) -> Result<usize, DynamicError> {
+        Ok(self.remove_traced(id)?.item)
+    }
+
+    /// [`remove`](DynamicScheduler::remove), additionally reporting every
+    /// recoloring migration the departure triggered — what a write-ahead log
+    /// records so recovery can cross-check the replayed migrations against
+    /// the logged ones.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::UnknownId`] if `id` is not live.
+    pub fn remove_traced(&mut self, id: RequestId) -> Result<Removal, DynamicError> {
         let entry = self
             .entries
             .remove(&id.0)
@@ -383,9 +466,12 @@ impl<'s, S: GainBackend + ?Sized> DynamicScheduler<'s, S> {
         let removed = self.classes[entry.color].remove(entry.item);
         debug_assert!(removed, "live entry must be a member of its class");
         self.pop_trailing_empties();
-        self.local_recolor();
+        let moves = self.local_recolor();
         self.pop_trailing_empties();
-        Ok(entry.item)
+        Ok(Removal {
+            item: entry.item,
+            moves,
+        })
     }
 
     fn pop_trailing_empties(&mut self) {
@@ -399,17 +485,18 @@ impl<'s, S: GainBackend + ?Sized> DynamicScheduler<'s, S> {
     /// is an engine query; a successful migration can only shrink the last
     /// class, so the color count decreases once it drains. The probe window
     /// rotates across calls so every member is eventually probed even when
-    /// an unmovable prefix would otherwise monopolise the budget.
-    fn local_recolor(&mut self) {
+    /// an unmovable prefix would otherwise monopolise the budget. Returns
+    /// the performed migrations in application order.
+    fn local_recolor(&mut self) -> Vec<RecolorMove> {
         let budget = self.config.recolor_budget;
         if budget == 0 {
-            return;
+            return Vec::new();
         }
         let Some(last) = self.classes.iter().rposition(|class| !class.is_empty()) else {
-            return;
+            return Vec::new();
         };
         if last == 0 {
-            return;
+            return Vec::new();
         }
         let (earlier, rest) = self.classes.split_at_mut(last);
         let class = &mut rest[0];
@@ -419,6 +506,7 @@ impl<'s, S: GainBackend + ?Sized> DynamicScheduler<'s, S> {
         let candidates: Vec<usize> = (0..len.min(budget))
             .map(|k| class.members()[(start + k) % len])
             .collect();
+        let mut moves = Vec::new();
         for item in candidates {
             let target = earlier.iter_mut().position(|class| class.try_insert(item));
             if let Some(color) = target {
@@ -429,8 +517,113 @@ impl<'s, S: GainBackend + ?Sized> DynamicScheduler<'s, S> {
                     .get_mut(&id)
                     .expect("owner map points at a live entry")
                     .color = color;
+                moves.push(RecolorMove {
+                    id: RequestId(id),
+                    from: last,
+                    to: color,
+                });
             }
         }
+        moves
+    }
+
+    /// Exports the scheduler's logical state — the coloring with its stable
+    /// ids, the id counter and the recoloring cursor — as a serializable
+    /// [`SchedulerState`]. Restoring it with
+    /// [`from_state`](DynamicScheduler::from_state) over the same system and
+    /// config reproduces the scheduler exactly (same future placements,
+    /// same future ids).
+    pub fn export_state(&self) -> SchedulerState {
+        let classes = self
+            .classes
+            .iter()
+            .map(|class| {
+                class
+                    .members()
+                    .iter()
+                    .map(|&item| StateMember {
+                        id: self.owner[item].expect("live member has an owner id"),
+                        item,
+                    })
+                    .collect()
+            })
+            .collect();
+        SchedulerState {
+            classes,
+            next_id: self.next_id,
+            recolor_cursor: self.recolor_cursor,
+        }
+    }
+
+    /// Rebuilds a scheduler from a previously exported [`SchedulerState`]
+    /// over the same `system` (same items in the same order) and `config`.
+    /// The accumulated interference sums are recomputed exactly from the
+    /// membership, so a restored scheduler starts drift-free.
+    ///
+    /// # Errors
+    ///
+    /// [`DynamicError::InvalidState`] when the state references an item out
+    /// of range, repeats an item or id, or carries an id at or above its own
+    /// `next_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `config`, like
+    /// [`with_config`](DynamicScheduler::with_config).
+    pub fn from_state(
+        system: &'s S,
+        config: DynamicConfig,
+        state: &SchedulerState,
+    ) -> Result<Self, DynamicError> {
+        let mut sched = Self::with_config(system, config);
+        for (color, members) in state.classes.iter().enumerate() {
+            let mut class =
+                ColorAccumulator::new(system).with_rebuild_interval(config.rebuild_interval);
+            for member in members {
+                if member.item >= system.len() {
+                    return Err(DynamicError::InvalidState {
+                        detail: format!(
+                            "member item {} of color {color} is out of range for a system of {} \
+                             items",
+                            member.item,
+                            system.len()
+                        ),
+                    });
+                }
+                if member.id >= state.next_id {
+                    return Err(DynamicError::InvalidState {
+                        detail: format!(
+                            "member id {} of color {color} is not below next_id {}",
+                            member.id, state.next_id
+                        ),
+                    });
+                }
+                if sched.owner[member.item].is_some() {
+                    return Err(DynamicError::InvalidState {
+                        detail: format!("item {} appears twice", member.item),
+                    });
+                }
+                if sched.entries.contains_key(&member.id) {
+                    return Err(DynamicError::InvalidState {
+                        detail: format!("id {} appears twice", member.id),
+                    });
+                }
+                class.insert_unchecked(member.item);
+                sched.entries.insert(
+                    member.id,
+                    Entry {
+                        item: member.item,
+                        color,
+                    },
+                );
+                sched.owner[member.item] = Some(member.id);
+            }
+            sched.classes.push(class);
+        }
+        sched.pop_trailing_empties();
+        sched.next_id = state.next_id;
+        sched.recolor_cursor = state.recolor_cursor;
+        Ok(sched)
     }
 
     /// Replays the current state through the underlying system's
@@ -790,6 +983,131 @@ mod tests {
         assert!(sched.is_empty());
         assert!(sched.live_items().is_empty());
         assert!(sched.color_classes().is_empty());
+    }
+
+    #[test]
+    fn remove_traced_reports_the_performed_migrations() {
+        // Same scenario as the probe-window test: after both blockers leave,
+        // the migration of item 3 from color 1 to color 0 must be reported.
+        let inst = nested_chain(12, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::Uniform);
+        let view = eval.view(Variant::Bidirectional);
+        let mut sched = DynamicScheduler::new(&view);
+        let ids: Vec<RequestId> = (0..12).map(|i| sched.insert(i).unwrap()).collect();
+        let mut reported = 0usize;
+        for &id in &ids[..9] {
+            let item = sched.item_of(id).unwrap();
+            let removal = sched.remove_traced(id).unwrap();
+            assert_eq!(removal.item, item);
+            for mv in &removal.moves {
+                assert_eq!(sched.color_of(mv.id), Some(mv.to));
+                assert!(mv.to < mv.from);
+                reported += 1;
+            }
+            sched.validate().unwrap();
+        }
+        assert!(
+            reported > 0,
+            "draining the nested chain must trigger recoloring migrations"
+        );
+    }
+
+    #[test]
+    fn exported_state_restores_to_an_identical_scheduler() {
+        let inst = scaling_uniform(50, 9);
+        let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let mut sched = DynamicScheduler::new(&view);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut live: Vec<RequestId> = Vec::new();
+        for event in 0..120 {
+            if live.is_empty() || (event % 3 != 0 && live.len() < 35) {
+                let free: Vec<usize> = (0..inst.len())
+                    .filter(|&i| sched.id_of_item(i).is_none())
+                    .collect();
+                live.push(sched.insert(free[rng.gen_range(0..free.len())]).unwrap());
+            } else {
+                sched
+                    .remove(live.swap_remove(rng.gen_range(0..live.len())))
+                    .unwrap();
+            }
+        }
+        let state = sched.export_state();
+        let restored = DynamicScheduler::from_state(&view, sched.config(), &state).unwrap();
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.len(), sched.len());
+        assert_eq!(restored.num_colors(), sched.num_colors());
+        assert_eq!(restored.color_classes(), sched.color_classes());
+        restored.validate().unwrap();
+        // The restored scheduler continues identically: same ids, same
+        // placements for the same further events.
+        let mut a = sched.clone();
+        let mut b = restored;
+        let free: Vec<usize> = (0..inst.len())
+            .filter(|&i| a.id_of_item(i).is_none())
+            .take(5)
+            .collect();
+        for item in free {
+            let ia = a.insert(item).unwrap();
+            let ib = b.insert(item).unwrap();
+            assert_eq!(ia, ib);
+            assert_eq!(a.color_of(ia), b.color_of(ib));
+        }
+        assert_eq!(a.export_state(), b.export_state());
+    }
+
+    #[test]
+    fn invalid_states_are_rejected_with_typed_errors() {
+        let inst = nested_chain(4, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let config = DynamicConfig::default();
+        let member = |id, item| StateMember { id, item };
+        let state = |classes: Vec<Vec<StateMember>>, next_id| SchedulerState {
+            classes,
+            next_id,
+            recolor_cursor: 0,
+        };
+        for bad in [
+            // Item out of range.
+            state(vec![vec![member(0, 99)]], 1),
+            // Id not below next_id.
+            state(vec![vec![member(5, 0)]], 5),
+            // Duplicate item across classes.
+            state(vec![vec![member(0, 1)], vec![member(1, 1)]], 2),
+            // Duplicate id across classes.
+            state(vec![vec![member(0, 1)], vec![member(0, 2)]], 2),
+        ] {
+            match DynamicScheduler::from_state(&view, config, &bad) {
+                Err(DynamicError::InvalidState { detail }) => {
+                    assert!(!detail.is_empty());
+                }
+                other => panic!("expected InvalidState for {bad:?}, got {other:?}"),
+            }
+        }
+        // The error renders a readable description.
+        let err = DynamicScheduler::from_state(&view, config, &state(vec![vec![member(0, 99)]], 1))
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot be restored"));
+    }
+
+    #[test]
+    fn scheduler_state_round_trips_through_json() {
+        let inst = nested_chain(6, 2.0);
+        let eval = inst.evaluator(params(), &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let mut sched = DynamicScheduler::new(&view);
+        for i in 0..6 {
+            sched.insert(i).unwrap();
+        }
+        sched.remove(sched.id_of_item(2).unwrap()).unwrap();
+        let state = sched.export_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: SchedulerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let config_json = serde_json::to_string(&sched.config()).unwrap();
+        let config_back: DynamicConfig = serde_json::from_str(&config_json).unwrap();
+        assert_eq!(config_back, sched.config());
     }
 
     #[test]

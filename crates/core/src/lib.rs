@@ -37,6 +37,7 @@
 //! | [`sqrt_coloring`](mod@sqrt_coloring) | §5 | the randomized LP-rounding coloring algorithm for the square-root assignment |
 //! | [`parallel`] | — | tile-sharded parallel batch scheduling with a deterministic conflict-repair merge |
 //! | [`dynamic`] | — | online scheduling under churn: a [`DynamicScheduler`] maintaining a valid coloring across insert/remove events |
+//! | [`durability`] | — | durable dynamic sessions: a write-ahead log + snapshot/restore behind a pluggable [`SessionStore`] |
 //! | [`star_analysis`] | §4 | Lemma 5 machinery: decay classes, large/small-loss split, square-root-feasible subsets on stars |
 //! | [`decomposition`] | §3 | metric → tree → star reduction (Lemmas 6–9) and the constructive Theorem 2 pipeline |
 //! | [`convert`] | §6 | simulating bidirectional schedules by directed ones |
@@ -67,6 +68,7 @@
 
 pub mod convert;
 pub mod decomposition;
+pub mod durability;
 pub mod dynamic;
 pub mod greedy;
 pub mod optimal;
@@ -81,7 +83,14 @@ pub use convert::directed_simulation;
 pub use decomposition::{
     sqrt_feasible_nodes, sqrt_schedule_via_decomposition, DecompositionConfig,
 };
-pub use dynamic::{DynamicConfig, DynamicError, DynamicScheduler, RequestId};
+pub use durability::{
+    replay_records, DiskStore, DurabilityError, DurableScheduler, MemoryStore, SessionSnapshot,
+    SessionStore, WalEvent, WalRecord, DEFAULT_CHECKPOINT_EVERY,
+};
+pub use dynamic::{
+    DynamicConfig, DynamicError, DynamicScheduler, RecolorMove, Removal, RequestId, SchedulerState,
+    StateMember,
+};
 pub use greedy::{
     first_fit_coloring, first_fit_coloring_naive, first_fit_subset, first_fit_subset_with_gain,
     first_fit_with_order, first_fit_with_order_naive, greedy_augment, greedy_one_shot,

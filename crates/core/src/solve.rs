@@ -275,6 +275,8 @@ pub enum Algorithm {
     LpRounding,
     /// The Theorem 2 decomposition pipeline.
     Decomposition,
+    /// The online first-fit of the dynamic scheduler (durable-session runs).
+    DynamicFirstFit,
 }
 
 impl fmt::Display for Algorithm {
@@ -285,6 +287,7 @@ impl fmt::Display for Algorithm {
             Algorithm::ParallelFirstFit => write!(f, "parallel-first-fit"),
             Algorithm::LpRounding => write!(f, "lp-rounding"),
             Algorithm::Decomposition => write!(f, "decomposition"),
+            Algorithm::DynamicFirstFit => write!(f, "dynamic-first-fit"),
         }
     }
 }
@@ -474,6 +477,10 @@ mod tests {
             (
                 SolveLabel::new(Algorithm::Decomposition, Assignment::SquareRoot),
                 "decomposition/sqrt",
+            ),
+            (
+                SolveLabel::new(Algorithm::DynamicFirstFit, Assignment::SquareRoot),
+                "dynamic-first-fit/sqrt",
             ),
             (
                 SolveLabel::new(Algorithm::FirstFit, Assignment::PowerControl),

@@ -1,5 +1,7 @@
 //! Property-based tests for the scheduling algorithms.
 
+use oblisched::durability::{replay_records, DurableScheduler, MemoryStore, WalRecord};
+use oblisched::dynamic::{DynamicConfig, RequestId};
 use oblisched::solve::{PowerAssignment, SolveRequest};
 use oblisched::{
     exact_chromatic_number, exact_max_one_shot, first_fit_coloring, first_fit_coloring_naive,
@@ -147,5 +149,50 @@ proptest! {
         // Power control never uses more colors than the trivial n.
         let pc = scheduler.solve(&instance, &SolveRequest::power_control()).unwrap();
         prop_assert!(pc.num_colors() <= n);
+    }
+
+    #[test]
+    fn wal_records_round_trip_and_replay_exactly(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<bool>(), any::<u16>()), 1..48),
+        power_choice in 0usize..3,
+        variant_choice in 0usize..2,
+    ) {
+        // Arbitrary insert/remove interleavings, recorded through a durable
+        // session: every WAL record must round-trip through its JSONL line
+        // form, and replaying the parsed log must rebuild the exact state
+        // the live session reached — across all three standard power
+        // assignments and both feasibility variants.
+        let n = 20usize;
+        let instance = instance_from_seed(seed, n);
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let power = ObliviousPower::standard_assignments()[power_choice];
+        let eval = instance.evaluator(params, &power);
+        let variant = Variant::all()[variant_choice];
+        let view = eval.view(variant);
+        let config = DynamicConfig::default();
+        let mut session = DurableScheduler::create(&view, config, 5, MemoryStore::new()).unwrap();
+        let mut live: Vec<RequestId> = Vec::new();
+        let mut next_item = 0usize;
+        for &(insert, pick) in &ops {
+            if (insert || live.is_empty()) && next_item < n {
+                live.push(session.insert(next_item).unwrap());
+                next_item += 1;
+            } else if !live.is_empty() {
+                let id = live.remove(pick as usize % live.len());
+                session.remove(id).unwrap();
+            }
+        }
+        session.validate().unwrap();
+        let direct = session.scheduler().export_state();
+        let mut parsed = Vec::new();
+        for record in session.store().records() {
+            let line = serde_json::to_string(record).unwrap();
+            let back: WalRecord = serde_json::from_str(&line).unwrap();
+            prop_assert_eq!(&back, record);
+            parsed.push(back);
+        }
+        let replayed = replay_records(&view, config, &parsed).unwrap();
+        prop_assert_eq!(replayed.export_state(), direct);
     }
 }

@@ -20,9 +20,10 @@ use oblisched_sinr::Instance;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// One churn event over a universe instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ChurnEvent {
     /// The universe request with this index becomes live.
     Arrive(usize),
@@ -35,7 +36,7 @@ pub enum ChurnEvent {
 /// requests. Every `Arrive(i)` targets a currently-dead request and every
 /// `Depart(i)` a currently-live one, so the trace can be replayed without
 /// bookkeeping errors by construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChurnTrace {
     /// Number of requests in the universe instance.
     pub universe: usize,
@@ -141,6 +142,26 @@ fn churn_trace(
         }
     }
     ChurnTrace { universe, events }
+}
+
+/// A seed-pinned churn trace alone, without building a universe instance —
+/// the trace half of [`churn_uniform`] decoupled from the deployment, for
+/// callers that replay a trace over an instance they already have (e.g. a
+/// durable session over a family-built instance). The same
+/// `(universe, target_live, num_events, seed)` always produces the same
+/// trace.
+///
+/// # Panics
+///
+/// Panics if `universe == 0` or `target_live > universe`.
+pub fn churn_trace_for(
+    universe: usize,
+    target_live: usize,
+    num_events: usize,
+    seed: u64,
+) -> ChurnTrace {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD2C6_F00D);
+    churn_trace(universe, target_live, num_events, &mut rng)
 }
 
 /// A seed-pinned churn workload over the uniform scaling deployment
@@ -250,5 +271,26 @@ mod tests {
     #[should_panic(expected = "exceeds the universe")]
     fn oversized_target_is_rejected() {
         let _ = churn_uniform(10, 11, 50, 1);
+    }
+
+    #[test]
+    fn standalone_traces_are_seed_pinned_and_consistent() {
+        let a = churn_trace_for(40, 25, 120, 6);
+        let b = churn_trace_for(40, 25, 120, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, churn_trace_for(40, 25, 120, 7));
+        assert_eq!(a.len(), 120);
+        assert!(a.max_live() >= 25);
+    }
+
+    #[test]
+    fn traces_round_trip_through_json() {
+        let trace = churn_trace_for(20, 12, 60, 3);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: ChurnTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+        // Events serialize as tagged variants a hand-written line can spell.
+        let event: ChurnEvent = serde_json::from_str("{\"Arrive\":5}").unwrap();
+        assert_eq!(event, ChurnEvent::Arrive(5));
     }
 }

@@ -40,7 +40,7 @@ pub mod random;
 pub mod scale;
 
 pub use adversarial::{adversarial_for, max_supported_n, AdversarialInstance};
-pub use churn::{churn_clustered, churn_uniform, ChurnEvent, ChurnTrace};
+pub use churn::{churn_clustered, churn_trace_for, churn_uniform, ChurnEvent, ChurnTrace};
 pub use family::{build_family, Family, FamilyError, FamilyInstance};
 pub use line::{evenly_spaced_line, exponential_line};
 pub use nested::nested_chain;

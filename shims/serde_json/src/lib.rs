@@ -128,6 +128,30 @@ mod tests {
     }
 
     #[test]
+    fn documents_parse_to_a_value_tree() {
+        let v: Value =
+            from_str(r#"{"session":{"name":"s1"},"n":3,"ok":true,"xs":[1,null]}"#).unwrap();
+        let Value::Object(entries) = &v else {
+            panic!("expected object, got {v:?}");
+        };
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].0, "session");
+        assert!(matches!(&entries[0].1, Value::Object(inner) if inner[0].0 == "name"));
+        assert_eq!(entries[1].1, Value::Number(3.0));
+        assert_eq!(entries[2].1, Value::Bool(true));
+        assert_eq!(
+            entries[3].1,
+            Value::Array(vec![Value::Number(1.0), Value::Null])
+        );
+        // Scalars parse to values too.
+        assert_eq!(
+            from_str::<Value>("\"hi\"").unwrap(),
+            Value::String("hi".into())
+        );
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+    }
+
+    #[test]
     fn parse_errors_are_reported() {
         assert!(from_str::<f64>("nope").is_err());
         assert!(from_str::<Vec<f64>>("[1,").is_err());

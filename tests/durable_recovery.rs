@@ -1,0 +1,304 @@
+//! Crash-point recovery harness for durable dynamic sessions: a real
+//! on-disk session records a seed-pinned churn trace, then the WAL is
+//! truncated at **every byte offset** — every record boundary plus every
+//! torn final line — paired with every snapshot that could have been on
+//! disk at that point, and recovery must reproduce the pre-crash coloring
+//! bit-for-bit, certified through the naive-evaluator `validate()` path.
+//!
+//! Like `dynamic_churn.rs`, the workload is build-profile dependent: the
+//! debug run keeps the tier-1 suite fast, the release run (wired into
+//! ci.sh) sweeps a ≥ 500-event trace — the acceptance configuration.
+
+use oblisched::durability::{
+    replay_records, DiskStore, DurabilityError, DurableScheduler, MemoryStore, SessionStore,
+    WalEvent, WalRecord,
+};
+use oblisched::dynamic::{DynamicConfig, DynamicScheduler, SchedulerState};
+use oblisched_bench::{replay_durable, replay_incremental, replay_incremental_with};
+use oblisched_instances::{churn_uniform, ChurnEvent};
+use oblisched_sinr::{GainBackend, ObliviousPower, SinrParams, Variant};
+use std::collections::HashSet;
+use std::fs;
+use std::path::PathBuf;
+
+/// (universe n, target live, events, checkpoint cadence K) per build
+/// profile. The release configuration satisfies the ≥ 500-event acceptance
+/// criterion of the crash-point suite.
+#[cfg(debug_assertions)]
+const CRASH: (usize, usize, usize, usize) = (60, 36, 160, 8);
+#[cfg(not(debug_assertions))]
+const CRASH: (usize, usize, usize, usize) = (140, 85, 520, 16);
+
+/// A fresh scratch directory under the system temp dir, emptied on entry so
+/// reruns never see stale session files.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("oblisched-durable-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Applies one churn event to a durable session, resolving departures
+/// through the scheduler's owner map.
+fn apply<S: GainBackend + ?Sized, St: SessionStore>(
+    session: &mut DurableScheduler<'_, S, St>,
+    event: ChurnEvent,
+) {
+    match event {
+        ChurnEvent::Arrive(i) => {
+            session.insert(i).unwrap();
+        }
+        ChurnEvent::Depart(i) => {
+            let id = session.scheduler().id_of_item(i).unwrap();
+            session.remove(id).unwrap();
+        }
+    }
+}
+
+#[test]
+fn every_wal_truncation_recovers_the_pre_crash_state() {
+    let (n, target, events, k) = CRASH;
+    let (instance, trace) = churn_uniform(n, target, events, 42);
+    assert_eq!(trace.len(), events);
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+    // The scheduler runs directly on the naive view, so `validate()` is the
+    // naive-evaluator certification path.
+    let view = eval.view(Variant::Bidirectional);
+    let config = DynamicConfig::default();
+
+    // Ground truth: the logical state after every prefix of the trace,
+    // computed by the plain (non-durable) replay loop.
+    let mut reference: Vec<SchedulerState> = Vec::with_capacity(events + 1);
+    reference.push(DynamicScheduler::with_config(&view, config).export_state());
+    replay_incremental_with(&view, &trace, |sched, _| {
+        reference.push(sched.export_state());
+    });
+
+    // Recording run: a real on-disk session, capturing the bytes of the
+    // snapshot file after creation and after every event — every snapshot
+    // that could be on disk at any crash point.
+    let record_dir = scratch_dir("record");
+    let snapshot_path = record_dir.join(DiskStore::SNAPSHOT_FILE);
+    let store = DiskStore::open(&record_dir).unwrap();
+    let mut session = DurableScheduler::create(&view, config, k, store).unwrap();
+    let mut snap_after: Vec<Vec<u8>> = Vec::with_capacity(events + 1);
+    snap_after.push(fs::read(&snapshot_path).unwrap());
+    for &event in &trace.events {
+        apply(&mut session, event);
+        snap_after.push(fs::read(&snapshot_path).unwrap());
+    }
+    assert_eq!(session.scheduler().export_state(), reference[events]);
+    drop(session); // crash: only the files survive
+    let wal = fs::read(record_dir.join(DiskStore::WAL_FILE)).unwrap();
+
+    // Index the log: the byte offset past each line's newline, and whether
+    // the line is an insert/remove (an *event* — Recolor records are
+    // verification-only and do not advance the reference index).
+    let text = std::str::from_utf8(&wal).unwrap();
+    let mut line_ends: Vec<(usize, bool)> = Vec::new();
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        offset += line.len();
+        let record: WalRecord = serde_json::from_str(line.trim_end()).unwrap();
+        let is_event = !matches!(record.event, WalEvent::Recolor { .. });
+        line_ends.push((offset, is_event));
+    }
+    assert_eq!(
+        offset,
+        wal.len(),
+        "the recorded WAL must end with a newline"
+    );
+    let event_records = line_ends.iter().filter(|(_, e)| *e).count();
+    assert_eq!(event_records, events, "one insert/remove record per event");
+    assert!(
+        line_ends.len() > events,
+        "the trace must trigger recoloring migrations (Recolor records)"
+    );
+
+    // The sweep: truncate the WAL at every byte offset. `ev` counts the
+    // insert/remove records among the complete (newline-terminated) lines —
+    // the events recovery must reproduce; a torn final line must be dropped.
+    // Each truncation is paired with both snapshots that can coexist with it
+    // on disk: the one taken after event `ev` (checkpoint already written
+    // when the crash hit) and the one before it (crash between the append
+    // and the checkpoint).
+    let crash_dir = scratch_dir("crash");
+    let crash_wal = crash_dir.join(DiskStore::WAL_FILE);
+    let crash_snapshot = crash_dir.join(DiskStore::SNAPSHOT_FILE);
+    let mut complete = 0usize;
+    let mut ev = 0usize;
+    let mut validated: HashSet<(usize, usize)> = HashSet::new();
+    for b in 0..=wal.len() {
+        while complete < line_ends.len() && line_ends[complete].0 <= b {
+            if line_ends[complete].1 {
+                ev += 1;
+            }
+            complete += 1;
+        }
+        let mut candidates = vec![ev];
+        let prev = ev.saturating_sub(1);
+        if prev != ev && snap_after[prev] != snap_after[ev] {
+            candidates.push(prev);
+        }
+        for s in candidates {
+            fs::write(&crash_wal, &wal[..b]).unwrap();
+            fs::write(&crash_snapshot, &snap_after[s]).unwrap();
+            let store = DiskStore::open(&crash_dir).unwrap();
+            let recovered = DurableScheduler::recover(&view, store)
+                .unwrap_or_else(|e| panic!("recovery failed at byte {b}/snapshot {s}: {e}"));
+            assert_eq!(
+                recovered.scheduler().export_state(),
+                reference[ev],
+                "recovered coloring diverges at byte {b}/snapshot {s} ({ev} events durable)"
+            );
+            // Certify each distinct recovered scheduler once, at the record
+            // boundary where it first appears: mid-line truncations recover
+            // byte-identical files modulo dropped verification records, so
+            // they rebuild the very scheduler already certified.
+            let at_boundary = b == 0 || wal[b - 1] == b'\n';
+            if at_boundary && validated.insert((ev, s)) {
+                recovered.scheduler().validate().unwrap_or_else(|e| {
+                    panic!("certification failed at byte {b}/snapshot {s}: {e}")
+                });
+            }
+        }
+    }
+    assert!(validated.len() > events, "every record boundary certified");
+    let _ = fs::remove_dir_all(&record_dir);
+    let _ = fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn recovery_is_deterministic_across_checkpoint_cadences() {
+    // Satellite regression: snapshot-at-K + replay-tail must equal the
+    // full-WAL replay (and the plain in-memory replay) for K ∈ {1, 7, 64}
+    // on a seed-pinned trace — one snapshot per event, mid-cadence, and a
+    // cadence longer than the trace's checkpoint-free stretches.
+    let (instance, trace) = churn_uniform(80, 48, 240, 7);
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+    let view = eval.view(Variant::Bidirectional);
+    let config = DynamicConfig::default();
+    let expected = replay_incremental(&view, &trace).export_state();
+    for cadence in [1usize, 7, 64] {
+        let session = replay_durable(&view, &trace, config, cadence, MemoryStore::new()).unwrap();
+        assert_eq!(
+            session.scheduler().export_state(),
+            expected,
+            "durable replay diverges for K={cadence}"
+        );
+        let records: Vec<WalRecord> = session.store().records().to_vec();
+        let store = session.into_store();
+        let replayed = replay_records(&view, config, &records).unwrap();
+        assert_eq!(
+            replayed.export_state(),
+            expected,
+            "full-WAL replay diverges for K={cadence}"
+        );
+        let recovered = DurableScheduler::recover(&view, store).unwrap();
+        assert_eq!(
+            recovered.scheduler().export_state(),
+            expected,
+            "snapshot+tail recovery diverges for K={cadence}"
+        );
+        recovered.validate().unwrap();
+        recovered.scheduler().validate_against(&view).unwrap();
+    }
+}
+
+#[test]
+fn disk_recovery_error_paths_are_typed() {
+    let (instance, trace) = churn_uniform(30, 18, 40, 3);
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+    let view = eval.view(Variant::Bidirectional);
+    let config = DynamicConfig::default();
+    let dir = scratch_dir("errors");
+
+    // An empty/absent store (no snapshot, no WAL) is a typed NoSession, not
+    // a panic — and the same holds when only an empty WAL file exists,
+    // since DiskStore::open creates it eagerly.
+    let store = DiskStore::open(dir.join("fresh")).unwrap();
+    assert!(fs::metadata(dir.join("fresh").join(DiskStore::WAL_FILE)).is_ok());
+    assert!(matches!(
+        DurableScheduler::recover(&view, store),
+        Err(DurabilityError::NoSession)
+    ));
+
+    // A recorded session whose WAL gains a garbage *terminated* line is
+    // typed Corrupt (a torn, unterminated line would be dropped instead).
+    let session_dir = dir.join("corrupt");
+    let store = DiskStore::open(&session_dir).unwrap();
+    let mut session = DurableScheduler::create(&view, config, 1000, store).unwrap();
+    for &event in &trace.events[..20] {
+        apply(&mut session, event);
+    }
+    drop(session);
+    let wal_path = session_dir.join(DiskStore::WAL_FILE);
+    let mut wal = fs::read_to_string(&wal_path).unwrap();
+    let cut = wal.find('\n').unwrap() + 1;
+    wal.insert_str(cut, "{not json}\n");
+    fs::write(&wal_path, &wal).unwrap();
+    let store = DiskStore::open(&session_dir).unwrap();
+    match DurableScheduler::recover(&view, store) {
+        Err(DurabilityError::Corrupt {
+            seq: Some(1),
+            detail,
+        }) => {
+            assert!(
+                detail.contains("does not parse"),
+                "unexpected detail: {detail}"
+            );
+        }
+        Err(e) => panic!("expected Corrupt at seq 1, got {e}"),
+        Ok(_) => panic!("expected Corrupt at seq 1, got a recovered session"),
+    }
+
+    // Truncating the same WAL to an unterminated prefix of its first line
+    // is a torn write: recovery succeeds with zero events replayed.
+    let first_line = wal.find('\n').unwrap();
+    fs::write(&wal_path, &wal.as_bytes()[..first_line.saturating_sub(2)]).unwrap();
+    // Pair it with the initial (empty) snapshot: rewrite it from a fresh
+    // create in a sibling dir.
+    let fresh_dir = dir.join("fresh-snapshot");
+    let fresh = DiskStore::open(&fresh_dir).unwrap();
+    let created = DurableScheduler::create(&view, config, 1000, fresh).unwrap();
+    drop(created);
+    fs::copy(
+        fresh_dir.join(DiskStore::SNAPSHOT_FILE),
+        session_dir.join(DiskStore::SNAPSHOT_FILE),
+    )
+    .unwrap();
+    let store = DiskStore::open(&session_dir).unwrap();
+    let recovered = DurableScheduler::recover(&view, store).unwrap();
+    assert!(recovered.scheduler().is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_replay_runs_e10_style_traces() {
+    // The churn replay helper wired into the bench layer runs a full
+    // E10-style trace durably and recovers to the same live set the plain
+    // replay reports.
+    let (instance, trace) = churn_uniform(50, 30, 150, 9);
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+    let view = eval.view(Variant::Bidirectional);
+    let session = replay_durable(
+        &view,
+        &trace,
+        DynamicConfig::default(),
+        13,
+        MemoryStore::new(),
+    )
+    .unwrap();
+    let mut live = session.scheduler().live_items();
+    live.sort_unstable();
+    assert_eq!(live, trace.final_live());
+    let recovered = DurableScheduler::recover(&view, session.into_store()).unwrap();
+    let mut recovered_live = recovered.scheduler().live_items();
+    recovered_live.sort_unstable();
+    assert_eq!(recovered_live, trace.final_live());
+    recovered.validate().unwrap();
+}
