@@ -20,6 +20,10 @@ echo "==> engine property + integration + golden tests (release)"
 # release codegen) on the suites that pin the engine's exact equivalence.
 cargo test -q --release -p oblisched_sinr --test properties
 cargo test -q --release -p oblisched-suite --test scheduler_families --test golden_schedules
+# Golden snapshot of the sparse-dynamic E10 rows (release-only test): the
+# deterministic outcome of the 10k/50k churn replays on the churn-capable
+# sparse backend, including the n=50k under-64-MiB acceptance assert.
+cargo test -q --release -p oblisched-suite --test golden_sparse_churn
 
 echo "==> dynamic churn acceptance (release)"
 # The full-size acceptance configuration (>= 2000 events around >= 1000 live
@@ -35,6 +39,17 @@ echo "==> durable recovery acceptance (release)"
 # and certified through the naive-evaluator validate() path. The debug
 # workspace pass above covers the scaled-down variant.
 cargo test -q --release -p oblisched-suite --test durable_recovery
+
+echo "==> sparse dynamic certification + churn acceptance (release)"
+# The interleaving proptest — the sparse-backed DynamicScheduler never
+# accepts a placement the naive evaluator rejects, at *any* intermediate
+# state, across assignments × variants × folded/per-port — plus the
+# large-universe acceptance replay on the facade-selected sparse backend.
+# SPARSE_CHURN_SMOKE=1 (the default here) shrinks the acceptance universe
+# to 4k — still past the dense budget, so the sparse tier is exercised —
+# keeping the pipeline fast; the full 10k/50k replays run in the
+# golden_sparse_churn stage above.
+SPARSE_CHURN_SMOKE="${SPARSE_CHURN_SMOKE:-1}" cargo test -q --release -p oblisched-suite --test sparse_dynamic
 
 echo "==> jobs runner smoke (JSONL golden)"
 # The typed job API end to end: run the committed smoke job file (every
@@ -87,7 +102,9 @@ SPARSE_SMOKE=1 cargo bench -p oblisched_bench --bench sparse
 echo "==> experiment E10 (churn: incremental vs full reschedule)"
 # E10 validates the final dynamic state against the naive evaluator and
 # reports the wall-time comparison; running it here keeps the experiment
-# harness (and the speedup claim it documents) green.
+# harness (and the speedup claim it documents) green. Its large-tier rows
+# replay the 10k/50k churn families on the sparse session backend and
+# assert the 64 MiB engine-budget bound.
 cargo run -q -p oblisched_bench --bin experiments --release -- --exp e10
 
 echo "==> experiment E11 (backend tiers: dense vs sparse vs parallel-sparse)"

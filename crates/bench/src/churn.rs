@@ -6,8 +6,11 @@
 use oblisched::durability::{DurabilityError, DurableScheduler, SessionStore};
 use oblisched::dynamic::{DynamicConfig, DynamicScheduler};
 use oblisched::first_fit_subset;
+use oblisched::scheduler::{EngineBackend, Scheduler, SessionBackend, DEFAULT_MATRIX_BUDGET};
+use oblisched::solve::BackendPolicy;
 use oblisched_instances::{ChurnEvent, ChurnTrace};
-use oblisched_sinr::GainBackend;
+use oblisched_metric::EuclideanSpace;
+use oblisched_sinr::{GainBackend, Instance, ObliviousPower, SinrParams, Variant};
 
 /// Replays a trace through the dynamic scheduler (one `insert`/`remove` per
 /// event), returning the final scheduler so callers can validate it and read
@@ -153,6 +156,83 @@ pub fn replay_full_reschedule<S: GainBackend + ?Sized>(system: &S, trace: &Churn
         colors = first_fit_subset(system, &live).len();
     }
     colors
+}
+
+/// The outcome of one large-tier sparse churn replay: the deterministic
+/// fields (`universe`, `events`, `final_live`, `colors`) feed the golden
+/// snapshot, the timing and footprint fields the E10 table.
+#[derive(Debug, Clone)]
+pub struct SparseChurnOutcome {
+    /// Universe size of the workload.
+    pub universe: usize,
+    /// Number of replayed events.
+    pub events: usize,
+    /// Live requests after the final event.
+    pub final_live: usize,
+    /// Colors of the final schedule.
+    pub colors: usize,
+    /// Backend footprint in bytes *after* the replay (static grid and
+    /// aggregates plus every row the session materialised).
+    pub backend_bytes: usize,
+    /// Wall time of the replay loop in milliseconds.
+    pub dyn_ms: f64,
+}
+
+/// Runs one large-tier churn workload end to end on the facade-selected
+/// session backend (square-root assignment, bidirectional): asserts that
+/// [`Scheduler::session_backend`] under [`BackendPolicy::Auto`] routes the
+/// over-budget universe to the churn-capable sparse tier, replays the trace
+/// incrementally, certifies the final state against the naive evaluator,
+/// and enforces the engine-budget acceptance bound on the *grown* backend
+/// (after every row the session materialised). Shared by experiment E10,
+/// the golden snapshot and the release acceptance test so they all measure
+/// the same loop.
+///
+/// # Panics
+///
+/// Panics if the facade picks a non-sparse tier (the workload is small
+/// enough for the dense matrix), if the final state fails naive
+/// certification or drift validation, or if the grown backend exceeds the
+/// 64 MiB engine budget.
+pub fn sparse_churn_outcome(
+    instance: &Instance<EuclideanSpace<2>>,
+    trace: &ChurnTrace,
+    params: SinrParams,
+) -> SparseChurnOutcome {
+    let eval = instance.evaluator(params, &ObliviousPower::SquareRoot);
+    let view = eval.view(Variant::Bidirectional);
+    let scheduler = Scheduler::new(params);
+    let (backend, stats) = scheduler.session_backend(&view, BackendPolicy::Auto);
+    assert_eq!(
+        stats.backend,
+        EngineBackend::Sparse,
+        "large-tier churn workloads must route to the sparse session backend"
+    );
+    let start = std::time::Instant::now();
+    let sched = replay_incremental(&backend, trace);
+    let dyn_ms = start.elapsed().as_secs_f64() * 1e3;
+    sched
+        .validate_against(&view)
+        .expect("the final sparse churn state must certify against the naive evaluator");
+    sched
+        .validate()
+        .expect("accumulated sums must stay within drift tolerance");
+    let backend_bytes = match &backend {
+        SessionBackend::Sparse(s) => s.bytes(),
+        _ => unreachable!("the facade tier was asserted sparse above"),
+    };
+    assert!(
+        backend_bytes <= DEFAULT_MATRIX_BUDGET,
+        "sparse session backend grew past the engine budget: {backend_bytes} bytes"
+    );
+    SparseChurnOutcome {
+        universe: trace.universe,
+        events: trace.len(),
+        final_live: sched.len(),
+        colors: sched.num_colors(),
+        backend_bytes,
+        dyn_ms,
+    }
 }
 
 #[cfg(test)]

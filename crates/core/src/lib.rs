@@ -98,7 +98,7 @@ pub use greedy::{
 pub use optimal::{exact_chromatic_number, exact_max_one_shot};
 pub use parallel::{parallel_first_fit, tile_shards, ParallelConfig, DEFAULT_TARGET_SHARDS};
 pub use power_control::{feasible_powers, greedy_with_power_control, PowerControlConfig};
-pub use scheduler::{EngineBackend, EngineStats, ScheduleResult, Scheduler};
+pub use scheduler::{EngineBackend, EngineStats, ScheduleResult, Scheduler, SessionBackend};
 pub use solve::{
     Algorithm, Assignment, BackendPolicy, PowerAssignment, ScheduleError, SolveLabel, SolveRequest,
     SolveStrategy,

@@ -17,10 +17,12 @@ use crate::solve::{
 };
 use crate::sqrt_coloring::{sqrt_coloring, SqrtColoringConfig};
 use oblisched_metric::{MetricSpace, PlanarMetric};
+use oblisched_sinr::engine::SparseEntry;
 use oblisched_sinr::feasibility::VariantView;
 use oblisched_sinr::{
-    Evaluator, GainMatrix, IncrementalSystem, Instance, InterferenceSystem, ObliviousPower,
-    PowerScheme, Schedule, SinrError, SinrParams, SparseConfig, SparseGainMatrix, Variant,
+    Evaluator, GainBackend, GainMatrix, IncrementalSystem, Instance, InterferenceSystem,
+    ObliviousPower, PowerScheme, Schedule, SinrError, SinrParams, SparseChurnMatrix, SparseConfig,
+    SparseGainMatrix, Variant,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -137,6 +139,166 @@ enum SelectedBackend<'v, 'e, 'a, M> {
     /// No cache: schedule straight off the view ([`BackendPolicy::Exact`]
     /// above the budget).
     Fly(&'v VariantView<'e, 'a, M>),
+}
+
+/// The interference backend of a *dynamic session*, chosen by
+/// [`Scheduler::session_backend`] — the churn counterpart of the batch
+/// backend selection inside [`Scheduler::solve`].
+///
+/// Dynamic and durable schedulers are generic over [`GainBackend`], so this
+/// enum exists purely to let callers hold whichever tier the facade picked
+/// in one variable and hand out `&backend` without matching on the tier
+/// themselves: every engine trait is forwarded verbatim to the chosen
+/// backend, including the churn hooks
+/// ([`note_arrival`](GainBackend::note_arrival) /
+/// [`note_departure`](GainBackend::note_departure)) that keep the sparse
+/// tier's live aggregates in step with the session.
+pub enum SessionBackend<'v, 'e, 'a, M> {
+    /// The dense cached [`GainMatrix`]: exact verdicts, `8 · ports · n²`
+    /// bytes — the right tier while the universe fits the budget.
+    Dense(GainMatrix),
+    /// The churn-capable spatially-pruned [`SparseChurnMatrix`]:
+    /// conservative verdicts, `O(n)` memory over the whole universe with
+    /// rows only for live requests — the `Auto` tier above the budget.
+    /// Boxed so the enum stays as small as its cheapest variant.
+    Sparse(Box<SparseChurnMatrix>),
+    /// No cache: exact contributions computed on the fly from the view
+    /// ([`BackendPolicy::Exact`] above the budget).
+    Fly(&'v VariantView<'e, 'a, M>),
+}
+
+impl<M: MetricSpace> InterferenceSystem for SessionBackend<'_, '_, '_, M> {
+    fn len(&self) -> usize {
+        match self {
+            SessionBackend::Dense(m) => m.len(),
+            SessionBackend::Sparse(s) => s.len(),
+            SessionBackend::Fly(v) => v.len(),
+        }
+    }
+
+    fn sinr(&self, i: usize, others: &[usize]) -> f64 {
+        match self {
+            SessionBackend::Dense(m) => m.sinr(i, others),
+            SessionBackend::Sparse(s) => s.sinr(i, others),
+            SessionBackend::Fly(v) => v.sinr(i, others),
+        }
+    }
+
+    fn beta(&self) -> f64 {
+        match self {
+            SessionBackend::Dense(m) => m.beta(),
+            SessionBackend::Sparse(s) => s.beta(),
+            SessionBackend::Fly(v) => v.beta(),
+        }
+    }
+}
+
+impl<M: MetricSpace> IncrementalSystem for SessionBackend<'_, '_, '_, M> {
+    fn num_ports(&self) -> usize {
+        match self {
+            SessionBackend::Dense(m) => m.num_ports(),
+            SessionBackend::Sparse(s) => s.num_ports(),
+            SessionBackend::Fly(v) => v.num_ports(),
+        }
+    }
+
+    fn contribution(&self, i: usize, port: usize, j: usize) -> f64 {
+        match self {
+            SessionBackend::Dense(m) => m.contribution(i, port, j),
+            SessionBackend::Sparse(s) => s.contribution(i, port, j),
+            SessionBackend::Fly(v) => v.contribution(i, port, j),
+        }
+    }
+
+    fn signal(&self, i: usize) -> f64 {
+        match self {
+            SessionBackend::Dense(m) => m.signal(i),
+            SessionBackend::Sparse(s) => s.signal(i),
+            SessionBackend::Fly(v) => v.signal(i),
+        }
+    }
+
+    fn noise(&self) -> f64 {
+        match self {
+            SessionBackend::Dense(m) => m.noise(),
+            SessionBackend::Sparse(s) => s.noise(),
+            SessionBackend::Fly(v) => v.noise(),
+        }
+    }
+}
+
+impl<M: MetricSpace> GainBackend for SessionBackend<'_, '_, '_, M> {
+    fn stored_contribution(&self, i: usize, port: usize, j: usize) -> Option<f64> {
+        match self {
+            SessionBackend::Dense(m) => m.stored_contribution(i, port, j),
+            SessionBackend::Sparse(s) => s.stored_contribution(i, port, j),
+            SessionBackend::Fly(v) => v.stored_contribution(i, port, j),
+        }
+    }
+
+    fn stored_row(&self, i: usize, port: usize) -> Option<&[SparseEntry]> {
+        match self {
+            SessionBackend::Dense(m) => m.stored_row(i, port),
+            SessionBackend::Sparse(s) => s.stored_row(i, port),
+            SessionBackend::Fly(v) => v.stored_row(i, port),
+        }
+    }
+
+    fn pruned_cap(&self, i: usize, port: usize) -> f64 {
+        match self {
+            SessionBackend::Dense(m) => m.pruned_cap(i, port),
+            SessionBackend::Sparse(s) => s.pruned_cap(i, port),
+            SessionBackend::Fly(v) => v.pruned_cap(i, port),
+        }
+    }
+
+    fn pruned_mass(&self, i: usize, port: usize) -> f64 {
+        match self {
+            SessionBackend::Dense(m) => m.pruned_mass(i, port),
+            SessionBackend::Sparse(s) => s.pruned_mass(i, port),
+            SessionBackend::Fly(v) => v.pruned_mass(i, port),
+        }
+    }
+
+    fn is_exact(&self) -> bool {
+        match self {
+            SessionBackend::Dense(m) => m.is_exact(),
+            SessionBackend::Sparse(s) => s.is_exact(),
+            SessionBackend::Fly(v) => v.is_exact(),
+        }
+    }
+
+    fn strict_recheck(&self) -> bool {
+        match self {
+            SessionBackend::Dense(m) => m.strict_recheck(),
+            SessionBackend::Sparse(s) => s.strict_recheck(),
+            SessionBackend::Fly(v) => v.strict_recheck(),
+        }
+    }
+
+    fn exact_contribution(&self, i: usize, port: usize, j: usize) -> f64 {
+        match self {
+            SessionBackend::Dense(m) => m.exact_contribution(i, port, j),
+            SessionBackend::Sparse(s) => s.exact_contribution(i, port, j),
+            SessionBackend::Fly(v) => v.exact_contribution(i, port, j),
+        }
+    }
+
+    fn note_arrival(&self, item: usize) {
+        match self {
+            SessionBackend::Dense(m) => m.note_arrival(item),
+            SessionBackend::Sparse(s) => s.note_arrival(item),
+            SessionBackend::Fly(v) => v.note_arrival(item),
+        }
+    }
+
+    fn note_departure(&self, item: usize) {
+        match self {
+            SessionBackend::Dense(m) => m.note_departure(item),
+            SessionBackend::Sparse(s) => s.note_departure(item),
+            SessionBackend::Fly(v) => v.note_departure(item),
+        }
+    }
 }
 
 /// Scheduler facade: fix the SINR parameters once, then solve typed
@@ -658,6 +820,58 @@ impl Scheduler {
         }
     }
 
+    /// Picks the interference backend for a **dynamic session** over `view`
+    /// — the churn counterpart of the batch tier decision inside
+    /// [`solve`](Scheduler::solve), sharing its budget and
+    /// [`SparseConfig`]. Under [`BackendPolicy::Auto`] the session gets the
+    /// dense [`GainMatrix`] while it fits
+    /// [`matrix_budget`](Scheduler::matrix_budget), and the churn-capable
+    /// [`SparseChurnMatrix`] above it (built over the full universe with
+    /// every request initially dead — the session's inserts and removes
+    /// drive it through the engine's churn hooks). Under
+    /// [`BackendPolicy::Exact`] the over-budget fallback is the uncached
+    /// exact view instead.
+    ///
+    /// The reported [`EngineStats::bytes`] is the backend's footprint at
+    /// selection time; the sparse tier grows as the session materialises
+    /// rows for live requests (still `O(n)` at fixed density and cutoff).
+    pub fn session_backend<'v, 'e, 'a, M>(
+        &self,
+        view: &'v VariantView<'e, 'a, M>,
+        policy: BackendPolicy,
+    ) -> (SessionBackend<'v, 'e, 'a, M>, EngineStats)
+    where
+        M: MetricSpace + PlanarMetric,
+    {
+        let n = view.len();
+        let ports = view.num_ports();
+        if self.dense_fits(n, ports) {
+            (
+                SessionBackend::Dense(view.cached()),
+                self.dense_stats(n, ports),
+            )
+        } else {
+            match policy {
+                BackendPolicy::Auto => {
+                    let sparse = SparseChurnMatrix::new(view, &self.sparse_config);
+                    let stats = EngineStats {
+                        backend: EngineBackend::Sparse,
+                        n,
+                        ports: sparse.ports(),
+                        bytes: sparse.bytes(),
+                        dense_bytes: GainMatrix::bytes_for(n, ports),
+                        budget: self.matrix_budget,
+                    };
+                    (SessionBackend::Sparse(Box::new(sparse)), stats)
+                }
+                BackendPolicy::Exact => (
+                    SessionBackend::Fly(view),
+                    EngineStats::on_the_fly(n, ports, self.matrix_budget),
+                ),
+            }
+        }
+    }
+
     /// `true_ports` is the variant's port count — the folded sparse backend
     /// reports a single port, but the dense-footprint comparison must use
     /// what the dense matrix would actually allocate.
@@ -758,6 +972,47 @@ mod tests {
             .solve(&inst, &SolveRequest::first_fit(PowerAssignment::Uniform))
             .unwrap();
         assert!(sqrt.num_colors() < uniform.num_colors());
+    }
+
+    #[test]
+    fn session_backend_tiers_follow_the_budget_and_policy() {
+        use crate::dynamic::DynamicScheduler;
+        use oblisched_sinr::ObliviousPower;
+
+        let inst = nested_chain(10, 2.0);
+        let eval = inst.evaluator(
+            SinrParams::new(3.0, 1.0).unwrap(),
+            &ObliviousPower::SquareRoot,
+        );
+        let view = eval.view(Variant::Bidirectional);
+
+        // Under the budget: the dense cache, exact verdicts.
+        let (backend, stats) = scheduler().session_backend(&view, BackendPolicy::Auto);
+        assert!(matches!(backend, SessionBackend::Dense(_)));
+        assert_eq!(stats.backend, EngineBackend::Dense);
+        assert!(backend.is_exact());
+
+        // Over the budget under Auto: the churn-capable sparse tier — and a
+        // session over it schedules every request while certifying against
+        // the naive view.
+        let tight = scheduler().matrix_budget(64);
+        let (backend, stats) = tight.session_backend(&view, BackendPolicy::Auto);
+        assert!(matches!(backend, SessionBackend::Sparse(_)));
+        assert_eq!(stats.backend, EngineBackend::Sparse);
+        assert!(!backend.is_exact());
+        assert!(stats.dense_bytes > stats.budget);
+        let mut sched = DynamicScheduler::new(&backend);
+        let ids: Vec<_> = (0..inst.len()).map(|i| sched.insert(i).unwrap()).collect();
+        sched.validate_against(&view).unwrap();
+        sched.remove(ids[3]).unwrap();
+        sched.validate_against(&view).unwrap();
+        sched.validate().unwrap();
+
+        // Over the budget under Exact: the uncached fly view.
+        let (backend, stats) = tight.session_backend(&view, BackendPolicy::Exact);
+        assert!(matches!(backend, SessionBackend::Fly(_)));
+        assert_eq!(stats.backend, EngineBackend::OnTheFly);
+        assert!(backend.is_exact());
     }
 
     #[test]

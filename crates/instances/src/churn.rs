@@ -14,7 +14,7 @@
 //! experiment E10 compare incremental maintenance against full reschedules
 //! on identical event sequences.
 
-use crate::scale::{scaling_clustered, scaling_uniform};
+use crate::scale::{scaling_clustered, scaling_uniform, LARGE_SCALE_SIZES};
 use oblisched_metric::EuclideanSpace;
 use oblisched_sinr::Instance;
 use rand::Rng;
@@ -217,6 +217,54 @@ pub fn churn_clustered(
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1B5_7E2D);
     let trace = churn_trace(n, target_live, num_events, &mut rng);
     (instance, trace)
+}
+
+/// The churn shape of the large-tier workloads for a universe of `n`
+/// requests: the live target is `n / 4` (a quarter of the universe live
+/// after the ramp-up — enough pressure that color classes stay large, with
+/// plenty of dead requests to draw arrivals from), capped at 8000 on the
+/// extreme tier so replay work (which scales with `events × live`) stays
+/// bounded while the universe — and hence the grid, the cutoffs and the
+/// dense-infeasibility of the instance — keeps growing. The event count is
+/// `2 · target`: the ramp-up plus an equal stretch of mixed
+/// arrivals/departures.
+pub fn large_churn_shape(n: usize) -> (usize, usize) {
+    let target = (n / 4).min(8_000);
+    (target, 2 * target)
+}
+
+/// The uniform churn workload at the large tier (`n = 10⁴`, see
+/// [`LARGE_SCALE_SIZES`]) with the [`large_churn_shape`] trace — the E10
+/// family that needs the churn-capable sparse backend (the dense matrix
+/// would take 1.6 GB).
+pub fn churn_uniform_10k(seed: u64) -> (Instance<EuclideanSpace<2>>, ChurnTrace) {
+    let n = LARGE_SCALE_SIZES[0];
+    let (target, events) = large_churn_shape(n);
+    churn_uniform(n, target, events, seed)
+}
+
+/// The uniform churn workload at the extreme tier (`n = 5·10⁴`) with the
+/// [`large_churn_shape`] trace.
+pub fn churn_uniform_50k(seed: u64) -> (Instance<EuclideanSpace<2>>, ChurnTrace) {
+    let n = LARGE_SCALE_SIZES[1];
+    let (target, events) = large_churn_shape(n);
+    churn_uniform(n, target, events, seed)
+}
+
+/// The clustered churn workload at the large tier (`n = 10⁴`, `n/256` hot
+/// spots) with the [`large_churn_shape`] trace.
+pub fn churn_clustered_10k(seed: u64) -> (Instance<EuclideanSpace<2>>, ChurnTrace) {
+    let n = LARGE_SCALE_SIZES[0];
+    let (target, events) = large_churn_shape(n);
+    churn_clustered(n, target, events, seed)
+}
+
+/// The clustered churn workload at the extreme tier (`n = 5·10⁴`) with the
+/// [`large_churn_shape`] trace.
+pub fn churn_clustered_50k(seed: u64) -> (Instance<EuclideanSpace<2>>, ChurnTrace) {
+    let n = LARGE_SCALE_SIZES[1];
+    let (target, events) = large_churn_shape(n);
+    churn_clustered(n, target, events, seed)
 }
 
 #[cfg(test)]

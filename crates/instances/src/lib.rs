@@ -40,7 +40,10 @@ pub mod random;
 pub mod scale;
 
 pub use adversarial::{adversarial_for, max_supported_n, AdversarialInstance};
-pub use churn::{churn_clustered, churn_trace_for, churn_uniform, ChurnEvent, ChurnTrace};
+pub use churn::{
+    churn_clustered, churn_clustered_10k, churn_clustered_50k, churn_trace_for, churn_uniform,
+    churn_uniform_10k, churn_uniform_50k, large_churn_shape, ChurnEvent, ChurnTrace,
+};
 pub use family::{build_family, Family, FamilyError, FamilyInstance};
 pub use line::{evenly_spaced_line, exponential_line};
 pub use nested::nested_chain;

@@ -212,6 +212,22 @@ pub trait GainBackend: IncrementalSystem {
     fn exact_contribution(&self, i: usize, port: usize, j: usize) -> f64 {
         self.contribution(i, port, j)
     }
+
+    /// Notifies the backend that `item` is about to become live in a dynamic
+    /// session. Churn-capable pruned backends patch their live aggregates and
+    /// materialised rows here; exact and batch backends (whose stored state
+    /// covers the whole universe unconditionally) ignore it.
+    fn note_arrival(&self, item: usize) {
+        let _ = item;
+    }
+
+    /// Notifies the backend that `item` has left a dynamic session (after
+    /// its interference contributions were already subtracted from every
+    /// color accumulator). The default is a no-op, mirroring
+    /// [`note_arrival`](GainBackend::note_arrival).
+    fn note_departure(&self, item: usize) {
+        let _ = item;
+    }
 }
 
 /// Combines per-port interference sums into an SINR the way the naive

@@ -37,6 +37,11 @@
 //! [`EuclideanSpace<2>`](oblisched_metric::EuclideanSpace), one ulp apart
 //! for [`LineMetric`](oblisched_metric::LineMetric)).
 //!
+//! [`SparseGainMatrix`] is batch-only: grid aggregates, rows and pads are
+//! built once and never change. Dynamic sessions use the
+//! [`churn`] submodule's [`SparseChurnMatrix`], which maintains the same
+//! pruning structure incrementally under arrivals and departures.
+//!
 //! # Example
 //!
 //! ```
@@ -69,6 +74,10 @@ use super::{GainBackend, IncrementalSystem, SparseEntry, MAX_PORTS};
 use crate::feasibility::{InterferenceSystem, Variant, VariantView};
 use crate::params::SinrParams;
 use oblisched_metric::{MetricSpace, PlanarMetric};
+
+pub mod churn;
+
+pub use churn::{SparseChurnMatrix, DEFAULT_REFRESH_INTERVAL};
 
 /// Relative inflation applied to every stored contribution, dropped-mass
 /// bound and exact re-check, so conservativeness survives last-ulp

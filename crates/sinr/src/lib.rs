@@ -17,7 +17,9 @@
 //!   [`GainBackend`] contract over tiered backends — a cached
 //!   [`GainMatrix`] of pairwise contributions (exact, bit-for-bit the naive
 //!   [`Evaluator`] verdicts) and the spatially-pruned
-//!   [`SparseGainMatrix`] (conservative verdicts at `O(n)` memory) — plus a
+//!   [`SparseGainMatrix`] (conservative verdicts at `O(n)` memory, with a
+//!   churn-capable sibling [`SparseChurnMatrix`] for dynamic sessions) —
+//!   plus a
 //!   [`ColorAccumulator`] that maintains per-color running interference
 //!   sums, turning the "can request *i* join color *c*" query from
 //!   `O(|c|²)` into `O(|c|)`; the naive path remains the source of truth
@@ -58,7 +60,7 @@ pub mod power;
 pub mod request;
 pub mod schedule;
 
-pub use engine::sparse::{SparseConfig, SparseGainMatrix};
+pub use engine::sparse::{SparseChurnMatrix, SparseConfig, SparseGainMatrix};
 pub use engine::{ColorAccumulator, GainBackend, GainMatrix, IncrementalSystem};
 pub use error::SinrError;
 pub use feasibility::{Evaluator, InterferenceSystem, Variant};

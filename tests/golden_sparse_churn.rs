@@ -1,0 +1,74 @@
+//! Golden snapshot of the sparse-dynamic E10 rows: the deterministic
+//! fields (universe, event count, final live set size, final color count)
+//! of the large-tier churn replays on the churn-capable sparse backend,
+//! diffed like the schedule golden. Release-only — the 10k/50k replays are
+//! the acceptance-scale workloads, hopeless under a debug build.
+//!
+//! On mismatch the test prints the offending line; run with
+//! `GOLDEN_UPDATE=1` to regenerate `tests/golden/sparse_churn.txt` after an
+//! *intentional* behaviour change (and justify the diff in the PR).
+#![cfg(not(debug_assertions))]
+
+use oblisched_bench::churn::sparse_churn_outcome;
+use oblisched_instances::{churn_clustered_10k, churn_uniform_10k, churn_uniform_50k};
+use oblisched_sinr::SinrParams;
+use std::path::PathBuf;
+
+/// One line per large-tier family: every field is a pure function of the
+/// seed-pinned workload and the backend's deterministic verdicts (timing
+/// and byte footprints are intentionally excluded).
+fn generate() -> Vec<String> {
+    let params = SinrParams::new(3.0, 1.0).unwrap();
+    let families = [
+        ("uniform-10k", churn_uniform_10k(42)),
+        ("clustered-10k", churn_clustered_10k(42)),
+        ("uniform-50k", churn_uniform_50k(42)),
+    ];
+    families
+        .iter()
+        .map(|(family, (instance, trace))| {
+            let out = sparse_churn_outcome(instance, trace, params);
+            format!(
+                "{family} universe={} events={} final_live={} colors={}",
+                out.universe, out.events, out.final_live, out.colors
+            )
+        })
+        .collect()
+}
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sparse_churn.txt")
+}
+
+#[test]
+fn sparse_churn_rows_match_the_committed_golden_snapshot() {
+    let actual = generate().join("\n") + "\n";
+    let path = snapshot_path();
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("golden snapshot rewritten at {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with GOLDEN_UPDATE=1 to create it",
+            path.display()
+        )
+    });
+    let actual_lines: Vec<&str> = actual.lines().collect();
+    let expected_lines: Vec<&str> = expected.lines().map(|l| l.trim_end_matches('\r')).collect();
+    for (i, (a, e)) in actual_lines.iter().zip(expected_lines.iter()).enumerate() {
+        assert_eq!(
+            a,
+            e,
+            "golden mismatch at line {} (set GOLDEN_UPDATE=1 only for intentional changes)",
+            i + 1
+        );
+    }
+    assert_eq!(
+        actual_lines.len(),
+        expected_lines.len(),
+        "golden snapshot line count changed (set GOLDEN_UPDATE=1 only for intentional changes)"
+    );
+}
