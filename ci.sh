@@ -113,6 +113,36 @@ echo "==> experiment E11 (backend tiers: dense vs sparse vs parallel-sparse)"
 # reports the tier wall times side by side.
 cargo run -q -p oblisched_bench --bin experiments --release -- --exp e11
 
+echo "==> oblint (repo-specific static analysis, baseline-ratcheted)"
+# Token-level lints for the disciplines the determinism guarantees rest on
+# (total float orderings, hash-free iteration, no wall clocks in core,
+# checked casts and SAFETY-inflated pads in the sparse engine). Findings
+# not in the committed oblint.baseline.json fail the build; fixing a
+# baselined finding also fails until the baseline is ratcheted down with
+# OBLINT_UPDATE=1, matching the GOLDEN_UPDATE convention.
+if [ "${OBLINT_UPDATE:-}" = "1" ]; then
+  cargo run -q -p oblisched_analysis --bin oblint -- --update-baseline
+else
+  cargo run -q -p oblisched_analysis --bin oblint
+fi
+
+echo "==> oblint self-test (a deliberate violation must fail)"
+# Negative control: synthesize a file with a known violation and assert the
+# tool actually rejects it, so a lint that silently stops firing cannot
+# pass CI.
+oblint_scratch="$(mktemp -d)"
+cat > "$oblint_scratch/bad.rs" <<'FIXTURE'
+pub fn bad_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+FIXTURE
+if cargo run -q -p oblisched_analysis --bin oblint -- --check "$oblint_scratch/bad.rs" > /dev/null; then
+  echo "oblint failed to flag a deliberate float-total-order violation" >&2
+  rm -rf "$oblint_scratch"
+  exit 1
+fi
+rm -rf "$oblint_scratch"
+
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,233 @@
+//! The baseline ratchet.
+//!
+//! `oblint.baseline.json` records, per (lint, path), how many findings
+//! were present when the baseline was last regenerated. The ratchet only
+//! tightens:
+//!
+//! - a (lint, path) count **above** its baseline means new findings — CI
+//!   fails and the offending findings are printed;
+//! - a count **below** its baseline means findings were fixed — CI also
+//!   fails, with a prompt to regenerate (`OBLINT_UPDATE=1`), so the
+//!   recorded debt can never silently grow back;
+//! - regeneration simply snapshots the current counts.
+//!
+//! Counts are keyed per file rather than per line so that unrelated edits
+//! moving a grandfathered finding up or down a few lines do not trip CI.
+
+use crate::json::Json;
+use crate::lints::Finding;
+use std::collections::BTreeMap;
+
+/// The committed baseline file name, resolved against the repo root.
+pub const BASELINE_FILE: &str = "oblint.baseline.json";
+
+const FORMAT_VERSION: i64 = 1;
+
+/// Grandfathered finding counts, keyed lint id → path → count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// lint id → repo-relative path → number of baselined findings.
+    pub counts: BTreeMap<String, BTreeMap<String, i64>>,
+}
+
+/// A (lint, path) whose current count no longer matches the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Lint id.
+    pub lint: String,
+    /// Repo-relative path.
+    pub path: String,
+    /// Count recorded in the baseline.
+    pub baselined: i64,
+    /// Count found in this run (strictly lower than `baselined`).
+    pub found: i64,
+}
+
+/// The outcome of comparing a run against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Findings in (lint, path) buckets that exceed their baseline count.
+    /// All findings of an offending bucket are listed, since the lexical
+    /// baseline cannot tell old from new within a file.
+    pub new: Vec<Finding>,
+    /// Buckets whose count dropped below the baseline (or vanished).
+    pub stale: Vec<StaleEntry>,
+}
+
+impl RatchetReport {
+    /// True when the run matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+fn bucket_counts(findings: &[Finding]) -> BTreeMap<String, BTreeMap<String, i64>> {
+    let mut counts: BTreeMap<String, BTreeMap<String, i64>> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry(f.lint.to_string())
+            .or_default()
+            .entry(f.path.clone())
+            .or_default() += 1;
+    }
+    counts
+}
+
+impl Baseline {
+    /// Snapshot the current findings as the new baseline.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        Baseline {
+            counts: bucket_counts(findings),
+        }
+    }
+
+    /// Total number of baselined findings.
+    pub fn total(&self) -> i64 {
+        self.counts.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// Serialize to the committed JSON shape.
+    pub fn to_json(&self) -> Json {
+        let lints = self
+            .counts
+            .iter()
+            .map(|(lint, paths)| {
+                let entries = paths
+                    .iter()
+                    .map(|(p, n)| (p.clone(), Json::Int(*n)))
+                    .collect();
+                (lint.clone(), Json::Obj(entries))
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".to_string(), Json::Int(FORMAT_VERSION)),
+            ("counts".to_string(), Json::Obj(lints)),
+        ])
+    }
+
+    /// Parse the committed JSON shape.
+    pub fn from_json(doc: &Json) -> Result<Baseline, String> {
+        match doc.get("version").and_then(Json::as_int) {
+            Some(FORMAT_VERSION) => {}
+            other => return Err(format!("unsupported baseline version {other:?}")),
+        }
+        let mut counts: BTreeMap<String, BTreeMap<String, i64>> = BTreeMap::new();
+        let lint_entries = doc
+            .get("counts")
+            .and_then(Json::as_obj)
+            .ok_or("baseline missing `counts` object")?;
+        for (lint, paths) in lint_entries {
+            let path_entries = paths
+                .as_obj()
+                .ok_or_else(|| format!("baseline counts for `{lint}` is not an object"))?;
+            let bucket = counts.entry(lint.clone()).or_default();
+            for (path, n) in path_entries {
+                let n = n
+                    .as_int()
+                    .ok_or_else(|| format!("baseline count for `{lint}` / `{path}` not an int"))?;
+                bucket.insert(path.clone(), n);
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Compare a run's findings against this baseline.
+    pub fn ratchet(&self, findings: &[Finding]) -> RatchetReport {
+        let current = bucket_counts(findings);
+        let mut report = RatchetReport::default();
+
+        // New findings: buckets whose count exceeds the baseline.
+        for f in findings {
+            let cur = current
+                .get(f.lint)
+                .and_then(|m| m.get(&f.path))
+                .copied()
+                .unwrap_or_default();
+            let base = self
+                .counts
+                .get(f.lint)
+                .and_then(|m| m.get(&f.path))
+                .copied()
+                .unwrap_or_default();
+            if cur > base {
+                report.new.push(f.clone());
+            }
+        }
+
+        // Stale entries: baselined buckets whose count dropped.
+        for (lint, paths) in &self.counts {
+            for (path, &base) in paths {
+                let cur = current
+                    .get(lint)
+                    .and_then(|m| m.get(path))
+                    .copied()
+                    .unwrap_or_default();
+                if cur < base {
+                    report.stale.push(StaleEntry {
+                        lint: lint.clone(),
+                        path: path.clone(),
+                        baselined: base,
+                        found: cur,
+                    });
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            col: 1,
+            lint,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn clean_when_counts_match_even_if_lines_moved() {
+        let base = Baseline::from_findings(&[finding("unwrap-in-lib", "a.rs", 10)]);
+        let report = base.ratchet(&[finding("unwrap-in-lib", "a.rs", 99)]);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn extra_finding_is_new() {
+        let base = Baseline::from_findings(&[finding("unwrap-in-lib", "a.rs", 10)]);
+        let report = base.ratchet(&[
+            finding("unwrap-in-lib", "a.rs", 10),
+            finding("unwrap-in-lib", "a.rs", 20),
+        ]);
+        assert_eq!(report.new.len(), 2); // whole bucket reported
+        assert!(report.stale.is_empty());
+    }
+
+    #[test]
+    fn fixed_finding_is_stale() {
+        let base = Baseline::from_findings(&[
+            finding("unwrap-in-lib", "a.rs", 10),
+            finding("unwrap-in-lib", "a.rs", 20),
+        ]);
+        let report = base.ratchet(&[finding("unwrap-in-lib", "a.rs", 10)]);
+        assert!(report.new.is_empty());
+        assert_eq!(report.stale.len(), 1);
+        assert_eq!((report.stale[0].baselined, report.stale[0].found), (2, 1));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let base = Baseline::from_findings(&[
+            finding("unwrap-in-lib", "a.rs", 10),
+            finding("float-total-order", "b.rs", 3),
+        ]);
+        let doc = base.to_json();
+        let parsed = Baseline::from_json(&Json::parse(&doc.render()).unwrap()).unwrap();
+        assert_eq!(parsed, base);
+    }
+}

@@ -1,0 +1,197 @@
+//! `oblint` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! oblint [--root DIR] [--json]        scan and ratchet against the baseline
+//! oblint --update-baseline            regenerate oblint.baseline.json
+//! OBLINT_UPDATE=1 oblint              same, via the env convention ci.sh uses
+//! oblint --check FILE...              lint explicit files, no baseline;
+//!                                     any finding exits nonzero
+//! oblint --list                       print the lint catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (new, stale, or `--check` hits),
+//! 2 usage or I/O error.
+
+use oblisched_analysis::baseline::{Baseline, BASELINE_FILE};
+use oblisched_analysis::lints::{lint_file, LINTS};
+use oblisched_analysis::runner::{find_root, load_baseline, repo_rel, report_json, scan_workspace};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    update: bool,
+    list: bool,
+    check: Vec<PathBuf>,
+}
+
+fn usage() -> String {
+    "usage: oblint [--root DIR] [--json] [--update-baseline] [--list] [--check FILE...]".to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        update: std::env::var("OBLINT_UPDATE")
+            .map(|v| v == "1")
+            .unwrap_or_default(),
+        list: false,
+        check: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                let dir = args
+                    .get(i)
+                    .ok_or_else(|| format!("--root needs a directory\n{}", usage()))?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update = true,
+            "--list" => opts.list = true,
+            "--check" => {
+                opts.check = args[i + 1..].iter().map(PathBuf::from).collect();
+                if opts.check.is_empty() {
+                    return Err(format!("--check needs at least one file\n{}", usage()));
+                }
+                break;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn resolve_root(opts: &Options) -> Result<PathBuf, String> {
+    if let Some(root) = &opts.root {
+        return Ok(root.clone());
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    find_root(&cwd).ok_or_else(|| {
+        "could not locate the repo root (no oblint.baseline.json or workspace \
+         Cargo.toml above the current directory); pass --root"
+            .to_string()
+    })
+}
+
+/// `--check` mode: lint explicit files with no baseline involved.
+fn run_check(files: &[PathBuf], root: &Path) -> Result<ExitCode, String> {
+    let mut total = 0usize;
+    for file in files {
+        let src =
+            std::fs::read_to_string(file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let rel = repo_rel(root, file);
+        let report = lint_file(&rel, &src);
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+        total += report.findings.len();
+    }
+    if total == 0 {
+        println!("oblint --check: clean ({} file(s))", files.len());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("oblint --check: {total} finding(s)");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    if opts.list {
+        for lint in LINTS {
+            println!("{:<26} {}", lint.id, lint.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let root = resolve_root(opts)?;
+    if !opts.check.is_empty() {
+        return run_check(&opts.check, &root);
+    }
+
+    let report = scan_workspace(&root)?;
+
+    if opts.update {
+        let baseline = Baseline::from_findings(&report.findings);
+        let path = root.join(BASELINE_FILE);
+        std::fs::write(&path, baseline.to_json().render())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!(
+            "oblint: baseline written to {} ({} finding(s) across {} file(s) scanned)",
+            path.display(),
+            baseline.total(),
+            report.files_scanned
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline = load_baseline(&root)?.unwrap_or_default();
+    let ratchet = baseline.ratchet(&report.findings);
+
+    if opts.json {
+        print!("{}", report_json(&report, &ratchet).render());
+        return Ok(if ratchet.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    println!(
+        "oblint: scanned {} file(s): {} finding(s) ({} baselined), {} suppressed",
+        report.files_scanned,
+        report.findings.len(),
+        baseline.total(),
+        report.suppressed
+    );
+    if !ratchet.new.is_empty() {
+        println!("\nnew findings (not in the committed baseline):");
+        for f in &ratchet.new {
+            println!("  {}", f.render());
+        }
+    }
+    if !ratchet.stale.is_empty() {
+        println!("\nstale baseline entries (findings were fixed — ratchet down):");
+        for s in &ratchet.stale {
+            println!(
+                "  [{}] {}: baselined {}, found {}",
+                s.lint, s.path, s.baselined, s.found
+            );
+        }
+        println!(
+            "\nrun `OBLINT_UPDATE=1 cargo run -p oblisched_analysis --bin oblint` to regenerate"
+        );
+    }
+    if ratchet.is_clean() {
+        println!("clean: no non-baselined findings");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("oblint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("oblint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

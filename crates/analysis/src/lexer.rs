@@ -1,0 +1,494 @@
+//! A small, comment/string/char-literal-aware Rust lexer.
+//!
+//! The lints in this crate are lexical: they look at identifier and
+//! punctuation *tokens*, never at raw text. That is what makes them immune
+//! to false positives from `"partial_cmp"` appearing inside a string
+//! literal, a `// HashMap would be wrong here` comment, or a `'a'` char
+//! literal. The lexer therefore has to get exactly one thing right:
+//! classifying every byte of a Rust source file as comment, string, char,
+//! lifetime, number, identifier, or punctuation — including the awkward
+//! cases (nested block comments, raw strings with `#` fences, byte and raw
+//! identifiers, `'a'` char vs `'a` lifetime).
+//!
+//! It is *not* a full Rust lexer: it does not validate literals, and it
+//! folds every unknown byte into [`TokenKind::Punct`]. For linting purposes
+//! that is enough, and keeping it small keeps it auditable.
+//!
+//! The lexer also extracts `// oblint::allow(<lint>)` suppression
+//! directives from line comments, recording whether the comment stood alone
+//! on its line (suppresses the *next* line) or trailed code (suppresses its
+//! *own* line).
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `as`, `fn`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal, including any type suffix (`42`, `1.0e-3f64`).
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `'\n'`, `b'0'`).
+    Char,
+    /// Punctuation / operator, longest-match (`::`, `=>`, `+=`, `{`).
+    Punct,
+}
+
+/// A token with its byte span and 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+/// A parsed `// oblint::allow(lint-a, lint-b): optional reason` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// The lint ids listed inside the parentheses.
+    pub lints: Vec<String>,
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// True when no token precedes the comment on its line; a standalone
+    /// directive suppresses findings on the *following* line, a trailing
+    /// one suppresses its own line.
+    pub standalone: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment, non-whitespace tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `oblint::allow` directives found in line comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+    out: Lexed,
+    /// Line number of the most recently emitted token, for the
+    /// standalone-vs-trailing distinction on allow directives.
+    last_token_line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn newline(&mut self) {
+        self.line += 1;
+        self.line_start = self.pos;
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, start_line: u32, start_col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line: start_line,
+            col: start_col,
+        });
+        self.last_token_line = self.line;
+    }
+
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
+    }
+
+    /// Consume a `//` comment (cursor on the first `/`) and record any
+    /// allow directive it carries.
+    fn line_comment(&mut self) {
+        let had_code = self.last_token_line == self.line;
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let mut body = &self.src[start + 2..self.pos];
+        // Doc comments (`///`, `//!`) never carry directives, but stripping
+        // the markers costs nothing and keeps the parse uniform.
+        body = body.trim_start_matches(['/', '!']).trim_start();
+        if let Some(rest) = body.strip_prefix("oblint::allow") {
+            let rest = rest.trim_start();
+            if let Some(inner) = rest.strip_prefix('(').and_then(|r| r.split(')').next()) {
+                let lints: Vec<String> = inner
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if !lints.is_empty() {
+                    self.out.allows.push(AllowDirective {
+                        lints,
+                        line,
+                        standalone: !had_code,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Consume a `/* … */` comment, honoring Rust's nesting rule.
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'/' if self.peek(1) == b'*' => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == b'/' => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.newline();
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consume a normal (escaped) string body; cursor on the opening quote.
+    fn quoted(&mut self, quote: u8) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.pos += 1;
+                    self.newline();
+                }
+                b if b == quote => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consume a raw string: cursor on the first `#` or the quote after the
+    /// `r`/`br` prefix. The closing fence is `"` followed by `hashes` `#`s.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != b'"' {
+            return; // not actually a raw string; caller already emitted
+        }
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.pos += 1;
+                    self.newline();
+                }
+                b'"' => {
+                    self.pos += 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == b'#' {
+                        seen += 1;
+                        self.pos += 1;
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime); cursor on the `'`.
+    fn tick(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col());
+        self.pos += 1;
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: `'\n'`, `'\''`, `'\u{1F600}'`. The
+            // escaped character itself must be stepped over *before*
+            // scanning for the closing quote, or `'\''` terminates early.
+            self.pos += 2;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            self.emit(TokenKind::Char, start, line, col);
+            return;
+        }
+        if is_ident_start(self.peek(0)) && self.peek(1) != b'\'' {
+            // `'a`, `'static` — a lifetime (or a label).
+            self.pos += 1;
+            while is_ident_continue(self.peek(0)) {
+                self.pos += 1;
+            }
+            self.emit(TokenKind::Lifetime, start, line, col);
+            return;
+        }
+        // `'x'` or a degenerate quote; consume through the closing tick.
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+            if self.bytes[self.pos] == b'\n' {
+                self.newline();
+            }
+            self.pos += 1;
+        }
+        self.pos += 1;
+        self.emit(TokenKind::Char, start, line, col);
+    }
+
+    fn number(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col());
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.pos += 2;
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.pos += 1;
+            }
+            self.emit(TokenKind::Number, start, line, col);
+            return;
+        }
+        while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+            self.pos += 1;
+        }
+        // A fractional part only if the `.` is followed by a digit, so that
+        // `0..n` and `1.max(2)` keep their `.`s as punctuation.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.pos += 1;
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit()
+                || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+        {
+            self.pos += 2;
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.pos += 1;
+            }
+        }
+        // Type suffix (`u32`, `f64`) merges into the number token.
+        while is_ident_continue(self.peek(0)) {
+            self.pos += 1;
+        }
+        self.emit(TokenKind::Number, start, line, col);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col());
+        self.pos += 1;
+        while is_ident_continue(self.peek(0)) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let next = self.peek(0);
+        match (text, next) {
+            // Raw identifier `r#match`: swallow the fence and the word.
+            ("r", b'#') if is_ident_start(self.peek(1)) => {
+                self.pos += 1;
+                while is_ident_continue(self.peek(0)) {
+                    self.pos += 1;
+                }
+                self.emit(TokenKind::Ident, start, line, col);
+            }
+            // Raw / byte-raw strings: `r"…"`, `r#"…"#`, `br#"…"#`.
+            ("r" | "br" | "rb", b'"' | b'#') => {
+                self.raw_string();
+                self.emit(TokenKind::Str, start, line, col);
+            }
+            // Byte string `b"…"` (escaped, not raw).
+            ("b", b'"') => {
+                self.quoted(b'"');
+                self.emit(TokenKind::Str, start, line, col);
+            }
+            // Byte char `b'0'`, `b'\''`.
+            ("b", b'\'') => {
+                self.pos += 1;
+                if self.peek(0) == b'\\' {
+                    // Step over the escaped character too, so `b'\''`
+                    // scans on to its real closing quote.
+                    self.pos += 2;
+                }
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+                self.emit(TokenKind::Char, start, line, col);
+            }
+            _ => self.emit(TokenKind::Ident, start, line, col),
+        }
+    }
+
+    fn punct(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col());
+        let rest = &self.src[self.pos..];
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                self.pos += p.len();
+                self.emit(TokenKind::Punct, start, line, col);
+                return;
+            }
+        }
+        // Single byte — may be a multi-byte UTF-8 char; step a full char.
+        let ch_len = self.src[self.pos..]
+            .chars()
+            .next()
+            .map_or(1, char::len_utf8);
+        self.pos += ch_len;
+        self.emit(TokenKind::Punct, start, line, col);
+    }
+}
+
+/// Lex `src` into tokens and allow directives.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+        out: Lexed::default(),
+        last_token_line: 0,
+    };
+    while c.pos < c.bytes.len() {
+        let b = c.bytes[c.pos];
+        match b {
+            b'\n' => {
+                c.pos += 1;
+                c.newline();
+            }
+            b' ' | b'\t' | b'\r' => c.pos += 1,
+            b'/' if c.peek(1) == b'/' => c.line_comment(),
+            b'/' if c.peek(1) == b'*' => c.block_comment(),
+            b'"' => {
+                let (start, line, col) = (c.pos, c.line, c.col());
+                c.quoted(b'"');
+                c.emit(TokenKind::Str, start, line, col);
+            }
+            b'\'' => c.tick(),
+            _ if b.is_ascii_digit() => c.number(),
+            _ if is_ident_start(b) => c.ident_or_prefixed_literal(),
+            _ => c.punct(),
+        }
+    }
+    c.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, src[t.start..t.end].to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = texts("a.partial_cmp(&b)");
+        assert_eq!(toks[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "partial_cmp".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = texts(r#"let s = "partial_cmp.unwrap()";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k == TokenKind::Str || !t.contains("partial_cmp")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = texts("a /* x /* y */ z */ b");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "b");
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = texts(r##"let s = r#"He said "unwrap""#; done"##);
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some("done"));
+        assert!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count() == 1);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = texts("fn f<'a>(x: &'a u8) { let c = 'a'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn numbers_swallow_suffixes_but_not_ranges() {
+        let toks = texts("0..n; 1.0f64; 1.max(2)");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "1.0f64", "1", "2"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literals_keep_parity() {
+        // Regression: `'\''` and `b'\''` must consume their real closing
+        // quote, or every later quote in the file flips string parity.
+        let toks = texts(r"let a = '\''; let b = b'\''; let c = '\\'; after");
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some("after"));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn allow_directive_trailing_vs_standalone() {
+        let src = "x = 1; // oblint::allow(foo)\n// oblint::allow(bar, baz): reason\ny = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert!(!lexed.allows[0].standalone);
+        assert_eq!(lexed.allows[0].lints, ["foo"]);
+        assert!(lexed.allows[1].standalone);
+        assert_eq!(lexed.allows[1].lints, ["bar", "baz"]);
+    }
+}

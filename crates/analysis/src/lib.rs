@@ -1,0 +1,30 @@
+//! `oblisched_analysis`: repo-specific static analysis for the oblisched
+//! workspace.
+//!
+//! The `oblint` binary (and this library behind it) enforces the source
+//! disciplines that the workspace's determinism and safety guarantees rest
+//! on — total float orderings, hash-free iteration, no wall-clock reads in
+//! deterministic code, typed errors instead of library panics, checked
+//! casts and SAFETY-inflated pad arithmetic in the sparse SINR engine.
+//! See [`lints`] for the catalog, [`baseline`] for the ratchet that
+//! grandfathers pre-existing findings, and the README's "Static analysis"
+//! section for the workflow.
+//!
+//! The crate is dependency-free by design: it must lint the workspace
+//! without participating in its dependency graph, and it never executes
+//! the code it scans.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod json;
+pub mod lexer;
+pub mod lints;
+pub mod runner;
+
+pub use baseline::{Baseline, RatchetReport, StaleEntry, BASELINE_FILE};
+pub use lints::{lint_by_id, lint_file, FileReport, Finding, LintSpec, LINTS};
+pub use runner::{
+    collect_rs_files, find_root, load_baseline, repo_rel, scan_workspace, ScanReport,
+};

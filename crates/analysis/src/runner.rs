@@ -1,0 +1,161 @@
+//! Workspace scanning: file discovery, root detection, and report shaping.
+//!
+//! The walker visits directories in sorted order and skips `target/`,
+//! `.git/`, `shims/` (vendored third-party code is not ours to lint), and
+//! any `fixtures/` directory (lint-test fixtures deliberately contain
+//! violations). Output ordering is fully determined by (path, line, col,
+//! lint), so two runs over the same tree are byte-identical.
+
+use crate::baseline::{Baseline, RatchetReport, BASELINE_FILE};
+use crate::json::Json;
+use crate::lints::{lint_file, Finding};
+use std::path::{Path, PathBuf};
+
+/// Directory names the walker never descends into.
+pub const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "fixtures"];
+
+/// Aggregated result of scanning a tree.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Active findings across all files, sorted by (path, line, col, lint).
+    pub findings: Vec<Finding>,
+    /// Total findings silenced by `oblint::allow` directives.
+    pub suppressed: usize,
+    /// Number of `.rs` files lexed and linted.
+    pub files_scanned: usize,
+}
+
+/// Collect every `.rs` file under `root`, sorted, skipping [`SKIP_DIRS`].
+pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The repo-relative, forward-slash form of `path` under `root`.
+pub fn repo_rel(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Lint every `.rs` file under `root`.
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
+    let files = collect_rs_files(root)?;
+    let mut report = ScanReport::default();
+    for file in &files {
+        let src =
+            std::fs::read_to_string(file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let rel = repo_rel(root, file);
+        let file_report = lint_file(&rel, &src);
+        report.findings.extend(file_report.findings);
+        report.suppressed += file_report.suppressed;
+        report.files_scanned += 1;
+    }
+    report.findings.sort();
+    Ok(report)
+}
+
+/// Locate the repo root by walking up from `start` looking for a committed
+/// baseline or a workspace `Cargo.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join(BASELINE_FILE).is_file() {
+            return Some(d);
+        }
+        if let Ok(manifest) = std::fs::read_to_string(d.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Load the committed baseline from `root`, if present.
+pub fn load_baseline(root: &Path) -> Result<Option<Baseline>, String> {
+    let path = root.join(BASELINE_FILE);
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    Baseline::from_json(&doc).map(Some)
+}
+
+fn finding_json(f: &Finding) -> Json {
+    Json::Obj(vec![
+        ("path".to_string(), Json::Str(f.path.clone())),
+        ("line".to_string(), Json::Int(i64::from(f.line))),
+        ("col".to_string(), Json::Int(i64::from(f.col))),
+        ("lint".to_string(), Json::Str(f.lint.to_string())),
+        ("message".to_string(), Json::Str(f.message.clone())),
+    ])
+}
+
+/// Shape the machine-readable report: scan totals plus the ratchet result.
+pub fn report_json(report: &ScanReport, ratchet: &RatchetReport) -> Json {
+    let stale = ratchet
+        .stale
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("lint".to_string(), Json::Str(s.lint.clone())),
+                ("path".to_string(), Json::Str(s.path.clone())),
+                ("baselined".to_string(), Json::Int(s.baselined)),
+                ("found".to_string(), Json::Int(s.found)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "files_scanned".to_string(),
+            Json::Int(report.files_scanned as i64),
+        ),
+        (
+            "findings".to_string(),
+            Json::Arr(report.findings.iter().map(finding_json).collect()),
+        ),
+        (
+            "new".to_string(),
+            Json::Arr(ratchet.new.iter().map(finding_json).collect()),
+        ),
+        ("stale".to_string(), Json::Arr(stale)),
+        (
+            "suppressed".to_string(),
+            Json::Int(report.suppressed as i64),
+        ),
+    ])
+}

@@ -1,0 +1,34 @@
+// Fixture for the float-total-order lint. Lines expecting a finding are
+// marked with a trailing `//~ <lint-id>` comment; the test harness reads
+// those markers back. This file is never compiled.
+
+pub fn bad_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); //~ float-total-order
+}
+
+pub fn good_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn silenced_trailing(xs: &mut [f64]) {
+    let _ = xs[0].partial_cmp(&xs[1]); // oblint::allow(float-total-order): fixture demo
+}
+
+pub fn silenced_standalone(xs: &mut [f64]) {
+    // oblint::allow(float-total-order): fixture demo, covers the next line
+    let _ = xs[0].partial_cmp(&xs[1]);
+}
+
+pub fn mentions_in_text_only() {
+    // A comment saying partial_cmp must not fire.
+    let _ = "partial_cmp in a string must not fire";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_partial_order() {
+        let xs = [1.0f64, 2.0];
+        assert!(xs[0].partial_cmp(&xs[1]).is_some());
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture proving the lexer never false-positives on trigger words hidden
+// in strings, comments, and char literals. Linted under a path that puts
+// every lint in scope, this file must produce ZERO findings. It is never
+// compiled.
+
+// partial_cmp HashMap HashSet Instant SystemTime .unwrap() .expect() as f64
+/* block comment: xs.sort_by(|a, b| a.partial_cmp(b).unwrap())
+   /* nested: row.mass[port] = v; let j = e.item as usize; */
+   still inside: HashMap::new() Instant::now() */
+
+pub fn strings() {
+    let plain = "a.partial_cmp(b).unwrap() as f64";
+    let raw = r#"HashMap "quoted" SystemTime .expect("x")"#;
+    let fenced = r##"r#"nested raw"# row.mass[0] = v as u32"##;
+    let bytes = b"Instant::now().unwrap()";
+    let escaped = "quote \" then HashSet and .unwrap()";
+    let _ = (plain, raw, fenced, bytes, escaped);
+}
+
+pub fn chars_and_lifetimes<'a>(x: &'a u8) -> &'a u8 {
+    let quote = '"';
+    let tick = '\'';
+    let byte_tick = b'\'';
+    let backslash = '\\';
+    let newline = '\n';
+    let _ = (quote, tick, byte_tick, backslash, newline);
+    // After all those quote-bearing literals the lexer must still be in
+    // sync: the words below stay inside this comment. partial_cmp unwrap
+    x
+}
+
+pub fn format_like() {
+    let _ = format!("{} as f64 {}", "Instant", "SystemTime");
+}

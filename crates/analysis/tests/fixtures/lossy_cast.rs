@@ -1,0 +1,35 @@
+// Fixture for the lossy-cast-in-engine lint. `//~ <lint-id>` marks lines
+// expecting a finding. This file is never compiled.
+
+pub fn bad_truncate(n: usize) -> u32 {
+    n as u32 //~ lossy-cast-in-engine
+}
+
+pub fn bad_float(n: usize) -> f64 {
+    n as f64 //~ lossy-cast-in-engine
+}
+
+pub fn good_checked(n: usize) -> Option<u32> {
+    u32::try_from(n).ok()
+}
+
+pub fn good_nonnumeric(v: &dyn std::fmt::Debug) -> &dyn std::fmt::Debug {
+    v as &dyn std::fmt::Debug
+}
+
+pub fn silenced(n: usize) -> f64 {
+    // oblint::allow(lossy-cast-in-engine): fixture demo
+    n as f64
+}
+
+pub fn text_only() {
+    let _ = "writing `n as f64` in a string must not fire";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast() {
+        assert_eq!(3usize as u32, 3);
+    }
+}

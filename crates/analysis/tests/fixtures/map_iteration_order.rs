@@ -1,0 +1,33 @@
+// Fixture for the map-iteration-order lint. `//~ <lint-id>` marks lines
+// expecting a finding. This file is never compiled.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap; //~ map-iteration-order
+
+pub fn good() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+pub fn bad() -> HashMap<u32, u32> { //~ map-iteration-order
+    Default::default()
+}
+
+pub fn silenced() {
+    // oblint::allow(map-iteration-order): fixture demo
+    let _ = std::collections::HashSet::<u32>::new();
+}
+
+pub fn text_only() {
+    let _ = "HashMap in a string must not fire";
+    // Neither does HashSet in a comment.
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn tests_may_hash() {
+        let _ = HashSet::<u32>::new();
+    }
+}

@@ -1,0 +1,36 @@
+// Fixture for the unwrap-in-lib lint. `//~ <lint-id>` marks lines
+// expecting a finding. This file is never compiled.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() //~ unwrap-in-lib
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("fixture") //~ unwrap-in-lib
+}
+
+pub fn good_fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+pub fn good_question(x: Option<u32>) -> Option<u32> {
+    Some(x?)
+}
+
+pub fn silenced(x: Option<u32>) -> u32 {
+    // oblint::allow(unwrap-in-lib): fixture demo
+    x.unwrap()
+}
+
+pub fn text_only() {
+    let _ = "calling .unwrap() inside a string must not fire";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let x: Option<u32> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture for the wall-clock-in-core lint. `//~ <lint-id>` marks lines
+// expecting a finding. This file is never compiled.
+
+pub fn bad_timing() -> std::time::Instant { //~ wall-clock-in-core
+    std::time::Instant::now() //~ wall-clock-in-core
+}
+
+pub fn bad_epoch() {
+    let _ = std::time::SystemTime::UNIX_EPOCH; //~ wall-clock-in-core
+}
+
+pub fn good_duration() -> std::time::Duration {
+    std::time::Duration::from_secs(1)
+}
+
+pub fn silenced() {
+    let _ = std::time::Instant::now(); // oblint::allow(wall-clock-in-core): fixture demo
+}
+
+pub fn text_only() {
+    let _ = "Instant and SystemTime in a string must not fire";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,158 @@
+//! Fixture-driven tests for every lint: positive, negative, suppressed,
+//! and test-region cases, plus lexer no-false-positive and path-scoping
+//! checks.
+//!
+//! Fixtures live in `tests/fixtures/` (which the workspace scanner skips)
+//! and mark each line expecting a finding with a trailing
+//! `//~ <lint-id>` comment; the harness reads those markers back, so the
+//! fixtures stay self-describing and line-number drift cannot silently
+//! desynchronize the expectations.
+
+use oblisched_analysis::lints::lint_file;
+
+/// A path that puts every lint in scope.
+const FULL_SCOPE: &str = "crates/sinr/src/engine/sparse/fixture.rs";
+
+/// Lines of `src` marked with `//~ <lint>`.
+fn expected_lines(src: &str, lint: &str) -> Vec<u32> {
+    let marker = format!("//~ {lint}");
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.trim_end().ends_with(marker.as_str()))
+        .map(|(i, _)| i as u32 + 1)
+        .collect()
+}
+
+/// Lines where `lint` actually fired when linting `src` under `path`.
+fn found_lines(path: &str, src: &str, lint: &str) -> Vec<u32> {
+    lint_file(path, src)
+        .findings
+        .iter()
+        .filter(|f| f.lint == lint)
+        .map(|f| f.line)
+        .collect()
+}
+
+fn check_fixture(src: &str, lint: &str) {
+    let expected = expected_lines(src, lint);
+    assert!(
+        !expected.is_empty(),
+        "fixture for {lint} has no //~ markers — fixture and test are out of sync"
+    );
+    assert_eq!(
+        found_lines(FULL_SCOPE, src, lint),
+        expected,
+        "lint {lint} fired on the wrong lines"
+    );
+}
+
+#[test]
+fn float_total_order_fixture() {
+    let src = include_str!("fixtures/float_total_order.rs");
+    check_fixture(src, "float-total-order");
+    // Two suppressed occurrences: one trailing, one standalone directive.
+    assert_eq!(lint_file(FULL_SCOPE, src).suppressed, 2);
+}
+
+#[test]
+fn map_iteration_order_fixture() {
+    let src = include_str!("fixtures/map_iteration_order.rs");
+    check_fixture(src, "map-iteration-order");
+    assert_eq!(lint_file(FULL_SCOPE, src).suppressed, 1);
+}
+
+#[test]
+fn wall_clock_fixture() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    check_fixture(src, "wall-clock-in-core");
+    assert_eq!(lint_file(FULL_SCOPE, src).suppressed, 1);
+}
+
+#[test]
+fn unwrap_in_lib_fixture() {
+    let src = include_str!("fixtures/unwrap_in_lib.rs");
+    check_fixture(src, "unwrap-in-lib");
+    assert_eq!(lint_file(FULL_SCOPE, src).suppressed, 1);
+}
+
+#[test]
+fn lossy_cast_fixture() {
+    let src = include_str!("fixtures/lossy_cast.rs");
+    check_fixture(src, "lossy-cast-in-engine");
+    assert_eq!(lint_file(FULL_SCOPE, src).suppressed, 1);
+}
+
+#[test]
+fn missing_safety_fixture() {
+    let src = include_str!("fixtures/missing_safety.rs");
+    check_fixture(src, "missing-safety-inflation");
+    assert_eq!(lint_file(FULL_SCOPE, src).suppressed, 1);
+}
+
+/// Trigger words inside strings, comments, and char literals must never
+/// fire, for any lint, even with every lint in scope.
+#[test]
+fn lexer_tricky_fixture_is_silent() {
+    let src = include_str!("fixtures/lexer_tricky.rs");
+    let report = lint_file(FULL_SCOPE, src);
+    assert!(
+        report.findings.is_empty(),
+        "false positives on hidden trigger words: {:#?}",
+        report.findings
+    );
+    assert_eq!(report.suppressed, 0);
+}
+
+/// Path scoping: the same source produces different findings depending on
+/// where it claims to live.
+#[test]
+fn path_scoping() {
+    let map_src = include_str!("fixtures/map_iteration_order.rs");
+    // Outside crates/*/src the map lint does not apply.
+    assert!(found_lines("tests/integration.rs", map_src, "map-iteration-order").is_empty());
+
+    let clock_src = include_str!("fixtures/wall_clock.rs");
+    // The bench crate is allowed to read the clock.
+    assert!(found_lines(
+        "crates/bench/src/timing.rs",
+        clock_src,
+        "wall-clock-in-core"
+    )
+    .is_empty());
+
+    let cast_src = include_str!("fixtures/lossy_cast.rs");
+    // Casts are only policed in the sinr engine paths.
+    assert!(found_lines(
+        "crates/core/src/scheduler.rs",
+        cast_src,
+        "lossy-cast-in-engine"
+    )
+    .is_empty());
+    assert!(!found_lines(
+        "crates/sinr/src/engine.rs",
+        cast_src,
+        "lossy-cast-in-engine"
+    )
+    .is_empty());
+
+    let safety_src = include_str!("fixtures/missing_safety.rs");
+    // Pad-write discipline only applies to the sparse engine files.
+    assert!(found_lines(
+        "crates/sinr/src/engine.rs",
+        safety_src,
+        "missing-safety-inflation"
+    )
+    .is_empty());
+}
+
+/// An allow directive for lint A must not silence lint B on the same line.
+#[test]
+fn allow_is_lint_specific() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    \
+               x.unwrap() // oblint::allow(float-total-order): wrong lint id\n\
+               }\n";
+    let report = lint_file(FULL_SCOPE, src);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].lint, "unwrap-in-lib");
+    assert_eq!(report.suppressed, 0);
+}

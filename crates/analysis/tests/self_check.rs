@@ -1,0 +1,54 @@
+//! Self-test: the workspace must be clean against its own committed
+//! baseline, and scan output must be byte-identical across runs.
+
+use oblisched_analysis::runner::{load_baseline, report_json, scan_workspace};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().expect("repo root exists")
+}
+
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = repo_root();
+    let report = scan_workspace(&root).expect("scan succeeds");
+    let baseline = load_baseline(&root)
+        .expect("baseline parses")
+        .expect("oblint.baseline.json is committed at the repo root");
+    let ratchet = baseline.ratchet(&report.findings);
+    assert!(
+        ratchet.new.is_empty(),
+        "findings not in the committed baseline (fix them or, if truly \
+         pre-existing, regenerate with OBLINT_UPDATE=1):\n{}",
+        ratchet
+            .new
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        ratchet.stale.is_empty(),
+        "baseline is stale — findings were fixed; ratchet down with \
+         OBLINT_UPDATE=1: {:?}",
+        ratchet.stale
+    );
+}
+
+#[test]
+fn scan_output_is_byte_identical_across_runs() {
+    let root = repo_root();
+    let render = || {
+        let report = scan_workspace(&root).expect("scan succeeds");
+        let baseline = load_baseline(&root)
+            .expect("baseline parses")
+            .unwrap_or_default();
+        let ratchet = baseline.ratchet(&report.findings);
+        report_json(&report, &ratchet).render()
+    };
+    let first = render();
+    let second = render();
+    assert_eq!(first, second, "oblint output must be deterministic");
+    assert!(first.contains("\"files_scanned\""));
+}

@@ -8,6 +8,8 @@
 //! cargo run -p oblisched_bench --bin experiments --release -- --json out.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use oblisched_bench::{all_experiments, run_experiment, Experiment, Table};
 use std::time::Instant;
 

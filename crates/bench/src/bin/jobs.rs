@@ -19,6 +19,8 @@
 //! `--no-timing` zeroes the `wall_ms` field, making the output byte-for-byte
 //! deterministic — what the golden diff in `ci.sh` relies on.
 
+#![forbid(unsafe_code)]
+
 use oblisched_bench::jobs::run_jobs_document;
 use std::io::Read;
 

@@ -33,7 +33,10 @@ use oblisched_metric::{
 use oblisched_sinr::nodeloss::split_pairs;
 use oblisched_sinr::{extract_feasible_subset, Instance, NodeLossInstance, Schedule, SinrParams};
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
+// BTree collections, not hash maps: the survivor set is iterated when the
+// candidate list is built, and scheduler output must never depend on hash
+// iteration order (`oblint`'s map-iteration-order lint enforces this).
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the decomposition pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,7 +93,7 @@ pub fn sqrt_feasible_nodes<M: MetricSpace, R: Rng + ?Sized>(
     // survivors of every star selection along the way are kept.
     let host = embedding.tree();
     let mut active_hosts: Vec<NodeId> = Vec::new();
-    let mut hosted: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    let mut hosted: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
     for &node in &core_nodes {
         let leaf = embedding.leaf_of(node);
         hosted.entry(leaf).or_default().push(node);
@@ -100,7 +103,7 @@ pub fn sqrt_feasible_nodes<M: MetricSpace, R: Rng + ?Sized>(
     }
     let component: Vec<NodeId> = (0..host.len()).collect();
     let star_gain = (params.beta() * config.star_gain_fraction).max(f64::MIN_POSITIVE);
-    let mut survivors: HashSet<usize> = HashSet::new();
+    let mut survivors: BTreeSet<usize> = BTreeSet::new();
     recurse_on_tree(
         host,
         &component,
@@ -114,8 +117,9 @@ pub fn sqrt_feasible_nodes<M: MetricSpace, R: Rng + ?Sized>(
     // Lemma 8 + Propositions 3/4: certify the survivors in the original
     // metric under the square-root assignment at the model gain.
     let evaluator = instance.sqrt_evaluator(*params);
+    // `BTreeSet` iteration is ascending, so the candidate list is already
+    // sorted — deterministically, independent of insertion order.
     let mut candidate: Vec<usize> = survivors.into_iter().collect();
-    candidate.sort_unstable();
     if candidate.is_empty() {
         candidate = all;
     }
@@ -128,11 +132,11 @@ pub fn sqrt_feasible_nodes<M: MetricSpace, R: Rng + ?Sized>(
 fn recurse_on_tree<M: MetricSpace>(
     host: &WeightedTree,
     component: &[NodeId],
-    hosted: &HashMap<NodeId, Vec<usize>>,
+    hosted: &BTreeMap<NodeId, Vec<usize>>,
     instance: &NodeLossInstance<M>,
     params: &SinrParams,
     star_gain: f64,
-    survivors: &mut HashSet<usize>,
+    survivors: &mut BTreeSet<usize>,
 ) {
     // Node-loss nodes present in this component.
     let present: Vec<usize> = component

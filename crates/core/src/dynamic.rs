@@ -68,7 +68,7 @@ use oblisched_sinr::engine::DEFAULT_REBUILD_INTERVAL;
 use oblisched_sinr::feasibility::REL_TOL;
 use oblisched_sinr::{ColorAccumulator, GainBackend, InterferenceSystem};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Stable external identifier of a live request, assigned by
@@ -276,8 +276,11 @@ pub struct DynamicScheduler<'s, S: GainBackend + ?Sized> {
     /// interior empties are legal (lazy compaction) and refilled by later
     /// arrivals.
     classes: Vec<ColorAccumulator<'s, S>>,
-    /// Live requests by raw id.
-    entries: HashMap<u64, Entry>,
+    /// Live requests by raw id. A `BTreeMap` rather than a hash map: every
+    /// collection in the scheduler must have deterministic iteration order
+    /// so no future traversal can leak hash-order nondeterminism into
+    /// schedules (`oblint`'s map-iteration-order lint enforces this).
+    entries: BTreeMap<u64, Entry>,
     /// Dense item index → owning live id.
     owner: Vec<Option<u64>>,
     next_id: u64,
@@ -329,7 +332,7 @@ impl<'s, S: GainBackend + ?Sized> DynamicScheduler<'s, S> {
             system,
             config,
             classes: Vec::new(),
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             owner: vec![None; system.len()],
             next_id: 0,
             recolor_cursor: 0,

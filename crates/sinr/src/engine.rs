@@ -85,6 +85,40 @@ pub mod sparse;
 /// (their endpoints).
 pub const MAX_PORTS: usize = 2;
 
+/// Widens a stored `u32` item id to a `usize` index.
+///
+/// Checked rather than an `as` cast so the engine's hot paths carry no
+/// silent-truncation sites (`oblint`'s lossy-cast-in-engine rule). The
+/// conversion is infallible on every supported target — `usize` is at least
+/// 32 bits — so the check compiles away.
+#[inline]
+pub(crate) fn item_index(id: u32) -> usize {
+    usize::try_from(id)
+        .unwrap_or_else(|_| unreachable!("usize is at least 32 bits on all supported targets"))
+}
+
+/// Narrows an item index into the engine's `u32` id space.
+///
+/// # Panics
+///
+/// Panics if `index` exceeds `u32::MAX`. In practice `n` is capped orders of
+/// magnitude below that by the engine memory budgets, so the panic marks a
+/// logic error, never a data-dependent failure.
+#[inline]
+pub(crate) fn item_id(index: usize) -> u32 {
+    u32::try_from(index)
+        .unwrap_or_else(|_| panic!("item index {index} exceeds the engine's u32 id space"))
+}
+
+/// Approximate `usize → f64` for diagnostics and sizing heuristics (fill
+/// ratios, occupancy targets). Exact below 2⁵³ items, far beyond any
+/// buildable instance.
+#[inline]
+pub(crate) fn approx_f64(n: usize) -> f64 {
+    // oblint::allow(lossy-cast-in-engine): diagnostic/sizing conversion, exact below 2^53 items.
+    n as f64
+}
+
 /// An [`InterferenceSystem`] whose interference decomposes into pairwise
 /// contributions.
 ///
@@ -408,7 +442,7 @@ impl<'s, S: GainBackend + ?Sized> ColorAccumulator<'s, S> {
         if drops == 0 {
             return 0.0;
         }
-        let per_member = drops as f64 * self.system.pruned_cap(item, port);
+        let per_member = f64::from(drops) * self.system.pruned_cap(item, port);
         per_member.min(self.system.pruned_mass(item, port))
     }
 
@@ -490,7 +524,7 @@ impl<'s, S: GainBackend + ?Sized> ColorAccumulator<'s, S> {
                         .expect("stored_row availability was just checked");
                     let mut hits = 0u32;
                     for e in row {
-                        let j = e.j as usize;
+                        let j = item_index(e.j);
                         if bits[j / 64] >> (j % 64) & 1 == 1 && j != i {
                             *slot += e.v;
                             hits += 1;
@@ -499,7 +533,7 @@ impl<'s, S: GainBackend + ?Sized> ColorAccumulator<'s, S> {
                             }
                         }
                     }
-                    dropped[port] = self.members.len() as u32 - hits;
+                    dropped[port] = item_id(self.members.len()) - hits;
                 }
                 return Some((acc, dropped));
             }

@@ -70,7 +70,9 @@
 //! # Ok::<(), oblisched_sinr::SinrError>(())
 //! ```
 
-use super::{GainBackend, IncrementalSystem, SparseEntry, MAX_PORTS};
+use super::{
+    approx_f64, item_id, item_index, GainBackend, IncrementalSystem, SparseEntry, MAX_PORTS,
+};
 use crate::feasibility::{InterferenceSystem, Variant, VariantView};
 use crate::params::SinrParams;
 use oblisched_metric::{MetricSpace, PlanarMetric};
@@ -275,6 +277,20 @@ struct SpatialGrid {
     super_power_max: Vec<f64>,
 }
 
+/// Saturating `f64 → usize` for grid sizing and cell coordinates.
+///
+/// Positions and cell sizes are finite by construction (instances validate
+/// their coordinates), and saturation is the *intended* behaviour for
+/// degenerate ratios: oversized dimension guesses fail the tile cap and
+/// retry with a doubled cell, and cell coordinates are clamped to the grid
+/// edge by the callers.
+#[inline]
+fn grid_index(x: f64) -> usize {
+    debug_assert!(!x.is_nan(), "grid arithmetic produced NaN");
+    // oblint::allow(lossy-cast-in-engine): saturating by design — see the doc comment above.
+    x as usize
+}
+
 impl SpatialGrid {
     fn build(points: &[GridEntry], occupancy: f64) -> SpatialGrid {
         let mut bbox = BBox::EMPTY;
@@ -298,13 +314,13 @@ impl SpatialGrid {
             1.0
         } else {
             let by_area = if area > 0.0 {
-                (occupancy * area / points.len() as f64).sqrt()
+                (occupancy * area / approx_f64(points.len())).sqrt()
             } else {
                 0.0
             };
             let extent = width.max(height);
             let by_line = if extent > 0.0 {
-                occupancy * extent / points.len() as f64
+                occupancy * extent / approx_f64(points.len())
             } else {
                 1.0
             };
@@ -312,11 +328,11 @@ impl SpatialGrid {
         };
         let tile_cap = points.len().saturating_mul(4).max(1024);
         let dims = |cell: f64| -> (usize, usize) {
-            // The float→usize cast saturates, so absurd ratios simply fail
-            // the cap check and double the cell again.
+            // The float→usize conversion saturates, so absurd ratios simply
+            // fail the cap check and double the cell again.
             (
-                ((width / cell).ceil() as usize).max(1),
-                ((height / cell).ceil() as usize).max(1),
+                grid_index((width / cell).ceil()).max(1),
+                grid_index((height / cell).ceil()).max(1),
             )
         };
         let mut cell = cell;
@@ -326,8 +342,8 @@ impl SpatialGrid {
             (cols, rows) = dims(cell);
         }
         let tile_of = |pos: [f64; 2]| -> usize {
-            let cx = (((pos[0] - bbox.min[0]) / cell) as usize).min(cols - 1);
-            let cy = (((pos[1] - bbox.min[1]) / cell) as usize).min(rows - 1);
+            let cx = grid_index((pos[0] - bbox.min[0]) / cell).min(cols - 1);
+            let cy = grid_index((pos[1] - bbox.min[1]) / cell).min(rows - 1);
             cy * cols + cx
         };
 
@@ -443,6 +459,21 @@ struct RowData {
     cap: [f64; MAX_PORTS],
 }
 
+impl RowData {
+    /// The sanctioned per-entry pad update: folds one already
+    /// SAFETY-inflated pruned contribution into the port's dropped-mass pad
+    /// and cap. Every pad write outside the tile-aggregate bounds must route
+    /// through here (`oblint`'s missing-safety-inflation rule), so the
+    /// inflation discipline lives in one place.
+    #[inline]
+    fn pad_absorb(&mut self, port: usize, inflated: f64) {
+        // oblint::allow(missing-safety-inflation): `inflated` is SAFETY-inflated by every caller — this helper IS the sanctioned pad entry point.
+        self.mass[port] += inflated;
+        // oblint::allow(missing-safety-inflation): same contract as the mass update above.
+        self.cap[port] = self.cap[port].max(inflated);
+    }
+}
+
 impl SparseGainMatrix {
     /// Builds the pruned contribution cache of `view` over a planar metric.
     ///
@@ -488,13 +519,13 @@ impl SparseGainMatrix {
         for i in 0..n {
             grid_points.push(GridEntry {
                 pos: senders[i],
-                item: i as u32,
+                item: item_id(i),
                 power: powers[i],
             });
             if variant == Variant::Bidirectional {
                 grid_points.push(GridEntry {
                     pos: receivers[i],
-                    item: i as u32,
+                    item: item_id(i),
                     power: powers[i],
                 });
             }
@@ -562,7 +593,9 @@ impl SparseGainMatrix {
             for port in 0..ports {
                 matrix.entries.extend_from_slice(&row.entries[port]);
                 matrix.offsets.push(matrix.entries.len());
+                // oblint::allow(missing-safety-inflation): transfers the builder's already-inflated pads into the CSR arrays verbatim.
                 matrix.dropped_mass[i * ports + port] = row.mass[port];
+                // oblint::allow(missing-safety-inflation): same transfer as the mass above.
                 matrix.dropped_cap[i * ports + port] = row.cap[port];
             }
         }
@@ -591,7 +624,7 @@ impl SparseGainMatrix {
         // interference arrives — independent of folding, which only changes
         // how many rows the values land in.
         let (anchors, num_anchors) = self.traversal_anchors(i);
-        let epoch = i as u32;
+        let epoch = item_id(i);
         // Adds a (super)tile's aggregate bound to the per-port dropped
         // accounting; returns false when the tile is too close (or too
         // strong) to prune and must be descended into.
@@ -647,7 +680,7 @@ impl SparseGainMatrix {
                             continue;
                         }
                         for e in &grid.entries[grid.offsets[t]..grid.offsets[t + 1]] {
-                            let j = e.item as usize;
+                            let j = item_index(e.item);
                             if j == i || seen[j] == epoch {
                                 continue;
                             }
@@ -657,8 +690,7 @@ impl SparseGainMatrix {
                                 if v >= cutoff {
                                     row.entries[port].push(SparseEntry { j: e.item, v });
                                 } else {
-                                    row.mass[port] += v;
-                                    row.cap[port] = row.cap[port].max(v);
+                                    row.pad_absorb(port, v);
                                 }
                             }
                         }
@@ -770,7 +802,7 @@ impl SparseGainMatrix {
         if total == 0 {
             0.0
         } else {
-            self.entries.len() as f64 / total as f64
+            approx_f64(self.entries.len()) / approx_f64(total)
         }
     }
 }
@@ -809,7 +841,7 @@ impl InterferenceSystem for SparseGainMatrix {
         for (port, slot) in ports.iter_mut().enumerate().take(self.ports) {
             if dropped[port] > 0 {
                 let r = i * self.ports + port;
-                *slot += self.dropped_mass[r].min(dropped[port] as f64 * self.dropped_cap[r]);
+                *slot += self.dropped_mass[r].min(f64::from(dropped[port]) * self.dropped_cap[r]);
             }
         }
         let worst = ports[..self.ports]
@@ -855,7 +887,7 @@ impl GainBackend for SparseGainMatrix {
             return Some(0.0);
         }
         let row = self.row(i, port);
-        row.binary_search_by_key(&(j as u32), |e| e.j)
+        row.binary_search_by_key(&item_id(j), |e| e.j)
             .ok()
             .map(|k| row[k].v)
     }

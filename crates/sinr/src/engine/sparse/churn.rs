@@ -70,7 +70,7 @@
 use std::cell::RefCell;
 
 use super::{distance_sq, BBox, FastLoss, GridEntry, SparseConfig, SpatialGrid, SAFETY, SUPER};
-use crate::engine::{GainBackend, IncrementalSystem, SparseEntry, MAX_PORTS};
+use crate::engine::{item_id, item_index, GainBackend, IncrementalSystem, SparseEntry, MAX_PORTS};
 use crate::feasibility::{InterferenceSystem, Variant, VariantView};
 use crate::params::SinrParams;
 use oblisched_metric::{MetricSpace, PlanarMetric};
@@ -108,6 +108,33 @@ struct ChurnRow {
     mass: [f64; MAX_PORTS],
     cap: [f64; MAX_PORTS],
     mutations: usize,
+}
+
+impl ChurnRow {
+    /// The sanctioned pad addition: folds one already SAFETY-inflated
+    /// pruned contribution into the port's dropped-mass pad and cap. Every
+    /// pad write must route through here, [`pad_shed`](ChurnRow::pad_shed)
+    /// or an in-statement `SAFETY` bound (`oblint`'s
+    /// missing-safety-inflation rule).
+    #[inline]
+    fn pad_absorb(&mut self, port: usize, inflated: f64) {
+        // oblint::allow(missing-safety-inflation): `inflated` is SAFETY-inflated by every caller — this helper IS the sanctioned pad entry point.
+        self.mass[port] += inflated;
+        // oblint::allow(missing-safety-inflation): same contract as the mass update above.
+        self.cap[port] = self.cap[port].max(inflated);
+    }
+
+    /// The sanctioned pad subtraction — the corrected departure bound of the
+    /// [module docs](self): subtract the *deflated* contribution (never more
+    /// than the true value, so every surviving term keeps its safety
+    /// margin), clamp at zero, and re-inflate the remainder to cover the
+    /// subtraction's own rounding. Returns the new pad so callers can poison
+    /// the row when the arithmetic degenerates to a non-finite value.
+    #[inline]
+    fn pad_shed(&mut self, port: usize, inflated: f64) -> f64 {
+        self.mass[port] = (self.mass[port] - inflated / (SAFETY * SAFETY)).max(0.0) * SAFETY;
+        self.mass[port]
+    }
 }
 
 /// The materialised rows plus the list of items currently holding one (so
@@ -217,13 +244,13 @@ impl SparseChurnMatrix {
         for i in 0..n {
             grid_points.push(GridEntry {
                 pos: senders[i],
-                item: i as u32,
+                item: item_id(i),
                 power: powers[i],
             });
             if variant == Variant::Bidirectional {
                 grid_points.push(GridEntry {
                     pos: receivers[i],
-                    item: i as u32,
+                    item: item_id(i),
                     power: powers[i],
                 });
             }
@@ -233,7 +260,7 @@ impl SparseChurnMatrix {
         let mut item_tiles = vec![[NO_TILE; 2]; n];
         for t in 0..grid.offsets.len() - 1 {
             for e in &grid.entries[grid.offsets[t]..grid.offsets[t + 1]] {
-                let slots = &mut item_tiles[e.item as usize];
+                let slots = &mut item_tiles[item_index(e.item)];
                 if slots[0] == NO_TILE {
                     slots[0] = t;
                 } else {
@@ -350,7 +377,9 @@ impl SparseChurnMatrix {
             .materialized
             .iter()
             .map(|&i| {
-                let row = store.rows[i as usize].as_ref().expect("materialized row");
+                let row = store.rows[item_index(i)]
+                    .as_ref()
+                    .expect("materialized row");
                 row.entries[..self.ports]
                     .iter()
                     .map(Vec::len)
@@ -379,7 +408,9 @@ impl SparseChurnMatrix {
                 .materialized
                 .iter()
                 .map(|&i| {
-                    let row = store.rows[i as usize].as_ref().expect("materialized row");
+                    let row = store.rows[item_index(i)]
+                        .as_ref()
+                        .expect("materialized row");
                     row.entries
                         .iter()
                         .map(|e| e.capacity() * std::mem::size_of::<SparseEntry>())
@@ -403,7 +434,7 @@ impl SparseChurnMatrix {
             let mut sum = 0.0f64;
             let mut max = 0.0f64;
             for e in &self.grid.entries[self.grid.offsets[t]..self.grid.offsets[t + 1]] {
-                if st.live[e.item as usize] {
+                if st.live[item_index(e.item)] {
                     bbox.grow(e.pos);
                     sum += e.power;
                     max = max.max(e.power);
@@ -550,7 +581,7 @@ impl SparseChurnMatrix {
                             continue;
                         }
                         for e in &grid.entries[grid.offsets[t]..grid.offsets[t + 1]] {
-                            let j = e.item as usize;
+                            let j = item_index(e.item);
                             if j == i || !st.live[j] || seen[j] == epoch {
                                 continue;
                             }
@@ -560,8 +591,7 @@ impl SparseChurnMatrix {
                                 if v >= cutoff {
                                     row.entries[port].push(SparseEntry { j: e.item, v });
                                 } else {
-                                    row.mass[port] += v;
-                                    row.cap[port] = row.cap[port].max(v);
+                                    row.pad_absorb(port, v);
                                 }
                             }
                         }
@@ -596,7 +626,7 @@ impl SparseChurnMatrix {
         let mut store = self.store.borrow_mut();
         if store.rows[i].is_none() {
             store.rows[i] = Some(row);
-            store.materialized.push(i as u32);
+            store.materialized.push(item_id(i));
         }
     }
 
@@ -620,7 +650,7 @@ impl SparseChurnMatrix {
         let mut store = self.store.borrow_mut();
         let RowStore { rows, materialized } = &mut *store;
         for &slot in materialized.iter() {
-            let i = slot as usize;
+            let i = item_index(slot);
             if i == item {
                 continue;
             }
@@ -634,15 +664,20 @@ impl SparseChurnMatrix {
                 let v = SAFETY * self.raw_contribution(i, port, item);
                 if v >= self.cutoffs[i] {
                     let entries = &mut row.entries[port];
-                    let pos = entries.binary_search_by_key(&(item as u32), |e| e.j);
+                    let pos = entries.binary_search_by_key(&item_id(item), |e| e.j);
                     debug_assert!(pos.is_err(), "arriving item {item} was already stored");
                     match pos {
                         Ok(p) => entries[p].v = v,
-                        Err(p) => entries.insert(p, SparseEntry { j: item as u32, v }),
+                        Err(p) => entries.insert(
+                            p,
+                            SparseEntry {
+                                j: item_id(item),
+                                v,
+                            },
+                        ),
                     }
                 } else {
-                    row.mass[port] += v;
-                    row.cap[port] = row.cap[port].max(v);
+                    row.pad_absorb(port, v);
                 }
             }
         }
@@ -670,12 +705,12 @@ impl SparseChurnMatrix {
         if rows[item].take().is_some() {
             let pos = materialized
                 .iter()
-                .position(|&x| x as usize == item)
+                .position(|&x| item_index(x) == item)
                 .expect("materialized list tracks every row");
             materialized.swap_remove(pos);
         }
         for &slot in materialized.iter() {
-            let i = slot as usize;
+            let i = item_index(slot);
             let row = rows[i].as_mut().expect("materialized row exists");
             row.mutations += 1;
             if row.mutations >= self.refresh_interval {
@@ -687,20 +722,16 @@ impl SparseChurnMatrix {
                 let v = SAFETY * self.raw_contribution(i, port, item);
                 if v >= self.cutoffs[i] {
                     let entries = &mut row.entries[port];
-                    let pos = entries.binary_search_by_key(&(item as u32), |e| e.j);
+                    let pos = entries.binary_search_by_key(&item_id(item), |e| e.j);
                     debug_assert!(pos.is_ok(), "stored pair ({i}, {item}) must exist");
                     if let Ok(p) = pos {
                         entries.remove(p);
                     }
                 } else {
-                    // The corrected bound: subtract the *deflated* value so
-                    // the remainder keeps every surviving term's safety
-                    // margin, then re-inflate to cover the subtraction's own
-                    // rounding. The pad can only gain a non-negative residue
+                    // The corrected bound (see `pad_shed` and the module
+                    // docs): the pad can only gain a non-negative residue
                     // per cycle — tightened back by the guard rebuild.
-                    let remaining = (row.mass[port] - v / (SAFETY * SAFETY)).max(0.0) * SAFETY;
-                    row.mass[port] = remaining;
-                    if !remaining.is_finite() {
+                    if !row.pad_shed(port, v).is_finite() {
                         poisoned = true;
                     }
                 }
@@ -736,7 +767,7 @@ impl InterferenceSystem for SparseChurnMatrix {
                 continue;
             }
             for (port, slot) in ports.iter_mut().enumerate().take(self.ports) {
-                match row.entries[port].binary_search_by_key(&(j as u32), |e| e.j) {
+                match row.entries[port].binary_search_by_key(&item_id(j), |e| e.j) {
                     Ok(k) => *slot += row.entries[port][k].v,
                     Err(_) => dropped[port] += 1,
                 }
@@ -744,7 +775,7 @@ impl InterferenceSystem for SparseChurnMatrix {
         }
         for (port, slot) in ports.iter_mut().enumerate().take(self.ports) {
             if dropped[port] > 0 {
-                *slot += row.mass[port].min(dropped[port] as f64 * row.cap[port]);
+                *slot += row.mass[port].min(f64::from(dropped[port]) * row.cap[port]);
             }
         }
         let worst = ports[..self.ports]
@@ -796,7 +827,7 @@ impl GainBackend for SparseChurnMatrix {
         let store = self.store.borrow();
         let row = store.rows[i].as_ref().expect("row was just ensured");
         row.entries[port]
-            .binary_search_by_key(&(j as u32), |e| e.j)
+            .binary_search_by_key(&item_id(j), |e| e.j)
             .ok()
             .map(|k| row.entries[port][k].v)
     }

@@ -4,6 +4,8 @@
 //! (`tests/`) and runnable examples (`examples/`). It re-exports the public
 //! crates so examples and tests can use a single set of imports.
 
+#![forbid(unsafe_code)]
+
 pub use oblisched;
 pub use oblisched_instances as instances;
 pub use oblisched_lp as lp;
