@@ -113,6 +113,29 @@ echo "==> experiment E11 (backend tiers: dense vs sparse vs parallel-sparse)"
 # reports the tier wall times side by side.
 cargo run -q -p oblisched_bench --bin experiments --release -- --exp e11
 
+echo "==> perf regression gate (smoke suite vs committed BENCH baseline)"
+# Times the pinned hot-path suite (smoke shape) and compares medians and
+# schedule fingerprints against the newest committed BENCH_<date>.json:
+# a median beyond baseline × 1.25 + 20 ms slack, or ANY fingerprint
+# change, fails the build. Regenerate the baseline after an *intentional*
+# perf or behaviour change with
+#   cargo run -p oblisched_bench --bin perf --release -- \
+#     --date "$(date +%F)" --out "BENCH_$(date +%F).json"
+# (writes both the full and smoke suite shapes into one report).
+perf_baseline="$(ls BENCH_*.json | LC_ALL=C sort | tail -1)"
+PERF_SMOKE=1 cargo run -q -p oblisched_bench --bin perf --release -- --check "$perf_baseline"
+
+echo "==> perf gate negative control (salted fingerprints must trip the gate)"
+# PERF_FINGERPRINT_SALT perturbs every fingerprint without slowing anything
+# down; if the salted run still passes, the gate has stopped checking
+# schedule identity and CI must fail.
+if PERF_SMOKE=1 PERF_FINGERPRINT_SALT=1 PERF_REPEATS=1 \
+    cargo run -q -p oblisched_bench --bin perf --release -- --check "$perf_baseline" \
+    > /dev/null 2>&1; then
+  echo "perf gate negative control failed: salted fingerprints passed" >&2
+  exit 1
+fi
+
 echo "==> oblint (repo-specific static analysis, baseline-ratcheted)"
 # Token-level lints for the disciplines the determinism guarantees rest on
 # (total float orderings, hash-free iteration, no wall clocks in core,

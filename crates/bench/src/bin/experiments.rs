@@ -53,9 +53,10 @@ fn main() {
     let mut tables: Vec<Table> = Vec::new();
     for exp in selected {
         let start = Instant::now();
-        let table = run_experiment(exp);
+        let mut table = run_experiment(exp);
+        table.wall_ms = start.elapsed().as_secs_f64() * 1e3;
         println!("{table}");
-        println!("(completed in {:.1?})\n", start.elapsed());
+        println!("(completed in {:.1}ms)\n", table.wall_ms);
         tables.push(table);
     }
 

@@ -6,7 +6,9 @@
 use oblisched::durability::{DurabilityError, DurableScheduler, SessionStore};
 use oblisched::dynamic::{DynamicConfig, DynamicScheduler};
 use oblisched::first_fit_subset;
-use oblisched::scheduler::{EngineBackend, Scheduler, SessionBackend, DEFAULT_MATRIX_BUDGET};
+use oblisched::scheduler::{
+    EngineBackend, EngineStats, Scheduler, SessionBackend, DEFAULT_MATRIX_BUDGET,
+};
 use oblisched::solve::BackendPolicy;
 use oblisched_instances::{ChurnEvent, ChurnTrace};
 use oblisched_metric::EuclideanSpace;
@@ -176,6 +178,13 @@ pub struct SparseChurnOutcome {
     pub backend_bytes: usize,
     /// Wall time of the replay loop in milliseconds.
     pub dyn_ms: f64,
+    /// FNV-1a fingerprint of the final live coloring ((item, color) pairs in
+    /// color-then-insertion order) — what the perf gate pins bit-for-bit.
+    pub schedule_fingerprint: u64,
+    /// The facade's backend decision at session-selection time (asserted
+    /// sparse for these workloads); E10 records it in the table's structured
+    /// engine list.
+    pub stats: EngineStats,
 }
 
 /// Runs one large-tier churn workload end to end on the facade-selected
@@ -225,6 +234,14 @@ pub fn sparse_churn_outcome(
         backend_bytes <= DEFAULT_MATRIX_BUDGET,
         "sparse session backend grew past the engine budget: {backend_bytes} bytes"
     );
+    let schedule_fingerprint =
+        crate::perf::fingerprint64(sched.color_classes().into_iter().enumerate().flat_map(
+            |(color, class)| {
+                class
+                    .into_iter()
+                    .flat_map(move |item| [item as u64, color as u64])
+            },
+        ));
     SparseChurnOutcome {
         universe: trace.universe,
         events: trace.len(),
@@ -232,6 +249,8 @@ pub fn sparse_churn_outcome(
         colors: sched.num_colors(),
         backend_bytes,
         dyn_ms,
+        schedule_fingerprint,
+        stats,
     }
 }
 

@@ -553,6 +553,9 @@ pub fn e8_directed_simulation_and_energy() -> Table {
 /// measured rather than assumed. The full `n = 5000` acceptance measurement
 /// lives in the `scaling` criterion bench.
 pub fn e9_scaling_engine() -> Table {
+    use oblisched::scheduler::{EngineBackend, EngineStats, DEFAULT_MATRIX_BUDGET};
+    use oblisched_sinr::GainMatrix;
+
     /// Naive first-fit is cubic-ish in practice; skip it above this size.
     const NAIVE_LIMIT: usize = 1000;
     let p = params();
@@ -585,6 +588,19 @@ pub fn e9_scaling_engine() -> Table {
                 naive_ms,
                 speedup,
             ]);
+            // Both paths of this row run on the uncached on-the-fly view
+            // (`EngineStats::bytes` is 0 by definition for that tier).
+            table.push_engine(
+                format!("{family} n={n}"),
+                EngineStats {
+                    backend: EngineBackend::OnTheFly,
+                    n,
+                    ports: 2,
+                    bytes: 0,
+                    dense_bytes: GainMatrix::bytes_for(n, 2),
+                    budget: DEFAULT_MATRIX_BUDGET,
+                },
+            );
         };
 
     let time_first_fit = |view: &dyn Fn() -> Schedule| -> (Schedule, f64) {
@@ -639,9 +655,11 @@ pub fn e9_scaling_engine() -> Table {
 /// budget.
 pub fn e10_dynamic_churn() -> Table {
     use crate::churn::{replay_full_reschedule, replay_incremental, sparse_churn_outcome};
+    use oblisched::scheduler::{EngineBackend, EngineStats, DEFAULT_MATRIX_BUDGET};
     use oblisched_instances::{
         churn_clustered, churn_clustered_10k, churn_uniform, churn_uniform_10k, churn_uniform_50k,
     };
+    use oblisched_sinr::GainMatrix;
 
     let p = params();
     let mut table = Table::new(
@@ -700,6 +718,18 @@ pub fn e10_dynamic_churn() -> Table {
                 format!("{full_ms:.1}"),
                 format!("{:.1}x", full_ms / dyn_ms.max(1e-9)),
             ]);
+            // Both strategies of this row replay on the cached dense matrix.
+            table.push_engine(
+                format!("{family}/{}", power.name()),
+                EngineStats {
+                    backend: EngineBackend::Dense,
+                    n: instance.len(),
+                    ports: 2,
+                    bytes: GainMatrix::bytes_for(instance.len(), 2),
+                    dense_bytes: GainMatrix::bytes_for(instance.len(), 2),
+                    budget: DEFAULT_MATRIX_BUDGET,
+                },
+            );
         }
     }
     // Large-tier rows: the dense matrix would need 1.6 GB (n = 10⁴) /
@@ -715,6 +745,8 @@ pub fn e10_dynamic_churn() -> Table {
     ];
     for (family, (instance, trace)) in &large {
         let out = sparse_churn_outcome(instance, trace, p);
+        // The facade's actual session-backend decision for this universe.
+        table.push_engine(format!("{family}/sqrt"), out.stats);
         table.push_row(vec![
             family.to_string(),
             "sqrt".to_string(),
@@ -751,9 +783,10 @@ pub fn e10_dynamic_churn() -> Table {
 /// classes the exact checker rejects, and the experiment *asserts* it is
 /// zero — the sparse tier's conservativeness guarantee, measured rather
 /// than assumed. The two parallel runs are asserted identical (thread-count
-/// determinism). Engine decisions (backend, bytes, budget) are logged as
-/// table notes.
+/// determinism). Engine decisions (backend, bytes, budget) are recorded in
+/// the table's structured `engines` list, one per row.
 pub fn e11_backend_tiers() -> Table {
+    use oblisched::scheduler::{EngineBackend, EngineStats, DEFAULT_MATRIX_BUDGET};
     use oblisched::{parallel_first_fit, tile_shards};
     use oblisched_instances::scaling_uniform_10k;
     use oblisched_sinr::{GainMatrix, Schedule, SparseConfig, SparseGainMatrix};
@@ -783,6 +816,17 @@ pub fn e11_backend_tiers() -> Table {
         mib(GainMatrix::bytes_for(2000, 2)),
         "-".into(),
     ]);
+    table.push_engine(
+        "dense n=2000",
+        EngineStats {
+            backend: EngineBackend::Dense,
+            n: 2000,
+            ports: 2,
+            bytes: GainMatrix::bytes_for(2000, 2),
+            dense_bytes: GainMatrix::bytes_for(2000, 2),
+            budget: DEFAULT_MATRIX_BUDGET,
+        },
+    );
 
     // Sparse tier at 5x the size: serial first-fit on the pruned backend,
     // and the tile-sharded parallel scheduler (which prefers a slightly
@@ -837,6 +881,14 @@ pub fn e11_backend_tiers() -> Table {
     let non_conservative = |schedule: &Schedule| -> usize {
         crate::tiers::non_conservative_classes(&eval, Variant::Bidirectional, schedule)
     };
+    let sparse_stats = |bytes: usize, ports: usize| EngineStats {
+        backend: EngineBackend::Sparse,
+        n: 10_000,
+        ports,
+        bytes,
+        dense_bytes: GainMatrix::bytes_for(10_000, 2),
+        budget: DEFAULT_MATRIX_BUDGET,
+    };
     let serial_bad = non_conservative(&serial_schedule);
     assert_eq!(serial_bad, 0, "sparse verdicts must be conservative");
     table.push_row(vec![
@@ -847,6 +899,10 @@ pub fn e11_backend_tiers() -> Table {
         mib(serial_bytes),
         serial_bad.to_string(),
     ]);
+    table.push_engine(
+        "sparse n=10000 (default cutoff)",
+        sparse_stats(serial_bytes, sparse.ports()),
+    );
     let serial_same_bad = non_conservative(&serial_same_schedule);
     assert_eq!(serial_same_bad, 0, "sparse verdicts must be conservative");
     table.push_row(vec![
@@ -857,6 +913,10 @@ pub fn e11_backend_tiers() -> Table {
         mib(serial_same_bytes),
         serial_same_bad.to_string(),
     ]);
+    table.push_engine(
+        "sparse n=10000 (2e-3 cutoff)",
+        sparse_stats(serial_same_bytes, same_backend.ports()),
+    );
     for (threads, schedule, ms, bytes) in &par_runs {
         let bad = non_conservative(schedule);
         assert_eq!(bad, 0, "parallel-sparse verdicts must be conservative");
@@ -868,21 +928,25 @@ pub fn e11_backend_tiers() -> Table {
             mib(*bytes),
             bad.to_string(),
         ]);
+        table.push_engine(
+            format!("parallel-sparse n=10000 ({threads}t)"),
+            sparse_stats(*bytes, same_backend.ports()),
+        );
     }
 
-    // The facade makes the same tier choice automatically; log it (the
-    // EngineStats satellite) without timing it.
+    // The facade makes the same tier choice automatically; record its real
+    // decision (not a synthesized one) without timing it.
     let scheduler = Scheduler::new(p);
     let auto2k = solve(
         &scheduler,
         &inst2k,
         &SolveRequest::first_fit(ObliviousPower::SquareRoot.into()),
     );
-    table.push_note(format!("facade auto n=2000: {}", auto2k.engine));
+    table.push_engine("facade auto n=2000", auto2k.engine);
     table.push_note(format!(
         "facade auto n=10000 would pick sparse: dense needs {} vs budget {} bytes",
         GainMatrix::bytes_for(10_000, 2),
-        oblisched::scheduler::DEFAULT_MATRIX_BUDGET
+        DEFAULT_MATRIX_BUDGET
     ));
     table.push_note("seed-pinned uniform scaling family (seed 42); wall time is backend build + scheduling (validation excluded, reported in the last column)");
     table.push_note("non-conservative = multi-member classes the naive evaluator rejects (asserted zero: sparse verdicts are conservative)");

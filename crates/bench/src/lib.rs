@@ -18,6 +18,7 @@
 pub mod churn;
 pub mod experiments;
 pub mod jobs;
+pub mod perf;
 pub mod table;
 pub mod tiers;
 
@@ -30,6 +31,7 @@ pub use jobs::{
     run_job, run_jobs_document, run_session, JobError, JobReport, JobSpec, SessionJob,
     SessionReport, SessionSpec,
 };
+pub use perf::{run_suite, PerfCase, PerfReport};
 pub use table::Table;
 pub use tiers::{
     non_conservative_classes, parallel_tier_config, parallel_tier_sparse_config, TIER_SEED,

@@ -1,10 +1,23 @@
 //! Plain-text result tables printed by the experiment harness.
 
+use oblisched::EngineStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// One structured backend decision attached to an experiment table: which
+/// engine tier a run used (or would use), recorded as typed
+/// [`EngineStats`] instead of a display string so the `--json` output
+/// alone reconstructs the decision (backend, sizes, footprints, budget).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineDecision {
+    /// Which run/row of the experiment the decision belongs to.
+    pub label: String,
+    /// The facade's (or tier's) backend decision for that run.
+    pub stats: EngineStats,
+}
+
 /// A labelled table of experiment results.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table {
     /// Experiment identifier (e.g. `"E1"`).
     pub id: String,
@@ -16,6 +29,12 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes printed under the table (parameters, caveats).
     pub notes: Vec<String>,
+    /// Wall time of the whole experiment in milliseconds (regeneration cost
+    /// of this table, set by the runner; `0.0` until the table has run).
+    pub wall_ms: f64,
+    /// Structured backend decisions of the runs behind the rows (the
+    /// machine-readable counterpart of any "backend=..." notes).
+    pub engines: Vec<EngineDecision>,
 }
 
 impl Table {
@@ -27,6 +46,8 @@ impl Table {
             headers: headers.into_iter().map(str::to_string).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            wall_ms: 0.0,
+            engines: Vec::new(),
         }
     }
 
@@ -47,6 +68,16 @@ impl Table {
     /// Appends a note line.
     pub fn push_note(&mut self, note: impl Into<String>) {
         self.notes.push(note.into());
+    }
+
+    /// Records a structured backend decision for one labelled run of this
+    /// experiment, so the `--json` output reconstructs which engine tier
+    /// served each row without parsing note strings.
+    pub fn push_engine(&mut self, label: impl Into<String>, stats: EngineStats) {
+        self.engines.push(EngineDecision {
+            label: label.into(),
+            stats,
+        });
     }
 
     /// Column widths needed to align the table.
@@ -86,6 +117,9 @@ impl fmt::Display for Table {
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }
+        for engine in &self.engines {
+            writeln!(f, "engine: {} — {}", engine.label, engine.stats)?;
+        }
         for note in &self.notes {
             writeln!(f, "note: {note}")?;
         }
@@ -96,6 +130,18 @@ impl fmt::Display for Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oblisched::EngineBackend;
+
+    fn demo_stats() -> EngineStats {
+        EngineStats {
+            backend: EngineBackend::Dense,
+            n: 128,
+            ports: 2,
+            bytes: 1 << 20,
+            dense_bytes: 1 << 20,
+            budget: 64 << 20,
+        }
+    }
 
     #[test]
     fn display_aligns_columns() {
@@ -110,6 +156,19 @@ mod tests {
     }
 
     #[test]
+    fn engine_decisions_render_and_serialize() {
+        let mut t = Table::new("E0", "demo", vec!["n"]);
+        t.push_engine("auto n=128", demo_stats());
+        let s = t.to_string();
+        assert!(
+            s.contains("engine: auto n=128 — backend=dense n=128"),
+            "engine line missing from display:\n{s}"
+        );
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"backend\""), "stats not serialized: {json}");
+    }
+
+    #[test]
     #[should_panic(expected = "row must match")]
     fn mismatched_rows_are_rejected() {
         let mut t = Table::new("E0", "demo", vec!["a", "b"]);
@@ -120,6 +179,8 @@ mod tests {
     fn serde_round_trip() {
         let mut t = Table::new("E1", "x", vec!["a"]);
         t.push_row(vec!["1".into()]);
+        t.push_engine("run", demo_stats());
+        t.wall_ms = 12.5;
         let json = serde_json::to_string(&t).unwrap();
         let back: Table = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);

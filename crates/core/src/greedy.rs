@@ -15,7 +15,110 @@
 //! are kept as [`first_fit_coloring_naive`] / [`first_fit_with_order_naive`]
 //! for baseline benchmarking and equivalence testing.
 
-use oblisched_sinr::{ColorAccumulator, GainBackend, InterferenceSystem, Schedule};
+use oblisched_sinr::{
+    ColorAccumulator, GainBackend, InterferenceSystem, ProbeBatch, Schedule, NO_COLOR,
+};
+
+/// Reusable workspace of the first-fit drivers: the `color_of` map feeding
+/// [`ProbeBatch::gather`] plus the batch itself.
+///
+/// A fresh scratch allocates nothing; the first drive sizes `color_of` to the
+/// system and the batch to the open classes, and every later drive through
+/// the same scratch reuses those buffers. Callers on a hot loop (the parallel
+/// scheduler's shard workers and merge, the churn replay's full-reschedule
+/// baseline) keep one scratch alive across calls; one-shot callers get the
+/// same results from a temporary.
+///
+/// The scratch carries no system-specific state between drives — `color_of`
+/// is restored to all-[`NO_COLOR`] at the end of every drive — so one scratch
+/// may serve systems of different sizes in any order.
+#[derive(Debug, Default)]
+pub struct FirstFitScratch {
+    /// Bucket index of the class currently holding each item, `NO_COLOR`
+    /// outside a drive. Sized lazily to the largest system seen.
+    color_of: Vec<u32>,
+    /// Batched multi-class probe workspace (see [`ProbeBatch`]).
+    batch: ProbeBatch,
+}
+
+impl FirstFitScratch {
+    /// Creates an empty scratch (no allocation until the first drive).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The core batched first-fit driver: colors `items` (in order) at `gain`
+/// into `classes`, recycling any accumulators already in the pool.
+///
+/// `classes` doubles as accumulator pool and output: on entry every element
+/// is treated as free (reset via [`ColorAccumulator::reset_for`] before
+/// reuse), and on return `classes[..open]` — where `open` is the returned
+/// count — are the color classes in first-fit order, members in insertion
+/// order. Elements beyond `open` are untouched spares kept for the next
+/// drive.
+///
+/// Per item the driver gathers one [`ProbeBatch`] (a single walk over the
+/// item's stored row per port, bucketed by current color) and feeds it to
+/// every open class via
+/// [`ColorAccumulator::try_insert_with_gain_batched`], which replaces the
+/// `O(classes · row)` sequential row re-walks with `O(row + classes)` work
+/// while producing bit-for-bit identical schedules (classes where the batch
+/// does not apply fall back to the sequential probe internally).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `items` contains a duplicate.
+pub fn first_fit_into<'s, S: GainBackend + ?Sized>(
+    system: &'s S,
+    items: &[usize],
+    gain: f64,
+    scratch: &mut FirstFitScratch,
+    classes: &mut Vec<ColorAccumulator<'s, S>>,
+) -> usize {
+    let n = system.len();
+    if scratch.color_of.len() < n {
+        scratch.color_of.resize(n, NO_COLOR);
+    }
+    debug_assert!(
+        scratch.color_of.iter().all(|&c| c == NO_COLOR),
+        "a previous drive left colors behind in the scratch"
+    );
+    let mut open = 0usize;
+    for &i in items {
+        debug_assert!(
+            scratch.color_of[i] == NO_COLOR,
+            "item {i} appears twice in the subset"
+        );
+        scratch.batch.gather(system, i, open, &scratch.color_of);
+        let mut color = None;
+        for (c, class) in classes[..open].iter_mut().enumerate() {
+            if class.try_insert_with_gain_batched(i, gain, &scratch.batch, c) {
+                color = Some(c);
+                break;
+            }
+        }
+        let c = match color {
+            Some(c) => c,
+            None => {
+                if open == classes.len() {
+                    classes.push(ColorAccumulator::new(system));
+                } else {
+                    classes[open].reset_for(system);
+                }
+                classes[open].insert_unchecked(i);
+                open += 1;
+                open - 1
+            }
+        };
+        // Class counts stay far below `u32`: there are at most `n` classes.
+        scratch.color_of[i] = c as u32;
+    }
+    for &i in items {
+        scratch.color_of[i] = NO_COLOR;
+    }
+    open
+}
 
 /// First-fit coloring in index order, on the incremental engine.
 ///
@@ -38,25 +141,29 @@ pub fn first_fit_coloring<S: GainBackend>(system: &S) -> Schedule {
 ///
 /// Panics if `order` is not a permutation of `0..system.len()`.
 pub fn first_fit_with_order<S: GainBackend>(system: &S, order: &[usize]) -> Schedule {
+    first_fit_with_order_scratch(system, order, &mut FirstFitScratch::new())
+}
+
+/// [`first_fit_with_order`] through a caller-owned [`FirstFitScratch`],
+/// reusing its probe buffers across calls. Identical results.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..system.len()`.
+pub fn first_fit_with_order_scratch<S: GainBackend>(
+    system: &S,
+    order: &[usize],
+    scratch: &mut FirstFitScratch,
+) -> Schedule {
     let n = system.len();
     assert_order_is_permutation(n, order);
 
     let mut classes: Vec<ColorAccumulator<'_, S>> = Vec::new();
+    let open = first_fit_into(system, order, system.beta(), scratch, &mut classes);
     let mut colors = vec![usize::MAX; n];
-    for &i in order {
-        let mut placed = false;
-        for (c, class) in classes.iter_mut().enumerate() {
-            if class.try_insert(i) {
-                colors[i] = c;
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            let mut class = ColorAccumulator::new(system);
-            class.insert_unchecked(i);
-            colors[i] = classes.len();
-            classes.push(class);
+    for (c, class) in classes[..open].iter().enumerate() {
+        for &i in class.members() {
+            colors[i] = c;
         }
     }
     Schedule::new(colors)
@@ -124,9 +231,9 @@ fn assert_order_is_permutation(n: usize, order: &[usize]) {
 /// # Panics
 ///
 /// Panics (in debug builds) if `items` contains a duplicate — an item cannot
-/// hold two colors. The check is `O(items²)` and skipped in release builds,
-/// where this function sits on the per-event hot path of the churn
-/// experiments.
+/// hold two colors. The check (against the driver's `color_of` map) is `O(1)`
+/// per item and skipped in release builds, where this function sits on the
+/// per-event hot path of the churn experiments.
 pub fn first_fit_subset<S: GainBackend + ?Sized>(system: &S, items: &[usize]) -> Vec<Vec<usize>> {
     first_fit_subset_with_gain(system, items, system.beta())
 }
@@ -149,22 +256,10 @@ pub fn first_fit_subset_with_gain<S: GainBackend + ?Sized>(
     items: &[usize],
     gain: f64,
 ) -> Vec<Vec<usize>> {
+    let mut scratch = FirstFitScratch::new();
     let mut classes: Vec<ColorAccumulator<'_, S>> = Vec::new();
-    for &i in items {
-        debug_assert!(
-            !classes.iter().any(|class| class.contains(i)),
-            "item {i} appears twice in the subset"
-        );
-        let placed = classes
-            .iter_mut()
-            .any(|class| class.try_insert_with_gain(i, gain));
-        if !placed {
-            let mut class = ColorAccumulator::new(system);
-            class.insert_unchecked(i);
-            classes.push(class);
-        }
-    }
-    classes
+    let open = first_fit_into(system, items, gain, &mut scratch, &mut classes);
+    classes[..open]
         .iter()
         .map(|class| class.members().to_vec())
         .collect()

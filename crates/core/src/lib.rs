@@ -92,8 +92,9 @@ pub use dynamic::{
     StateMember,
 };
 pub use greedy::{
-    first_fit_coloring, first_fit_coloring_naive, first_fit_subset, first_fit_subset_with_gain,
-    first_fit_with_order, first_fit_with_order_naive, greedy_augment, greedy_one_shot,
+    first_fit_coloring, first_fit_coloring_naive, first_fit_into, first_fit_subset,
+    first_fit_subset_with_gain, first_fit_with_order, first_fit_with_order_naive,
+    first_fit_with_order_scratch, greedy_augment, greedy_one_shot, FirstFitScratch,
 };
 pub use optimal::{exact_chromatic_number, exact_max_one_shot};
 pub use parallel::{parallel_first_fit, tile_shards, ParallelConfig, DEFAULT_TARGET_SHARDS};

@@ -14,7 +14,7 @@
 //! Two properties are load-bearing:
 //!
 //! * **Correctness** — the merge re-validates every member through the
-//!   engine ([`ColorAccumulator`](oblisched_sinr::ColorAccumulator)), so
+//!   engine ([`ColorAccumulator`]), so
 //!   the final schedule is feasible no
 //!   matter how wrong the shard-local verdicts were. Sharding is a
 //!   *heuristic for speed*, never trusted for feasibility.
@@ -30,9 +30,9 @@
 //!   which is why `parallel_first_fit` with one thread already beats plain
 //!   first-fit on large instances.
 
-use crate::greedy::{first_fit_subset, first_fit_subset_with_gain};
+use crate::greedy::{first_fit_into, FirstFitScratch};
 use oblisched_metric::PlanarMetric;
-use oblisched_sinr::{GainBackend, Instance, Schedule};
+use oblisched_sinr::{ColorAccumulator, GainBackend, Instance, Schedule};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default number of spatial shards aimed for by [`tile_shards`].
@@ -135,8 +135,9 @@ pub fn tile_shards<M: PlanarMetric>(
 /// up to [`num_threads`](ParallelConfig::num_threads) worker threads.
 ///
 /// Shards are colored independently in parallel
-/// ([`first_fit_subset_with_gain`] per shard, at the config's relaxed
-/// shard gain so local classes keep headroom), then merged
+/// ([`first_fit_into`] per shard with a per-worker scratch and accumulator
+/// pool, at the config's relaxed shard gain so local classes keep
+/// headroom), then merged
 /// deterministically layer by layer: layer `k` concatenates every shard's
 /// `k`-th class (shards in index order) and is re-colored through the
 /// engine at the true gain, repairing all cross-shard conflicts (see
@@ -177,9 +178,11 @@ pub fn parallel_first_fit<S: GainBackend + Sync + ?Sized>(
         t => t,
     };
     let shard_classes: Vec<Vec<Vec<usize>>> = if threads <= 1 || shards.len() <= 1 {
+        let mut scratch = FirstFitScratch::new();
+        let mut pool = Vec::new();
         shards
             .iter()
-            .map(|shard| first_fit_subset_with_gain(system, shard, shard_gain))
+            .map(|shard| color_shard(system, shard, shard_gain, &mut scratch, &mut pool))
             .collect()
     } else {
         // Work-stealing over shard indices: threads only decide *who*
@@ -190,31 +193,59 @@ pub fn parallel_first_fit<S: GainBackend + Sync + ?Sized>(
             let workers: Vec<_> = (0..threads.min(shards.len()))
                 .map(|_| {
                     scope.spawn(|| {
+                        let mut scratch = FirstFitScratch::new();
+                        let mut pool = Vec::new();
                         let mut out = Vec::new();
                         loop {
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             if idx >= shards.len() {
                                 break;
                             }
-                            out.push((
-                                idx,
-                                first_fit_subset_with_gain(system, &shards[idx], shard_gain),
-                            ));
+                            let classes = color_shard(
+                                system,
+                                &shards[idx],
+                                shard_gain,
+                                &mut scratch,
+                                &mut pool,
+                            );
+                            out.push((idx, classes));
                         }
                         out
                     })
                 })
                 .collect();
-            workers
-                .into_iter()
-                .flat_map(|w| w.join().expect("shard worker panicked"))
-                .collect()
+            let mut all = Vec::new();
+            for w in workers {
+                match w.join() {
+                    Ok(mine) => all.extend(mine),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all
         });
         indexed.sort_unstable_by_key(|(idx, _)| *idx);
         indexed.into_iter().map(|(_, classes)| classes).collect()
     };
 
     merge_shard_classes(system, &shard_classes, n)
+}
+
+/// Colors one shard at `gain` through a worker-owned scratch and accumulator
+/// pool, returning the shard-local classes as member lists. The probe
+/// buffers and class allocations stay warm across every shard the worker
+/// claims instead of being reallocated per shard.
+fn color_shard<'s, S: GainBackend + ?Sized>(
+    system: &'s S,
+    shard: &[usize],
+    gain: f64,
+    scratch: &mut FirstFitScratch,
+    pool: &mut Vec<ColorAccumulator<'s, S>>,
+) -> Vec<Vec<usize>> {
+    let open = first_fit_into(system, shard, gain, scratch, pool);
+    pool[..open]
+        .iter()
+        .map(|class| class.members().to_vec())
+        .collect()
 }
 
 /// Deterministic layered merge with conflict repair (see
@@ -225,11 +256,14 @@ pub fn parallel_first_fit<S: GainBackend + Sync + ?Sized>(
 /// come from different tiles, and the shard pass already separated local
 /// conflicts into different `k`s — but globally a layer can exceed one
 /// class's interference capacity, so each layer is re-colored by a
-/// first-fit over *its own* classes ([`first_fit_subset`]): every verdict
-/// passes through the engine again, repairing all cross-shard conflicts.
-/// Confining the repair to the layer keeps the merge `O(Σ_k |layer_k| ·
-/// layer_colors)` — a fraction of a global first-fit's probe work — at the
-/// price of never reusing a class across layers (a few extra colors).
+/// first-fit over *its own* classes ([`first_fit_into`] at the true gain):
+/// every verdict passes through the engine again, repairing all cross-shard
+/// conflicts. Confining the repair to the layer keeps the merge
+/// `O(Σ_k |layer_k| · layer_colors)` — a fraction of a global first-fit's
+/// probe work — at the price of never reusing a class across layers (a few
+/// extra colors). One scratch and one accumulator pool persist across
+/// layers, and colors are written straight off the accumulators' member
+/// lists, so the merge allocates no per-layer class vectors.
 fn merge_shard_classes<S: GainBackend + ?Sized>(
     system: &S,
     shard_classes: &[Vec<Vec<usize>>],
@@ -239,6 +273,8 @@ fn merge_shard_classes<S: GainBackend + ?Sized>(
     let mut colors = vec![usize::MAX; n];
     let mut next_color = 0usize;
     let mut layer: Vec<usize> = Vec::new();
+    let mut scratch = FirstFitScratch::new();
+    let mut pool: Vec<ColorAccumulator<'_, S>> = Vec::new();
     for k in 0..max_classes {
         layer.clear();
         for classes in shard_classes {
@@ -246,8 +282,9 @@ fn merge_shard_classes<S: GainBackend + ?Sized>(
                 layer.extend_from_slice(class);
             }
         }
-        for class in first_fit_subset(system, &layer) {
-            for i in class {
+        let open = first_fit_into(system, &layer, system.beta(), &mut scratch, &mut pool);
+        for class in &pool[..open] {
+            for &i in class.members() {
                 colors[i] = next_color;
             }
             next_color += 1;

@@ -17,7 +17,7 @@ use crate::solve::{
 };
 use crate::sqrt_coloring::{sqrt_coloring, SqrtColoringConfig};
 use oblisched_metric::{MetricSpace, PlanarMetric};
-use oblisched_sinr::engine::SparseEntry;
+use oblisched_sinr::engine::{RowRef, MAX_PORTS};
 use oblisched_sinr::feasibility::VariantView;
 use oblisched_sinr::{
     Evaluator, GainBackend, GainMatrix, IncrementalSystem, Instance, InterferenceSystem,
@@ -135,7 +135,9 @@ impl ScheduleResult {
 /// The backend chosen for a first-fit-style run.
 enum SelectedBackend<'v, 'e, 'a, M> {
     Dense(GainMatrix),
-    Sparse(SparseGainMatrix),
+    /// Boxed so the enum stays as small as its cheapest variant, matching
+    /// [`SessionBackend`].
+    Sparse(Box<SparseGainMatrix>),
     /// No cache: schedule straight off the view ([`BackendPolicy::Exact`]
     /// above the budget).
     Fly(&'v VariantView<'e, 'a, M>),
@@ -236,11 +238,31 @@ impl<M: MetricSpace> GainBackend for SessionBackend<'_, '_, '_, M> {
         }
     }
 
-    fn stored_row(&self, i: usize, port: usize) -> Option<&[SparseEntry]> {
+    fn stored_row(&self, i: usize, port: usize) -> Option<RowRef<'_>> {
         match self {
             SessionBackend::Dense(m) => m.stored_row(i, port),
             SessionBackend::Sparse(s) => s.stored_row(i, port),
             SessionBackend::Fly(v) => v.stored_row(i, port),
+        }
+    }
+
+    // Forwarded explicitly (not left at the trait default) so each tier's
+    // own layout-aware fold keeps serving sessions wrapped in the enum.
+    fn fold_candidate(
+        &self,
+        i: usize,
+        ports: usize,
+        members: &[usize],
+        limit_hi: f64,
+        acc: &mut [f64; MAX_PORTS],
+        dropped: &mut [u32; MAX_PORTS],
+    ) -> bool {
+        match self {
+            SessionBackend::Dense(m) => m.fold_candidate(i, ports, members, limit_hi, acc, dropped),
+            SessionBackend::Sparse(s) => {
+                s.fold_candidate(i, ports, members, limit_hi, acc, dropped)
+            }
+            SessionBackend::Fly(v) => v.fold_candidate(i, ports, members, limit_hi, acc, dropped),
         }
     }
 
@@ -618,7 +640,7 @@ impl Scheduler {
         let (backend, engine) = self.select_backend(&view, instance.len(), 1, BackendPolicy::Auto);
         let schedule = match &backend {
             SelectedBackend::Dense(matrix) => first_fit_coloring(matrix),
-            SelectedBackend::Sparse(sparse) => first_fit_coloring(sparse),
+            SelectedBackend::Sparse(sparse) => first_fit_coloring(sparse.as_ref()),
             SelectedBackend::Fly(view) => first_fit_coloring(*view),
         };
         let label = SolveLabel::new(Algorithm::FirstFitAuto, assignment);
@@ -658,7 +680,9 @@ impl Scheduler {
         let (backend, engine) = self.select_backend(&view, instance.len(), num_threads, policy);
         let schedule = match &backend {
             SelectedBackend::Dense(matrix) => parallel_first_fit(matrix, &shards, &config),
-            SelectedBackend::Sparse(sparse) => parallel_first_fit(sparse, &shards, &config),
+            SelectedBackend::Sparse(sparse) => {
+                parallel_first_fit(sparse.as_ref(), &shards, &config)
+            }
             SelectedBackend::Fly(view) => parallel_first_fit(*view, &shards, &config),
         };
         let label = SolveLabel::new(Algorithm::ParallelFirstFit, assignment);
@@ -798,7 +822,7 @@ impl Scheduler {
                     }
                     let sparse = SparseGainMatrix::build(view, &sparse_cfg);
                     let stats = self.sparse_stats(&sparse, ports);
-                    (SelectedBackend::Sparse(sparse), stats)
+                    (SelectedBackend::Sparse(Box::new(sparse)), stats)
                 }
                 BackendPolicy::Exact => (
                     SelectedBackend::Fly(view),

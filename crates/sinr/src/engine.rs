@@ -162,6 +162,68 @@ pub struct SparseEntry {
     pub v: f64,
 }
 
+/// A borrowed sparse row in structure-of-arrays form: the sorted interferer
+/// indices and their contribution values as two parallel slices.
+///
+/// Splitting the former interleaved `&[SparseEntry]` rows keeps membership
+/// scans on a dense `u32` array (twice as many indices per cache line, no
+/// padding) and drops the per-entry footprint from 16 to 12 bytes. Values
+/// stay `f64`: an `f32` representation was evaluated and rejected — rounding
+/// a stored value down would break the conservativeness contract (stored
+/// values must upper-bound the true contribution), rounding it up would break
+/// the bit-for-bit `stored == SAFETY · raw` identity the churn conservatism
+/// tests and golden schedules pin.
+#[derive(Debug, Clone, Copy)]
+pub struct RowRef<'a> {
+    /// Sorted interferer indices (parallel to `vals`).
+    pub cols: &'a [u32],
+    /// Stored contribution values (parallel to `cols`).
+    pub vals: &'a [f64],
+}
+
+impl<'a> RowRef<'a> {
+    /// The empty row (usable at any lifetime).
+    pub const EMPTY: RowRef<'static> = RowRef {
+        cols: &[],
+        vals: &[],
+    };
+
+    /// Borrows a row from its parallel column/value slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length.
+    pub fn new(cols: &'a [u32], vals: &'a [f64]) -> Self {
+        assert_eq!(
+            cols.len(),
+            vals.len(),
+            "row columns and values must stay parallel"
+        );
+        Self { cols, vals }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Returns `true` when the row stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// The stored value of interferer `j`, or `None` when the row pruned it
+    /// (binary search over the sorted columns).
+    pub fn get(&self, j: u32) -> Option<f64> {
+        self.cols.binary_search(&j).ok().map(|pos| self.vals[pos])
+    }
+
+    /// Iterates `(column, value)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + 'a {
+        self.cols.iter().copied().zip(self.vals.iter().copied())
+    }
+}
+
 /// The backend contract of the interference engine: an [`IncrementalSystem`]
 /// that may additionally *prune* small contributions, as long as it accounts
 /// for everything it dropped.
@@ -201,13 +263,53 @@ pub trait GainBackend: IncrementalSystem {
         Some(self.contribution(i, port, j))
     }
 
-    /// The stored row of `(i, port)` as a sorted slice, when the backend
-    /// materialises rows (pruned backends do; exact backends return `None`
-    /// and the engine falls back to per-member
+    /// The stored row of `(i, port)` in sorted structure-of-arrays form,
+    /// when the backend materialises rows (pruned backends do; exact
+    /// backends return `None` and the engine falls back to per-member
     /// [`contribution`](IncrementalSystem::contribution) queries).
-    fn stored_row(&self, i: usize, port: usize) -> Option<&[SparseEntry]> {
+    fn stored_row(&self, i: usize, port: usize) -> Option<RowRef<'_>> {
         let _ = (i, port);
         None
+    }
+
+    /// Folds the candidate-side probe of the per-member path: for every `j`
+    /// in `members` (in order), add
+    /// [`stored_contribution`](GainBackend::stored_contribution)`(i, port, j)`
+    /// into `acc[port]` — or count a drop in `dropped[port]` when the pair is
+    /// pruned — checking `acc[port] > limit_hi` after each addition and
+    /// returning `false` on the first exceedance (an early reject; see
+    /// [`ColorAccumulator::try_insert_with_gain`]). Returns `true` with the
+    /// complete sums otherwise.
+    ///
+    /// Backends may override this with a layout-aware loop (the dense matrix
+    /// folds each port's row as a contiguous slice; the churn tier holds one
+    /// row borrow across the whole walk) — overrides must produce bit-for-bit
+    /// identical per-port sums (same members, same addition order) and an
+    /// equivalent verdict. Since contributions are non-negative, per-port
+    /// sums are monotone in the member prefix, so "some prefix sum exceeds
+    /// `limit_hi`" is equivalent to "some full port sum exceeds `limit_hi`"
+    /// and overrides may re-batch the exceedance checks freely.
+    fn fold_candidate(
+        &self,
+        i: usize,
+        ports: usize,
+        members: &[usize],
+        limit_hi: f64,
+        acc: &mut [f64; MAX_PORTS],
+        dropped: &mut [u32; MAX_PORTS],
+    ) -> bool {
+        for &j in members {
+            for (port, slot) in acc.iter_mut().enumerate().take(ports) {
+                match self.stored_contribution(i, port, j) {
+                    Some(v) => *slot += v,
+                    None => dropped[port] += 1,
+                }
+                if *slot > limit_hi {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Upper bound on any single pruned contribution into `(i, port)`.
@@ -281,6 +383,140 @@ fn sinr_from_ports(signal: f64, ports: &[f64], noise: f64) -> f64 {
 /// Default number of removals after which [`ColorAccumulator`] rebuilds its
 /// running sums exactly (see [`ColorAccumulator::remove`]).
 pub const DEFAULT_REBUILD_INTERVAL: usize = 64;
+
+/// Sentinel "not in any color class" value of the `color_of` maps fed to
+/// [`ProbeBatch::gather`].
+pub const NO_COLOR: u32 = u32::MAX;
+
+/// Reusable workspace of a *batched* multi-class candidate probe: one walk
+/// over the candidate's stored row per port, bucketing every contribution by
+/// the current color of its interferer.
+///
+/// First-fit probes a candidate against every open class in turn; with `C`
+/// open classes and a stored row of length `L`, the sequential row path costs
+/// `O(C · L)` because each class's probe re-walks the whole row filtering by
+/// its own membership bitset. A gathered batch walks the row **once**,
+/// accumulating each entry into the bucket of `color_of[j]`, and hands every
+/// class its per-port sums and hit counts in `O(1)` — `O(L + C)` total. The
+/// per-class bucket sum adds the exact same row-order subsequence of values
+/// the sequential walk adds (an entry is bucketed into class `c` exactly when
+/// the sequential probe's bitset test for class `c` accepts it), so the sums
+/// are bit-for-bit identical.
+///
+/// The drivers in `oblisched_core::greedy` own one `ProbeBatch` per first-fit
+/// call (inside their scratch state), [`gather`](ProbeBatch::gather) it once
+/// per item, and feed it to
+/// [`ColorAccumulator::try_insert_with_gain_batched`], which falls back to
+/// the sequential probe whenever the batch does not apply (exact backends,
+/// backends without stored rows, or classes whose size heuristic prefers the
+/// member path).
+#[derive(Debug, Default)]
+pub struct ProbeBatch {
+    /// Per-bucket per-port sums: entry `class * MAX_PORTS + port`.
+    sums: Vec<f64>,
+    /// Per-bucket per-port count of row entries landing in the bucket.
+    hits: Vec<u32>,
+    /// Stored-row length per port of the gathered item (`usize::MAX` when the
+    /// backend exposed no row), feeding the per-class row-vs-member path
+    /// heuristic.
+    row_len: [usize; MAX_PORTS],
+    /// `true` when the gathered item had a stored row at every port.
+    valid: bool,
+}
+
+impl ProbeBatch {
+    /// Creates an empty batch (no allocation until the first gather).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Walks candidate `i`'s stored row once per port and buckets every
+    /// contribution by `color_of[j]` into `classes` buckets. Entries whose
+    /// interferer is uncolored ([`NO_COLOR`]) or equal to `i` are skipped —
+    /// exactly the entries the sequential per-class row walk skips.
+    ///
+    /// `color_of[j]` must be the bucket index of the class currently holding
+    /// item `j` (below `classes`), or [`NO_COLOR`]. When the backend exposes
+    /// no stored row at some port the batch is marked invalid and every
+    /// class falls back to its sequential probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `color_of` is shorter than the system or maps an interferer
+    /// to a bucket at or above `classes`.
+    pub fn gather<S: GainBackend + ?Sized>(
+        &mut self,
+        system: &S,
+        i: usize,
+        classes: usize,
+        color_of: &[u32],
+    ) {
+        self.valid = false;
+        self.row_len = [usize::MAX; MAX_PORTS];
+        let ports = system.num_ports();
+        let slots = classes * MAX_PORTS;
+        self.sums.clear();
+        self.sums.resize(slots, 0.0);
+        self.hits.clear();
+        self.hits.resize(slots, 0);
+        let mut rows = [RowRef::EMPTY; MAX_PORTS];
+        for (port, (len, row)) in self
+            .row_len
+            .iter_mut()
+            .zip(rows.iter_mut())
+            .enumerate()
+            .take(ports)
+        {
+            match system.stored_row(i, port) {
+                Some(r) => {
+                    *len = r.len();
+                    *row = r;
+                }
+                None => return,
+            }
+        }
+        for (port, row) in rows.iter().enumerate().take(ports) {
+            for (col, v) in row.iter() {
+                let j = item_index(col);
+                let c = color_of[j];
+                if c != NO_COLOR && j != i {
+                    let slot = item_index(c) * MAX_PORTS + port;
+                    self.sums[slot] += v;
+                    self.hits[slot] += 1;
+                }
+            }
+        }
+        self.valid = true;
+    }
+
+    /// The gathered candidate sums and drop counts of one class bucket, or
+    /// `None` when some port's sum already exceeds `limit_hi` (equivalent to
+    /// the sequential probe's early reject: sums are monotone in the row
+    /// prefix, so a prefix exceedance and a full-sum exceedance coincide).
+    ///
+    /// `members` is the class size at probe time (hits are subtracted from it
+    /// to recover the per-port pruned-member count).
+    fn class_candidate(
+        &self,
+        class: usize,
+        ports: usize,
+        members: usize,
+        limit_hi: f64,
+    ) -> Option<([f64; MAX_PORTS], [u32; MAX_PORTS])> {
+        let mut acc = [0.0f64; MAX_PORTS];
+        let mut dropped = [0u32; MAX_PORTS];
+        let base = class * MAX_PORTS;
+        for port in 0..ports {
+            let sum = self.sums[base + port];
+            if sum > limit_hi {
+                return None;
+            }
+            acc[port] = sum;
+            dropped[port] = item_id(members) - self.hits[base + port];
+        }
+        Some((acc, dropped))
+    }
+}
 
 /// Incrementally maintained interference state of one color class.
 ///
@@ -419,6 +655,43 @@ impl<'s, S: GainBackend + ?Sized> ColorAccumulator<'s, S> {
         self.removals = 0;
     }
 
+    /// Rebinds a recycled accumulator to `system` and empties it, keeping
+    /// the member/sum allocations (and, when possible, the membership-bitset
+    /// allocation) warm. A pooled accumulator reset this way is
+    /// indistinguishable from [`new`](ColorAccumulator::new) — the first-fit
+    /// drivers in `oblisched_core` recycle class accumulators across merge
+    /// layers with this instead of reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `system` exposes an unsupported port count (as
+    /// [`new`](ColorAccumulator::new) does).
+    pub fn reset_for(&mut self, system: &'s S) {
+        let ports = system.num_ports();
+        assert!(
+            (1..=MAX_PORTS).contains(&ports),
+            "systems must expose between 1 and {MAX_PORTS} ports, got {ports}"
+        );
+        self.system = system;
+        self.ports = ports;
+        self.members.clear();
+        self.sums.clear();
+        self.drops.clear();
+        self.removals = 0;
+        if system.is_exact() {
+            self.in_class = None;
+        } else {
+            let words = system.len().div_ceil(64);
+            match &mut self.in_class {
+                Some(bits) => {
+                    bits.clear();
+                    bits.resize(words, 0);
+                }
+                None => self.in_class = Some(vec![0u64; words]),
+            }
+        }
+    }
+
     /// Removals applied since the last exact rebuild (drift-guard state,
     /// exposed for tests and diagnostics).
     pub fn removals_since_rebuild(&self) -> usize {
@@ -507,49 +780,65 @@ impl<'s, S: GainBackend + ?Sized> ColorAccumulator<'s, S> {
     ) -> Option<([f64; MAX_PORTS], [u32; MAX_PORTS])> {
         let mut acc = [0.0f64; MAX_PORTS];
         let mut dropped = [0u32; MAX_PORTS];
+        self.probe_into(i, limit_hi, &mut acc, &mut dropped)
+            .then_some((acc, dropped))
+    }
+
+    /// [`candidate_probe`](ColorAccumulator::candidate_probe) with an
+    /// infinite limit: the scan always completes (no finite sum exceeds
+    /// `+∞`), so the full sums come back unconditionally — what the
+    /// unchecked insert and rebuild paths need.
+    fn probe_full(&self, i: usize) -> ([f64; MAX_PORTS], [u32; MAX_PORTS]) {
+        let mut acc = [0.0f64; MAX_PORTS];
+        let mut dropped = [0u32; MAX_PORTS];
+        let complete = self.probe_into(i, f64::INFINITY, &mut acc, &mut dropped);
+        debug_assert!(complete, "an infinite limit never rejects early");
+        (acc, dropped)
+    }
+
+    /// The workhorse behind the probes: accumulates into the caller's
+    /// buffers, returning `false` on an early reject (some partial sum
+    /// exceeded `limit_hi`, in which case the buffers are only partially
+    /// filled) and `true` with the complete sums otherwise.
+    fn probe_into(
+        &self,
+        i: usize,
+        limit_hi: f64,
+        acc: &mut [f64; MAX_PORTS],
+        dropped: &mut [u32; MAX_PORTS],
+    ) -> bool {
         if let Some(bits) = &self.in_class {
             // Row iteration beats per-member binary searches once the class
             // outgrows a fraction of the row; below that the member path is
             // cheaper. Both orders are deterministic.
-            let use_rows = (0..self.ports).all(|port| {
-                self.system
-                    .stored_row(i, port)
-                    .is_some_and(|row| row.len() < self.members.len().saturating_mul(12))
+            let mut rows = [RowRef::EMPTY; MAX_PORTS];
+            let use_rows = (0..self.ports).all(|port| match self.system.stored_row(i, port) {
+                Some(row) if row.len() < self.members.len().saturating_mul(12) => {
+                    rows[port] = row;
+                    true
+                }
+                _ => false,
             });
             if use_rows {
                 for (port, slot) in acc.iter_mut().enumerate().take(self.ports) {
-                    let row = self
-                        .system
-                        .stored_row(i, port)
-                        .expect("stored_row availability was just checked");
                     let mut hits = 0u32;
-                    for e in row {
-                        let j = item_index(e.j);
+                    for (col, v) in rows[port].iter() {
+                        let j = item_index(col);
                         if bits[j / 64] >> (j % 64) & 1 == 1 && j != i {
-                            *slot += e.v;
+                            *slot += v;
                             hits += 1;
                             if *slot > limit_hi {
-                                return None;
+                                return false;
                             }
                         }
                     }
                     dropped[port] = item_id(self.members.len()) - hits;
                 }
-                return Some((acc, dropped));
+                return true;
             }
         }
-        for &j in &self.members {
-            for (port, slot) in acc.iter_mut().enumerate().take(self.ports) {
-                match self.system.stored_contribution(i, port, j) {
-                    Some(v) => *slot += v,
-                    None => dropped[port] += 1,
-                }
-                if *slot > limit_hi {
-                    return None;
-                }
-            }
-        }
-        Some((acc, dropped))
+        self.system
+            .fold_candidate(i, self.ports, &self.members, limit_hi, acc, dropped)
     }
 
     /// Checks whether the class stays feasible at `gain` if `i` joins, and
@@ -566,23 +855,86 @@ impl<'s, S: GainBackend + ?Sized> ColorAccumulator<'s, S> {
     /// borderline verdicts are settled by recomputing the class exactly
     /// (`O(members²)` un-pruned contributions).
     pub fn try_insert_with_gain(&mut self, i: usize, gain: f64) -> bool {
+        let (threshold, limit_hi) = self.gain_limits(i, gain);
+        let Some((cand, cand_drops)) = self.candidate_probe(i, limit_hi) else {
+            return false;
+        };
+        self.admit_with_candidate(i, threshold, cand, cand_drops)
+    }
+
+    /// [`try_insert_with_gain`](ColorAccumulator::try_insert_with_gain) fed
+    /// from a gathered [`ProbeBatch`]: when the batch holds a usable row walk
+    /// for this class (the backend materialises rows and the per-class size
+    /// heuristic prefers them), the candidate sums come from the batch's
+    /// single bucketed walk instead of a fresh per-class row scan; otherwise
+    /// this falls back to the sequential probe. Verdicts and committed sums
+    /// are bit-for-bit identical to the sequential path either way.
+    ///
+    /// `class` is the bucket index this accumulator's members carry in the
+    /// `color_of` map the batch was gathered with.
+    pub fn try_insert_with_gain_batched(
+        &mut self,
+        i: usize,
+        gain: f64,
+        batch: &ProbeBatch,
+        class: usize,
+    ) -> bool {
+        let (threshold, limit_hi) = self.gain_limits(i, gain);
+        let probe = if self.batch_applies(batch) {
+            batch.class_candidate(class, self.ports, self.members.len(), limit_hi)
+        } else {
+            self.candidate_probe(i, limit_hi)
+        };
+        let Some((cand, cand_drops)) = probe else {
+            return false;
+        };
+        self.admit_with_candidate(i, threshold, cand, cand_drops)
+    }
+
+    /// `true` when a gathered batch can stand in for this class's sequential
+    /// row-path probe — the exact condition the sequential
+    /// [`probe_into`](ColorAccumulator::probe_into) row path requires: a
+    /// membership bitset (pruned backend), a stored row at every port, and
+    /// every row shorter than the member-path crossover.
+    fn batch_applies(&self, batch: &ProbeBatch) -> bool {
+        self.in_class.is_some()
+            && batch.valid
+            && batch.row_len[..self.ports]
+                .iter()
+                .all(|&len| len < self.members.len().saturating_mul(12))
+    }
+
+    /// The feasibility threshold at `gain` and the one-sided early-reject
+    /// limit on the candidate's stored interference sums.
+    ///
+    /// `sinr < threshold ⇔ sum > signal/threshold − noise` in real
+    /// arithmetic; the `1e-9` headroom makes the float comparison safely
+    /// one-sided, so an early reject is always a true reject (stored sums
+    /// never overestimate) and the full-evaluation verdicts are unchanged.
+    /// NaN limits disable the shortcut (comparisons are false).
+    fn gain_limits(&self, i: usize, gain: f64) -> (f64, f64) {
         let threshold = gain * (1.0 - REL_TOL);
+        let limit = self.system.signal(i) / threshold - self.system.noise();
+        (threshold, limit + limit.abs() * 1e-9)
+    }
+
+    /// The member-side half of an insertion attempt: given the candidate's
+    /// probed per-port sums and drop counts, checks the candidate's own SINR
+    /// and every member's updated SINR against `threshold`, settles
+    /// borderline verdicts via the strict recheck when the backend requests
+    /// it, and commits on acceptance. Returns `true` on success; on failure
+    /// the accumulator is left untouched.
+    fn admit_with_candidate(
+        &mut self,
+        i: usize,
+        threshold: f64,
+        cand: [f64; MAX_PORTS],
+        cand_drops: [u32; MAX_PORTS],
+    ) -> bool {
         let noise = self.system.noise();
         let strict = self.system.strict_recheck() && !self.system.is_exact();
         let mut borderline = false;
         let signal_i = self.system.signal(i);
-        // Early-reject limit on the candidate's *stored* interference sum:
-        // `sinr < threshold ⇔ sum > signal/threshold − noise` in real
-        // arithmetic; the `1e-9` headroom makes the float comparison safely
-        // one-sided, so an early reject is always a true reject (stored
-        // sums never overestimate) and the full-evaluation verdicts are
-        // unchanged. NaN limits disable the shortcut (comparisons are
-        // false).
-        let limit = signal_i / threshold - noise;
-        let limit_hi = limit + limit.abs() * 1e-9;
-        let Some((cand, cand_drops)) = self.candidate_probe(i, limit_hi) else {
-            return false;
-        };
         let mut padded = [0.0f64; MAX_PORTS];
         for (port, slot) in padded.iter_mut().enumerate().take(self.ports) {
             *slot = cand[port] + self.pad(i, port, cand_drops[port]);
@@ -664,9 +1016,7 @@ impl<'s, S: GainBackend + ?Sized> ColorAccumulator<'s, S> {
     /// for an item no existing class accepts, mirroring first-fit, and to
     /// rebuild state from an existing — possibly infeasible — set).
     pub fn insert_unchecked(&mut self, i: usize) {
-        let (cand, cand_drops) = self
-            .candidate_probe(i, f64::INFINITY)
-            .expect("an infinite limit never rejects early");
+        let (cand, cand_drops) = self.probe_full(i);
         self.commit(i, cand, cand_drops);
     }
 
@@ -743,9 +1093,7 @@ impl<'s, S: GainBackend + ?Sized> ColorAccumulator<'s, S> {
         }
         self.removals = 0;
         for &i in &members {
-            let (cand, cand_drops) = self
-                .candidate_probe(i, f64::INFINITY)
-                .expect("an infinite limit never rejects early");
+            let (cand, cand_drops) = self.probe_full(i);
             self.commit(i, cand, cand_drops);
         }
         let mut drift = 0.0f64;
@@ -824,6 +1172,61 @@ impl GainMatrix {
                 }
             }
         }
+        let signals = (0..n).map(|i| system.signal(i)).collect();
+        Self {
+            n,
+            ports,
+            beta: system.beta(),
+            noise: system.noise(),
+            signals,
+            data,
+        }
+    }
+
+    /// [`build`](GainMatrix::build) with the row construction fanned out over
+    /// `threads` scoped worker threads, each filling a contiguous chunk of
+    /// whole item rows. Every cell is computed by the same expression as the
+    /// serial build and lands at the same offset, so the result is bit-for-bit
+    /// identical regardless of `threads` (pinned by a unit test).
+    ///
+    /// `threads <= 1` falls back to the serial build.
+    pub fn build_with_threads<S: IncrementalSystem + Sync + ?Sized>(
+        system: &S,
+        threads: usize,
+    ) -> Self {
+        let n = system.len();
+        if threads <= 1 || n == 0 {
+            return Self::build(system);
+        }
+        let ports = system.num_ports();
+        assert!(
+            (1..=MAX_PORTS).contains(&ports),
+            "systems must expose between 1 and {MAX_PORTS} ports, got {ports}"
+        );
+        let per_item = ports * n;
+        let mut data = vec![0.0f64; n * per_item];
+        let chunk_items = n.div_ceil(threads);
+        // A panicking worker propagates when the scope joins it, so no
+        // explicit join handling is needed.
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in data.chunks_mut(chunk_items * per_item).enumerate() {
+                let first = chunk_idx * chunk_items;
+                scope.spawn(move || {
+                    for (offset, item_rows) in chunk.chunks_mut(per_item).enumerate() {
+                        let i = first + offset;
+                        for (port, row) in item_rows.chunks_mut(n).enumerate() {
+                            for (j, slot) in row.iter_mut().enumerate() {
+                                *slot = if j == i {
+                                    0.0
+                                } else {
+                                    system.contribution(i, port, j)
+                                };
+                            }
+                        }
+                    }
+                });
+            }
+        });
         let signals = (0..n).map(|i| system.signal(i)).collect();
         Self {
             n,
@@ -914,7 +1317,40 @@ impl IncrementalSystem for GainMatrix {
 
 // The dense matrix stores every contribution: it is the exact reference
 // backend, with all `GainBackend` pruning hooks at their no-op defaults.
-impl GainBackend for GainMatrix {}
+// Only the candidate fold is overridden, for speed, not semantics.
+impl GainBackend for GainMatrix {
+    fn fold_candidate(
+        &self,
+        i: usize,
+        ports: usize,
+        members: &[usize],
+        limit_hi: f64,
+        acc: &mut [f64; MAX_PORTS],
+        dropped: &mut [u32; MAX_PORTS],
+    ) -> bool {
+        // Every pair is stored, so `dropped` is never touched. Each port's
+        // fold walks one contiguous row with gathered loads, adding in member
+        // order (the same left-to-right fold as the default hook, hence
+        // bit-for-bit identical sums); the early-exit check runs once per
+        // block, which the trait contract allows because contributions are
+        // non-negative.
+        let _ = dropped;
+        for (port, slot) in acc.iter_mut().enumerate().take(ports) {
+            let row = self.row(i, port);
+            let mut sum = *slot;
+            for block in members.chunks(64) {
+                for &j in block {
+                    sum += row[j];
+                }
+                if sum > limit_hi {
+                    return false;
+                }
+            }
+            *slot = sum;
+        }
+        true
+    }
+}
 
 impl<'e, 'a, M: MetricSpace> VariantView<'e, 'a, M> {
     /// Builds the cached [`GainMatrix`] of this view (`O(ports · n²)` time
@@ -1348,5 +1784,126 @@ mod tests {
         assert_eq!(matrix.max_feasible_gain(&[]), f64::INFINITY);
         let acc = ColorAccumulator::new(&matrix);
         assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn threaded_matrix_build_is_bit_for_bit_identical_to_serial() {
+        let inst = mixed_instance();
+        let params = SinrParams::with_noise(2.5, 0.5, 0.01).unwrap();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = inst.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let serial = GainMatrix::build(&view);
+                for threads in [1usize, 2, 3, 8] {
+                    let threaded = GainMatrix::build_with_threads(&view, threads);
+                    for i in 0..inst.len() {
+                        for port in 0..view.num_ports() {
+                            let s: Vec<u64> =
+                                serial.row(i, port).iter().map(|v| v.to_bits()).collect();
+                            let t: Vec<u64> =
+                                threaded.row(i, port).iter().map(|v| v.to_bits()).collect();
+                            assert_eq!(
+                                s, t,
+                                "row ({i}, {port}) diverged at {threads} threads ({variant})"
+                            );
+                        }
+                        assert_eq!(serial.signal(i).to_bits(), threaded.signal(i).to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_for_matches_a_fresh_accumulator() {
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        let eval = inst.evaluator(params, &ObliviousPower::SquareRoot);
+        let view = eval.view(Variant::Bidirectional);
+        let mut recycled = ColorAccumulator::new(&view);
+        for &i in &[0usize, 1, 2] {
+            recycled.insert_unchecked(i);
+        }
+        recycled.reset_for(&view);
+        let mut fresh = ColorAccumulator::new(&view);
+        for i in 0..inst.len() {
+            assert_eq!(
+                recycled.try_insert(i),
+                fresh.try_insert(i),
+                "recycled and fresh accumulators diverged on {i}"
+            );
+        }
+        assert_eq!(recycled.members(), fresh.members());
+        for pos in 0..recycled.len() {
+            assert_eq!(
+                recycled.sinr_of(pos).to_bits(),
+                fresh.sinr_of(pos).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn gathered_batch_matches_sequential_probes_exactly() {
+        // Drive two first-fits over the same cached matrix side by side —
+        // one with per-class sequential probes, one through a gathered
+        // batch — and require identical verdicts and identical committed
+        // sums at every step. The dense matrix is exact (no stored rows),
+        // so this also pins the batched entry point's fallback path; the
+        // row-walk path is pinned at the sparse tier by
+        // `tests/probe_equivalence.rs` and the sparse goldens.
+        let inst = mixed_instance();
+        let params = SinrParams::new(3.0, 1.0).unwrap();
+        for power in ObliviousPower::standard_assignments() {
+            let eval = inst.evaluator(params, &power);
+            for variant in Variant::all() {
+                let view = eval.view(variant);
+                let matrix = view.cached();
+                let n = inst.len();
+                let gain = matrix.beta();
+                let mut seq: Vec<ColorAccumulator<'_, GainMatrix>> = Vec::new();
+                let mut bat: Vec<ColorAccumulator<'_, GainMatrix>> = Vec::new();
+                let mut color_of = vec![NO_COLOR; n];
+                let mut batch = ProbeBatch::new();
+                for i in 0..n {
+                    let seq_color = match seq
+                        .iter_mut()
+                        .position(|class| class.try_insert_with_gain(i, gain))
+                    {
+                        Some(c) => c,
+                        None => {
+                            let mut class = ColorAccumulator::new(&matrix);
+                            class.insert_unchecked(i);
+                            seq.push(class);
+                            seq.len() - 1
+                        }
+                    };
+                    batch.gather(&matrix, i, bat.len(), &color_of);
+                    let bat_color = match (0..bat.len())
+                        .find(|&c| bat[c].try_insert_with_gain_batched(i, gain, &batch, c))
+                    {
+                        Some(c) => c,
+                        None => {
+                            let mut class = ColorAccumulator::new(&matrix);
+                            class.insert_unchecked(i);
+                            bat.push(class);
+                            bat.len() - 1
+                        }
+                    };
+                    assert_eq!(seq_color, bat_color, "placement of {i} diverged");
+                    color_of[i] = item_id(bat_color);
+                }
+                for (s, b) in seq.iter().zip(&bat) {
+                    assert_eq!(s.members(), b.members());
+                    for pos in 0..s.len() {
+                        assert_eq!(
+                            s.sinr_of(pos).to_bits(),
+                            b.sinr_of(pos).to_bits(),
+                            "committed sums diverged ({variant})"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -71,7 +71,7 @@
 //! ```
 
 use super::{
-    approx_f64, item_id, item_index, GainBackend, IncrementalSystem, SparseEntry, MAX_PORTS,
+    approx_f64, item_id, item_index, GainBackend, IncrementalSystem, RowRef, SparseEntry, MAX_PORTS,
 };
 use crate::feasibility::{InterferenceSystem, Variant, VariantView};
 use crate::params::SinrParams;
@@ -441,10 +441,15 @@ pub struct SparseGainMatrix {
     powers: Vec<f64>,
     senders: Vec<[f64; 2]>,
     receivers: Vec<[f64; 2]>,
-    /// CSR rows: row `(i, port)` is `entries[offsets[i * ports + port]..]`,
-    /// sorted by interferer index.
+    /// CSR rows in structure-of-arrays form: row `(i, port)` is
+    /// `cols[offsets[i * ports + port]..offsets[.. + 1]]` (sorted interferer
+    /// indices) with its values in the parallel range of `vals`. The split
+    /// packs twice as many indices per cache line as the former interleaved
+    /// `Vec<SparseEntry>` and drops the per-entry footprint from 16 to 12
+    /// bytes (no padding).
     offsets: Vec<usize>,
-    entries: Vec<SparseEntry>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
     /// Per-row upper bound on the total dropped contribution mass.
     dropped_mass: Vec<f64>,
     /// Per-row upper bound on any single dropped contribution.
@@ -546,7 +551,8 @@ impl SparseGainMatrix {
             senders,
             receivers,
             offsets: Vec::new(),
-            entries: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
             dropped_mass: vec![0.0; n * ports],
             dropped_cap: vec![0.0; n * ports],
         };
@@ -561,38 +567,60 @@ impl SparseGainMatrix {
                 .map(|i| matrix.build_row(&grid, config, i, &mut seen))
                 .collect()
         } else {
-            let chunk = n.div_ceil(threads);
-            let mut rows: Vec<Option<RowData>> = Vec::with_capacity(n);
-            rows.resize_with(n, || None);
+            // Work-stealing chunked build: workers claim fixed-size chunks
+            // off a shared counter (balancing the load when dense regions
+            // make some rows much costlier than others), return
+            // `(start, rows)` parts, and the parts are reassembled in index
+            // order — the output is identical for every thread count.
+            let chunk = n.div_ceil(threads * 8).max(16);
+            let next = std::sync::atomic::AtomicUsize::new(0);
             let matrix_ref = &matrix;
             let grid_ref = &grid;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (c, slot) in rows.chunks_mut(chunk).enumerate() {
-                    let start = c * chunk;
-                    handles.push(scope.spawn(move || {
-                        let mut seen = vec![u32::MAX; matrix_ref.n];
-                        for (k, out) in slot.iter_mut().enumerate() {
-                            *out =
-                                Some(matrix_ref.build_row(grid_ref, config, start + k, &mut seen));
-                        }
-                    }));
-                }
+            let next_ref = &next;
+            let mut parts: Vec<(usize, Vec<RowData>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut seen = vec![u32::MAX; matrix_ref.n];
+                            let mut mine: Vec<(usize, Vec<RowData>)> = Vec::new();
+                            loop {
+                                let start =
+                                    next_ref.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                                if start >= n {
+                                    break;
+                                }
+                                let end = (start + chunk).min(n);
+                                let rows = (start..end)
+                                    .map(|i| matrix_ref.build_row(grid_ref, config, i, &mut seen))
+                                    .collect();
+                                mine.push((start, rows));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                let mut parts = Vec::new();
                 for h in handles {
-                    h.join().expect("sparse build worker panicked");
+                    match h.join() {
+                        Ok(mine) => parts.extend(mine),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
+                parts
             });
-            rows.into_iter()
-                .map(|r| r.expect("every row chunk was built"))
-                .collect()
+            parts.sort_unstable_by_key(|&(start, _)| start);
+            parts.into_iter().flat_map(|(_, rows)| rows).collect()
         };
 
         matrix.offsets.reserve(n * ports + 1);
         matrix.offsets.push(0);
         for (i, row) in rows.iter().enumerate() {
             for port in 0..ports {
-                matrix.entries.extend_from_slice(&row.entries[port]);
-                matrix.offsets.push(matrix.entries.len());
+                for e in &row.entries[port] {
+                    matrix.cols.push(e.j);
+                    matrix.vals.push(e.v);
+                }
+                matrix.offsets.push(matrix.cols.len());
                 // oblint::allow(missing-safety-inflation): transfers the builder's already-inflated pads into the CSR arrays verbatim.
                 matrix.dropped_mass[i * ports + port] = row.mass[port];
                 // oblint::allow(missing-safety-inflation): same transfer as the mass above.
@@ -744,20 +772,24 @@ impl SparseGainMatrix {
         self.fast.strength_sq(self.powers[j], d_sq)
     }
 
-    /// The stored row of `(i, port)`, sorted by interferer index.
+    /// The stored row of `(i, port)`, sorted by interferer index, as
+    /// parallel column/value slices.
     ///
     /// # Panics
     ///
     /// Panics if `i` or `port` is out of range.
-    pub fn row(&self, i: usize, port: usize) -> &[SparseEntry] {
+    pub fn row(&self, i: usize, port: usize) -> RowRef<'_> {
         assert!(port < self.ports, "port {port} out of range");
         let r = i * self.ports + port;
-        &self.entries[self.offsets[r]..self.offsets[r + 1]]
+        RowRef {
+            cols: &self.cols[self.offsets[r]..self.offsets[r + 1]],
+            vals: &self.vals[self.offsets[r]..self.offsets[r + 1]],
+        }
     }
 
     /// Number of stored (non-pruned) contributions across all rows.
     pub fn stored_entries(&self) -> usize {
-        self.entries.len()
+        self.cols.len()
     }
 
     /// Number of ports per item.
@@ -772,7 +804,8 @@ impl SparseGainMatrix {
 
     /// Approximate heap footprint of the matrix in bytes.
     pub fn bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<SparseEntry>()
+        self.cols.len() * std::mem::size_of::<u32>()
+            + self.vals.len() * std::mem::size_of::<f64>()
             + self.offsets.len() * std::mem::size_of::<usize>()
             + (self.dropped_mass.len()
                 + self.dropped_cap.len()
@@ -802,7 +835,7 @@ impl SparseGainMatrix {
         if total == 0 {
             0.0
         } else {
-            approx_f64(self.entries.len()) / approx_f64(total)
+            approx_f64(self.cols.len()) / approx_f64(total)
         }
     }
 }
@@ -886,13 +919,10 @@ impl GainBackend for SparseGainMatrix {
         if j == i {
             return Some(0.0);
         }
-        let row = self.row(i, port);
-        row.binary_search_by_key(&item_id(j), |e| e.j)
-            .ok()
-            .map(|k| row[k].v)
+        self.row(i, port).get(item_id(j))
     }
 
-    fn stored_row(&self, i: usize, port: usize) -> Option<&[SparseEntry]> {
+    fn stored_row(&self, i: usize, port: usize) -> Option<RowRef<'_>> {
         Some(self.row(i, port))
     }
 
@@ -1153,7 +1183,8 @@ mod tests {
                 },
             );
             assert_eq!(parallel.offsets, serial.offsets);
-            assert_eq!(parallel.entries, serial.entries);
+            assert_eq!(parallel.cols, serial.cols);
+            assert_eq!(parallel.vals, serial.vals);
             assert_eq!(parallel.dropped_mass, serial.dropped_mass);
             assert_eq!(parallel.dropped_cap, serial.dropped_cap);
         }
@@ -1191,11 +1222,12 @@ mod tests {
         assert!(sparse.stored_entries() > 0);
         let directed = SparseGainMatrix::build(&eval.view(Variant::Directed), &config);
         assert_eq!(directed.ports(), 1);
-        // Rows are sorted by interferer.
+        // Rows are sorted by interferer, with columns and values parallel.
         for i in 0..sparse.len() {
             for port in 0..sparse.ports() {
                 let row = sparse.row(i, port);
-                assert!(row.windows(2).all(|w| w[0].j < w[1].j));
+                assert_eq!(row.cols.len(), row.vals.len());
+                assert!(row.cols.windows(2).all(|w| w[0] < w[1]));
             }
         }
     }

@@ -100,17 +100,53 @@ struct LiveState {
 }
 
 /// One lazily-materialised row: the stored entries of every port (live
-/// interferers at or above the row's cutoff, sorted by index), the
+/// interferers at or above the row's cutoff, sorted by index, in
+/// structure-of-arrays form — parallel column/value vectors per port), the
 /// dropped-mass pad, and the staleness-guard patch counter.
 #[derive(Debug, Clone)]
 struct ChurnRow {
-    entries: [Vec<SparseEntry>; MAX_PORTS],
+    cols: [Vec<u32>; MAX_PORTS],
+    vals: [Vec<f64>; MAX_PORTS],
     mass: [f64; MAX_PORTS],
     cap: [f64; MAX_PORTS],
     mutations: usize,
 }
 
 impl ChurnRow {
+    /// The stored value of interferer `j` at `port`, or `None` when the live
+    /// pair is pruned (binary search over the sorted columns).
+    #[inline]
+    fn get(&self, port: usize, j: u32) -> Option<f64> {
+        self.cols[port]
+            .binary_search(&j)
+            .ok()
+            .map(|k| self.vals[port][k])
+    }
+
+    /// Inserts `(j, v)` at `port`, keeping the columns sorted. Overwrites an
+    /// already-stored pair (patch idempotence).
+    fn insert_sorted(&mut self, port: usize, j: u32, v: f64) {
+        match self.cols[port].binary_search(&j) {
+            Ok(p) => self.vals[port][p] = v,
+            Err(p) => {
+                self.cols[port].insert(p, j);
+                self.vals[port].insert(p, v);
+            }
+        }
+    }
+
+    /// Removes the stored pair of interferer `j` at `port`, if present.
+    /// Returns `true` when an entry was removed.
+    fn remove_entry(&mut self, port: usize, j: u32) -> bool {
+        match self.cols[port].binary_search(&j) {
+            Ok(p) => {
+                self.cols[port].remove(p);
+                self.vals[port].remove(p);
+                true
+            }
+            Err(_) => false,
+        }
+    }
     /// The sanctioned pad addition: folds one already SAFETY-inflated
     /// pruned contribution into the port's dropped-mass pad and cap. Every
     /// pad write must route through here, [`pad_shed`](ChurnRow::pad_shed)
@@ -372,19 +408,12 @@ impl SparseChurnMatrix {
     /// Number of stored (non-pruned) contributions across all materialised
     /// rows.
     pub fn stored_entries(&self) -> usize {
-        let store = self.store.borrow();
-        store
-            .materialized
+        self.store
+            .borrow()
+            .rows
             .iter()
-            .map(|&i| {
-                let row = store.rows[item_index(i)]
-                    .as_ref()
-                    .expect("materialized row");
-                row.entries[..self.ports]
-                    .iter()
-                    .map(Vec::len)
-                    .sum::<usize>()
-            })
+            .flatten()
+            .map(|row| row.cols[..self.ports].iter().map(Vec::len).sum::<usize>())
             .sum()
     }
 
@@ -405,16 +434,19 @@ impl SparseChurnMatrix {
         let store = self.store.borrow();
         let rows = store.rows.len() * std::mem::size_of::<Option<ChurnRow>>()
             + store
-                .materialized
+                .rows
                 .iter()
-                .map(|&i| {
-                    let row = store.rows[item_index(i)]
-                        .as_ref()
-                        .expect("materialized row");
-                    row.entries
+                .flatten()
+                .map(|row| {
+                    row.cols
                         .iter()
-                        .map(|e| e.capacity() * std::mem::size_of::<SparseEntry>())
+                        .map(|c| c.capacity() * std::mem::size_of::<u32>())
                         .sum::<usize>()
+                        + row
+                            .vals
+                            .iter()
+                            .map(|v| v.capacity() * std::mem::size_of::<f64>())
+                            .sum::<usize>()
                 })
                 .sum::<usize>();
         fixed + aggregates + rows
@@ -523,11 +555,15 @@ impl SparseChurnMatrix {
         let seen = &mut scratch.seen;
 
         let mut row = ChurnRow {
-            entries: [Vec::new(), Vec::new()],
+            cols: [Vec::new(), Vec::new()],
+            vals: [Vec::new(), Vec::new()],
             mass: [0.0; MAX_PORTS],
             cap: [0.0; MAX_PORTS],
             mutations: 0,
         };
+        // Entries are collected interleaved so one sort keeps columns and
+        // values paired, then split into the row's parallel arrays below.
+        let mut collected: [Vec<SparseEntry>; MAX_PORTS] = [Vec::new(), Vec::new()];
         let cutoff = self.cutoffs[i];
         let (anchors, num_anchors) = self.traversal_anchors(i);
         let grid = &self.grid;
@@ -586,10 +622,11 @@ impl SparseChurnMatrix {
                                 continue;
                             }
                             seen[j] = epoch;
-                            for port in 0..self.ports {
+                            for (port, entries) in collected.iter_mut().enumerate().take(self.ports)
+                            {
                                 let v = SAFETY * self.raw_contribution(i, port, j);
                                 if v >= cutoff {
-                                    row.entries[port].push(SparseEntry { j: e.item, v });
+                                    entries.push(SparseEntry { j: e.item, v });
                                 } else {
                                     row.pad_absorb(port, v);
                                 }
@@ -599,8 +636,10 @@ impl SparseChurnMatrix {
                 }
             }
         }
-        for entries in row.entries.iter_mut().take(self.ports) {
+        for (port, entries) in collected.iter_mut().enumerate().take(self.ports) {
             entries.sort_unstable_by_key(|e| e.j);
+            row.cols[port] = entries.iter().map(|e| e.j).collect();
+            row.vals[port] = entries.iter().map(|e| e.v).collect();
         }
         row
     }
@@ -630,6 +669,21 @@ impl SparseChurnMatrix {
         }
     }
 
+    /// Materialises row `i` if needed and returns a shared borrow of it —
+    /// the one lookup point every query path goes through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is dead (the liveness contract of
+    /// [`ensure_row`](SparseChurnMatrix::ensure_row)).
+    fn row_ref(&self, i: usize) -> std::cell::Ref<'_, ChurnRow> {
+        self.ensure_row(i);
+        match std::cell::Ref::filter_map(self.store.borrow(), |s| s.rows[i].as_ref()) {
+            Ok(row) => row,
+            Err(_) => unreachable!("ensure_row materialises row {i}"),
+        }
+    }
+
     /// The arrival patch: marks `item` live, refreshes the touched tile and
     /// supertile aggregates, and patches every materialised row — inserting
     /// a stored entry when the inflated contribution reaches the row's
@@ -654,7 +708,10 @@ impl SparseChurnMatrix {
             if i == item {
                 continue;
             }
-            let row = rows[i].as_mut().expect("materialized row exists");
+            let Some(row) = rows[i].as_mut() else {
+                debug_assert!(false, "materialized list tracks every row");
+                continue;
+            };
             row.mutations += 1;
             if row.mutations >= self.refresh_interval {
                 *row = self.build_live_row(&st, i);
@@ -663,19 +720,11 @@ impl SparseChurnMatrix {
             for port in 0..self.ports {
                 let v = SAFETY * self.raw_contribution(i, port, item);
                 if v >= self.cutoffs[i] {
-                    let entries = &mut row.entries[port];
-                    let pos = entries.binary_search_by_key(&item_id(item), |e| e.j);
-                    debug_assert!(pos.is_err(), "arriving item {item} was already stored");
-                    match pos {
-                        Ok(p) => entries[p].v = v,
-                        Err(p) => entries.insert(
-                            p,
-                            SparseEntry {
-                                j: item_id(item),
-                                v,
-                            },
-                        ),
-                    }
+                    debug_assert!(
+                        row.get(port, item_id(item)).is_none(),
+                        "arriving item {item} was already stored"
+                    );
+                    row.insert_sorted(port, item_id(item), v);
                 } else {
                     row.pad_absorb(port, v);
                 }
@@ -703,15 +752,16 @@ impl SparseChurnMatrix {
         let mut store = self.store.borrow_mut();
         let RowStore { rows, materialized } = &mut *store;
         if rows[item].take().is_some() {
-            let pos = materialized
-                .iter()
-                .position(|&x| item_index(x) == item)
-                .expect("materialized list tracks every row");
-            materialized.swap_remove(pos);
+            // Dropping the departed row un-materialises it; `retain` keeps
+            // the survivors in their original order.
+            materialized.retain(|&x| item_index(x) != item);
         }
         for &slot in materialized.iter() {
             let i = item_index(slot);
-            let row = rows[i].as_mut().expect("materialized row exists");
+            let Some(row) = rows[i].as_mut() else {
+                debug_assert!(false, "materialized list tracks every row");
+                continue;
+            };
             row.mutations += 1;
             if row.mutations >= self.refresh_interval {
                 *row = self.build_live_row(&st, i);
@@ -721,12 +771,8 @@ impl SparseChurnMatrix {
             for port in 0..self.ports {
                 let v = SAFETY * self.raw_contribution(i, port, item);
                 if v >= self.cutoffs[i] {
-                    let entries = &mut row.entries[port];
-                    let pos = entries.binary_search_by_key(&item_id(item), |e| e.j);
-                    debug_assert!(pos.is_ok(), "stored pair ({i}, {item}) must exist");
-                    if let Ok(p) = pos {
-                        entries.remove(p);
-                    }
+                    let removed = row.remove_entry(port, item_id(item));
+                    debug_assert!(removed, "stored pair ({i}, {item}) must exist");
                 } else {
                     // The corrected bound (see `pad_shed` and the module
                     // docs): the pad can only gain a non-negative residue
@@ -757,9 +803,7 @@ impl InterferenceSystem for SparseChurnMatrix {
     /// Panics if `i` is dead (see [`SparseChurnMatrix`]'s liveness
     /// contract).
     fn sinr(&self, i: usize, others: &[usize]) -> f64 {
-        self.ensure_row(i);
-        let store = self.store.borrow();
-        let row = store.rows[i].as_ref().expect("row was just ensured");
+        let row = self.row_ref(i);
         let mut ports = [0.0f64; MAX_PORTS];
         let mut dropped = [0u32; MAX_PORTS];
         for &j in others {
@@ -767,9 +811,9 @@ impl InterferenceSystem for SparseChurnMatrix {
                 continue;
             }
             for (port, slot) in ports.iter_mut().enumerate().take(self.ports) {
-                match row.entries[port].binary_search_by_key(&item_id(j), |e| e.j) {
-                    Ok(k) => *slot += row.entries[port][k].v,
-                    Err(_) => dropped[port] += 1,
+                match row.get(port, item_id(j)) {
+                    Some(v) => *slot += v,
+                    None => dropped[port] += 1,
                 }
             }
         }
@@ -823,23 +867,49 @@ impl GainBackend for SparseChurnMatrix {
         if j == i {
             return Some(0.0);
         }
-        self.ensure_row(i);
-        let store = self.store.borrow();
-        let row = store.rows[i].as_ref().expect("row was just ensured");
-        row.entries[port]
-            .binary_search_by_key(&item_id(j), |e| e.j)
-            .ok()
-            .map(|k| row.entries[port][k].v)
+        self.row_ref(i).get(port, item_id(j))
+    }
+
+    /// Candidate folds hold one row borrow for the whole member walk instead
+    /// of re-entering `stored_contribution` (ensure + `RefCell` borrow +
+    /// lookup) once per member and port. Same members, same interleaved
+    /// order, same stored values — the sums and verdicts are bit-for-bit
+    /// those of the default hook.
+    fn fold_candidate(
+        &self,
+        i: usize,
+        ports: usize,
+        members: &[usize],
+        limit_hi: f64,
+        acc: &mut [f64; MAX_PORTS],
+        dropped: &mut [u32; MAX_PORTS],
+    ) -> bool {
+        let row = self.row_ref(i);
+        for &j in members {
+            for (port, slot) in acc.iter_mut().enumerate().take(ports) {
+                let stored = if j == i {
+                    Some(0.0)
+                } else {
+                    row.get(port, item_id(j))
+                };
+                match stored {
+                    Some(v) => *slot += v,
+                    None => dropped[port] += 1,
+                }
+                if *slot > limit_hi {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     fn pruned_cap(&self, i: usize, port: usize) -> f64 {
-        self.ensure_row(i);
-        self.store.borrow().rows[i].as_ref().expect("ensured").cap[port]
+        self.row_ref(i).cap[port]
     }
 
     fn pruned_mass(&self, i: usize, port: usize) -> f64 {
-        self.ensure_row(i);
-        self.store.borrow().rows[i].as_ref().expect("ensured").mass[port]
+        self.row_ref(i).mass[port]
     }
 
     fn is_exact(&self) -> bool {
