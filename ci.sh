@@ -81,6 +81,63 @@ else
 fi
 rm -f "$sessions_out"
 
+echo "==> server daemon smoke (wire golden + concurrent load + clean shutdown)"
+# End-to-end over a real socket: start the daemon on an ephemeral port with a
+# throwaway data dir and --no-timing (wall_ms pinned to 0 so the transcript
+# is byte-deterministic), replay the committed wire transcript, and diff the
+# responses against the golden file — GOLDEN_UPDATE=1 regenerates, matching
+# the other golden stages. The transcript includes the malformed-JSON
+# negative control: the daemon must answer it with a typed bad_request error
+# and keep the connection alive through the final ping.
+# The root build above only covers the umbrella crate; make sure the daemon
+# and load-generator binaries exist before launching them directly (running
+# the daemon through `cargo run` would hold no lock either, but direct
+# binaries keep the pid we background and wait on the daemon's own).
+cargo build -q --release -p oblisched_server --bins
+server_dir="$(mktemp -d)"
+server_log="$(mktemp)"
+./target/release/oblisched-server \
+  --addr 127.0.0.1:0 --data-dir "$server_dir" --no-timing > "$server_log" &
+server_pid=$!
+server_addr=""
+for _ in $(seq 1 100); do
+  server_addr="$(sed -n 's/.*"listening":{"addr":"\([^"]*\)".*/\1/p' "$server_log")"
+  [ -n "$server_addr" ] && break
+  sleep 0.1
+done
+if [ -z "$server_addr" ]; then
+  echo "daemon never reported a listening address" >&2
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+wire_out="$(mktemp)"
+./target/release/oblisched-load --addr "$server_addr" \
+  --replay examples/server/smoke.jsonl > "$wire_out"
+if [ "${GOLDEN_UPDATE:-}" = "1" ]; then
+  cp "$wire_out" examples/server/smoke.golden.jsonl
+  echo "server wire golden rewritten at examples/server/smoke.golden.jsonl"
+else
+  diff -u examples/server/smoke.golden.jsonl "$wire_out"
+fi
+grep -q '"bad_request"' "$wire_out"   # the malformed line got a typed error...
+tail -1 "$wire_out" | grep -q '"pong"'  # ...and the connection survived it.
+rm -f "$wire_out"
+# Short load run against the same daemon: 8 concurrent connections each
+# churning their own durable session; the summary must report throughput and
+# client-observed p50/p95/p99 per verb.
+load_out="$(mktemp)"
+./target/release/oblisched-load --addr "$server_addr" \
+  --connections 8 --universe 150 --live 50 --events 120 > "$load_out"
+grep -q '^8 connections' "$load_out"
+grep -q 'p50=' "$load_out"
+grep -q 'p99=' "$load_out"
+rm -f "$load_out"
+# Graceful stop: the shutdown verb must be acknowledged and the daemon must
+# checkpoint its sessions and exit 0 (set -e fails the stage otherwise).
+./target/release/oblisched-load --addr "$server_addr" --stop
+wait "$server_pid"
+rm -rf "$server_dir" "$server_log"
+
 echo "==> scaling bench (smoke mode)"
 # Runs the engine-vs-naive speedup check end to end on small sizes so a
 # regression in the hot path (or a divergence between the engine and the

@@ -119,6 +119,27 @@ fn path_scoping() {
         "wall-clock-in-core"
     )
     .is_empty());
+    // So are the server's load generator (latency is client-observed) and
+    // its binaries (which inject the clock into the clock-free core)...
+    assert!(found_lines("crates/server/src/load.rs", clock_src, "wall-clock-in-core").is_empty());
+    assert!(found_lines(
+        "crates/server/src/bin/oblisched-server.rs",
+        clock_src,
+        "wall-clock-in-core"
+    )
+    .is_empty());
+    // ...but the daemon's protocol/session/server core must stay clock-free.
+    for core in [
+        "crates/server/src/protocol.rs",
+        "crates/server/src/session.rs",
+        "crates/server/src/server.rs",
+        "crates/server/src/metrics.rs",
+    ] {
+        assert!(
+            !found_lines(core, clock_src, "wall-clock-in-core").is_empty(),
+            "{core} must be policed for wall-clock reads"
+        );
+    }
 
     let cast_src = include_str!("fixtures/lossy_cast.rs");
     // Casts are only policed in the sinr engine paths.

@@ -3,7 +3,8 @@
 //! Every optimization PR so far left its speedups as anecdotes in README
 //! tables; this module makes the trajectory machine-readable. [`run_suite`]
 //! times a pinned set of hot-path workloads (dense first-fit, sparse batch
-//! scheduling, parallel-sparse at 50k, churn replay) and reports medians
+//! scheduling, parallel-sparse at 50k, churn replay, and an end-to-end
+//! server load run over loopback) and reports medians
 //! over repeats plus a **schedule fingerprint** per case — a 64-bit FNV-1a
 //! hash of the exact colors produced. The fingerprints make the gate double
 //! as a bit-for-bit determinism check: an optimization that changes any
@@ -267,6 +268,74 @@ fn churn_replay_case(
     })
 }
 
+/// `server_load_c{connections}_n{universe}`: the full daemon stack over
+/// loopback — an in-process [`oblisched_server::Server`] (no clock injected,
+/// so wire payloads stay byte-deterministic) with [`oblisched_server::run_load`]
+/// replaying seed-pinned churn traces from concurrent connections into
+/// durable sessions. The reported time is the slowest connection's
+/// wall-clock for its whole replay (socket + actor + WAL fsync included),
+/// and the fingerprint is the combined per-session state fingerprint from
+/// the load report. Each repeat gets a fresh data dir: durable sessions
+/// persist, so a reused dir would recover round N-1's state into round N
+/// and trip the determinism assertion.
+fn server_load_case(
+    connections: usize,
+    universe: usize,
+    target_live: usize,
+    events: usize,
+    repeats: usize,
+) -> PerfCase {
+    use oblisched_server::{run_load, send_shutdown, LoadConfig, Server, ServerConfig};
+    fn die<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+        match result {
+            Ok(value) => value,
+            Err(e) => panic!("server_load case: {what}: {e}"),
+        }
+    }
+    let id = format!("server_load_c{connections}_n{universe}");
+    let mut round = 0usize;
+    timed_case(&id, repeats, || {
+        round += 1;
+        let data_dir = std::env::temp_dir().join(format!(
+            "oblisched-perf-server-{}-{round}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let server = die(
+            Server::bind(&ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                data_dir: data_dir.clone(),
+                clock: None,
+            }),
+            "bind",
+        );
+        let addr = server.local_addr().to_string();
+        let daemon = std::thread::spawn(move || server.run());
+        let config = LoadConfig {
+            connections,
+            universe,
+            target_live,
+            events,
+            seed: TIER_SEED,
+            ..LoadConfig::default()
+        };
+        let report = die(run_load(&addr, &config), "load run");
+        die(send_shutdown(&addr), "shutdown");
+        match daemon.join() {
+            Ok(result) => die(result, "daemon loop"),
+            Err(_) => panic!("server_load case: daemon thread panicked"),
+        }
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let fp = die(
+            u64::from_str_radix(&report.fingerprint, 16),
+            "fingerprint hex",
+        );
+        // Colors stay 0: per-session colorings are summarized by the
+        // fingerprint, and the report carries no single schedule to count.
+        (report.elapsed_ms, 0, fp)
+    })
+}
+
 /// Runs the pinned suite. `smoke` selects the scaled-down variant that fits
 /// tier-1 CI time; the full suite is the committed-baseline shape.
 pub fn run_suite(smoke: bool) -> Vec<PerfCase> {
@@ -279,6 +348,7 @@ pub fn run_suite(smoke: bool) -> Vec<PerfCase> {
             churn_uniform(2500, 1000, 3000, TIER_SEED),
             repeats_override(3),
         ));
+        cases.push(server_load_case(8, 150, 50, 120, repeats_override(2)));
     } else {
         dense_cases(2000, repeats_override(5), &mut cases);
         cases.push(sparse_batch_case(10_000, repeats_override(3)));
@@ -287,6 +357,7 @@ pub fn run_suite(smoke: bool) -> Vec<PerfCase> {
             churn_uniform_10k(TIER_SEED),
             repeats_override(2),
         ));
+        cases.push(server_load_case(8, 400, 120, 400, repeats_override(2)));
     }
     cases
 }

@@ -187,8 +187,10 @@ pub fn adversarial_for(
         requests.push(Request::new(u, u + 1));
         cursor += lengths[i];
     }
-    let instance = Instance::new(LineMetric::new(coords), requests)
-        .expect("construction produces positive link lengths");
+    let instance = crate::generated(
+        Instance::new(LineMetric::new(coords), requests),
+        "adversarial links have positive length",
+    );
     AdversarialInstance {
         instance,
         lengths,

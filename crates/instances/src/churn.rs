@@ -95,6 +95,80 @@ impl ChurnTrace {
         }
         (0..self.universe).filter(|&i| live[i]).collect()
     }
+
+    /// Renders the trace as JSONL: a `{"universe":N}` header line followed
+    /// by one event object per line (`{"Arrive":5}` / `{"Depart":5}`) — the
+    /// interchange format of the server load generator's `--export-trace`.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failures (none for well-formed traces).
+    pub fn to_jsonl(&self) -> Result<String, serde_json::Error> {
+        let mut out = serde_json::to_string(&TraceHeader {
+            universe: self.universe,
+        })?;
+        out.push('\n');
+        for event in &self.events {
+            out.push_str(&serde_json::to_string(event)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parses a trace from the [`to_jsonl`](ChurnTrace::to_jsonl) format
+    /// (blank lines and `#` comments skipped) and verifies its consistency:
+    /// indices in range, arrivals of dead requests, departures of live ones.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed or inconsistent line.
+    pub fn from_jsonl(input: &str) -> Result<ChurnTrace, String> {
+        let mut lines = input
+            .lines()
+            .enumerate()
+            .map(|(i, line)| (i + 1, line.trim()))
+            .filter(|(_, line)| !line.is_empty() && !line.starts_with('#'));
+        let Some((header_no, header)) = lines.next() else {
+            return Err(String::from("empty trace: missing {\"universe\":N} header"));
+        };
+        let header: TraceHeader = serde_json::from_str(header)
+            .map_err(|e| format!("line {header_no}: bad trace header: {e}"))?;
+        let mut events = Vec::new();
+        let mut live = vec![false; header.universe];
+        for (line_no, line) in lines {
+            let event: ChurnEvent = serde_json::from_str(line)
+                .map_err(|e| format!("line {line_no}: bad churn event: {e}"))?;
+            let (index, arriving) = match event {
+                ChurnEvent::Arrive(i) => (i, true),
+                ChurnEvent::Depart(i) => (i, false),
+            };
+            if index >= header.universe {
+                return Err(format!(
+                    "line {line_no}: request {index} outside universe {}",
+                    header.universe
+                ));
+            }
+            if live[index] == arriving {
+                return Err(format!(
+                    "line {line_no}: {} of {} request {index}",
+                    if arriving { "arrival" } else { "departure" },
+                    if live[index] { "live" } else { "dead" },
+                ));
+            }
+            live[index] = arriving;
+            events.push(event);
+        }
+        Ok(ChurnTrace {
+            universe: header.universe,
+            events,
+        })
+    }
+}
+
+/// The header line of the JSONL trace format.
+#[derive(Serialize, Deserialize)]
+struct TraceHeader {
+    universe: usize,
 }
 
 /// Generates a churn trace over a universe of `universe` requests: a pure
@@ -340,5 +414,33 @@ mod tests {
         // Events serialize as tagged variants a hand-written line can spell.
         let event: ChurnEvent = serde_json::from_str("{\"Arrive\":5}").unwrap();
         assert_eq!(event, ChurnEvent::Arrive(5));
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_rejects_inconsistent_traces() {
+        let trace = churn_trace_for(40, 15, 80, 11);
+        let rendered = trace.to_jsonl().unwrap();
+        assert!(rendered.starts_with("{\"universe\":40}\n"));
+        let back = ChurnTrace::from_jsonl(&rendered).unwrap();
+        assert_eq!(back, trace);
+
+        // Comments and blank lines are tolerated.
+        let commented = format!("# a trace\n\n{rendered}");
+        assert_eq!(ChurnTrace::from_jsonl(&commented).unwrap(), trace);
+
+        // Inconsistencies are rejected with the offending line.
+        for (input, needle) in [
+            ("", "missing"),
+            ("{\"universe\":2}\n{\"Depart\":0}\n", "departure of dead"),
+            (
+                "{\"universe\":2}\n{\"Arrive\":0}\n{\"Arrive\":0}\n",
+                "arrival of live",
+            ),
+            ("{\"universe\":2}\n{\"Arrive\":7}\n", "outside universe"),
+            ("{\"universe\":2}\nnot json\n", "bad churn event"),
+        ] {
+            let err = ChurnTrace::from_jsonl(input).unwrap_err();
+            assert!(err.contains(needle), "{input:?} -> {err}");
+        }
     }
 }

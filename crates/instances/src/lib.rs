@@ -53,3 +53,18 @@ pub use scale::{
     scaling_line_10k, scaling_line_50k, scaling_uniform, scaling_uniform_10k, scaling_uniform_50k,
     LARGE_SCALE_SIZES,
 };
+
+/// Finalises a generator-built instance. Every generator in this crate
+/// constructs links with strictly positive length, so
+/// [`oblisched_sinr::Instance::new`] cannot reject its output; if it ever
+/// does, that is a generator bug, reported as the violated invariant
+/// rather than swallowed behind an `expect` on the error path.
+pub(crate) fn generated<M: oblisched_metric::MetricSpace>(
+    built: Result<oblisched_sinr::Instance<M>, oblisched_sinr::SinrError>,
+    invariant: &str,
+) -> oblisched_sinr::Instance<M> {
+    match built {
+        Ok(instance) => instance,
+        Err(e) => unreachable!("generator bug — {invariant}: {e}"),
+    }
+}

@@ -44,7 +44,10 @@ pub fn evenly_spaced_line(n: usize, link_len: f64, gap: f64) -> Instance<LineMet
         requests.push(Request::new(u, u + 1));
         cursor += link_len + gap;
     }
-    Instance::new(LineMetric::new(coords), requests).expect("links have positive length")
+    crate::generated(
+        Instance::new(LineMetric::new(coords), requests),
+        "line links have positive length",
+    )
 }
 
 /// Builds `n` consecutive requests whose lengths grow geometrically with
@@ -77,7 +80,10 @@ pub fn exponential_line(n: usize, growth: f64) -> Instance<LineMetric> {
         requests.push(Request::new(u, u + 1));
         cursor += 2.0 * len;
     }
-    Instance::new(LineMetric::new(coords), requests).expect("links have positive length")
+    crate::generated(
+        Instance::new(LineMetric::new(coords), requests),
+        "line links have positive length",
+    )
 }
 
 #[cfg(test)]

@@ -48,7 +48,10 @@ pub fn nested_chain(n: usize, base: f64) -> Instance<LineMetric> {
         coords.push(radius);
         requests.push(Request::new(u, u + 1));
     }
-    Instance::new(LineMetric::new(coords), requests).expect("nested links have positive length")
+    crate::generated(
+        Instance::new(LineMetric::new(coords), requests),
+        "nested links have positive length",
+    )
 }
 
 #[cfg(test)]

@@ -76,8 +76,10 @@ pub fn uniform_deployment<R: Rng + ?Sized>(
         points.push(receiver);
         requests.push(Request::new(id, id + 1));
     }
-    Instance::new(EuclideanSpace::from_points(points), requests)
-        .expect("generated links have positive length")
+    crate::generated(
+        Instance::new(EuclideanSpace::from_points(points), requests),
+        "deployment links have positive length",
+    )
 }
 
 /// Generates a clustered deployment: senders are grouped around
@@ -129,8 +131,10 @@ pub fn clustered_deployment<R: Rng + ?Sized>(
         points.push(receiver);
         requests.push(Request::new(id, id + 1));
     }
-    Instance::new(EuclideanSpace::from_points(points), requests)
-        .expect("generated links have positive length")
+    crate::generated(
+        Instance::new(EuclideanSpace::from_points(points), requests),
+        "deployment links have positive length",
+    )
 }
 
 /// Generates `num_nodes` uniform points and pairs them up by a random perfect
@@ -169,7 +173,10 @@ pub fn random_matching<R: Rng + ?Sized>(
             requests.push(Request::new(a, b));
         }
     }
-    Instance::new(space, requests).expect("zero-length pairs were filtered out")
+    crate::generated(
+        Instance::new(space, requests),
+        "zero-length pairs were filtered out",
+    )
 }
 
 #[cfg(test)]

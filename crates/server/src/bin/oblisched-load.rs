@@ -1,0 +1,210 @@
+//! The load generator and protocol client for `oblisched-server`.
+//!
+//! Three modes:
+//!
+//! * **load** (default): N concurrent connections each replay a seed-pinned
+//!   churn trace into their own durable session and report events/sec plus
+//!   client-measured p50/p95/p99 latency per verb.
+//! * **`--replay FILE`**: send a raw request transcript (one JSON line per
+//!   request, `#` comments skipped) over one connection and print one
+//!   response line per request — the golden-transcript driver; since lines
+//!   go over verbatim, it is also the malformed-JSON negative control.
+//! * **`--stop`**: send `{"shutdown":{}}` and exit once acknowledged.
+//! * **`--export-trace FILE`**: write the seed-pinned churn trace the load
+//!   run's connection 0 would replay (`--universe/--live/--events/--seed`)
+//!   as JSONL, without contacting a server — for inspection and replay
+//!   tooling.
+//!
+//! Usage:
+//!
+//! ```text
+//! oblisched-load --addr 127.0.0.1:PORT \
+//!     [--connections 8] [--universe 200] [--live 60] [--events 200] \
+//!     [--seed 1] [--color-every 16] [--prefix load] [--json]
+//! oblisched-load --addr 127.0.0.1:PORT --replay examples/server/smoke.jsonl
+//! oblisched-load --addr 127.0.0.1:PORT --stop
+//! ```
+
+#![forbid(unsafe_code)]
+
+use oblisched_server::{run_load, send_shutdown, LoadConfig};
+
+fn usage_exit(code: i32) -> ! {
+    eprintln!(
+        "usage: oblisched-load --addr ADDR:PORT [--connections N] [--universe N] \
+         [--live N] [--events N] [--seed N] [--color-every N] [--prefix NAME] [--json]"
+    );
+    eprintln!("       oblisched-load --addr ADDR:PORT --replay FILE");
+    eprintln!("       oblisched-load --addr ADDR:PORT --stop");
+    eprintln!(
+        "       oblisched-load --export-trace FILE [--universe N] [--live N] [--events N] [--seed N]"
+    );
+    std::process::exit(code);
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let Some(value) = value else {
+        eprintln!("{flag} needs an argument");
+        usage_exit(2);
+    };
+    match value.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => {
+            eprintln!("{flag}: cannot parse {value:?}");
+            usage_exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut replay: Option<String> = None;
+    let mut export_trace: Option<String> = None;
+    let mut stop = false;
+    let mut json = false;
+    let mut config = LoadConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                addr = Some(parse_value("--addr", args.get(i)));
+            }
+            "--replay" => {
+                i += 1;
+                replay = Some(parse_value("--replay", args.get(i)));
+            }
+            "--export-trace" => {
+                i += 1;
+                export_trace = Some(parse_value("--export-trace", args.get(i)));
+            }
+            "--stop" => stop = true,
+            "--json" => json = true,
+            "--connections" => {
+                i += 1;
+                config.connections = parse_value("--connections", args.get(i));
+            }
+            "--universe" => {
+                i += 1;
+                config.universe = parse_value("--universe", args.get(i));
+            }
+            "--live" => {
+                i += 1;
+                config.target_live = parse_value("--live", args.get(i));
+            }
+            "--events" => {
+                i += 1;
+                config.events = parse_value("--events", args.get(i));
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = parse_value("--seed", args.get(i));
+            }
+            "--color-every" => {
+                i += 1;
+                config.color_every = parse_value("--color-every", args.get(i));
+            }
+            "--prefix" => {
+                i += 1;
+                config.prefix = parse_value("--prefix", args.get(i));
+            }
+            "--help" | "-h" => usage_exit(0),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage_exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = export_trace {
+        let trace = oblisched_instances::churn_trace_for(
+            config.universe,
+            config.target_live,
+            config.events,
+            config.seed,
+        );
+        let rendered = match trace.to_jsonl() {
+            Ok(rendered) => rendered,
+            Err(e) => {
+                eprintln!("failed to render trace: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let Some(addr) = addr else {
+        eprintln!("--addr is required");
+        usage_exit(2);
+    };
+
+    if stop {
+        if let Err(e) = send_shutdown(&addr) {
+            eprintln!("shutdown failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if let Some(path) = replay {
+        let input = match std::fs::read_to_string(&path) {
+            Ok(input) => input,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match oblisched_server::load::replay_transcript(&addr, &input) {
+            Ok(responses) => {
+                for line in responses {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("replay failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let report = match run_load(&addr, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(rendered) => println!("{rendered}"),
+            Err(e) => {
+                eprintln!("failed to render report: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!(
+            "{} connections x {} events over universe {}: {:.0} events/sec \
+             (slowest connection {:.1} ms), state fingerprint {}",
+            report.connections,
+            report.events_per_connection,
+            report.universe,
+            report.events_per_sec,
+            report.elapsed_ms,
+            report.fingerprint
+        );
+        for verb in &report.verbs {
+            println!(
+                "  {:<7} n={:<5} p50={:.3}ms p95={:.3}ms p99={:.3}ms max={:.3}ms",
+                verb.verb, verb.count, verb.p50_ms, verb.p95_ms, verb.p99_ms, verb.max_ms
+            );
+        }
+    }
+}

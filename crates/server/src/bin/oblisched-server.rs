@@ -1,0 +1,114 @@
+//! The scheduler daemon.
+//!
+//! Binds a TCP listener, recovers every durable session persisted under the
+//! data directory, prints a one-line `{"listening":{"addr":"..."}}`
+//! announcement to stdout (how scripts discover an ephemeral port), then
+//! serves newline-JSON requests until a `{"shutdown":{}}` verb arrives —
+//! at which point it drains connections, checkpoints every session, and
+//! exits 0. A hard kill is also safe: the WAL is flushed per append.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p oblisched_server --bin oblisched-server --release -- \
+//!     --addr 127.0.0.1:0 --data-dir /var/tmp/oblisched [--no-timing]
+//! ```
+//!
+//! `--no-timing` suppresses the clock injection, zeroing `solved.wall_ms`
+//! so transcripts are byte-deterministic — the golden-diff convention.
+
+#![forbid(unsafe_code)]
+
+use oblisched_server::{Server, ServerConfig};
+use std::time::Instant;
+
+fn now_ms_since_start() -> f64 {
+    // A process-wide monotonic origin: only differences of this clock are
+    // ever reported, so the origin itself is irrelevant.
+    use std::sync::OnceLock;
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = String::from("127.0.0.1:0");
+    let mut data_dir = String::from("oblisched-data");
+    let mut no_timing = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(value) => addr = value.clone(),
+                    None => {
+                        eprintln!("--addr needs an ADDRESS:PORT argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--data-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(value) => data_dir = value.clone(),
+                    None => {
+                        eprintln!("--data-dir needs a directory argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--no-timing" => no_timing = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: oblisched-server [--addr ADDR:PORT] [--data-dir DIR] [--no-timing]"
+                );
+                println!("serves newline-JSON solve/session requests over TCP;");
+                println!("prints {{\"listening\":{{\"addr\":\"...\"}}}} once ready;");
+                println!("a {{\"shutdown\":{{}}}} request drains and exits 0");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let config = ServerConfig {
+        addr,
+        data_dir: data_dir.into(),
+        clock: if no_timing {
+            None
+        } else {
+            Some(now_ms_since_start)
+        },
+    };
+    let server = match Server::bind(&config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    for (name, outcome) in server.recover_sessions() {
+        match outcome {
+            Ok(info) => eprintln!(
+                "recovered session {name:?}: {} live, {} colors, next_seq {}",
+                info.live, info.colors, info.next_seq
+            ),
+            Err(e) => eprintln!("failed to recover session {name:?}: {e}"),
+        }
+    }
+
+    println!("{{\"listening\":{{\"addr\":\"{}\"}}}}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    if let Err(e) = server.run() {
+        eprintln!("server failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,50 @@
+//! `oblisched_server` — the scheduler as a long-running service.
+//!
+//! The suite's solvers and durable dynamic sessions, served over TCP:
+//! newline-delimited JSON, one request per line, one response per line.
+//! Built on `std::net` only — the vendored serde shims carry every wire
+//! type; there are no other dependencies.
+//!
+//! Layers, wire-to-core:
+//!
+//! * [`protocol`] — the request/response grammar and typed wire errors
+//!   mirroring the library's `ScheduleError` / `DynamicError` /
+//!   `DurabilityError` enums.
+//! * [`session`] — one actor thread per named durable session (WAL +
+//!   snapshot under the daemon's data dir, per PR 6), coordinated by a
+//!   registry with a mutex per session so independent sessions mutate
+//!   concurrently. A restarted daemon recovers every persisted session
+//!   bit-for-bit before accepting.
+//! * [`server`] — the accept loop (scoped worker thread per connection),
+//!   dispatch, panic containment, and the graceful-shutdown drain.
+//! * [`load`] + [`metrics`] — the churn-replaying load generator: N
+//!   concurrent connections, seed-pinned traces, client-measured p50/p95/
+//!   p99 latency per verb.
+//!
+//! Two binaries front the library: `oblisched-server` (the daemon) and
+//! `oblisched-load` (load generator, transcript replay, shutdown client).
+//!
+//! Determinism is load-bearing: the protocol/session core never reads the
+//! wall clock (enforced by the suite's `wall-clock-in-core` lint — only
+//! [`load`] and the binaries may). The daemon binary *injects* a clock for
+//! `solved.wall_ms`; without one (`--no-timing`, and every in-process test
+//! server) transcripts are byte-deterministic, which is what the committed
+//! golden transcript diffs against in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod load;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use load::{run_load, send_shutdown, Client, LoadConfig, LoadError};
+pub use metrics::{LoadReport, VerbStats};
+pub use protocol::{
+    parse_request, parse_response, render_request, render_response, WireError, WireErrorKind,
+    WireRequest, WireResponse,
+};
+pub use server::{Server, ServerConfig};
+pub use session::SessionRegistry;

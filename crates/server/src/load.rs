@@ -1,0 +1,450 @@
+//! The load generator: N concurrent connections, each driving its own
+//! durable session through a seed-pinned
+//! [`ChurnTrace`](oblisched_instances::ChurnTrace), with client-side
+//! round-trip latency measurement per verb.
+//!
+//! This is the one library module allowed to read the wall clock (the
+//! `wall-clock-in-core` lint exempts it together with the binaries):
+//! latency is a *client-observed* quantity, so the daemon core stays
+//! deterministic and the measurement happens here.
+//!
+//! Determinism story: connection `c` replays `churn_trace_for(universe,
+//! target_live, events, seed + c)` into session `<prefix>-<c>`, so the same
+//! [`LoadConfig`] against a fresh daemon always produces the same final
+//! per-session fingerprints (and the same combined fingerprint) — only the
+//! latency numbers vary run to run.
+
+use crate::metrics::{verb_stats, LoadReport, VerbStats};
+use crate::protocol::{
+    parse_response, render_request, IdRef, ItemRef, NameRef, OpenSpec, SessionVerb, StatsSpec,
+    WireError, WireRequest, WireResponse,
+};
+use crate::session::fingerprint64;
+use oblisched::solve::PowerAssignment;
+use oblisched_instances::{churn_trace_for, ChurnEvent, Family};
+use oblisched_sinr::Variant;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Configuration of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent connections; each opens its own durable session.
+    pub connections: usize,
+    /// Universe size of every session's instance.
+    pub universe: usize,
+    /// Live-count target of each churn trace.
+    pub target_live: usize,
+    /// Churn events per connection.
+    pub events: usize,
+    /// The generator family of every session's universe.
+    pub family: Family,
+    /// Base seed; connection `c` uses `seed + c` for family and trace.
+    pub seed: u64,
+    /// The oblivious power assignment of every session.
+    pub assignment: PowerAssignment,
+    /// The problem variant.
+    pub variant: Variant,
+    /// Snapshot cadence override; `None` uses the durable default.
+    pub checkpoint_every: Option<usize>,
+    /// Issue a `color` query after every this-many churn events (0 = never).
+    pub color_every: usize,
+    /// Session-name prefix; connection `c` drives `<prefix>-<c>`.
+    pub prefix: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            connections: 8,
+            universe: 200,
+            target_live: 60,
+            events: 200,
+            family: Family::Scaling,
+            seed: 1,
+            assignment: PowerAssignment::SquareRoot,
+            variant: Variant::Bidirectional,
+            checkpoint_every: None,
+            color_every: 16,
+            prefix: String::from("load"),
+        }
+    }
+}
+
+/// A load-generator failure.
+#[derive(Debug)]
+pub enum LoadError {
+    /// A socket-level failure.
+    Io(std::io::Error),
+    /// The daemon answered with a typed error.
+    Wire(WireError),
+    /// The daemon answered with the wrong response shape.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o: {e}"),
+            LoadError::Wire(e) => write!(f, "server error: {e}"),
+            LoadError::Unexpected(detail) => write!(f, "unexpected response: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> LoadError {
+        LoadError::Io(e)
+    }
+}
+
+impl From<WireError> for LoadError {
+    fn from(e: WireError) -> LoadError {
+        LoadError::Wire(e)
+    }
+}
+
+/// A blocking newline-JSON client over one TCP connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> Result<Client, LoadError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one raw line verbatim (no validation) and returns the raw
+    /// response line — the transcript-replay primitive, which is also how
+    /// the malformed-JSON negative control talks to the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, or a connection closed without a response.
+    pub fn raw_line(&mut self, line: &str) -> Result<String, LoadError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(LoadError::Unexpected(String::from(
+                "connection closed without a response",
+            )));
+        }
+        Ok(response.trim_end().to_owned())
+    }
+
+    /// Sends one typed request and parses the typed response. A wire
+    /// `error` response is returned as `Err(LoadError::Wire)`.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, protocol violations, or typed server errors.
+    pub fn request(&mut self, request: &WireRequest) -> Result<WireResponse, LoadError> {
+        let line = self.raw_line(&render_request(request))?;
+        match parse_response(&line).map_err(|e| LoadError::Unexpected(e.to_string()))? {
+            WireResponse::Error(e) => Err(LoadError::Wire(e)),
+            response => Ok(response),
+        }
+    }
+}
+
+struct ConnectionOutcome {
+    elapsed_ms: f64,
+    fingerprint: u64,
+    samples: BTreeMap<&'static str, Vec<f64>>,
+}
+
+/// Replays one connection's trace; returns its timing and final session
+/// fingerprint. `timed` wraps one round trip with the latency probe.
+fn drive_connection(
+    addr: &str,
+    config: &LoadConfig,
+    index: usize,
+) -> Result<ConnectionOutcome, LoadError> {
+    let mut client = Client::connect(addr)?;
+    let name = format!("{}-{index}", config.prefix);
+    let seed = config.seed + index as u64;
+    let trace = churn_trace_for(config.universe, config.target_live, config.events, seed);
+
+    let mut samples: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    let mut timed = |client: &mut Client,
+                     verb: &'static str,
+                     request: &WireRequest|
+     -> Result<WireResponse, LoadError> {
+        let start = Instant::now();
+        let response = client.request(request);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        samples.entry(verb).or_default().push(elapsed);
+        response
+    };
+
+    let open = WireRequest::Session(SessionVerb::Open(OpenSpec {
+        name: name.clone(),
+        family: config.family,
+        n: config.universe,
+        seed,
+        assignment: config.assignment,
+        variant: config.variant,
+        params: None,
+        config: None,
+        checkpoint_every: config.checkpoint_every,
+        backend: None,
+    }));
+    timed(&mut client, "open", &open)?;
+
+    let mut ids: BTreeMap<usize, u64> = BTreeMap::new();
+    let replay_start = Instant::now();
+    for (position, event) in trace.events.iter().enumerate() {
+        match *event {
+            ChurnEvent::Arrive(item) => {
+                let request = WireRequest::Session(SessionVerb::Insert(ItemRef {
+                    name: name.clone(),
+                    item,
+                }));
+                match timed(&mut client, "insert", &request)? {
+                    WireResponse::Inserted(info) => {
+                        ids.insert(item, info.id);
+                    }
+                    other => {
+                        return Err(LoadError::Unexpected(format!("insert answered {other:?}")))
+                    }
+                }
+            }
+            ChurnEvent::Depart(item) => {
+                let Some(id) = ids.remove(&item) else {
+                    return Err(LoadError::Unexpected(format!(
+                        "trace departs item {item} with no live id"
+                    )));
+                };
+                let request = WireRequest::Session(SessionVerb::Remove(IdRef {
+                    name: name.clone(),
+                    id,
+                }));
+                match timed(&mut client, "remove", &request)? {
+                    WireResponse::Removed(_) => {}
+                    other => {
+                        return Err(LoadError::Unexpected(format!("remove answered {other:?}")))
+                    }
+                }
+            }
+        }
+        if config.color_every > 0 && (position + 1) % config.color_every == 0 {
+            if let Some((_, &id)) = ids.iter().next() {
+                let request = WireRequest::Session(SessionVerb::Color(IdRef {
+                    name: name.clone(),
+                    id,
+                }));
+                match timed(&mut client, "color", &request)? {
+                    WireResponse::Color(_) => {}
+                    other => {
+                        return Err(LoadError::Unexpected(format!("color answered {other:?}")))
+                    }
+                }
+            }
+        }
+    }
+    let elapsed_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+
+    let stats_request = WireRequest::Session(SessionVerb::Stats(StatsSpec {
+        name: name.clone(),
+        validate: Some(true),
+    }));
+    let fingerprint = match timed(&mut client, "stats", &stats_request)? {
+        WireResponse::Stats(stats) => u64::from_str_radix(&stats.fingerprint, 16)
+            .map_err(|e| LoadError::Unexpected(format!("bad fingerprint hex: {e}")))?,
+        other => return Err(LoadError::Unexpected(format!("stats answered {other:?}"))),
+    };
+    let close = WireRequest::Session(SessionVerb::Close(NameRef { name }));
+    match timed(&mut client, "close", &close)? {
+        WireResponse::Closed(_) => {}
+        other => return Err(LoadError::Unexpected(format!("close answered {other:?}"))),
+    }
+
+    Ok(ConnectionOutcome {
+        elapsed_ms,
+        fingerprint,
+        samples,
+    })
+}
+
+/// Runs a full load pass: `connections` concurrent clients, each replaying
+/// its seed-pinned trace into its own durable session, then closing it.
+///
+/// # Errors
+///
+/// The first connection failure (socket, protocol, or typed server error).
+pub fn run_load(addr: &str, config: &LoadConfig) -> Result<LoadReport, LoadError> {
+    let outcomes: Vec<Result<ConnectionOutcome, LoadError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|index| scope.spawn(move || drive_connection(addr, config, index)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(outcome) => outcome,
+                Err(_) => Err(LoadError::Unexpected(String::from(
+                    "a load worker panicked",
+                ))),
+            })
+            .collect()
+    });
+
+    let mut merged: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    let mut fingerprints = Vec::with_capacity(config.connections);
+    let mut elapsed_ms: f64 = 0.0;
+    for outcome in outcomes {
+        let outcome = outcome?;
+        elapsed_ms = elapsed_ms.max(outcome.elapsed_ms);
+        fingerprints.push(outcome.fingerprint);
+        for (verb, mut samples) in outcome.samples {
+            merged.entry(verb).or_default().append(&mut samples);
+        }
+    }
+
+    let total_events = config.events * config.connections;
+    let verbs: Vec<VerbStats> = merged
+        .into_iter()
+        .map(|(verb, samples)| verb_stats(verb, samples))
+        .collect();
+    Ok(LoadReport {
+        connections: config.connections,
+        universe: config.universe,
+        events_per_connection: config.events,
+        total_events,
+        elapsed_ms,
+        events_per_sec: if elapsed_ms > 0.0 {
+            total_events as f64 / elapsed_ms * 1e3
+        } else {
+            0.0
+        },
+        fingerprint: format!("{:016x}", fingerprint64(fingerprints)),
+        verbs,
+    })
+}
+
+/// Replays a raw transcript (one request line per input line; blank lines
+/// and `#` comments skipped) over one connection, returning one response
+/// line per request — the golden-transcript primitive.
+///
+/// # Errors
+///
+/// Socket failures or a prematurely closed connection.
+pub fn replay_transcript(addr: &str, input: &str) -> Result<Vec<String>, LoadError> {
+    let mut client = Client::connect(addr)?;
+    let mut responses = Vec::new();
+    for line in input.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        responses.push(client.raw_line(trimmed)?);
+    }
+    Ok(responses)
+}
+
+/// Sends `{"shutdown":{}}` and returns once the daemon acknowledged.
+///
+/// # Errors
+///
+/// Socket failures or an unexpected response shape.
+pub fn send_shutdown(addr: &str) -> Result<(), LoadError> {
+    let mut client = Client::connect(addr)?;
+    match client.request(&WireRequest::Shutdown)? {
+        WireResponse::ShuttingDown => Ok(()),
+        other => Err(LoadError::Unexpected(format!(
+            "shutdown answered {other:?}"
+        ))),
+    }
+}
+
+/// `true` when the daemon answers a ping on `addr`.
+pub fn ping(addr: &str) -> bool {
+    let Ok(mut client) = Client::connect(addr) else {
+        return false;
+    };
+    matches!(client.request(&WireRequest::Ping), Ok(WireResponse::Pong))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oblisched-server-load-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn eight_connections_mutate_independent_sessions_concurrently() {
+        let dir = temp_dir("eight");
+        let server = Server::bind(&ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: dir.clone(),
+            clock: None,
+        })
+        .expect("bind");
+        let addr = server.local_addr().to_string();
+        let daemon = std::thread::spawn(move || {
+            server.run().expect("server run");
+            server
+        });
+
+        let config = LoadConfig {
+            connections: 8,
+            universe: 80,
+            target_live: 24,
+            events: 60,
+            color_every: 8,
+            ..LoadConfig::default()
+        };
+        let report = run_load(&addr, &config).expect("load run");
+        assert_eq!(report.connections, 8);
+        assert_eq!(report.total_events, 480);
+        assert!(report.events_per_sec > 0.0);
+        let insert = report
+            .verbs
+            .iter()
+            .find(|v| v.verb == "insert")
+            .expect("insert stats");
+        assert!(insert.count > 0);
+        assert!(insert.p50_ms <= insert.p99_ms);
+
+        // The same seeds under fresh session names reproduce the combined
+        // fingerprint exactly (the first run's sessions persist on disk, so
+        // a re-run needs new names): the run is deterministic modulo latency.
+        let config = LoadConfig {
+            prefix: String::from("load2"),
+            ..config
+        };
+        let again = run_load(&addr, &config).expect("second load run");
+        assert_eq!(again.fingerprint, report.fingerprint);
+
+        send_shutdown(&addr).expect("shutdown");
+        let server = daemon.join().expect("daemon join");
+        assert!(server.registry().live_sessions().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

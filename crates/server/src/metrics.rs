@@ -1,0 +1,115 @@
+//! Latency aggregation for the load generator: per-verb percentile summaries
+//! over client-measured round-trip samples.
+//!
+//! This module is pure arithmetic — it never reads the clock itself. The
+//! load generator (the one place the `wall-clock-in-core` lint exempts
+//! alongside the binaries) hands it raw millisecond samples.
+
+use serde::{Deserialize, Serialize};
+
+/// A percentile summary of one verb's round-trip latencies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerbStats {
+    /// The wire verb (`open`, `insert`, `remove`, `color`, `stats`, ...).
+    pub verb: String,
+    /// Number of round trips sampled.
+    pub count: usize,
+    /// Median round-trip latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Worst observed latency in milliseconds.
+    pub max_ms: f64,
+}
+
+/// The load generator's report: throughput plus per-verb percentiles, in a
+/// shape stable enough to sit next to the `BENCH_<date>.json` trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Concurrent connections (one durable session each).
+    pub connections: usize,
+    /// Universe size each session schedules over.
+    pub universe: usize,
+    /// Churn events replayed per connection.
+    pub events_per_connection: usize,
+    /// Total churn events across all connections.
+    pub total_events: usize,
+    /// Wall time of the slowest connection's replay, milliseconds.
+    pub elapsed_ms: f64,
+    /// Aggregate throughput: `total_events / elapsed_ms * 1000`.
+    pub events_per_sec: f64,
+    /// Combined FNV fingerprint (hex) over the final per-session state
+    /// fingerprints, in connection order — replaying the same seeds against
+    /// a fresh daemon must reproduce it exactly.
+    pub fingerprint: String,
+    /// Per-verb latency summaries, sorted by verb name.
+    pub verbs: Vec<VerbStats>,
+}
+
+/// Nearest-rank percentile (`q` in `[0, 1]`) of an ascending-sorted slice;
+/// `0.0` for an empty slice.
+pub fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// Builds a [`VerbStats`] from raw samples (sorts them internally with a
+/// total order, so NaNs cannot poison the percentiles' positions).
+pub fn verb_stats(verb: impl Into<String>, mut samples_ms: Vec<f64>) -> VerbStats {
+    samples_ms.sort_unstable_by(f64::total_cmp);
+    VerbStats {
+        verb: verb.into(),
+        count: samples_ms.len(),
+        p50_ms: percentile(&samples_ms, 0.50),
+        p95_ms: percentile(&samples_ms, 0.95),
+        p99_ms: percentile(&samples_ms, 0.99),
+        max_ms: samples_ms.last().copied().unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn verb_stats_sorts_before_summarising() {
+        let stats = verb_stats("insert", vec![3.0, 1.0, 2.0, 10.0]);
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.p50_ms, 2.0);
+        assert_eq!(stats.max_ms, 10.0);
+    }
+
+    #[test]
+    fn reports_round_trip_through_serde() {
+        let report = LoadReport {
+            connections: 8,
+            universe: 200,
+            events_per_connection: 50,
+            total_events: 400,
+            elapsed_ms: 12.5,
+            events_per_sec: 32_000.0,
+            fingerprint: "0011223344556677".into(),
+            verbs: vec![verb_stats("insert", vec![1.0, 2.0])],
+        };
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: LoadReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, report);
+    }
+}

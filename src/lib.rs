@@ -10,4 +10,5 @@ pub use oblisched;
 pub use oblisched_instances as instances;
 pub use oblisched_lp as lp;
 pub use oblisched_metric as metric;
+pub use oblisched_server as server;
 pub use oblisched_sinr as sinr;

@@ -1,0 +1,72 @@
+//! Golden wire-protocol transcript: replays `examples/server/smoke.jsonl`
+//! against an in-process server (no injected clock, so every timing field
+//! renders as zero — the `--no-timing` convention) and diffs the response
+//! lines against the committed `examples/server/smoke.golden.jsonl`.
+//!
+//! On mismatch the test points at the first diverging line; run with
+//! `GOLDEN_UPDATE=1` to regenerate the golden after an intentional
+//! protocol change.
+
+use oblisched_suite::server::load::replay_transcript;
+use oblisched_suite::server::{send_shutdown, Server, ServerConfig};
+use std::path::PathBuf;
+
+fn example_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/server")
+        .join(name)
+}
+
+#[test]
+fn wire_transcript_matches_the_committed_golden() {
+    let data_dir = std::env::temp_dir().join(format!(
+        "oblisched-server-wire-golden-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: data_dir.clone(),
+        clock: None,
+    })
+    .expect("bind in-process server");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let transcript =
+        std::fs::read_to_string(example_path("smoke.jsonl")).expect("read smoke.jsonl");
+    let responses = replay_transcript(&addr, &transcript).expect("replay transcript");
+    let actual = responses.join("\n") + "\n";
+
+    send_shutdown(&addr).expect("shutdown");
+    daemon.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let golden = example_path("smoke.golden.jsonl");
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(&golden, &actual).expect("write golden");
+        eprintln!("golden transcript rewritten at {}", golden.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden transcript {} ({e}); run with GOLDEN_UPDATE=1 to create it",
+            golden.display()
+        )
+    });
+    let actual_lines: Vec<&str> = actual.lines().collect();
+    let expected_lines: Vec<&str> = expected.lines().map(|l| l.trim_end_matches('\r')).collect();
+    for (i, (a, e)) in actual_lines.iter().zip(expected_lines.iter()).enumerate() {
+        assert_eq!(
+            a,
+            e,
+            "wire golden mismatch at response {} (set GOLDEN_UPDATE=1 only for intentional changes)",
+            i + 1
+        );
+    }
+    assert_eq!(
+        actual_lines.len(),
+        expected_lines.len(),
+        "wire golden response count changed (set GOLDEN_UPDATE=1 only for intentional changes)"
+    );
+}
